@@ -1,0 +1,78 @@
+/// A2 (ablation) — which local-search component earns its keep.
+///
+/// Starting from identical nearest-neighbor constructions on the hard
+/// dense diameter-2 family (complement of sparse ER; see E4), apply each
+/// component in isolation and in combination. Expected shape: 2-opt does
+/// the heavy lifting, Or-opt adds segment moves 2-opt cannot express, the
+/// VND combination beats both, and double-bridge kicks rescue VND from
+/// its local optima.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/reduction.hpp"
+#include "graph/operations.hpp"
+#include "tsp/chained_lk.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/local_search.hpp"
+
+using namespace lptsp;
+
+int main() {
+  std::printf("A2: local-search component ablation (hard dense diameter-2 family)\n");
+  Table table({"n", "variant", "span", "improvement vs NN", "time[s]"});
+
+  for (const int n : {100, 200, 400}) {
+    Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+    const Graph graph = complement(erdos_renyi(n, 1.4 / n, rng));
+    const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+    const PathSolution nn = nearest_neighbor_path(reduced.instance, 0);
+
+    struct Variant {
+      const char* name;
+      Weight cost;
+      double seconds;
+    };
+    std::vector<Variant> variants;
+
+    {
+      variants.push_back({"nn only", nn.cost, 0.0});
+    }
+    {
+      Order order = nn.order;
+      const Timer timer;
+      two_opt(reduced.instance, order);
+      variants.push_back({"nn + 2opt", path_length(reduced.instance, order), timer.seconds()});
+    }
+    {
+      Order order = nn.order;
+      const Timer timer;
+      or_opt(reduced.instance, order);
+      variants.push_back({"nn + oropt", path_length(reduced.instance, order), timer.seconds()});
+    }
+    {
+      Order order = nn.order;
+      const Timer timer;
+      vnd(reduced.instance, order);
+      variants.push_back({"nn + vnd", path_length(reduced.instance, order), timer.seconds()});
+    }
+    {
+      ChainedLkOptions options;
+      options.restarts = 1;
+      options.kicks = 25;
+      options.seed = 3;
+      const Timer timer;
+      const PathSolution chained = chained_lk_path(reduced.instance, options);
+      variants.push_back({"vnd + kicks", chained.cost, timer.seconds()});
+    }
+
+    for (const auto& variant : variants) {
+      table.add_row({std::to_string(n), variant.name, std::to_string(variant.cost),
+                     std::to_string(nn.cost - variant.cost),
+                     format_double(variant.seconds, 3)});
+    }
+  }
+
+  table.print("A2 — local-search ablation (expect vnd+kicks best, 2opt > oropt alone)");
+  return 0;
+}

@@ -1,0 +1,26 @@
+#pragma once
+
+/// Shared helpers for the experiment binaries (E1..E10). Each binary
+/// regenerates one claim of the paper as a printed table; EXPERIMENTS.md
+/// records claim-vs-measured.
+
+#include <string>
+
+#include "core/pvec.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace lptsp::bench {
+
+/// Standard workload of the paper's target class: random connected graphs
+/// with an enforced diameter cap.
+inline Graph workload_graph(int n, int diam, std::uint64_t seed, double edge_prob = 0.25) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 12345);
+  return random_with_diameter_at_most(n, diam, edge_prob, rng);
+}
+
+inline std::string pvec_name(const PVec& p) { return "L" + p.to_string(); }
+
+}  // namespace lptsp::bench

@@ -1,0 +1,39 @@
+/// E2 — Corollary 1: the O(2^n n^2) exact algorithm.
+///
+/// Measures Held–Karp wall time on reduced L(2,1) instances for growing n.
+/// The "x prev" column is the runtime ratio against n-2; the theory
+/// predicts about 2^2 * ((n/(n-2))^2 ≈ 4.3, confirming the 2^n n^2 shape.
+/// The "t / (2^n n^2) [ns]" column should be roughly constant.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/reduction.hpp"
+#include "tsp/held_karp.hpp"
+
+using namespace lptsp;
+
+int main() {
+  std::printf("E2: Held-Karp scaling on reduced instances (Corollary 1)\n");
+  Table table({"n", "span", "time[s]", "x prev", "t/(2^n n^2) [ns]"});
+
+  double previous = 0;
+  for (int n = 10; n <= 20; n += 2) {
+    const Graph graph = lptsp::bench::workload_graph(n, 2, static_cast<std::uint64_t>(n));
+    const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+
+    const Timer timer;
+    const PathSolution solution = held_karp_path(reduced.instance);
+    const double seconds = timer.seconds();
+
+    const double work = std::pow(2.0, n) * n * n;
+    table.add_row({std::to_string(n), std::to_string(solution.cost), format_double(seconds, 4),
+                   previous > 0 ? format_double(seconds / previous, 2) : "-",
+                   format_double(seconds / work * 1e9, 3)});
+    previous = seconds;
+  }
+
+  table.print("E2 — exact O(2^n n^2) algorithm (expect 'x prev' ~ 4.3, flat last column)");
+  return 0;
+}

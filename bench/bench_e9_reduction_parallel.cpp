@@ -1,0 +1,77 @@
+/// E9 — the O(nm) reduction and the parallel substrate.
+///
+/// Part A: reduction wall time against n*m; the "t/(nm) [ns]" column
+/// should stay roughly constant, confirming the claimed O(nm) + O(n^2)
+/// complexity. Part B: thread sweep for the three parallelizable kernels
+/// (APSP BFS fan-out, Held-Karp layers, chained-LK multi-start). On a
+/// single-core host the sweep documents overhead rather than speedup; on
+/// multicore machines the same binary shows the scaling.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/reduction.hpp"
+#include "tsp/chained_lk.hpp"
+#include "tsp/held_karp.hpp"
+
+using namespace lptsp;
+
+int main() {
+  std::printf("E9: O(nm) reduction + parallel substrate (hardware threads: %u)\n",
+              std::thread::hardware_concurrency());
+
+  Table reduction({"n", "m", "n*m", "time[s]", "t/(nm) [ns]"});
+  for (const int n : {100, 200, 400, 800}) {
+    const Graph graph = lptsp::bench::workload_graph(n, 3, static_cast<std::uint64_t>(n), 0.02);
+    const Timer timer;
+    const auto reduced = reduce_to_path_tsp(graph, PVec({2, 2, 1}), 1);
+    const double seconds = timer.seconds();
+    const double nm = static_cast<double>(graph.n()) * graph.m();
+    reduction.add_row({std::to_string(n), std::to_string(graph.m()),
+                       std::to_string(static_cast<long long>(nm)), format_double(seconds, 4),
+                       format_double(seconds / nm * 1e9, 2)});
+    (void)reduced;
+  }
+  reduction.print("E9a — Theorem 2 reduction time (expect flat t/(nm))");
+
+  Table threads({"kernel", "threads", "time[s]", "result"});
+  {
+    const Graph graph = lptsp::bench::workload_graph(600, 3, 9, 0.02);
+    for (const unsigned t : {1u, 2u, 4u}) {
+      const Timer timer;
+      const auto reduced = reduce_to_path_tsp(graph, PVec({2, 2, 1}), t);
+      threads.add_row({"apsp+reduce(n=600)", std::to_string(t), format_double(timer.seconds(), 3),
+                       std::to_string(reduced.instance.max_weight())});
+    }
+  }
+  {
+    const Graph graph = lptsp::bench::workload_graph(18, 2, 4);
+    const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+    for (const unsigned t : {1u, 2u, 4u}) {
+      HeldKarpOptions options;
+      options.threads = t;
+      const Timer timer;
+      const PathSolution solution = held_karp_path(reduced.instance, options);
+      threads.add_row({"held-karp(n=18)", std::to_string(t), format_double(timer.seconds(), 3),
+                       std::to_string(solution.cost)});
+    }
+  }
+  {
+    const Graph graph = lptsp::bench::workload_graph(150, 2, 5, 0.05);
+    const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+    for (const unsigned t : {1u, 2u, 4u}) {
+      ChainedLkOptions options;
+      options.restarts = 4;
+      options.kicks = 10;
+      options.seed = 1;
+      options.threads = t;
+      const Timer timer;
+      const PathSolution solution = chained_lk_path(reduced.instance, options);
+      threads.add_row({"chained-lk(n=150)", std::to_string(t), format_double(timer.seconds(), 3),
+                       std::to_string(solution.cost)});
+    }
+  }
+  threads.print("E9b — thread sweep (identical results required; speedup needs multicore)");
+  return 0;
+}

@@ -1,0 +1,85 @@
+/// Micro-benchmarks (google-benchmark) for the hot kernels behind the
+/// experiment binaries: BFS all-pairs distances, the Theorem-2 reduction,
+/// Held-Karp layers, 2-opt passes, and the blossom matching. These are the
+/// numbers to watch when optimizing; the E-binaries measure end-to-end
+/// claims instead.
+
+#include <benchmark/benchmark.h>
+
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/held_karp.hpp"
+#include "tsp/local_search.hpp"
+#include "tsp/matching.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lptsp;
+
+Graph make_graph(int n, double prob, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_with_diameter_at_most(n, 3, prob, rng);
+}
+
+void BM_AllPairsBfs(benchmark::State& state) {
+  const Graph graph = make_graph(static_cast<int>(state.range(0)), 0.05, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all_pairs_distances(graph, 1));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AllPairsBfs)->Arg(64)->Arg(128)->Arg(256)->Complexity(benchmark::oNSquared);
+
+void BM_Reduction(benchmark::State& state) {
+  const Graph graph = make_graph(static_cast<int>(state.range(0)), 0.05, 2);
+  const PVec p({2, 2, 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce_to_path_tsp(graph, p, 1));
+  }
+}
+BENCHMARK(BM_Reduction)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_HeldKarp(benchmark::State& state) {
+  const Graph graph = make_graph(static_cast<int>(state.range(0)), 0.3, 3);
+  const auto reduced = reduce_to_path_tsp(graph, PVec({2, 2, 1}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(held_karp_path(reduced.instance));
+  }
+}
+BENCHMARK(BM_HeldKarp)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_TwoOptPass(benchmark::State& state) {
+  const Graph graph = make_graph(static_cast<int>(state.range(0)), 0.05, 4);
+  const auto reduced = reduce_to_path_tsp(graph, PVec({2, 2, 1}));
+  Rng rng(7);
+  Order order = rng.permutation(reduced.instance.n());
+  for (auto _ : state) {
+    Order copy = order;
+    benchmark::DoNotOptimize(two_opt_pass(reduced.instance, copy));
+  }
+}
+BENCHMARK(BM_TwoOptPass)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_NearestNeighbor(benchmark::State& state) {
+  const Graph graph = make_graph(static_cast<int>(state.range(0)), 0.05, 5);
+  const auto reduced = reduce_to_path_tsp(graph, PVec({2, 2, 1}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nearest_neighbor_path(reduced.instance, 0));
+  }
+}
+BENCHMARK(BM_NearestNeighbor)->Arg(128)->Arg(512);
+
+void BM_BlossomMatching(benchmark::State& state) {
+  Rng rng(9);
+  const Graph graph = erdos_renyi(static_cast<int>(state.range(0)), 0.2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_cardinality_matching(graph));
+  }
+}
+BENCHMARK(BM_BlossomMatching)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/// hardness_gadgets — a walking tour of the paper's two W[1]-hardness
+/// constructions (Theorems 1 and 3), showing the gadgets on concrete
+/// inputs and verifying the claimed equivalences with the library's exact
+/// solvers.
+///
+/// Run: ./hardness_gadgets
+
+#include <cstdio>
+
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "ham/gadgets.hpp"
+#include "ham/hamiltonian.hpp"
+
+using namespace lptsp;
+
+namespace {
+
+void demo_theorem1(const Graph& graph, const char* name) {
+  const HcToHpGadget gadget = hc_to_hp_gadget(graph, 0);
+  const bool cycle = has_hamiltonian_cycle(graph);
+  const bool path = has_hamiltonian_path(gadget.graph);
+  std::printf("  %-18s HC(G)=%-3s  ->  gadget (n=%d: +twin v'=%d, +pendants w=%d w'=%d)  HP=%-3s  %s\n",
+              name, cycle ? "yes" : "no", gadget.graph.n(), gadget.twin, gadget.pendant,
+              gadget.pendant2, path ? "yes" : "no", cycle == path ? "[agrees]" : "[BUG]");
+}
+
+void demo_theorem3(const Graph& graph, const char* name) {
+  const int n = graph.n();
+  const Graph gadget = griggs_yeh_gadget(graph);
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  const Weight span = solve_labeling(gadget, PVec::L21(), options).span;
+  const bool has_path = has_hamiltonian_path(graph);
+  const bool threshold = span == n + 1;
+  std::printf("  %-18s HP(G)=%-3s  ->  gadget diam=%d, lambda_{2,1}=%lld (n+1=%d)  %s\n", name,
+              has_path ? "yes" : "no", diameter(gadget), static_cast<long long>(span), n + 1,
+              threshold == has_path ? "[agrees]" : "[BUG]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Theorem 1 — HAMILTONIAN CYCLE -> HAMILTONIAN PATH gadget\n");
+  std::printf("(add a false twin of a pivot plus one pendant on each copy)\n\n");
+  demo_theorem1(cycle_graph(6), "C6");
+  demo_theorem1(complete_graph(5), "K5");
+  demo_theorem1(path_graph(6), "P6");
+  demo_theorem1(petersen_graph(), "Petersen");
+  demo_theorem1(complete_bipartite(3, 3), "K3,3");
+  demo_theorem1(complete_bipartite(3, 4), "K3,4");
+
+  std::printf("\nTheorem 3 — Griggs-Yeh gadget: complement(G) + universal vertex\n");
+  std::printf("(lambda_{2,1} = n+1 iff G has a Hamiltonian path; >= n+2 otherwise)\n\n");
+  demo_theorem3(path_graph(7), "P7");
+  demo_theorem3(cycle_graph(7), "C7");
+  demo_theorem3(star_graph(6), "K1,5");
+  demo_theorem3(petersen_graph(), "Petersen");
+  demo_theorem3(complete_bipartite(2, 5), "K2,5");
+
+  std::printf("\nBoth constructions preserve clique-width up to an additive constant,\n");
+  std::printf("which is how the paper transfers W[1]-hardness to L(2,1)-LABELING on\n");
+  std::printf("diameter-2 graphs (see DESIGN.md and Section IV of the paper).\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "core/approx.hpp"
+
+#include "core/l1_labeling.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+PmaxApproxResult pmax_approx_labeling(const Graph& graph, const PVec& p, bool exact_l1) {
+  LPTSP_REQUIRE(graph.n() >= 1, "graph must be non-empty");
+  const L1Result l1 =
+      exact_l1 ? l1_labeling_exact(graph, p.k()) : l1_labeling_greedy(graph, p.k());
+
+  PmaxApproxResult result;
+  result.l1_span = l1.span;
+  result.bound_certified = l1.optimal;
+  result.labeling.labels.reserve(l1.labeling.labels.size());
+  for (const Weight label : l1.labeling.labels) {
+    result.labeling.labels.push_back(label * p.pmax());
+  }
+  result.span = result.labeling.span();
+  // Any pair at distance d <= k has distinct colors in the L(1) step, so
+  // the scaled gap is >= pmax >= p_d: always a valid L(p)-labeling.
+  LPTSP_ENSURE(is_valid_labeling(graph, p, result.labeling),
+               "scaled coloring is not a valid L(p)-labeling");
+  return result;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/labeling.hpp"
+#include "core/pvec.hpp"
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Corollary 3: scale an L(1,...,1)-labeling (a coloring of G^k) by pmax.
+/// The result is a valid L(p)-labeling with span pmax * lambda_1 <=
+/// pmax * lambda_p, i.e. a pmax-approximation — on ANY graph (no diameter
+/// or weight condition needed). `exact_l1` picks the exact vs DSATUR
+/// coloring for the underlying L(1) step; the bound only holds with the
+/// exact one.
+struct PmaxApproxResult {
+  Labeling labeling;
+  Weight span = 0;
+  Weight l1_span = 0;   ///< lambda_1 (or its upper bound)
+  bool bound_certified = false;  ///< true when the L(1) step was exact
+};
+PmaxApproxResult pmax_approx_labeling(const Graph& graph, const PVec& p, bool exact_l1 = true);
+
+}  // namespace lptsp

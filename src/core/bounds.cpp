@@ -1,0 +1,50 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+
+#include "core/greedy_labeling.hpp"
+#include "core/reduction.hpp"
+#include "graph/properties.hpp"
+#include "tsp/lower_bounds.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+Weight span_lower_bound_small_diameter(const Graph& graph, const PVec& p) {
+  LPTSP_REQUIRE(graph.n() >= 1, "graph must be non-empty");
+  LPTSP_REQUIRE(is_connected(graph), "bound requires a connected graph");
+  LPTSP_REQUIRE(graph.n() == 1 || diameter(graph) <= p.k(), "bound requires diam(G) <= k");
+  return static_cast<Weight>(graph.n() - 1) * p.pmin();
+}
+
+Weight span_lower_bound_degree(const Graph& graph, const PVec& p) {
+  LPTSP_REQUIRE(graph.n() >= 1, "graph must be non-empty");
+  const int delta = max_degree(graph);
+  if (delta == 0) return 0;
+  const Weight p1 = p.at(1);
+  if (p.k() == 1 || delta == 1) return p1;
+  // The Delta neighbours of a max-degree vertex are pairwise within
+  // distance 2 and all adjacent to it; whether the centre label falls
+  // inside or outside their range, the weaker of the two cases is
+  // (Delta-2)*p2 + p1 + min(p1, p2). For L(2,1) this is the classic
+  // Delta + 1 bound.
+  const Weight p2 = p.at(2);
+  return static_cast<Weight>(delta - 2) * p2 + p1 + std::min(p1, p2);
+}
+
+Weight span_lower_bound(const Graph& graph, const PVec& p) {
+  Weight bound = span_lower_bound_degree(graph, p);
+  if (graph.n() >= 2 && is_connected(graph) && diameter(graph) <= p.k()) {
+    bound = std::max(bound, span_lower_bound_small_diameter(graph, p));
+    if (p.satisfies_reduction_condition()) {
+      bound = std::max(bound, mst_lower_bound(reduce_to_path_tsp(graph, p).instance));
+    }
+  }
+  return bound;
+}
+
+Weight span_upper_bound_greedy(const Graph& graph, const PVec& p) {
+  return greedy_first_fit(graph, p).span();
+}
+
+}  // namespace lptsp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/pvec.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// Instance-independent certificates around lambda_p, used by benchmarks
+/// and as sanity rails in tests.
+
+/// Lower bound for connected graphs with diam(G) <= k: all labels are
+/// pairwise >= pmin apart, so lambda_p >= (n-1) * pmin. (Theorem 2's
+/// trivial bound; equals the TSP bound (n-1)*min weight.)
+Weight span_lower_bound_small_diameter(const Graph& graph, const PVec& p);
+
+/// Degree lower bound for L(2,1)-like vectors: a vertex of degree Delta
+/// has Delta neighbours needing gaps >= p1 from it and >= p2 from each
+/// other, giving lambda >= p2 * (Delta - 1) + p1 when k >= 2.
+Weight span_lower_bound_degree(const Graph& graph, const PVec& p);
+
+/// The strongest available lower bound (max of the above, plus the MST
+/// bound when the reduction applies).
+Weight span_lower_bound(const Graph& graph, const PVec& p);
+
+/// Greedy first-fit upper bound (valid for any graph and any p).
+Weight span_upper_bound_greedy(const Graph& graph, const PVec& p);
+
+}  // namespace lptsp

@@ -1,0 +1,58 @@
+#include "core/cograph_paths.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+struct CoverInfo {
+  int paths = 1;
+  int vertices = 1;
+};
+
+CoverInfo fold(const Cotree& tree, int node_id) {
+  const Cotree::Node& node = tree.node(node_id);
+  if (node.is_leaf) return {1, 1};
+  CoverInfo accumulated{0, 0};
+  bool first = true;
+  for (const int child : node.children) {
+    const CoverInfo info = fold(tree, child);
+    if (first) {
+      accumulated = info;
+      first = false;
+      continue;
+    }
+    if (node.is_series) {
+      // Join: interleave path segments of the two sides.
+      accumulated.paths = std::max({1, accumulated.paths - info.vertices,
+                                    info.paths - accumulated.vertices});
+    } else {
+      // Disjoint union: covers are independent.
+      accumulated.paths += info.paths;
+    }
+    accumulated.vertices += info.vertices;
+  }
+  return accumulated;
+}
+
+}  // namespace
+
+int cotree_min_path_cover(const Cotree& tree) {
+  LPTSP_REQUIRE(tree.root >= 0, "cotree must be built");
+  return fold(tree, tree.root).paths;
+}
+
+int cograph_min_path_cover(const Graph& graph) {
+  const auto tree = build_cotree(graph);
+  LPTSP_REQUIRE(tree.has_value(), "graph is not a cograph");
+  return cotree_min_path_cover(*tree);
+}
+
+bool cograph_has_hamiltonian_path(const Graph& graph) {
+  return cograph_min_path_cover(graph) == 1;
+}
+
+}  // namespace lptsp

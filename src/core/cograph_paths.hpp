@@ -1,0 +1,28 @@
+#pragma once
+
+#include "graph/graph.hpp"
+#include "params/cotree.hpp"
+
+namespace lptsp {
+
+/// Minimum path cover of a cograph by a linear cotree fold — the
+/// modular-decomposition route behind the paper's Corollary 2 (PARTITION
+/// INTO PATHS is FPT in modular-width; cographs are the mw <= 2 class).
+///
+/// Recurrence on (pc, n) per cotree node:
+///   leaf:            pc = 1
+///   union (parallel): pc = sum of children
+///   join (series):    pc(A + B) = max(1, pc_A - n_B, pc_B - n_A)
+/// The join formula is exact: r merged paths alternate A/B segments, so
+/// r >= pc_A - n_B and r >= pc_B - n_A; conversely splitting the larger
+/// side into min(pc, n_other)+r segments and interleaving achieves it.
+int cotree_min_path_cover(const Cotree& tree);
+
+/// Convenience wrapper: builds the cotree first. Throws precondition_error
+/// if the graph is not a cograph.
+int cograph_min_path_cover(const Graph& graph);
+
+/// Hamiltonicity of a cograph: path cover number equals 1.
+bool cograph_has_hamiltonian_path(const Graph& graph);
+
+}  // namespace lptsp

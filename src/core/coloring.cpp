@@ -1,0 +1,168 @@
+#include "core/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+bool is_proper_coloring(const Graph& graph, const Coloring& coloring) {
+  if (static_cast<int>(coloring.colors.size()) != graph.n()) return false;
+  for (const int color : coloring.colors) {
+    if (color < 0 || color >= coloring.count) return false;
+  }
+  for (const auto& [u, v] : graph.edges()) {
+    if (coloring.colors[static_cast<std::size_t>(u)] ==
+        coloring.colors[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Coloring greedy_coloring(const Graph& graph, const std::vector<int>& order) {
+  LPTSP_REQUIRE(static_cast<int>(order.size()) == graph.n(), "order size mismatch");
+  Coloring result;
+  result.colors.assign(static_cast<std::size_t>(graph.n()), -1);
+  std::vector<bool> taken;
+  for (const int v : order) {
+    taken.assign(static_cast<std::size_t>(graph.n()) + 1, false);
+    for (const int u : graph.neighbors(v)) {
+      const int c = result.colors[static_cast<std::size_t>(u)];
+      if (c >= 0) taken[static_cast<std::size_t>(c)] = true;
+    }
+    int color = 0;
+    while (taken[static_cast<std::size_t>(color)]) ++color;
+    result.colors[static_cast<std::size_t>(v)] = color;
+    result.count = std::max(result.count, color + 1);
+  }
+  return result;
+}
+
+Coloring dsatur_coloring(const Graph& graph) {
+  const int n = graph.n();
+  Coloring result;
+  result.colors.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) return result;
+
+  std::vector<std::vector<bool>> neighbor_colors(static_cast<std::size_t>(n));
+  for (auto& row : neighbor_colors) row.assign(static_cast<std::size_t>(n) + 1, false);
+  std::vector<int> saturation(static_cast<std::size_t>(n), 0);
+
+  for (int step = 0; step < n; ++step) {
+    int pick = -1;
+    for (int v = 0; v < n; ++v) {
+      if (result.colors[static_cast<std::size_t>(v)] != -1) continue;
+      if (pick == -1 || saturation[static_cast<std::size_t>(v)] > saturation[static_cast<std::size_t>(pick)] ||
+          (saturation[static_cast<std::size_t>(v)] == saturation[static_cast<std::size_t>(pick)] &&
+           graph.degree(v) > graph.degree(pick))) {
+        pick = v;
+      }
+    }
+    int color = 0;
+    while (neighbor_colors[static_cast<std::size_t>(pick)][static_cast<std::size_t>(color)]) ++color;
+    result.colors[static_cast<std::size_t>(pick)] = color;
+    result.count = std::max(result.count, color + 1);
+    for (const int u : graph.neighbors(pick)) {
+      if (!neighbor_colors[static_cast<std::size_t>(u)][static_cast<std::size_t>(color)]) {
+        neighbor_colors[static_cast<std::size_t>(u)][static_cast<std::size_t>(color)] = true;
+        ++saturation[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> greedy_clique(const Graph& graph) {
+  const int n = graph.n();
+  if (n == 0) return {};
+  std::vector<int> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](int a, int b) { return graph.degree(a) > graph.degree(b); });
+  std::vector<int> clique;
+  for (const int v : by_degree) {
+    const bool compatible = std::all_of(clique.begin(), clique.end(),
+                                        [&](int u) { return graph.has_edge(u, v); });
+    if (compatible) clique.push_back(v);
+  }
+  return clique;
+}
+
+namespace {
+
+/// DSATUR-ordered branch and bound for the chromatic number.
+struct ColorSearch {
+  const Graph& graph;
+  std::vector<int> colors;
+  Coloring best;
+
+  explicit ColorSearch(const Graph& g, Coloring upper)
+      : graph(g), colors(static_cast<std::size_t>(g.n()), -1), best(std::move(upper)) {}
+
+  int pick_vertex() const {
+    int pick = -1;
+    int pick_saturation = -1;
+    for (int v = 0; v < graph.n(); ++v) {
+      if (colors[static_cast<std::size_t>(v)] != -1) continue;
+      // Saturation = distinct neighbor colors.
+      std::vector<bool> seen(static_cast<std::size_t>(graph.n()) + 1, false);
+      int saturation = 0;
+      for (const int u : graph.neighbors(v)) {
+        const int c = colors[static_cast<std::size_t>(u)];
+        if (c >= 0 && !seen[static_cast<std::size_t>(c)]) {
+          seen[static_cast<std::size_t>(c)] = true;
+          ++saturation;
+        }
+      }
+      if (saturation > pick_saturation ||
+          (saturation == pick_saturation && pick != -1 && graph.degree(v) > graph.degree(pick))) {
+        pick = v;
+        pick_saturation = saturation;
+      }
+    }
+    return pick;
+  }
+
+  void search(int colored, int used) {
+    if (used >= best.count) return;  // can't beat the incumbent
+    if (colored == graph.n()) {
+      best.colors = colors;
+      best.count = used;
+      return;
+    }
+    const int v = pick_vertex();
+    std::vector<bool> taken(static_cast<std::size_t>(used) + 2, false);
+    for (const int u : graph.neighbors(v)) {
+      const int c = colors[static_cast<std::size_t>(u)];
+      if (c >= 0) taken[static_cast<std::size_t>(c)] = true;
+    }
+    // Existing colors first, then (at most) one fresh color: trying more
+    // than one fresh color only permutes color names.
+    for (int c = 0; c <= used && c + 1 < best.count; ++c) {
+      if (c < used && taken[static_cast<std::size_t>(c)]) continue;
+      colors[static_cast<std::size_t>(v)] = c;
+      search(colored + 1, std::max(used, c + 1));
+      colors[static_cast<std::size_t>(v)] = -1;
+    }
+  }
+};
+
+}  // namespace
+
+Coloring exact_coloring(const Graph& graph) {
+  const int n = graph.n();
+  if (n == 0) return {};
+  Coloring upper = dsatur_coloring(graph);
+  const int clique_bound = static_cast<int>(greedy_clique(graph).size());
+  if (upper.count == clique_bound) return upper;  // DSATUR already optimal
+
+  ColorSearch search(graph, upper);
+  search.search(0, 0);
+  LPTSP_ENSURE(is_proper_coloring(graph, search.best), "exact coloring produced improper result");
+  LPTSP_ENSURE(search.best.count >= clique_bound, "chromatic number below clique bound");
+  return search.best;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// A proper coloring: colors[v] in [0, count).
+struct Coloring {
+  std::vector<int> colors;
+  int count = 0;
+};
+
+/// True iff adjacent vertices always have different colors.
+bool is_proper_coloring(const Graph& graph, const Coloring& coloring);
+
+/// First-fit coloring along the given vertex order.
+Coloring greedy_coloring(const Graph& graph, const std::vector<int>& order);
+
+/// DSATUR heuristic (Brélaz): repeatedly color the vertex with maximum
+/// saturation degree. Good upper bound, not exact.
+Coloring dsatur_coloring(const Graph& graph);
+
+/// Exact chromatic number via branch-and-bound: DSATUR branching order,
+/// greedy-clique lower bound, DSATUR upper bound. Exponential worst case;
+/// fine for the n <= ~40 kernels used in this repo.
+Coloring exact_coloring(const Graph& graph);
+
+/// A maximal clique found greedily (largest-degree seed). Its size lower-
+/// bounds the chromatic number.
+std::vector<int> greedy_clique(const Graph& graph);
+
+}  // namespace lptsp

@@ -1,0 +1,96 @@
+#include "core/exact_bb.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/greedy_labeling.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Backtracking feasibility: can all vertices be labeled within [0, span]?
+struct FeasibilitySearch {
+  const DistanceMatrix& dist;
+  const PVec& p;
+  const std::vector<int>& order;  // assignment order
+  Weight span;
+  std::vector<Weight> labels;
+  std::vector<bool> assigned;
+
+  bool feasible_label(int v, Weight label) const {
+    for (int u = 0; u < dist.n(); ++u) {
+      if (!assigned[static_cast<std::size_t>(u)]) continue;
+      const int d = dist.at(u, v);
+      if (d == kUnreachable || d == 0 || d > p.k()) continue;
+      const Weight gap =
+          label >= labels[static_cast<std::size_t>(u)] ? label - labels[static_cast<std::size_t>(u)]
+                                                       : labels[static_cast<std::size_t>(u)] - label;
+      if (gap < p.at(d)) return false;
+    }
+    return true;
+  }
+
+  bool assign_from(std::size_t index) {
+    if (index == order.size()) return true;
+    const int v = order[index];
+    // Complement symmetry: the mirrored labeling s - l is also valid, so
+    // the first vertex only needs to scan the lower half.
+    const Weight limit = (index == 0) ? span / 2 : span;
+    for (Weight label = 0; label <= limit; ++label) {
+      if (!feasible_label(v, label)) continue;
+      labels[static_cast<std::size_t>(v)] = label;
+      assigned[static_cast<std::size_t>(v)] = true;
+      if (assign_from(index + 1)) return true;
+      assigned[static_cast<std::size_t>(v)] = false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+ExactBBResult exact_labeling_branch_and_bound(const Graph& graph, const PVec& p) {
+  const int n = graph.n();
+  LPTSP_REQUIRE(n >= 1 && n <= 10, "direct exact search is capped at 10 vertices");
+  const DistanceMatrix dist = all_pairs_distances(graph);
+
+  // Upper bound from the first-fit heuristic; lower bound from the
+  // strongest single pairwise constraint.
+  const Labeling greedy = greedy_first_fit(graph, p);
+  Weight upper = greedy.labels.empty() ? 0 : greedy.span();
+  Weight lower = 0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const int d = dist.at(u, v);
+      if (d != kUnreachable && d >= 1 && d <= p.k()) {
+        lower = std::max(lower, static_cast<Weight>(p.at(d)));
+      }
+    }
+  }
+
+  // Assignment order: degree-descending so constraints bind early.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return graph.degree(a) > graph.degree(b); });
+
+  Labeling best = greedy;
+  // Binary search on the span; feasibility is monotone.
+  while (lower < upper) {
+    const Weight mid = lower + (upper - lower) / 2;
+    FeasibilitySearch search{dist, p, order, mid,
+                             std::vector<Weight>(static_cast<std::size_t>(n), 0),
+                             std::vector<bool>(static_cast<std::size_t>(n), false)};
+    if (search.assign_from(0)) {
+      best.labels = search.labels;
+      upper = mid;
+    } else {
+      lower = mid + 1;
+    }
+  }
+  return {best, upper};
+}
+
+}  // namespace lptsp

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "core/labeling.hpp"
+#include "core/pvec.hpp"
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Direct exact L(p)-LABELING by feasibility search over the span —
+/// deliberately independent of the TSP reduction and of Claim 1, so it
+/// serves as the ground-truth oracle the reduction is validated against.
+///
+/// For each candidate span s (binary search between a trivial lower bound
+/// and a greedy upper bound), a backtracking search assigns labels
+/// 0..s in a degree-descending vertex order with constraint propagation
+/// against already-labeled vertices. Works for any p and any diameter
+/// (pairs beyond distance k are unconstrained). Exponential; intended for
+/// n <= 10 cross-checks.
+struct ExactBBResult {
+  Labeling labeling;
+  Weight span = 0;
+};
+ExactBBResult exact_labeling_branch_and_bound(const Graph& graph, const PVec& p);
+
+}  // namespace lptsp

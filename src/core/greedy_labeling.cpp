@@ -1,0 +1,76 @@
+#include "core/greedy_labeling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+Labeling greedy_first_fit_with_order(const DistanceMatrix& dist, const PVec& p,
+                                     const std::vector<int>& order) {
+  const int n = dist.n();
+  LPTSP_REQUIRE(static_cast<int>(order.size()) == n, "order size mismatch");
+  Labeling labeling;
+  labeling.labels.assign(static_cast<std::size_t>(n), 0);
+  std::vector<bool> assigned(static_cast<std::size_t>(n), false);
+
+  std::vector<std::pair<Weight, Weight>> forbidden;  // [lo, hi] closed intervals
+  for (const int v : order) {
+    forbidden.clear();
+    for (int u = 0; u < n; ++u) {
+      if (!assigned[static_cast<std::size_t>(u)]) continue;
+      const int d = dist.at(u, v);
+      if (d == kUnreachable || d == 0 || d > p.k()) continue;
+      const Weight gap = p.at(d);
+      if (gap == 0) continue;
+      forbidden.emplace_back(labeling.labels[static_cast<std::size_t>(u)] - gap + 1,
+                             labeling.labels[static_cast<std::size_t>(u)] + gap - 1);
+    }
+    std::sort(forbidden.begin(), forbidden.end());
+    Weight candidate = 0;
+    for (const auto& [lo, hi] : forbidden) {
+      if (candidate < lo) break;  // candidate sits in a gap before this interval
+      candidate = std::max(candidate, hi + 1);
+    }
+    labeling.labels[static_cast<std::size_t>(v)] = candidate;
+    assigned[static_cast<std::size_t>(v)] = true;
+  }
+  return labeling;
+}
+
+Labeling greedy_first_fit(const Graph& graph, const PVec& p, GreedyOrder order, Rng* rng) {
+  const int n = graph.n();
+  LPTSP_REQUIRE(n >= 1, "graph must be non-empty");
+  const DistanceMatrix dist = all_pairs_distances(graph);
+
+  std::vector<int> vertex_order(static_cast<std::size_t>(n));
+  std::iota(vertex_order.begin(), vertex_order.end(), 0);
+  switch (order) {
+    case GreedyOrder::Index:
+      break;
+    case GreedyOrder::DegreeDescending:
+      std::stable_sort(vertex_order.begin(), vertex_order.end(),
+                       [&](int a, int b) { return graph.degree(a) > graph.degree(b); });
+      break;
+    case GreedyOrder::Bfs: {
+      int start = 0;
+      for (int v = 1; v < n; ++v) {
+        if (graph.degree(v) > graph.degree(start)) start = v;
+      }
+      const auto from_start = bfs_distances(graph, start);
+      std::stable_sort(vertex_order.begin(), vertex_order.end(), [&](int a, int b) {
+        return from_start[static_cast<std::size_t>(a)] < from_start[static_cast<std::size_t>(b)];
+      });
+      break;
+    }
+    case GreedyOrder::Random:
+      LPTSP_REQUIRE(rng != nullptr, "random order requires an Rng");
+      rng->shuffle(vertex_order);
+      break;
+  }
+  return greedy_first_fit_with_order(dist, p, vertex_order);
+}
+
+}  // namespace lptsp

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/labeling.hpp"
+#include "core/pvec.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+
+/// Vertex orderings for the first-fit heuristic.
+enum class GreedyOrder {
+  Index,             ///< 0, 1, ..., n-1
+  DegreeDescending,  ///< classic largest-first
+  Bfs,               ///< BFS from a maximum-degree vertex
+  Random,            ///< uniformly random (requires rng)
+};
+
+/// Classic first-fit distance-labeling heuristic (the pre-TSP baseline
+/// used across the frequency-assignment literature): process vertices in
+/// the chosen order, giving each the smallest non-negative label whose
+/// gaps to all already-labeled vertices within distance k are feasible.
+/// Works for any p and any diameter; never fails, but gives no
+/// approximation guarantee.
+Labeling greedy_first_fit(const Graph& graph, const PVec& p,
+                          GreedyOrder order = GreedyOrder::DegreeDescending,
+                          Rng* rng = nullptr);
+
+/// Core routine with an explicit order and precomputed distances.
+Labeling greedy_first_fit_with_order(const DistanceMatrix& dist, const PVec& p,
+                                     const std::vector<int>& order);
+
+}  // namespace lptsp

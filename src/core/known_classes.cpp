@@ -1,0 +1,45 @@
+#include "core/known_classes.hpp"
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+Weight l21_span_path(int n) {
+  LPTSP_REQUIRE(n >= 1, "path needs at least 1 vertex");
+  if (n == 1) return 0;
+  if (n == 2) return 2;
+  if (n <= 4) return 3;
+  return 4;  // Griggs–Yeh: lambda(P_n) = 4 for n >= 5
+}
+
+Weight l21_span_cycle(int n) {
+  LPTSP_REQUIRE(n >= 3, "cycle needs at least 3 vertices");
+  return 4;  // Griggs–Yeh: lambda(C_n) = 4 for every n >= 3
+}
+
+Weight l21_span_wheel(int n) {
+  LPTSP_REQUIRE(n >= 4, "wheel needs at least 4 vertices");
+  // Via Corollary 2: the complement of W_n is an isolated hub plus the
+  // complement of C_{n-1}; for rim >= 5 that complement has a Hamiltonian
+  // path, so s* = 2 and lambda = (n-1) + 1 = n. Small wheels degenerate:
+  // W_4 = K_4 (lambda 6) and the C_4-rim complement is 2K_2 (s* = 3).
+  if (n <= 5) return 6;
+  return n;
+}
+
+Weight l21_span_complete(int n) {
+  LPTSP_REQUIRE(n >= 1, "complete graph needs at least 1 vertex");
+  return 2 * (static_cast<Weight>(n) - 1);
+}
+
+Weight l21_span_star(int leaves) {
+  LPTSP_REQUIRE(leaves >= 1, "star needs at least 1 leaf");
+  return leaves + 1;
+}
+
+Weight l21_span_complete_bipartite(int a, int b) {
+  LPTSP_REQUIRE(a >= 1 && b >= 1, "parts must be non-empty");
+  return a + b;
+}
+
+}  // namespace lptsp

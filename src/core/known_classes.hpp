@@ -1,0 +1,32 @@
+#pragma once
+
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// Closed-form lambda_{2,1} values for the polynomially solvable classes
+/// the paper's introduction lists (paths, cycles, wheels; Griggs–Yeh 1992)
+/// plus the standard complete / complete-bipartite / star formulas. These
+/// are cross-checked against the exact solvers in tests and serve as
+/// instant ground truth in benchmarks.
+
+/// lambda_{2,1}(P_n): 0, 2, 3, 4 for n = 1, 2, 3..4, >= 5.
+Weight l21_span_path(int n);
+
+/// lambda_{2,1}(C_n) = 4 for every n >= 3.
+Weight l21_span_cycle(int n);
+
+/// lambda_{2,1}(W_n) (wheel on n vertices: hub + rim C_{n-1}) = n for
+/// n >= 7 (rim size >= 6); small wheels are handled case by case.
+Weight l21_span_wheel(int n);
+
+/// lambda_{2,1}(K_n) = 2(n-1).
+Weight l21_span_complete(int n);
+
+/// lambda_{2,1}(K_{1,m}) = m + 1 for m >= 1.
+Weight l21_span_star(int leaves);
+
+/// lambda_{2,1}(K_{a,b}) = a + b (Griggs–Yeh).
+Weight l21_span_complete_bipartite(int a, int b);
+
+}  // namespace lptsp

@@ -1,0 +1,80 @@
+#include "core/l1_labeling.hpp"
+
+#include <numeric>
+
+#include "graph/operations.hpp"
+#include "params/neighborhood_diversity.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+L1Result from_coloring(const Coloring& coloring, bool optimal, int kernel_size) {
+  L1Result result;
+  result.labeling.labels.assign(coloring.colors.size(), 0);
+  for (std::size_t v = 0; v < coloring.colors.size(); ++v) {
+    result.labeling.labels[v] = coloring.colors[v];
+  }
+  result.span = coloring.count - 1;
+  result.optimal = optimal;
+  result.kernel_size = kernel_size;
+  return result;
+}
+
+}  // namespace
+
+L1Result l1_labeling_exact(const Graph& graph, int k) {
+  LPTSP_REQUIRE(k >= 1, "k must be positive");
+  const Graph power_graph = power(graph, k);
+  const Coloring coloring = exact_coloring(power_graph);
+  return from_coloring(coloring, true, power_graph.n());
+}
+
+L1Result l1_labeling_greedy(const Graph& graph, int k) {
+  LPTSP_REQUIRE(k >= 1, "k must be positive");
+  const Graph power_graph = power(graph, k);
+  const Coloring coloring = dsatur_coloring(power_graph);
+  return from_coloring(coloring, false, power_graph.n());
+}
+
+L1Result l1_labeling_nd_kernel(const Graph& graph, int k) {
+  LPTSP_REQUIRE(k >= 1, "k must be positive");
+  const Graph power_graph = power(graph, k);
+  const NdPartition partition = neighborhood_diversity_partition(power_graph);
+
+  // Kernel: one representative per independent (false twin) class; all
+  // members of a clique (true twin) class must keep distinct colors, so
+  // they stay. Contracting false twins preserves the chromatic number:
+  // they are non-adjacent with identical neighborhoods, so any proper
+  // coloring can recolor the whole class with the representative's color.
+  std::vector<int> kernel_vertices;
+  for (std::size_t c = 0; c < partition.classes.size(); ++c) {
+    if (partition.is_clique_class[c]) {
+      kernel_vertices.insert(kernel_vertices.end(), partition.classes[c].begin(),
+                             partition.classes[c].end());
+    } else {
+      kernel_vertices.push_back(partition.classes[c].front());
+    }
+  }
+  const Graph kernel = induced_subgraph(power_graph, kernel_vertices);
+  const Coloring kernel_coloring = exact_coloring(kernel);
+
+  // Expand: members of a contracted class copy their representative.
+  std::vector<int> color_of(static_cast<std::size_t>(graph.n()), -1);
+  for (std::size_t i = 0; i < kernel_vertices.size(); ++i) {
+    color_of[static_cast<std::size_t>(kernel_vertices[i])] =
+        kernel_coloring.colors[i];
+  }
+  for (std::size_t c = 0; c < partition.classes.size(); ++c) {
+    if (partition.is_clique_class[c]) continue;
+    const int rep_color = color_of[static_cast<std::size_t>(partition.classes[c].front())];
+    for (const int v : partition.classes[c]) color_of[static_cast<std::size_t>(v)] = rep_color;
+  }
+  Coloring full{std::move(color_of), kernel_coloring.count};
+  LPTSP_ENSURE(is_proper_coloring(power_graph, full),
+               "nd-kernel expansion produced an improper coloring");
+  return from_coloring(full, true, kernel.n());
+}
+
+}  // namespace lptsp

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/coloring.hpp"
+#include "core/labeling.hpp"
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Result of an L(1,...,1)-labeling computation (= coloring of G^k with
+/// span chi - 1).
+struct L1Result {
+  Labeling labeling;
+  Weight span = 0;
+  bool optimal = false;
+  int kernel_size = 0;  ///< vertices actually colored after twin contraction
+};
+
+/// Exact L(1)-labeling: chromatic number of the k-th power graph
+/// (Theorem 4's object). Exponential worst case (branch and bound).
+L1Result l1_labeling_exact(const Graph& graph, int k);
+
+/// DSATUR upper bound on the same object (any size).
+L1Result l1_labeling_greedy(const Graph& graph, int k);
+
+/// The FPT route of Theorem 4: contract false-twin classes of G^k (their
+/// vertices share identical neighborhoods and may share one color), solve
+/// the kernel exactly, and expand. The kernel size is bounded by
+/// n - (false twins saved); for graphs of small modular-width the twin
+/// partition of G^k is coarse (nd(G^k) <= nd(G^2) <= mw(G) for k >= 2),
+/// which is precisely Proposition 2.
+L1Result l1_labeling_nd_kernel(const Graph& graph, int k);
+
+}  // namespace lptsp

@@ -1,0 +1,52 @@
+#include "core/labeling.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+Weight Labeling::span() const {
+  LPTSP_REQUIRE(!labels.empty(), "span of an empty labeling is undefined");
+  return *std::max_element(labels.begin(), labels.end());
+}
+
+std::string LabelingViolation::to_string() const {
+  return "pair {" + std::to_string(u) + "," + std::to_string(v) + "} at distance " +
+         std::to_string(distance) + " needs gap >= " + std::to_string(required) +
+         " but has " + std::to_string(actual_gap);
+}
+
+std::optional<LabelingViolation> find_violation(const Graph& graph, const DistanceMatrix& dist,
+                                                const PVec& p, const Labeling& labeling) {
+  LPTSP_REQUIRE(static_cast<int>(labeling.labels.size()) == graph.n(),
+                "labeling size must match vertex count");
+  LPTSP_REQUIRE(dist.n() == graph.n(), "distance matrix size mismatch");
+  for (const Weight label : labeling.labels) {
+    LPTSP_REQUIRE(label >= 0, "labels must be non-negative");
+  }
+  for (int u = 0; u < graph.n(); ++u) {
+    for (int v = u + 1; v < graph.n(); ++v) {
+      const int d = dist.at(u, v);
+      if (d == kUnreachable || d > p.k()) continue;
+      const Weight gap = std::abs(labeling.labels[static_cast<std::size_t>(u)] -
+                                  labeling.labels[static_cast<std::size_t>(v)]);
+      if (gap < p.at(d)) {
+        return LabelingViolation{u, v, d, p.at(d), gap};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_valid_labeling(const Graph& graph, const DistanceMatrix& dist, const PVec& p,
+                       const Labeling& labeling) {
+  return !find_violation(graph, dist, p, labeling).has_value();
+}
+
+bool is_valid_labeling(const Graph& graph, const PVec& p, const Labeling& labeling) {
+  return is_valid_labeling(graph, all_pairs_distances(graph), p, labeling);
+}
+
+}  // namespace lptsp

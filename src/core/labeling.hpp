@@ -1,0 +1,46 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pvec.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// An assignment of non-negative integer labels to vertices.
+struct Labeling {
+  std::vector<Weight> labels;
+
+  /// The span max_v l(v) (the quantity L(p)-LABELING minimizes).
+  [[nodiscard]] Weight span() const;
+};
+
+/// A violated constraint, for diagnostics.
+struct LabelingViolation {
+  int u = -1;
+  int v = -1;
+  int distance = 0;
+  int required = 0;
+  Weight actual_gap = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Check the L(p) condition: |l(u) - l(v)| >= p_d for every pair at
+/// distance d <= k (pairs farther than k are unconstrained, so this is
+/// well-defined for any diameter). Labels must be non-negative.
+bool is_valid_labeling(const Graph& graph, const DistanceMatrix& dist, const PVec& p,
+                       const Labeling& labeling);
+
+/// As above, returning the first violation found (nullopt when valid).
+std::optional<LabelingViolation> find_violation(const Graph& graph, const DistanceMatrix& dist,
+                                                const PVec& p, const Labeling& labeling);
+
+/// Convenience overload computing distances internally.
+bool is_valid_labeling(const Graph& graph, const PVec& p, const Labeling& labeling);
+
+}  // namespace lptsp

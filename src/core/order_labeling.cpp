@@ -1,0 +1,56 @@
+#include "core/order_labeling.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+Labeling labeling_from_order(const MetricInstance& reduced, const Order& order) {
+  LPTSP_REQUIRE(is_valid_order(order, reduced.n()), "order must be a permutation");
+  Labeling labeling;
+  labeling.labels.assign(static_cast<std::size_t>(reduced.n()), 0);
+  Weight prefix = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    prefix += reduced.weight(order[i - 1], order[i]);
+    labeling.labels[static_cast<std::size_t>(order[i])] = prefix;
+  }
+  return labeling;
+}
+
+Labeling minimal_labeling_for_order(const DistanceMatrix& dist, const PVec& p,
+                                    const Order& order) {
+  const int n = dist.n();
+  LPTSP_REQUIRE(is_valid_order(order, n), "order must be a permutation");
+  Labeling labeling;
+  labeling.labels.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    Weight lower = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const int d = dist.at(order[j], order[i]);
+      if (d == kUnreachable || d == 0 || d > p.k()) continue;
+      lower = std::max(lower, labeling.labels[static_cast<std::size_t>(order[j])] +
+                                  static_cast<Weight>(p.at(d)));
+    }
+    labeling.labels[static_cast<std::size_t>(order[i])] = lower;
+  }
+  return labeling;
+}
+
+Weight min_span_over_all_orders(const Graph& graph, const PVec& p) {
+  const int n = graph.n();
+  LPTSP_REQUIRE(n >= 1 && n <= 9, "order enumeration is capped at 9 vertices");
+  const DistanceMatrix dist = all_pairs_distances(graph);
+  Order order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Weight best = -1;
+  do {
+    const Labeling labeling = minimal_labeling_for_order(dist, p, order);
+    const Weight span = labeling.span();
+    if (best < 0 || span < best) best = span;
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+}  // namespace lptsp

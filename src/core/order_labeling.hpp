@@ -1,0 +1,30 @@
+#pragma once
+
+#include "core/labeling.hpp"
+#include "core/pvec.hpp"
+#include "graph/bfs.hpp"
+#include "tsp/path.hpp"
+
+namespace lptsp {
+
+/// Claim 1 of the paper: for a vertex order pi (on the reduced instance
+/// H), the minimum-span labeling that respects the order assigns
+/// l(v_i) = sum of the i-1 consecutive weights — prefix sums along the
+/// Hamiltonian path. Valid whenever pmax <= 2*pmin; the span equals the
+/// path length.
+Labeling labeling_from_order(const MetricInstance& reduced, const Order& order);
+
+/// The order-minimal labeling WITHOUT the metric condition: the monotone
+/// fixpoint l(v_i) = max_{j<i, dist(v_j,v_i) <= k} (l(v_j) + p_d), 0 if
+/// unconstrained. Always yields the minimum span among labelings sorted
+/// consistently with `order`; used by the ablation and as an independent
+/// oracle (min over all orders = lambda_p for ANY p and diameter).
+Labeling minimal_labeling_for_order(const DistanceMatrix& dist, const PVec& p,
+                                    const Order& order);
+
+/// lambda_p by exhaustive order enumeration of minimal_labeling_for_order
+/// — oracle number two, independent of the TSP reduction and of Claim 1.
+/// Requires n <= 9.
+Weight min_span_over_all_orders(const Graph& graph, const PVec& p);
+
+}  // namespace lptsp

@@ -1,0 +1,45 @@
+#include "core/pvec.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+PVec::PVec(std::vector<int> entries) : entries_(std::move(entries)) {
+  LPTSP_REQUIRE(!entries_.empty(), "p must have dimension k >= 1");
+  for (const int value : entries_) {
+    LPTSP_REQUIRE(value >= 0, "p entries must be non-negative");
+  }
+  pmin_ = *std::min_element(entries_.begin(), entries_.end());
+  pmax_ = *std::max_element(entries_.begin(), entries_.end());
+}
+
+PVec PVec::ones(int k) {
+  LPTSP_REQUIRE(k >= 1, "dimension must be positive");
+  return PVec(std::vector<int>(static_cast<std::size_t>(k), 1));
+}
+
+int PVec::at(int d) const {
+  LPTSP_REQUIRE(d >= 1 && d <= k(), "distance index out of range [1, k]");
+  return entries_[static_cast<std::size_t>(d - 1)];
+}
+
+PVec PVec::scaled(int factor) const {
+  LPTSP_REQUIRE(factor >= 0, "scale factor must be non-negative");
+  std::vector<int> scaled_entries = entries_;
+  for (int& value : scaled_entries) value *= factor;
+  return PVec(std::move(scaled_entries));
+}
+
+std::string PVec::to_string() const {
+  std::string text = "(";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) text += ",";
+    text += std::to_string(entries_[i]);
+  }
+  text += ")";
+  return text;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lptsp {
+
+/// The distance-constraint vector p = (p_1, ..., p_k) of an L(p)-labeling:
+/// vertices at graph distance d <= k must receive labels that differ by at
+/// least p_d. Entries are non-negative; k >= 1.
+class PVec {
+ public:
+  explicit PVec(std::vector<int> entries);
+
+  /// The classic L(2,1) setting (frequency assignment).
+  static PVec L21() { return PVec({2, 1}); }
+
+  /// General two-level L(p,q).
+  static PVec Lpq(int p, int q) { return PVec({p, q}); }
+
+  /// All-ones vector of dimension k (L(1)-labeling = coloring of G^k).
+  static PVec ones(int k);
+
+  [[nodiscard]] int k() const noexcept { return static_cast<int>(entries_.size()); }
+
+  /// p_d for 1 <= d <= k.
+  [[nodiscard]] int at(int d) const;
+
+  [[nodiscard]] int pmin() const noexcept { return pmin_; }
+  [[nodiscard]] int pmax() const noexcept { return pmax_; }
+
+  /// The paper's Theorem-2 requirement pmax <= 2 * pmin, which makes the
+  /// reduced complete graph metric.
+  [[nodiscard]] bool satisfies_reduction_condition() const noexcept {
+    return pmax_ <= 2 * pmin_;
+  }
+
+  [[nodiscard]] const std::vector<int>& entries() const noexcept { return entries_; }
+
+  /// Scalar multiple c*p (the paper uses lambda_{c p} = c * lambda_p).
+  [[nodiscard]] PVec scaled(int factor) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool operator==(const PVec& other) const = default;
+
+ private:
+  std::vector<int> entries_;
+  int pmin_ = 0;
+  int pmax_ = 0;
+};
+
+}  // namespace lptsp

@@ -1,0 +1,47 @@
+#include "core/reduction.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+ReducedInstance build(const Graph& graph, const PVec& p, unsigned threads) {
+  LPTSP_REQUIRE(graph.n() >= 1, "graph must be non-empty");
+  DistanceMatrix dist = all_pairs_distances(graph, threads);
+  LPTSP_REQUIRE(dist.all_finite(), "Theorem 2 requires a connected graph");
+  const int diam = dist.max_finite();
+  LPTSP_REQUIRE(diam <= p.k(), "Theorem 2 requires diam(G) <= k; got diameter " +
+                                   std::to_string(diam) + " with k = " + std::to_string(p.k()));
+  MetricInstance instance(graph.n());
+  for (int u = 0; u < graph.n(); ++u) {
+    for (int v = u + 1; v < graph.n(); ++v) {
+      instance.set_weight(u, v, p.at(dist.at(u, v)));
+    }
+  }
+  return {std::move(instance), std::move(dist)};
+}
+
+}  // namespace
+
+ReducedInstance reduce_to_path_tsp(const Graph& graph, const PVec& p, unsigned threads) {
+  LPTSP_REQUIRE(p.satisfies_reduction_condition(),
+                "Theorem 2 requires pmax <= 2*pmin; p = " + p.to_string() +
+                    " violates it (use reduce_to_path_tsp_unchecked for the ablation)");
+  ReducedInstance reduced = build(graph, p, threads);
+  // With pmax <= 2*pmin every weight lies in [pmin, 2*pmin], so H is
+  // metric by construction; this invariant is what Corollary 1 relies on.
+  LPTSP_ENSURE(graph.n() < 2 || reduced.instance.max_weight() <= 2 * reduced.instance.min_weight(),
+               "reduced instance violates the bounded-weight invariant");
+  return reduced;
+}
+
+ReducedInstance reduce_to_path_tsp_unchecked(const Graph& graph, const PVec& p,
+                                             unsigned threads) {
+  return build(graph, p, threads);
+}
+
+}  // namespace lptsp

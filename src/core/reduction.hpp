@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/pvec.hpp"
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// The Theorem-2 reduction output: the complete graph H with
+/// w(u, v) = p_{dist_G(u,v)}, plus the distance matrix it was built from
+/// (callers reuse it for verification).
+struct ReducedInstance {
+  MetricInstance instance;
+  DistanceMatrix dist;
+};
+
+/// Theorem 2 (main result). Requires:
+///   - G connected with diam(G) <= k (the dimension of p), and
+///   - pmax <= 2 * pmin (which makes H metric).
+/// Under these conditions lambda_p(G) equals the optimal Hamiltonian-path
+/// weight of H. Runs in O(nm) (one BFS per vertex, parallelizable via
+/// `threads`) plus O(n^2) matrix fill.
+ReducedInstance reduce_to_path_tsp(const Graph& graph, const PVec& p, unsigned threads = 1);
+
+/// The same construction without the pmax <= 2*pmin check, for the
+/// metric-condition ablation (E10): H is still well-defined whenever
+/// diam(G) <= k, but may be non-metric and its Path-TSP optimum may
+/// strictly undercut lambda_p(G).
+ReducedInstance reduce_to_path_tsp_unchecked(const Graph& graph, const PVec& p,
+                                             unsigned threads = 1);
+
+}  // namespace lptsp

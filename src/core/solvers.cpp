@@ -1,0 +1,118 @@
+#include "core/solvers.hpp"
+
+#include <utility>
+
+#include "core/order_labeling.hpp"
+#include "core/reduction.hpp"
+#include "tsp/brute_force.hpp"
+#include "tsp/branch_bound.hpp"
+#include "tsp/christofides.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/lin_kernighan.hpp"
+#include "tsp/local_search.hpp"
+#include "tsp/simulated_annealing.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace lptsp {
+
+std::string engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::BruteForce: return "brute-force";
+    case Engine::HeldKarp: return "held-karp";
+    case Engine::Christofides: return "christofides";
+    case Engine::DoubleMst: return "double-mst";
+    case Engine::NearestNeighbor: return "nearest-neighbor";
+    case Engine::NearestNeighbor2Opt: return "nn+2opt";
+    case Engine::GreedyEdge: return "greedy-edge";
+    case Engine::LinKernighanStyle: return "lk-style";
+    case Engine::ChainedLK: return "chained-lk";
+    case Engine::SimulatedAnnealing: return "annealing";
+    case Engine::BranchBound: return "branch-bound";
+  }
+  return "unknown";
+}
+
+namespace {
+
+PathSolution run_engine(const MetricInstance& instance, const SolveOptions& options,
+                        bool& optimal) {
+  Rng rng(options.seed);
+  switch (options.engine) {
+    case Engine::BruteForce:
+      optimal = true;
+      return brute_force_path(instance);
+    case Engine::HeldKarp: {
+      optimal = true;
+      HeldKarpOptions hk = options.held_karp;
+      if (hk.threads == 1 && options.threads != 1) hk.threads = options.threads;
+      return held_karp_path(instance, hk);
+    }
+    case Engine::Christofides:
+      return christofides_path(instance).solution;
+    case Engine::DoubleMst:
+      return double_mst_path(instance);
+    case Engine::NearestNeighbor:
+      return best_nearest_neighbor_path(instance, options.nn_starts, rng);
+    case Engine::NearestNeighbor2Opt: {
+      PathSolution solution = best_nearest_neighbor_path(instance, options.nn_starts, rng);
+      two_opt(instance, solution.order);
+      solution.cost = path_length(instance, solution.order);
+      return solution;
+    }
+    case Engine::GreedyEdge:
+      return greedy_edge_path(instance);
+    case Engine::LinKernighanStyle:
+      return lin_kernighan_style_path(instance, rng);
+    case Engine::ChainedLK: {
+      ChainedLkOptions lk = options.chained_lk;
+      lk.seed = options.seed;
+      if (lk.threads == 1 && options.threads != 1) lk.threads = options.threads;
+      return chained_lk_path(instance, lk);
+    }
+    case Engine::SimulatedAnnealing: {
+      AnnealOptions anneal;
+      anneal.seed = options.seed;
+      return simulated_annealing_path(instance, anneal);
+    }
+    case Engine::BranchBound: {
+      optimal = true;
+      BranchBoundOptions bb;
+      bb.node_limit = options.bb_node_limit;
+      return branch_bound_path(instance, bb);
+    }
+  }
+  LPTSP_ENSURE(false, "unhandled engine");
+  return {};
+}
+
+}  // namespace
+
+SolveResult solve_labeling(const Graph& graph, const PVec& p, const SolveOptions& options) {
+  const Timer timer;
+  const ReducedInstance reduced = reduce_to_path_tsp(graph, p, options.threads);
+
+  SolveResult result;
+  if (graph.n() == 1) {
+    result.labeling.labels = {0};
+    result.order = {0};
+    result.optimal = true;
+    result.seconds = timer.seconds();
+    return result;
+  }
+
+  bool optimal = false;
+  PathSolution solution = run_engine(reduced.instance, options, optimal);
+  result.order = std::move(solution.order);
+  result.span = solution.cost;
+  result.optimal = optimal;
+  result.labeling = labeling_from_order(reduced.instance, result.order);
+  LPTSP_ENSURE(result.labeling.span() == result.span,
+               "Claim 1 prefix labeling must have span equal to the path length");
+  LPTSP_ENSURE(is_valid_labeling(graph, reduced.dist, p, result.labeling),
+               "pipeline produced an invalid labeling — reduction bug");
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace lptsp

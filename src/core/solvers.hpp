@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+
+#include "core/labeling.hpp"
+#include "core/pvec.hpp"
+#include "graph/graph.hpp"
+#include "tsp/chained_lk.hpp"
+#include "tsp/held_karp.hpp"
+#include "tsp/path.hpp"
+
+namespace lptsp {
+
+/// TSP engines pluggable behind the Theorem-2 reduction — the library's
+/// realization of the paper's "solve L(p)-labeling with TSP engines".
+enum class Engine {
+  BruteForce,         ///< permutation enumeration (n <= 11), exact
+  HeldKarp,           ///< O(2^n n^2) DP (Corollary 1), exact
+  Christofides,       ///< Christofides–Hoogeveen path variant (Corollary 1)
+  DoubleMst,          ///< MST preorder walk, 2-approximation
+  NearestNeighbor,    ///< multi-start NN construction
+  NearestNeighbor2Opt,///< NN + 2-opt local optimum
+  GreedyEdge,         ///< greedy-edge construction
+  LinKernighanStyle,  ///< NN + variable-neighborhood descent (LK stand-in)
+  ChainedLK,          ///< kicked multi-start LK-style (strongest heuristic)
+  SimulatedAnnealing, ///< 2-opt annealing + VND polish
+  BranchBound,        ///< exact DFS + MST bound (O(n) memory), exact
+};
+
+std::string engine_name(Engine engine);
+
+/// Options for solve_labeling.
+struct SolveOptions {
+  Engine engine = Engine::HeldKarp;
+  unsigned threads = 1;            ///< reduction BFS + parallel engines
+  std::uint64_t seed = 1;          ///< randomized engines
+  HeldKarpOptions held_karp = {};  ///< exact-engine caps
+  ChainedLkOptions chained_lk = {};
+  int nn_starts = 8;               ///< multi-start count for NN engines
+  long long bb_node_limit = 50'000'000;  ///< BranchBound search cap
+};
+
+/// Result of the full reduce -> TSP -> relabel pipeline.
+struct SolveResult {
+  Labeling labeling;   ///< verified L(p)-labeling of the input graph
+  Weight span = 0;     ///< its span (== Hamiltonian path weight)
+  Order order;         ///< the underlying vertex order (Hamiltonian path)
+  bool optimal = false;///< true when the engine certifies optimality
+  double seconds = 0;  ///< wall time of reduction + engine + relabel
+};
+
+/// Solve L(p)-LABELING on a connected graph with diam(G) <= k and
+/// pmax <= 2*pmin by reducing to Metric Path TSP (Theorem 2), running the
+/// chosen engine, and converting the Hamiltonian path back into labels via
+/// Claim 1. The produced labeling is verified against the original graph
+/// before returning (an invariant failure would indicate a library bug).
+SolveResult solve_labeling(const Graph& graph, const PVec& p, const SolveOptions& options = {});
+
+}  // namespace lptsp

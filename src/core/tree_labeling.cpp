@@ -1,0 +1,160 @@
+#include "core/tree_labeling.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Rooted-tree DP deciding feasibility of a (span+1)-label L(2,1)
+/// assignment, with memoization over (vertex, own label, parent label).
+struct TreeSearch {
+  const Graph& tree;
+  int labels;  // usable labels are 0 .. labels-1
+  int root = 0;
+  std::vector<int> parent;
+  std::vector<std::vector<int>> children;
+  // memo[v][a][b]: -1 unknown, 0 infeasible, 1 feasible. b == labels acts
+  // as the "no parent" sentinel.
+  std::vector<std::vector<std::vector<signed char>>> memo;
+
+  TreeSearch(const Graph& t, int label_count) : tree(t), labels(label_count) {
+    const int n = tree.n();
+    parent.assign(static_cast<std::size_t>(n), -1);
+    children.resize(static_cast<std::size_t>(n));
+    std::vector<int> order{root};
+    order.reserve(static_cast<std::size_t>(n));
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const int v = order[head];
+      for (const int u : tree.neighbors(v)) {
+        if (u != parent[static_cast<std::size_t>(v)]) {
+          parent[static_cast<std::size_t>(u)] = v;
+          children[static_cast<std::size_t>(v)].push_back(u);
+          order.push_back(u);
+        }
+      }
+    }
+    memo.assign(static_cast<std::size_t>(n),
+                std::vector<std::vector<signed char>>(
+                    static_cast<std::size_t>(labels),
+                    std::vector<signed char>(static_cast<std::size_t>(labels) + 1, -1)));
+  }
+
+  /// Kuhn's augmenting-path bipartite matching: children (left) against
+  /// candidate labels (right). Returns the matching (child index -> label)
+  /// when perfect on the left side, empty otherwise.
+  std::vector<int> match_children(const std::vector<std::vector<int>>& candidates) const {
+    const int t = static_cast<int>(candidates.size());
+    std::vector<int> label_owner(static_cast<std::size_t>(labels), -1);
+    std::vector<int> assignment(static_cast<std::size_t>(t), -1);
+    std::vector<bool> visited;
+    // Recursive lambda via explicit stack-free DFS helper.
+    std::function<bool(int)> augment = [&](int child) -> bool {
+      for (const int label : candidates[static_cast<std::size_t>(child)]) {
+        if (visited[static_cast<std::size_t>(label)]) continue;
+        visited[static_cast<std::size_t>(label)] = true;
+        if (label_owner[static_cast<std::size_t>(label)] == -1 ||
+            augment(label_owner[static_cast<std::size_t>(label)])) {
+          label_owner[static_cast<std::size_t>(label)] = child;
+          assignment[static_cast<std::size_t>(child)] = label;
+          return true;
+        }
+      }
+      return false;
+    };
+    for (int child = 0; child < t; ++child) {
+      visited.assign(static_cast<std::size_t>(labels), false);
+      if (!augment(child)) return {};
+    }
+    return assignment;
+  }
+
+  /// Candidate labels for each child of v given v's label a and v's
+  /// parent's label b (b == labels for "no parent").
+  std::vector<std::vector<int>> child_candidates(int v, int a, int b) {
+    std::vector<std::vector<int>> candidates;
+    candidates.reserve(children[static_cast<std::size_t>(v)].size());
+    for (const int child : children[static_cast<std::size_t>(v)]) {
+      std::vector<int> feasible_labels;
+      for (int label = 0; label < labels; ++label) {
+        if (std::abs(label - a) < 2) continue;  // adjacent to v
+        if (label == b) continue;               // distance 2 via v
+        if (feasible(child, label, a)) feasible_labels.push_back(label);
+      }
+      candidates.push_back(std::move(feasible_labels));
+    }
+    return candidates;
+  }
+
+  bool feasible(int v, int a, int b) {
+    signed char& entry = memo[static_cast<std::size_t>(v)][static_cast<std::size_t>(a)]
+                             [static_cast<std::size_t>(b)];
+    if (entry != -1) return entry == 1;
+    entry = 0;  // guard against (impossible) cycles while recursing
+    const auto candidates = child_candidates(v, a, b);
+    const bool ok = children[static_cast<std::size_t>(v)].empty() ||
+                    !match_children(candidates).empty();
+    entry = ok ? 1 : 0;
+    return ok;
+  }
+
+  /// Top-down reconstruction; requires feasibility at the root.
+  bool assign(std::vector<Weight>& out) {
+    for (int a = 0; a < labels; ++a) {
+      if (feasible(root, a, labels)) {
+        out[static_cast<std::size_t>(root)] = a;
+        assign_children(root, a, labels, out);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void assign_children(int v, int a, int b, std::vector<Weight>& out) {
+    if (children[static_cast<std::size_t>(v)].empty()) return;
+    const auto candidates = child_candidates(v, a, b);
+    const auto matching = match_children(candidates);
+    LPTSP_ENSURE(!matching.empty(), "tree DP reconstruction lost feasibility");
+    for (std::size_t i = 0; i < matching.size(); ++i) {
+      const int child = children[static_cast<std::size_t>(v)][i];
+      out[static_cast<std::size_t>(child)] = matching[i];
+      assign_children(child, matching[i], a, out);
+    }
+  }
+};
+
+}  // namespace
+
+TreeL21Result l21_tree(const Graph& tree) {
+  const int n = tree.n();
+  LPTSP_REQUIRE(n >= 1, "tree must be non-empty");
+  LPTSP_REQUIRE(tree.m() == n - 1 && is_connected(tree), "input must be a tree");
+
+  TreeL21Result result;
+  result.labeling.labels.assign(static_cast<std::size_t>(n), 0);
+  if (n == 1) return result;
+
+  const int delta = max_degree(tree);
+  // Chang–Kuo: lambda is Delta+1 or Delta+2; try the smaller span first.
+  for (const int span : {delta + 1, delta + 2}) {
+    TreeSearch search(tree, span + 1);
+    if (search.assign(result.labeling.labels)) {
+      result.span = span;
+      result.is_delta_plus_one = (span == delta + 1);
+      LPTSP_ENSURE(is_valid_labeling(tree, PVec::L21(), result.labeling),
+                   "tree solver produced an invalid labeling");
+      LPTSP_ENSURE(result.labeling.span() <= span, "tree solver exceeded its span budget");
+      return result;
+    }
+  }
+  LPTSP_ENSURE(false, "Chang-Kuo dichotomy violated: Delta+2 must always be feasible");
+  return result;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/labeling.hpp"
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Exact L(2,1)-labeling of trees in polynomial time (Chang–Kuo 1996) —
+/// the classic algorithm behind the paper's introduction remark that
+/// trees are solvable in polynomial time while graphs of tree-width 2 are
+/// already NP-hard.
+///
+/// Theory: for any tree, lambda_{2,1} is either Delta+1 or Delta+2. The
+/// decision "is Delta+1 enough?" is answered by a rooted DP whose state is
+/// (vertex, own label, parent label); a vertex's children must take
+/// pairwise distinct labels, differ from the grandparent label, and be at
+/// gap >= 2 from the vertex itself — a system of distinct representatives
+/// solved as bipartite matching (children x labels, Kuhn's algorithm).
+/// Reconstruction re-runs the matchings top-down. O(n * S^3 * Delta^2)
+/// with S = Delta + 3 labels; comfortably polynomial.
+///
+/// Requires: a tree (connected, m = n-1). Works for ANY diameter — this
+/// solver deliberately lives outside Theorem 2's small-diameter scope and
+/// serves as another independent oracle in tests.
+struct TreeL21Result {
+  Weight span = 0;
+  Labeling labeling;
+  bool is_delta_plus_one = false;  ///< true when lambda = Delta + 1
+};
+TreeL21Result l21_tree(const Graph& tree);
+
+}  // namespace lptsp

@@ -1,0 +1,69 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lptsp {
+
+DistanceMatrix::DistanceMatrix(int n) : n_(n) {
+  LPTSP_REQUIRE(n >= 0, "matrix size must be non-negative");
+  data_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), kUnreachable);
+  for (int v = 0; v < n; ++v) set(v, v, 0);
+}
+
+int DistanceMatrix::at(int u, int v) const {
+  LPTSP_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "index out of range");
+  return data_[static_cast<std::size_t>(u) * n_ + static_cast<std::size_t>(v)];
+}
+
+void DistanceMatrix::set(int u, int v, int distance) {
+  LPTSP_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "index out of range");
+  data_[static_cast<std::size_t>(u) * n_ + static_cast<std::size_t>(v)] = distance;
+}
+
+bool DistanceMatrix::all_finite() const noexcept {
+  return std::all_of(data_.begin(), data_.end(), [](int d) { return d != kUnreachable; });
+}
+
+int DistanceMatrix::max_finite() const noexcept {
+  int best = 0;
+  for (const int d : data_) best = std::max(best, d);
+  return best;
+}
+
+std::vector<int> bfs_distances(const Graph& graph, int src) {
+  LPTSP_REQUIRE(src >= 0 && src < graph.n(), "BFS source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(graph.n()), kUnreachable);
+  std::vector<int> queue;
+  queue.reserve(static_cast<std::size_t>(graph.n()));
+  dist[static_cast<std::size_t>(src)] = 0;
+  queue.push_back(src);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
+    for (const int v : graph.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+DistanceMatrix all_pairs_distances(const Graph& graph, unsigned threads) {
+  DistanceMatrix matrix(graph.n());
+  parallel_for(
+      static_cast<std::size_t>(graph.n()),
+      [&](std::size_t src) {
+        const auto dist = bfs_distances(graph, static_cast<int>(src));
+        for (int v = 0; v < graph.n(); ++v) {
+          matrix.set(static_cast<int>(src), v, dist[static_cast<std::size_t>(v)]);
+        }
+      },
+      threads);
+  return matrix;
+}
+
+}  // namespace lptsp

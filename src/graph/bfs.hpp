@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Distance value used for unreachable vertex pairs.
+inline constexpr int kUnreachable = -1;
+
+/// Square matrix of pairwise shortest-path distances (hop counts).
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(int n);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int at(int u, int v) const;
+  void set(int u, int v, int distance);
+
+  /// True if every pair is reachable (the underlying graph is connected).
+  [[nodiscard]] bool all_finite() const noexcept;
+
+  /// Maximum finite entry, i.e. the diameter when all_finite(). Returns 0
+  /// for n <= 1.
+  [[nodiscard]] int max_finite() const noexcept;
+
+ private:
+  int n_;
+  std::vector<int> data_;
+};
+
+/// Hop distances from src to every vertex (kUnreachable where disconnected).
+std::vector<int> bfs_distances(const Graph& graph, int src);
+
+/// All-pairs shortest paths by one BFS per source, parallelized across
+/// sources (`threads` = 0 uses the shared pool, 1 forces serial). This is
+/// the O(nm) step of the paper's Theorem-2 reduction.
+DistanceMatrix all_pairs_distances(const Graph& graph, unsigned threads = 0);
+
+}  // namespace lptsp

@@ -1,0 +1,279 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/bfs.hpp"
+#include "graph/operations.hpp"
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+Graph path_graph(int n) {
+  Graph graph(n);
+  for (int v = 0; v + 1 < n; ++v) graph.add_edge(v, v + 1);
+  return graph;
+}
+
+Graph cycle_graph(int n) {
+  LPTSP_REQUIRE(n >= 3, "a cycle needs at least 3 vertices");
+  Graph graph = path_graph(n);
+  graph.add_edge(n - 1, 0);
+  return graph;
+}
+
+Graph complete_graph(int n) {
+  Graph graph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) graph.add_edge(u, v);
+  }
+  return graph;
+}
+
+Graph star_graph(int n) {
+  LPTSP_REQUIRE(n >= 1, "a star needs at least 1 vertex");
+  Graph graph(n);
+  for (int v = 1; v < n; ++v) graph.add_edge(0, v);
+  return graph;
+}
+
+Graph wheel_graph(int n) {
+  LPTSP_REQUIRE(n >= 4, "a wheel needs at least 4 vertices");
+  Graph graph(n);
+  const int rim = n - 1;
+  for (int v = 0; v < rim; ++v) graph.add_edge(v, (v + 1) % rim);
+  for (int v = 0; v < rim; ++v) graph.add_edge(v, rim);
+  return graph;
+}
+
+Graph complete_bipartite(int a, int b) {
+  return complete_multipartite({a, b});
+}
+
+Graph complete_multipartite(const std::vector<int>& part_sizes) {
+  int n = 0;
+  for (const int size : part_sizes) {
+    LPTSP_REQUIRE(size >= 1, "part sizes must be positive");
+    n += size;
+  }
+  Graph graph(n);
+  std::vector<int> part_of(static_cast<std::size_t>(n));
+  int offset = 0;
+  for (std::size_t part = 0; part < part_sizes.size(); ++part) {
+    for (int i = 0; i < part_sizes[part]; ++i) part_of[static_cast<std::size_t>(offset + i)] = static_cast<int>(part);
+    offset += part_sizes[part];
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (part_of[static_cast<std::size_t>(u)] != part_of[static_cast<std::size_t>(v)]) {
+        graph.add_edge(u, v);
+      }
+    }
+  }
+  return graph;
+}
+
+Graph grid_graph(int rows, int cols) {
+  LPTSP_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  Graph graph(rows * cols);
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) graph.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) graph.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return graph;
+}
+
+Graph petersen_graph() {
+  Graph graph(10);
+  for (int v = 0; v < 5; ++v) {
+    graph.add_edge(v, (v + 1) % 5);      // outer pentagon
+    graph.add_edge(5 + v, 5 + (v + 2) % 5);  // inner pentagram
+    graph.add_edge(v, 5 + v);            // spokes
+  }
+  return graph;
+}
+
+Graph fig1_graph() {
+  // Vertices 0..4 = a..e: triangle {a,b,c} plus pendant path c-d-e.
+  return Graph::from_edges(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}});
+}
+
+Graph graph_from_edge_mask(int n, std::uint64_t mask) {
+  LPTSP_REQUIRE(n >= 0 && n * (n - 1) / 2 <= 64, "edge mask supports at most 11 vertices");
+  Graph graph(n);
+  int bit = 0;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v, ++bit) {
+      if ((mask >> bit) & 1) graph.add_edge(u, v);
+    }
+  }
+  return graph;
+}
+
+Graph erdos_renyi(int n, double edge_prob, Rng& rng) {
+  Graph graph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(edge_prob)) graph.add_edge(u, v);
+    }
+  }
+  return graph;
+}
+
+Graph random_tree(int n, Rng& rng) {
+  LPTSP_REQUIRE(n >= 1, "a tree needs at least 1 vertex");
+  Graph graph(n);
+  if (n == 1) return graph;
+  if (n == 2) {
+    graph.add_edge(0, 1);
+    return graph;
+  }
+  // Decode a uniformly random Prüfer sequence.
+  std::vector<int> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& entry : prufer) entry = rng.uniform_int(0, n - 1);
+  std::vector<int> remaining_degree(static_cast<std::size_t>(n), 1);
+  for (const int v : prufer) ++remaining_degree[static_cast<std::size_t>(v)];
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (const int code : prufer) {
+    for (int leaf = 0; leaf < n; ++leaf) {
+      if (remaining_degree[static_cast<std::size_t>(leaf)] == 1 && !used[static_cast<std::size_t>(leaf)]) {
+        graph.add_edge(leaf, code);
+        used[static_cast<std::size_t>(leaf)] = true;
+        --remaining_degree[static_cast<std::size_t>(code)];
+        break;
+      }
+    }
+  }
+  int first = -1;
+  for (int v = 0; v < n; ++v) {
+    if (!used[static_cast<std::size_t>(v)] && remaining_degree[static_cast<std::size_t>(v)] == 1) {
+      if (first == -1) {
+        first = v;
+      } else {
+        graph.add_edge(first, v);
+      }
+    }
+  }
+  return graph;
+}
+
+Graph random_connected(int n, double edge_prob, Rng& rng) {
+  LPTSP_REQUIRE(n >= 1, "need at least 1 vertex");
+  Graph graph = random_tree(n, rng);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!graph.has_edge(u, v) && rng.bernoulli(edge_prob)) graph.add_edge(u, v);
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// Adds edges between currently-farthest pairs until diam(G) <= cap.
+/// Each added edge strictly shrinks the distance of the chosen pair, and in
+/// the worst case the loop ends at the complete graph, so it terminates.
+void enforce_diameter_cap(Graph& graph, int cap, Rng& rng) {
+  LPTSP_REQUIRE(cap >= 1, "diameter cap must be >= 1");
+  while (true) {
+    const auto dist = all_pairs_distances(graph);
+    std::vector<std::pair<int, int>> farthest;
+    int worst = 0;
+    for (int u = 0; u < graph.n(); ++u) {
+      for (int v = u + 1; v < graph.n(); ++v) {
+        const int d = dist.at(u, v);
+        if (d > worst) {
+          worst = d;
+          farthest.clear();
+        }
+        if (d == worst && worst > cap) farthest.emplace_back(u, v);
+      }
+    }
+    if (worst <= cap) return;
+    const auto [u, v] = farthest[rng.uniform_index(farthest.size())];
+    graph.add_edge(u, v);
+  }
+}
+
+}  // namespace
+
+Graph random_with_diameter_at_most(int n, int max_diameter, double edge_prob, Rng& rng) {
+  Graph graph = random_connected(n, edge_prob, rng);
+  enforce_diameter_cap(graph, max_diameter, rng);
+  return graph;
+}
+
+Graph random_geometric_small_diameter(int n, double mean_degree, int max_diameter, Rng& rng) {
+  LPTSP_REQUIRE(n >= 2, "need at least 2 vertices");
+  // Radius from the expected-degree formula for a unit-square Poisson
+  // layout: E[deg] ~ n * pi * r^2.
+  const double radius = std::sqrt(std::max(0.5, mean_degree) / (static_cast<double>(n) * 3.14159265358979));
+  std::vector<std::pair<double, double>> points(static_cast<std::size_t>(n));
+  for (auto& [x, y] : points) {
+    x = rng.uniform01();
+    y = rng.uniform01();
+  }
+  Graph graph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double dx = points[static_cast<std::size_t>(u)].first - points[static_cast<std::size_t>(v)].first;
+      const double dy = points[static_cast<std::size_t>(u)].second - points[static_cast<std::size_t>(v)].second;
+      if (dx * dx + dy * dy <= radius * radius) graph.add_edge(u, v);
+    }
+  }
+  // Connect stranded components through nearest representatives, then cap
+  // the diameter (geometric graphs are long and thin by construction).
+  const auto component = connected_components(graph);
+  for (int v = 1; v < n; ++v) {
+    if (component[static_cast<std::size_t>(v)] != component[0]) graph.add_edge_if_absent(0, v);
+  }
+  enforce_diameter_cap(graph, max_diameter, rng);
+  return graph;
+}
+
+namespace {
+
+Graph random_cograph_rec(int n, Rng& rng, int depth) {
+  if (n == 1) return Graph(1);
+  // Split into two non-empty halves; deeper levels favour even splits so
+  // the cotree stays balanced and n stays exact.
+  const int left = rng.uniform_int(1, n - 1);
+  const Graph left_graph = random_cograph_rec(left, rng, depth + 1);
+  const Graph right_graph = random_cograph_rec(n - left, rng, depth + 1);
+  return rng.bernoulli(0.5) ? join(left_graph, right_graph)
+                            : disjoint_union(left_graph, right_graph);
+}
+
+}  // namespace
+
+Graph random_cograph(int n, Rng& rng) {
+  LPTSP_REQUIRE(n >= 1, "need at least 1 vertex");
+  return random_cograph_rec(n, rng, 0);
+}
+
+Graph random_split_graph(int n, double clique_fraction, double cross_prob, Rng& rng) {
+  LPTSP_REQUIRE(n >= 2, "need at least 2 vertices");
+  const int clique_size = std::clamp(static_cast<int>(std::lround(clique_fraction * n)), 1, n);
+  Graph graph(n);
+  for (int u = 0; u < clique_size; ++u) {
+    for (int v = u + 1; v < clique_size; ++v) graph.add_edge(u, v);
+  }
+  for (int u = clique_size; u < n; ++u) {
+    bool attached = false;
+    for (int v = 0; v < clique_size; ++v) {
+      if (rng.bernoulli(cross_prob)) {
+        graph.add_edge(u, v);
+        attached = true;
+      }
+    }
+    if (!attached) graph.add_edge(u, rng.uniform_int(0, clique_size - 1));
+  }
+  return graph;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+
+// ---------------------------------------------------------------------------
+// Deterministic classic families (the polynomially solvable classes the
+// paper's introduction references: paths, cycles, wheels, complete graphs).
+// ---------------------------------------------------------------------------
+
+/// Path v0 - v1 - ... - v(n-1).
+Graph path_graph(int n);
+
+/// Cycle on n >= 3 vertices.
+Graph cycle_graph(int n);
+
+/// Complete graph K_n.
+Graph complete_graph(int n);
+
+/// Star K_{1,n-1}; vertex 0 is the center.
+Graph star_graph(int n);
+
+/// Wheel: cycle on n-1 >= 3 vertices plus a hub (vertex n-1).
+Graph wheel_graph(int n);
+
+/// Complete bipartite K_{a,b}.
+Graph complete_bipartite(int a, int b);
+
+/// Complete multipartite graph with the given part sizes.
+Graph complete_multipartite(const std::vector<int>& part_sizes);
+
+/// r x c grid graph.
+Graph grid_graph(int rows, int cols);
+
+/// The Petersen graph (3-regular, diameter 2).
+Graph petersen_graph();
+
+/// The 5-vertex, 5-edge, diameter-3 example of the paper's Figure 1:
+/// a triangle {a,b,c} with a pendant path c-d-e (vertices 0..4 = a..e).
+/// Its distance multiset is {d=1: 5 pairs, d=2: 3 pairs, d=3: 2 pairs},
+/// matching the edge weights drawn in the figure.
+Graph fig1_graph();
+
+/// Decode a graph on n vertices from a bitmask over the n*(n-1)/2 vertex
+/// pairs in lexicographic order ({0,1},{0,2},...,{n-2,n-1}). Used by the
+/// exhaustive small-graph enumerations in tests and benchmarks.
+Graph graph_from_edge_mask(int n, std::uint64_t mask);
+
+// ---------------------------------------------------------------------------
+// Random families (benchmark workloads).
+// ---------------------------------------------------------------------------
+
+/// Erdős–Rényi G(n, p): each pair independently an edge.
+Graph erdos_renyi(int n, double edge_prob, Rng& rng);
+
+/// Uniform random labelled tree (Prüfer sequence).
+Graph random_tree(int n, Rng& rng);
+
+/// Erdős–Rényi conditioned on connectivity: a random spanning tree is
+/// added first, then each remaining pair with probability edge_prob.
+Graph random_connected(int n, double edge_prob, Rng& rng);
+
+/// Random connected graph post-processed to have diameter <= max_diameter
+/// by repeatedly joining a currently-farthest pair. The result is the
+/// paper's target class ("small diameter graphs"): diameter <= max_diameter
+/// is guaranteed, and for sparse inputs the diameter is usually exactly
+/// max_diameter.
+Graph random_with_diameter_at_most(int n, int max_diameter, double edge_prob, Rng& rng);
+
+/// Random geometric graph on the unit square; the radius is chosen so the
+/// expected mean degree is reached, then connectivity and the diameter cap
+/// are enforced as in random_with_diameter_at_most. Models the paper's
+/// radio-transmitter motivation.
+Graph random_geometric_small_diameter(int n, double mean_degree, int max_diameter, Rng& rng);
+
+/// Random cograph built from a random cotree: unions and joins of
+/// recursively generated subgraphs (every internal cotree node flips a
+/// coin). Cographs have modular-width <= 2.
+Graph random_cograph(int n, Rng& rng);
+
+/// Random split graph: a clique on ~clique_fraction*n vertices, an
+/// independent set on the rest, and independent cross edges with
+/// probability cross_prob. A universal vertex is NOT added; split graphs
+/// with a dominating clique typically have diameter <= 3.
+Graph random_split_graph(int n, double clique_fraction, double cross_prob, Rng& rng);
+
+}  // namespace lptsp

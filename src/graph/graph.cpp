@@ -1,0 +1,86 @@
+#include "graph/graph.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+Graph::Graph(int n) : n_(n), words_((n + 63) / 64) {
+  LPTSP_REQUIRE(n >= 0, "vertex count must be non-negative");
+  adj_.resize(static_cast<std::size_t>(n));
+  bits_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(words_), 0);
+}
+
+Graph Graph::from_edges(int n, const std::vector<std::pair<int, int>>& edges) {
+  Graph graph(n);
+  for (const auto& [u, v] : edges) graph.add_edge(u, v);
+  return graph;
+}
+
+void Graph::check_vertex(int v) const {
+  LPTSP_REQUIRE(v >= 0 && v < n_, "vertex " + std::to_string(v) + " out of range [0, " +
+                                      std::to_string(n_) + ")");
+}
+
+void Graph::add_edge(int u, int v) {
+  check_vertex(u);
+  check_vertex(v);
+  LPTSP_REQUIRE(u != v, "self-loops are not allowed");
+  LPTSP_REQUIRE(!has_edge(u, v), "edge {" + std::to_string(u) + "," + std::to_string(v) +
+                                     "} already present");
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  bits_[static_cast<std::size_t>(u) * words_ + static_cast<std::size_t>(v) / 64] |=
+      std::uint64_t{1} << (v % 64);
+  bits_[static_cast<std::size_t>(v) * words_ + static_cast<std::size_t>(u) / 64] |=
+      std::uint64_t{1} << (u % 64);
+  ++m_;
+}
+
+bool Graph::add_edge_if_absent(int u, int v) {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v || has_edge(u, v)) return false;
+  add_edge(u, v);
+  return true;
+}
+
+bool Graph::has_edge(int u, int v) const noexcept {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_) return false;
+  return (bits_[static_cast<std::size_t>(u) * words_ + static_cast<std::size_t>(v) / 64] >>
+          (v % 64)) &
+         1;
+}
+
+const std::vector<int>& Graph::neighbors(int v) const {
+  check_vertex(v);
+  return adj_[static_cast<std::size_t>(v)];
+}
+
+int Graph::degree(int v) const {
+  check_vertex(v);
+  return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+}
+
+std::vector<std::pair<int, int>> Graph::edges() const {
+  std::vector<std::pair<int, int>> result;
+  result.reserve(static_cast<std::size_t>(m_));
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      if (has_edge(u, v)) result.emplace_back(u, v);
+    }
+  }
+  return result;
+}
+
+const std::uint64_t* Graph::adjacency_row(int v) const {
+  check_vertex(v);
+  return bits_.data() + static_cast<std::size_t>(v) * words_;
+}
+
+bool Graph::operator==(const Graph& other) const {
+  return n_ == other.n_ && m_ == other.m_ && bits_ == other.bits_;
+}
+
+}  // namespace lptsp

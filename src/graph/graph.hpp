@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lptsp {
+
+/// Simple undirected graph on vertices {0, ..., n-1}.
+///
+/// Stores both adjacency lists (for BFS / degree iteration) and a packed
+/// adjacency bit-matrix (for O(1) has_edge and fast set operations such as
+/// complement and power graphs). Self-loops and parallel edges are
+/// rejected; all labeling/TSP theory in this library assumes simple graphs.
+class Graph {
+ public:
+  /// An empty graph on n >= 0 vertices.
+  explicit Graph(int n = 0);
+
+  /// Build from an explicit edge list. Duplicate edges are rejected.
+  static Graph from_edges(int n, const std::vector<std::pair<int, int>>& edges);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int m() const noexcept { return m_; }
+
+  /// Add undirected edge {u, v}. Requires u != v, both in range, and the
+  /// edge not already present.
+  void add_edge(int u, int v);
+
+  /// Add edge {u, v} unless it already exists; returns true if added.
+  bool add_edge_if_absent(int u, int v);
+
+  [[nodiscard]] bool has_edge(int u, int v) const noexcept;
+  [[nodiscard]] const std::vector<int>& neighbors(int v) const;
+  [[nodiscard]] int degree(int v) const;
+
+  /// All edges as (u, v) with u < v, sorted lexicographically.
+  [[nodiscard]] std::vector<std::pair<int, int>> edges() const;
+
+  /// Row v of the adjacency bit-matrix ((n+63)/64 words).
+  [[nodiscard]] const std::uint64_t* adjacency_row(int v) const;
+  [[nodiscard]] int words_per_row() const noexcept { return words_; }
+
+  /// Structural equality (same n and same edge set).
+  [[nodiscard]] bool operator==(const Graph& other) const;
+
+ private:
+  void check_vertex(int v) const;
+
+  int n_ = 0;
+  int m_ = 0;
+  int words_ = 0;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace lptsp

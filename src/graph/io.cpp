@@ -1,0 +1,63 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Next line that is neither blank nor a '#' comment; false at EOF.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  LPTSP_REQUIRE(next_data_line(in, line), "edge list: missing header line");
+  std::istringstream header(line);
+  int n = 0;
+  int m = 0;
+  LPTSP_REQUIRE(static_cast<bool>(header >> n >> m), "edge list: header must be '<n> <m>'");
+  LPTSP_REQUIRE(n >= 0 && m >= 0, "edge list: negative counts");
+  Graph graph(n);
+  for (int i = 0; i < m; ++i) {
+    LPTSP_REQUIRE(next_data_line(in, line), "edge list: fewer edges than declared");
+    std::istringstream edge(line);
+    int u = 0;
+    int v = 0;
+    LPTSP_REQUIRE(static_cast<bool>(edge >> u >> v), "edge list: malformed edge line");
+    graph.add_edge(u, v);
+  }
+  return graph;
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  LPTSP_REQUIRE(in.good(), "cannot open graph file: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& graph) {
+  out << "# lptsp edge list\n" << graph.n() << ' ' << graph.m() << '\n';
+  for (const auto& [u, v] : graph.edges()) out << u << ' ' << v << '\n';
+}
+
+void write_edge_list_file(const std::string& path, const Graph& graph) {
+  std::ofstream out(path);
+  LPTSP_REQUIRE(out.good(), "cannot open output file: " + path);
+  write_edge_list(out, graph);
+}
+
+}  // namespace lptsp

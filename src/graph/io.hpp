@@ -1,0 +1,22 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Parse the plain edge-list format:
+///   first non-comment line: "<n> <m>"
+///   then m lines "<u> <v>" with 0-based endpoints.
+/// Lines starting with '#' are comments. Throws precondition_error on
+/// malformed input (wrong counts, out-of-range endpoints, duplicates).
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_file(const std::string& path);
+
+/// Serialize in the same edge-list format (with a comment header).
+void write_edge_list(std::ostream& out, const Graph& graph);
+void write_edge_list_file(const std::string& path, const Graph& graph);
+
+}  // namespace lptsp

@@ -1,0 +1,90 @@
+#include "graph/operations.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+Graph complement(const Graph& graph) {
+  Graph result(graph.n());
+  for (int u = 0; u < graph.n(); ++u) {
+    for (int v = u + 1; v < graph.n(); ++v) {
+      if (!graph.has_edge(u, v)) result.add_edge(u, v);
+    }
+  }
+  return result;
+}
+
+Graph power(const Graph& graph, int k) {
+  LPTSP_REQUIRE(k >= 1, "graph power exponent must be >= 1");
+  return power(graph, k, all_pairs_distances(graph));
+}
+
+Graph power(const Graph& graph, int k, const DistanceMatrix& dist) {
+  LPTSP_REQUIRE(k >= 1, "graph power exponent must be >= 1");
+  LPTSP_REQUIRE(dist.n() == graph.n(), "distance matrix size mismatch");
+  Graph result(graph.n());
+  for (int u = 0; u < graph.n(); ++u) {
+    for (int v = u + 1; v < graph.n(); ++v) {
+      const int d = dist.at(u, v);
+      if (d != kUnreachable && d <= k) result.add_edge(u, v);
+    }
+  }
+  return result;
+}
+
+Graph induced_subgraph(const Graph& graph, const std::vector<int>& vertices) {
+  std::vector<int> sorted = vertices;
+  std::sort(sorted.begin(), sorted.end());
+  LPTSP_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                "induced subgraph vertices must be distinct");
+  Graph result(static_cast<int>(vertices.size()));
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      if (graph.has_edge(vertices[i], vertices[j])) {
+        result.add_edge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return result;
+}
+
+Graph disjoint_union(const Graph& left, const Graph& right) {
+  Graph result(left.n() + right.n());
+  for (const auto& [u, v] : left.edges()) result.add_edge(u, v);
+  for (const auto& [u, v] : right.edges()) result.add_edge(u + left.n(), v + left.n());
+  return result;
+}
+
+Graph join(const Graph& left, const Graph& right) {
+  Graph result = disjoint_union(left, right);
+  for (int u = 0; u < left.n(); ++u) {
+    for (int v = 0; v < right.n(); ++v) result.add_edge(u, left.n() + v);
+  }
+  return result;
+}
+
+Graph add_universal_vertex(const Graph& graph) {
+  Graph result(graph.n() + 1);
+  for (const auto& [u, v] : graph.edges()) result.add_edge(u, v);
+  for (int v = 0; v < graph.n(); ++v) result.add_edge(v, graph.n());
+  return result;
+}
+
+Graph relabel(const Graph& graph, const std::vector<int>& perm) {
+  LPTSP_REQUIRE(static_cast<int>(perm.size()) == graph.n(), "permutation size mismatch");
+  std::vector<bool> seen(perm.size(), false);
+  for (const int image : perm) {
+    LPTSP_REQUIRE(image >= 0 && image < graph.n() && !seen[static_cast<std::size_t>(image)],
+                  "relabel requires a permutation");
+    seen[static_cast<std::size_t>(image)] = true;
+  }
+  Graph result(graph.n());
+  for (const auto& [u, v] : graph.edges()) {
+    result.add_edge(perm[static_cast<std::size_t>(u)], perm[static_cast<std::size_t>(v)]);
+  }
+  return result;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Complement graph G̅ (edge iff non-edge in G, no self-loops).
+Graph complement(const Graph& graph);
+
+/// k-th power G^k: edge {u,v} iff 1 <= dist_G(u,v) <= k. Requires k >= 1.
+Graph power(const Graph& graph, int k);
+
+/// Same as power() but reuses a precomputed distance matrix.
+Graph power(const Graph& graph, int k, const DistanceMatrix& dist);
+
+/// Subgraph induced by `vertices` (which must be distinct and in range);
+/// vertex i of the result corresponds to vertices[i].
+Graph induced_subgraph(const Graph& graph, const std::vector<int>& vertices);
+
+/// Disjoint union: vertices of `right` are shifted by left.n().
+Graph disjoint_union(const Graph& left, const Graph& right);
+
+/// Join: disjoint union plus all edges between the two sides.
+Graph join(const Graph& left, const Graph& right);
+
+/// Copy of `graph` with one extra vertex (index n) adjacent to all others.
+Graph add_universal_vertex(const Graph& graph);
+
+/// Copy of `graph` with vertices renamed by `perm` (old v -> perm[v]).
+/// `perm` must be a permutation of {0,...,n-1}.
+Graph relabel(const Graph& graph, const std::vector<int>& perm);
+
+}  // namespace lptsp

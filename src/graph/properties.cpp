@@ -1,0 +1,77 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+bool is_connected(const Graph& graph) {
+  if (graph.n() <= 1) return true;
+  const auto dist = bfs_distances(graph, 0);
+  return std::none_of(dist.begin(), dist.end(), [](int d) { return d == kUnreachable; });
+}
+
+std::vector<int> connected_components(const Graph& graph) {
+  std::vector<int> component(static_cast<std::size_t>(graph.n()), -1);
+  int next_id = 0;
+  std::vector<int> stack;
+  for (int start = 0; start < graph.n(); ++start) {
+    if (component[static_cast<std::size_t>(start)] != -1) continue;
+    component[static_cast<std::size_t>(start)] = next_id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (const int v : graph.neighbors(u)) {
+        if (component[static_cast<std::size_t>(v)] == -1) {
+          component[static_cast<std::size_t>(v)] = next_id;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+int diameter(const Graph& graph) {
+  LPTSP_REQUIRE(is_connected(graph), "diameter is defined for connected graphs only");
+  int best = 0;
+  for (int src = 0; src < graph.n(); ++src) {
+    const auto dist = bfs_distances(graph, src);
+    for (const int d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+int diameter(const DistanceMatrix& dist) {
+  LPTSP_REQUIRE(dist.all_finite(), "diameter requires a connected graph");
+  return dist.max_finite();
+}
+
+int max_degree(const Graph& graph) {
+  int best = 0;
+  for (int v = 0; v < graph.n(); ++v) best = std::max(best, graph.degree(v));
+  return best;
+}
+
+bool is_clique(const Graph& graph, const std::vector<int>& vertices) {
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      if (!graph.has_edge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool is_independent_set(const Graph& graph, const std::vector<int>& vertices) {
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      if (graph.has_edge(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// True when the graph has exactly one connected component (the empty
+/// graph and single vertices count as connected).
+bool is_connected(const Graph& graph);
+
+/// Component id (0-based) per vertex; ids are assigned in discovery order.
+std::vector<int> connected_components(const Graph& graph);
+
+/// Diameter (max hop distance over all pairs). Requires a connected graph.
+int diameter(const Graph& graph);
+
+/// Diameter from a precomputed distance matrix; requires all pairs finite.
+int diameter(const DistanceMatrix& dist);
+
+/// Largest vertex degree (0 for the empty graph).
+int max_degree(const Graph& graph);
+
+/// True if every pair of the given vertices is adjacent.
+bool is_clique(const Graph& graph, const std::vector<int>& vertices);
+
+/// True if no pair of the given vertices is adjacent.
+bool is_independent_set(const Graph& graph, const std::vector<int>& vertices);
+
+}  // namespace lptsp

@@ -1,0 +1,26 @@
+#include "ham/gadgets.hpp"
+
+#include "graph/operations.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+HcToHpGadget hc_to_hp_gadget(const Graph& graph, int pivot) {
+  const int n = graph.n();
+  LPTSP_REQUIRE(n >= 1, "gadget needs a non-empty graph");
+  LPTSP_REQUIRE(pivot >= 0 && pivot < n, "pivot out of range");
+  HcToHpGadget gadget{Graph(n + 3), n, n + 1, n + 2};
+  for (const auto& [u, v] : graph.edges()) gadget.graph.add_edge(u, v);
+  // v' is a false twin of the pivot: same open neighborhood, non-adjacent.
+  for (const int u : graph.neighbors(pivot)) gadget.graph.add_edge(gadget.twin, u);
+  gadget.graph.add_edge(gadget.pendant, pivot);
+  gadget.graph.add_edge(gadget.pendant2, gadget.twin);
+  return gadget;
+}
+
+Graph griggs_yeh_gadget(const Graph& graph) {
+  LPTSP_REQUIRE(graph.n() >= 1, "gadget needs a non-empty graph");
+  return add_universal_vertex(complement(graph));
+}
+
+}  // namespace lptsp

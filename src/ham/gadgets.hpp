@@ -1,0 +1,30 @@
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Theorem 1 gadget (Hamiltonian Cycle -> Hamiltonian Path, clique-width
+/// preserving up to +4): given G and a pivot vertex v, add a false twin v'
+/// of v, a pendant w adjacent to v, and a pendant w' adjacent to v'.
+/// G has a Hamiltonian cycle iff the gadget has a Hamiltonian path (which
+/// is then forced to run from w to w').
+struct HcToHpGadget {
+  Graph graph;
+  int twin = -1;      ///< v' = n
+  int pendant = -1;   ///< w  = n + 1 (attached to the pivot)
+  int pendant2 = -1;  ///< w' = n + 2 (attached to the twin)
+};
+HcToHpGadget hc_to_hp_gadget(const Graph& graph, int pivot = 0);
+
+/// Theorem 3 / Griggs–Yeh gadget (Hamiltonian Path -> L(2,1)-labeling on
+/// diameter-2 graphs): the complement of G plus a universal vertex
+/// (index n). The gadget H always has diameter <= 2, and
+///   lambda_{2,1}(H) = n + 1  iff  G has a Hamiltonian path,
+///   lambda_{2,1}(H) >= n + 2 otherwise,
+/// because in the reduced {1,2}-weighted Path TSP the universal vertex
+/// forces at least one heavy edge and G-path edges are exactly the cheap
+/// ones.
+Graph griggs_yeh_gadget(const Graph& graph);
+
+}  // namespace lptsp

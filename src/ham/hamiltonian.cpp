@@ -1,0 +1,157 @@
+#include "ham/hamiltonian.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+#include "tsp/held_karp.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// reach[S] = endpoint mask: v ∈ reach[S] iff G[S] has a Hamiltonian path
+/// ending at v. reach[{v}] = {v}; reach[S] accumulates v ∈ S whose
+/// neighborhood meets reach[S \ {v}].
+std::vector<std::uint32_t> endpoint_dp(const Graph& graph) {
+  const int n = graph.n();
+  LPTSP_REQUIRE(n >= 1 && n <= 24, "Hamiltonian DP supports 1..24 vertices");
+  // Adjacency rows as 32-bit masks.
+  std::vector<std::uint32_t> adj(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    for (const int u : graph.neighbors(v)) adj[static_cast<std::size_t>(v)] |= 1u << u;
+  }
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  std::vector<std::uint32_t> reach(static_cast<std::size_t>(full) + 1, 0);
+  for (int v = 0; v < n; ++v) reach[std::size_t{1} << v] = 1u << v;
+  for (std::uint32_t set = 1; set <= full; ++set) {
+    if (std::popcount(set) < 2) continue;
+    std::uint32_t ends = 0;
+    for (std::uint32_t candidates = set; candidates != 0; candidates &= candidates - 1) {
+      const int v = std::countr_zero(candidates);
+      if (reach[set ^ (1u << v)] & adj[static_cast<std::size_t>(v)]) ends |= 1u << v;
+    }
+    reach[set] = ends;
+  }
+  return reach;
+}
+
+}  // namespace
+
+bool has_hamiltonian_path(const Graph& graph) {
+  if (graph.n() == 0) return false;
+  if (graph.n() == 1) return true;
+  const auto reach = endpoint_dp(graph);
+  return reach.back() != 0;
+}
+
+std::optional<std::vector<int>> hamiltonian_path(const Graph& graph) {
+  if (graph.n() == 0) return std::nullopt;
+  if (graph.n() == 1) return std::vector<int>{0};
+  const auto reach = endpoint_dp(graph);
+  const std::uint32_t full = static_cast<std::uint32_t>(reach.size() - 1);
+  if (reach[full] == 0) return std::nullopt;
+
+  std::vector<int> order;
+  std::uint32_t set = full;
+  int end = std::countr_zero(reach[full]);
+  order.push_back(end);
+  while (std::popcount(set) > 1) {
+    const std::uint32_t rest = set ^ (1u << end);
+    // Any predecessor that is both an endpoint of rest and adjacent to end.
+    std::uint32_t candidates = reach[rest];
+    int prev = -1;
+    while (candidates != 0) {
+      const int v = std::countr_zero(candidates);
+      if (graph.has_edge(v, end)) {
+        prev = v;
+        break;
+      }
+      candidates &= candidates - 1;
+    }
+    LPTSP_ENSURE(prev != -1, "Hamiltonian path reconstruction failed");
+    set = rest;
+    end = prev;
+    order.push_back(end);
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+bool has_hamiltonian_cycle(const Graph& graph) {
+  const int n = graph.n();
+  if (n < 3) return false;
+  LPTSP_REQUIRE(n <= 24, "Hamiltonian DP supports at most 24 vertices");
+  // Fix vertex 0 as the cycle anchor: paths over S ∋ 0 starting at 0.
+  std::vector<std::uint32_t> adj(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) {
+    for (const int u : graph.neighbors(v)) adj[static_cast<std::size_t>(v)] |= 1u << u;
+  }
+  const std::uint32_t full = (1u << n) - 1;
+  std::vector<std::uint32_t> reach(static_cast<std::size_t>(full) + 1, 0);
+  reach[1] = 1;  // path = {0}, ending at 0
+  for (std::uint32_t set = 1; set <= full; ++set) {
+    if (!(set & 1u) || std::popcount(set) < 2) continue;
+    std::uint32_t ends = 0;
+    for (std::uint32_t candidates = set & ~1u; candidates != 0; candidates &= candidates - 1) {
+      const int v = std::countr_zero(candidates);
+      if (reach[set ^ (1u << v)] & adj[static_cast<std::size_t>(v)]) ends |= 1u << v;
+    }
+    reach[set] = ends;
+  }
+  return (reach[full] & adj[0]) != 0;
+}
+
+int min_path_partition_exact(const Graph& graph) {
+  const int n = graph.n();
+  LPTSP_REQUIRE(n >= 1, "graph must be non-empty");
+  if (n == 1) return 1;
+  // Corollary-2 equivalence in reverse: charge 0 for edges and 1 for
+  // non-edges; an optimal Hamiltonian path then breaks into (cost + 1)
+  // edge-paths of G.
+  MetricInstance instance(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) instance.set_weight(u, v, graph.has_edge(u, v) ? 0 : 1);
+  }
+  const PathSolution solution = held_karp_path(instance);
+  return static_cast<int>(solution.cost) + 1;
+}
+
+int min_path_partition_greedy(const Graph& graph) {
+  const int n = graph.n();
+  LPTSP_REQUIRE(n >= 1, "graph must be non-empty");
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  int paths = 0;
+  for (int start = 0; start < n; ++start) {
+    if (used[static_cast<std::size_t>(start)]) continue;
+    ++paths;
+    used[static_cast<std::size_t>(start)] = true;
+    // Grow from both endpoints until stuck.
+    int head = start;
+    int tail = start;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const int v : graph.neighbors(head)) {
+        if (!used[static_cast<std::size_t>(v)]) {
+          used[static_cast<std::size_t>(v)] = true;
+          head = v;
+          grew = true;
+          break;
+        }
+      }
+      for (const int v : graph.neighbors(tail)) {
+        if (!used[static_cast<std::size_t>(v)]) {
+          used[static_cast<std::size_t>(v)] = true;
+          tail = v;
+          grew = true;
+          break;
+        }
+      }
+    }
+  }
+  return paths;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Hamiltonian path existence via the endpoint-set dynamic program:
+/// reach[S] = bitmask of vertices v such that some Hamiltonian path of
+/// G[S] ends at v. O(2^n * n) words of work. Requires n <= 24.
+bool has_hamiltonian_path(const Graph& graph);
+
+/// As above, returning a witness order when one exists.
+std::optional<std::vector<int>> hamiltonian_path(const Graph& graph);
+
+/// Hamiltonian cycle existence (graphs with n < 3 return false).
+bool has_hamiltonian_cycle(const Graph& graph);
+
+/// Minimum number of vertex-disjoint paths covering all vertices
+/// (PARTITION INTO PATHS, the target of the paper's Corollary 2).
+///
+/// Computed as 1 + (optimal Path TSP value on the 0/1 instance that
+/// charges 0 for edges of G and 1 for non-edges) — exactly the
+/// equivalence the paper's Corollary 2 exploits in reverse. Uses the
+/// Held–Karp engine, so it requires n <= 22.
+int min_path_partition_exact(const Graph& graph);
+
+/// Greedy upper bound for PARTITION INTO PATHS: repeatedly grow a path
+/// from an arbitrary unused vertex, extending at both ends. Deterministic;
+/// used at scales where the exact DP is unavailable.
+int min_path_partition_greedy(const Graph& graph);
+
+}  // namespace lptsp

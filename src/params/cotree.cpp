@@ -1,0 +1,62 @@
+#include "params/cotree.hpp"
+
+#include <algorithm>
+
+#include "graph/operations.hpp"
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Returns the node id, or -1 if a non-cograph induced subgraph is found.
+int build(const Graph& graph, std::vector<int> vertices, Cotree& tree) {
+  std::sort(vertices.begin(), vertices.end());
+  const int id = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  tree.nodes[static_cast<std::size_t>(id)].vertices = vertices;
+
+  if (vertices.size() == 1) {
+    tree.nodes[static_cast<std::size_t>(id)].is_leaf = true;
+    tree.nodes[static_cast<std::size_t>(id)].vertex = vertices[0];
+    return id;
+  }
+
+  const Graph sub = induced_subgraph(graph, vertices);
+  for (const bool use_complement : {false, true}) {
+    const auto component = connected_components(use_complement ? complement(sub) : sub);
+    const int count = *std::max_element(component.begin(), component.end()) + 1;
+    if (count <= 1) continue;
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(count));
+    for (std::size_t local = 0; local < component.size(); ++local) {
+      parts[static_cast<std::size_t>(component[local])].push_back(vertices[local]);
+    }
+    tree.nodes[static_cast<std::size_t>(id)].is_series = use_complement;
+    for (auto& part : parts) {
+      const int child = build(graph, std::move(part), tree);
+      if (child == -1) return -1;
+      tree.nodes[static_cast<std::size_t>(id)].children.push_back(child);
+    }
+    return id;
+  }
+  return -1;  // connected and co-connected on >= 2 vertices: not a cograph
+}
+
+}  // namespace
+
+std::optional<Cotree> build_cotree(const Graph& graph) {
+  LPTSP_REQUIRE(graph.n() >= 1, "cotree needs a non-empty graph");
+  Cotree tree;
+  std::vector<int> all(static_cast<std::size_t>(graph.n()));
+  for (int v = 0; v < graph.n(); ++v) all[static_cast<std::size_t>(v)] = v;
+  tree.root = build(graph, std::move(all), tree);
+  if (tree.root == -1) return std::nullopt;
+  return tree;
+}
+
+bool is_cograph(const Graph& graph) {
+  return build_cotree(graph).has_value();
+}
+
+}  // namespace lptsp

@@ -1,0 +1,168 @@
+#include "params/modular_decomposition.hpp"
+
+#include <algorithm>
+
+#include "graph/operations.hpp"
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+bool is_module(const Graph& graph, const std::vector<int>& vertices) {
+  std::vector<bool> inside(static_cast<std::size_t>(graph.n()), false);
+  for (const int v : vertices) inside[static_cast<std::size_t>(v)] = true;
+  for (int x = 0; x < graph.n(); ++x) {
+    if (inside[static_cast<std::size_t>(x)]) continue;
+    int adjacent = 0;
+    for (const int v : vertices) {
+      if (graph.has_edge(x, v)) ++adjacent;
+    }
+    if (adjacent != 0 && adjacent != static_cast<int>(vertices.size())) return false;
+  }
+  return true;
+}
+
+std::vector<int> module_closure(const Graph& graph, const std::vector<int>& seed) {
+  LPTSP_REQUIRE(!seed.empty(), "closure seed must be non-empty");
+  const int n = graph.n();
+  std::vector<bool> inside(static_cast<std::size_t>(n), false);
+  std::vector<int> members;
+  // neighbor_count[x] = |N(x) ∩ S| for x outside S; maintained
+  // incrementally so each absorption costs O(n).
+  std::vector<int> neighbor_count(static_cast<std::size_t>(n), 0);
+  std::vector<int> queue;
+
+  const auto absorb = [&](int v) {
+    if (inside[static_cast<std::size_t>(v)]) return;
+    inside[static_cast<std::size_t>(v)] = true;
+    members.push_back(v);
+    for (const int u : graph.neighbors(v)) ++neighbor_count[static_cast<std::size_t>(u)];
+  };
+  for (const int v : seed) absorb(v);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const int size = static_cast<int>(members.size());
+    for (int x = 0; x < n; ++x) {
+      if (inside[static_cast<std::size_t>(x)]) continue;
+      const int count = neighbor_count[static_cast<std::size_t>(x)];
+      if (count != 0 && count != size) {
+        absorb(x);  // x splits S, so any module containing S contains x
+        changed = true;
+        break;  // |S| changed; rescan with the new size
+      }
+    }
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+namespace {
+
+/// Recursive Gallai construction over an induced subgraph given by
+/// original vertex ids.
+int decompose(const Graph& graph, std::vector<int> vertices, MDTree& tree) {
+  std::sort(vertices.begin(), vertices.end());
+  const int id = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  tree.nodes[static_cast<std::size_t>(id)].vertices = vertices;
+
+  if (vertices.size() == 1) {
+    tree.nodes[static_cast<std::size_t>(id)].kind = MDNode::Kind::Leaf;
+    tree.nodes[static_cast<std::size_t>(id)].vertex = vertices[0];
+    return id;
+  }
+
+  const Graph sub = induced_subgraph(graph, vertices);
+
+  // Case 1: disconnected -> parallel node over components.
+  // Case 2: complement disconnected -> series node over co-components.
+  for (const bool use_complement : {false, true}) {
+    const Graph& probe = sub;
+    const auto component =
+        connected_components(use_complement ? complement(probe) : probe);
+    const int count = *std::max_element(component.begin(), component.end()) + 1;
+    if (count <= 1) continue;
+    std::vector<std::vector<int>> parts(static_cast<std::size_t>(count));
+    for (std::size_t local = 0; local < component.size(); ++local) {
+      parts[static_cast<std::size_t>(component[local])].push_back(vertices[local]);
+    }
+    tree.nodes[static_cast<std::size_t>(id)].kind =
+        use_complement ? MDNode::Kind::Series : MDNode::Kind::Parallel;
+    for (auto& part : parts) {
+      const int child = decompose(graph, std::move(part), tree);
+      tree.nodes[static_cast<std::size_t>(id)].children.push_back(child);
+    }
+    return id;
+  }
+
+  // Case 3: prime. By Gallai's theorem the maximal proper modules
+  // partition V; the part containing v is {v} ∪ {u : closure({v,u}) != V}
+  // because any module containing vertices from two parts must be V.
+  tree.nodes[static_cast<std::size_t>(id)].kind = MDNode::Kind::Prime;
+  const int local_n = sub.n();
+  std::vector<int> part_of(static_cast<std::size_t>(local_n), -1);
+  std::vector<std::vector<int>> parts;
+  for (int v = 0; v < local_n; ++v) {
+    if (part_of[static_cast<std::size_t>(v)] != -1) continue;
+    const int part_id = static_cast<int>(parts.size());
+    parts.emplace_back();
+    parts.back().push_back(v);
+    part_of[static_cast<std::size_t>(v)] = part_id;
+    for (int u = 0; u < local_n; ++u) {
+      if (u == v || part_of[static_cast<std::size_t>(u)] != -1) continue;
+      const auto closure = module_closure(sub, {v, u});
+      if (static_cast<int>(closure.size()) < local_n) {
+        // closure is a proper module containing v; all of it joins v's part.
+        for (const int w : closure) {
+          if (part_of[static_cast<std::size_t>(w)] == -1) {
+            part_of[static_cast<std::size_t>(w)] = part_id;
+            parts.back().push_back(w);
+          } else {
+            LPTSP_ENSURE(part_of[static_cast<std::size_t>(w)] == part_id,
+                         "overlapping maximal modules in prime node");
+          }
+        }
+      }
+    }
+  }
+  for (auto& part : parts) {
+    std::vector<int> original;
+    original.reserve(part.size());
+    for (const int local : part) original.push_back(vertices[static_cast<std::size_t>(local)]);
+    const int child = decompose(graph, std::move(original), tree);
+    tree.nodes[static_cast<std::size_t>(id)].children.push_back(child);
+  }
+  LPTSP_ENSURE(tree.nodes[static_cast<std::size_t>(id)].children.size() >= 4,
+               "a prime node has at least 4 children");
+  return id;
+}
+
+}  // namespace
+
+MDTree modular_decomposition(const Graph& graph) {
+  LPTSP_REQUIRE(graph.n() >= 1, "modular decomposition needs a non-empty graph");
+  MDTree tree;
+  std::vector<int> all(static_cast<std::size_t>(graph.n()));
+  for (int v = 0; v < graph.n(); ++v) all[static_cast<std::size_t>(v)] = v;
+  tree.root = decompose(graph, std::move(all), tree);
+  return tree;
+}
+
+int modular_width(const MDTree& tree) {
+  int width = 0;
+  for (const auto& node : tree.nodes) {
+    if (node.kind == MDNode::Kind::Prime) {
+      width = std::max(width, static_cast<int>(node.children.size()));
+    }
+  }
+  const int n = static_cast<int>(tree.nodes[static_cast<std::size_t>(tree.root)].vertices.size());
+  return std::max(width, std::min(n, 2));
+}
+
+int modular_width(const Graph& graph) {
+  return modular_width(modular_decomposition(graph));
+}
+
+}  // namespace lptsp

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// One node of a modular decomposition tree.
+struct MDNode {
+  enum class Kind {
+    Leaf,      ///< single vertex
+    Parallel,  ///< children are the connected components (disjoint union)
+    Series,    ///< children are the co-components (join)
+    Prime,     ///< children are the maximal proper strong modules
+  };
+  Kind kind = Kind::Leaf;
+  int vertex = -1;            ///< for leaves
+  std::vector<int> children;  ///< node ids
+  std::vector<int> vertices;  ///< vertex set of the subtree (sorted)
+};
+
+/// Modular decomposition tree (Gallai decomposition).
+struct MDTree {
+  std::vector<MDNode> nodes;
+  int root = -1;
+
+  [[nodiscard]] const MDNode& node(int id) const { return nodes[static_cast<std::size_t>(id)]; }
+};
+
+/// Compute the modular decomposition via Gallai's theorem: recurse on
+/// components (parallel), co-components (series), or the maximal proper
+/// strong modules (prime), the latter found by pair-closure generation.
+/// O(n^3)-ish — intended for the laptop-scale analyses in this repo, not
+/// for the linear-time record (Tedder et al., cited by the paper, is the
+/// production-grade alternative).
+MDTree modular_decomposition(const Graph& graph);
+
+/// Modular-width (Definition 1 of the paper): the maximum child count
+/// over prime nodes, and at least min(n, 2). Children of series/parallel
+/// nodes can always be bundled into two modules, so only prime nodes
+/// contribute.
+int modular_width(const MDTree& tree);
+int modular_width(const Graph& graph);
+
+/// The smallest module of `graph` containing `seed` (>= 2 vertices):
+/// repeatedly absorb splitters. Exposed for tests.
+std::vector<int> module_closure(const Graph& graph, const std::vector<int>& seed);
+
+/// True if `vertices` is a module: every outside vertex sees all or none.
+bool is_module(const Graph& graph, const std::vector<int>& vertices);
+
+}  // namespace lptsp

@@ -1,0 +1,74 @@
+#include "params/neighborhood_diversity.hpp"
+
+#include <cstdint>
+
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// True twins or false twins: adjacency rows equal after masking out the
+/// two vertices themselves.
+bool are_twins(const Graph& graph, int u, int v) {
+  const std::uint64_t* row_u = graph.adjacency_row(u);
+  const std::uint64_t* row_v = graph.adjacency_row(v);
+  const int words = graph.words_per_row();
+  for (int w = 0; w < words; ++w) {
+    std::uint64_t a = row_u[w];
+    std::uint64_t b = row_v[w];
+    if (u / 64 == w) {
+      a &= ~(std::uint64_t{1} << (u % 64));
+      b &= ~(std::uint64_t{1} << (u % 64));
+    }
+    if (v / 64 == w) {
+      a &= ~(std::uint64_t{1} << (v % 64));
+      b &= ~(std::uint64_t{1} << (v % 64));
+    }
+    if (a != b) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+NdPartition neighborhood_diversity_partition(const Graph& graph) {
+  const int n = graph.n();
+  NdPartition partition;
+  partition.class_of.assign(static_cast<std::size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    if (partition.class_of[static_cast<std::size_t>(v)] != -1) continue;
+    const int id = static_cast<int>(partition.classes.size());
+    partition.classes.emplace_back();
+    partition.classes.back().push_back(v);
+    partition.class_of[static_cast<std::size_t>(v)] = id;
+    // Twin-ness is an equivalence relation, so one linear sweep per
+    // representative suffices.
+    for (int u = v + 1; u < n; ++u) {
+      if (partition.class_of[static_cast<std::size_t>(u)] == -1 && are_twins(graph, v, u)) {
+        partition.classes.back().push_back(u);
+        partition.class_of[static_cast<std::size_t>(u)] = id;
+      }
+    }
+  }
+  partition.is_clique_class.reserve(partition.classes.size());
+  for (const auto& members : partition.classes) {
+    partition.is_clique_class.push_back(members.size() >= 2 &&
+                                        graph.has_edge(members[0], members[1]));
+  }
+  // Sanity: each class must be homogeneous (clique or independent set).
+  for (std::size_t c = 0; c < partition.classes.size(); ++c) {
+    const auto& members = partition.classes[c];
+    LPTSP_ENSURE(partition.is_clique_class[c] ? is_clique(graph, members)
+                                              : is_independent_set(graph, members),
+                 "twin class is neither clique nor independent");
+  }
+  return partition;
+}
+
+int neighborhood_diversity(const Graph& graph) {
+  return static_cast<int>(neighborhood_diversity_partition(graph).classes.size());
+}
+
+}  // namespace lptsp

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lptsp {
+
+/// Partition of V into neighborhood-diversity classes (Definition 2 of the
+/// paper): u and v share a class iff N(u) \ {v} = N(v) \ {u}, i.e. they
+/// are true twins (adjacent, same closed neighborhood) or false twins
+/// (non-adjacent, same open neighborhood). Every class is a clique or an
+/// independent set and is a module of G.
+struct NdPartition {
+  std::vector<std::vector<int>> classes;
+  std::vector<int> class_of;
+
+  /// True when class c induces a clique (false => independent set;
+  /// singleton classes report as independent).
+  std::vector<bool> is_clique_class;
+};
+
+/// Compute the (unique, coarsest) twin partition. O(n^2 * n/64) via
+/// bit-row comparison.
+NdPartition neighborhood_diversity_partition(const Graph& graph);
+
+/// nd(G) = number of classes.
+int neighborhood_diversity(const Graph& graph);
+
+}  // namespace lptsp

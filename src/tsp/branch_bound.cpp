@@ -1,0 +1,124 @@
+#include "tsp/branch_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "tsp/construct.hpp"
+#include "tsp/local_search.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// MST weight over `members` (Prim, O(k^2)).
+Weight subset_mst(const MetricInstance& instance, const std::vector<int>& members) {
+  if (members.size() <= 1) return 0;
+  constexpr Weight kInf = std::numeric_limits<Weight>::max();
+  std::vector<Weight> best(members.size(), kInf);
+  std::vector<bool> done(members.size(), false);
+  best[0] = 0;
+  Weight total = 0;
+  for (std::size_t round = 0; round < members.size(); ++round) {
+    std::size_t pick = members.size();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!done[i] && (pick == members.size() || best[i] < best[pick])) pick = i;
+    }
+    done[pick] = true;
+    total += best[pick];
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!done[i]) best[i] = std::min(best[i], instance.weight(members[pick], members[i]));
+    }
+  }
+  return total;
+}
+
+struct Search {
+  const MetricInstance& instance;
+  const long long node_limit;
+  long long nodes = 0;
+  Weight incumbent_cost;
+  Order incumbent;
+  Order partial;
+  std::vector<bool> used;
+
+  Search(const MetricInstance& inst, long long limit, PathSolution warm_start)
+      : instance(inst),
+        node_limit(limit),
+        incumbent_cost(warm_start.cost),
+        incumbent(std::move(warm_start.order)),
+        used(static_cast<std::size_t>(inst.n()), false) {
+    partial.reserve(static_cast<std::size_t>(inst.n()));
+  }
+
+  /// Lower bound for completing the partial path: MST over the remaining
+  /// vertices plus the cheapest edge out of the current endpoint.
+  Weight completion_bound() const {
+    std::vector<int> remaining;
+    for (int v = 0; v < instance.n(); ++v) {
+      if (!used[static_cast<std::size_t>(v)]) remaining.push_back(v);
+    }
+    if (remaining.empty()) return 0;
+    Weight link = 0;
+    if (!partial.empty()) {
+      link = std::numeric_limits<Weight>::max();
+      for (const int v : remaining) link = std::min(link, instance.weight(partial.back(), v));
+    }
+    return link + subset_mst(instance, remaining);
+  }
+
+  void dfs(Weight cost) {
+    ++nodes;
+    LPTSP_REQUIRE(node_limit == 0 || nodes <= node_limit,
+                  "branch-and-bound node limit exceeded — use Held-Karp or a heuristic engine");
+    if (static_cast<int>(partial.size()) == instance.n()) {
+      if (cost < incumbent_cost) {
+        incumbent_cost = cost;
+        incumbent = partial;
+      }
+      return;
+    }
+    if (cost + completion_bound() >= incumbent_cost) return;
+
+    // Branch on nearest candidates first: good incumbents early tighten
+    // every later bound.
+    std::vector<std::pair<Weight, int>> candidates;
+    for (int v = 0; v < instance.n(); ++v) {
+      if (used[static_cast<std::size_t>(v)]) continue;
+      const Weight step = partial.empty() ? 0 : instance.weight(partial.back(), v);
+      candidates.emplace_back(step, v);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& [step, v] : candidates) {
+      partial.push_back(v);
+      used[static_cast<std::size_t>(v)] = true;
+      dfs(cost + step);
+      used[static_cast<std::size_t>(v)] = false;
+      partial.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+PathSolution branch_bound_path(const MetricInstance& instance, const BranchBoundOptions& options) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
+  if (n == 1) return {{0}, 0};
+
+  // Warm start: NN + VND gives a strong incumbent so pruning bites from
+  // the first branch.
+  Rng rng(0x5bd1e995);
+  PathSolution warm = nearest_neighbor_path(instance, 0);
+  vnd(instance, warm.order);
+  warm.cost = path_length(instance, warm.order);
+
+  Search search(instance, options.node_limit, std::move(warm));
+  search.dfs(0);
+  LPTSP_ENSURE(is_valid_order(search.incumbent, n), "branch and bound lost its incumbent");
+  return {search.incumbent, search.incumbent_cost};
+}
+
+}  // namespace lptsp

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "tsp/path.hpp"
+
+namespace lptsp {
+
+/// Options for the branch-and-bound exact Path-TSP solver.
+struct BranchBoundOptions {
+  /// Abort with precondition_error after this many search nodes (0 = no
+  /// limit). A limit makes worst-case behaviour explicit instead of
+  /// silently hanging: callers choose between HK (memory-bound) and B&B
+  /// (time-bound).
+  long long node_limit = 50'000'000;
+};
+
+/// Exact Path TSP by depth-first branch and bound.
+///
+/// Complements Held-Karp (Corollary 1): HK is O(2^n n^2) time AND memory,
+/// which caps n near 22; B&B needs only O(n) memory and solves much larger
+/// reduced instances when the metric is benign (the pmax <= 2*pmin band
+/// keeps the MST bound tight), at the price of exponential worst-case
+/// time. Pruning: partial length + MST of the remaining vertices plus the
+/// cheapest link from the current endpoint into the remainder must stay
+/// below the incumbent (the MST part is a valid completion lower bound
+/// because any completion is a spanning connected subgraph of the rest).
+PathSolution branch_bound_path(const MetricInstance& instance,
+                               const BranchBoundOptions& options = {});
+
+}  // namespace lptsp

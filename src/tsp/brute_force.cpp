@@ -1,0 +1,25 @@
+#include "tsp/brute_force.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+PathSolution brute_force_path(const MetricInstance& instance) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1 && n <= 11, "brute force is capped at 11 vertices");
+  Order order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  PathSolution best{order, path_length(instance, order)};
+  do {
+    // A path equals its reverse; skip half the permutations.
+    if (order.front() > order.back()) continue;
+    const Weight cost = path_length(instance, order);
+    if (cost < best.cost) best = {order, cost};
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+}  // namespace lptsp

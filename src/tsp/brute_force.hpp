@@ -1,0 +1,14 @@
+#pragma once
+
+#include "tsp/path.hpp"
+
+namespace lptsp {
+
+/// Exact Path TSP by permutation enumeration. Reversal symmetry is used to
+/// halve the search. Intended as the ground-truth oracle in tests; the
+/// size cap keeps runtimes sane (10! / 2 ≈ 1.8M paths).
+///
+/// Requires 1 <= n <= 11.
+PathSolution brute_force_path(const MetricInstance& instance);
+
+}  // namespace lptsp

@@ -1,0 +1,62 @@
+#include "tsp/chained_lk.hpp"
+
+#include <mutex>
+
+#include "tsp/construct.hpp"
+#include "tsp/lin_kernighan.hpp"
+#include "tsp/local_search.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lptsp {
+
+Order double_bridge_kick(const Order& order, Rng& rng) {
+  const std::size_t n = order.size();
+  if (n < 4) return order;
+  // Choose 1 <= a < b < c < n so all four segments are non-empty.
+  std::size_t a = 1 + rng.uniform_index(n - 3);
+  std::size_t b = a + 1 + rng.uniform_index(n - a - 2);
+  std::size_t c = b + 1 + rng.uniform_index(n - b - 1);
+  Order kicked;
+  kicked.reserve(n);
+  kicked.insert(kicked.end(), order.begin(), order.begin() + static_cast<std::ptrdiff_t>(a));
+  kicked.insert(kicked.end(), order.begin() + static_cast<std::ptrdiff_t>(b),
+                order.begin() + static_cast<std::ptrdiff_t>(c));
+  kicked.insert(kicked.end(), order.begin() + static_cast<std::ptrdiff_t>(a),
+                order.begin() + static_cast<std::ptrdiff_t>(b));
+  kicked.insert(kicked.end(), order.begin() + static_cast<std::ptrdiff_t>(c), order.end());
+  return kicked;
+}
+
+PathSolution chained_lk_path(const MetricInstance& instance, const ChainedLkOptions& options) {
+  LPTSP_REQUIRE(instance.n() >= 1, "instance must be non-empty");
+  LPTSP_REQUIRE(options.restarts >= 1, "need at least one restart");
+  LPTSP_REQUIRE(options.kicks >= 0, "kick count must be non-negative");
+  if (instance.n() <= 3) {
+    Rng rng(options.seed);
+    return lin_kernighan_style_path(instance, rng);
+  }
+
+  PathSolution global_best;
+  global_best.cost = -1;
+  std::mutex best_mutex;
+
+  const auto run_restart = [&](std::size_t restart) {
+    Rng rng(options.seed + 0x9e3779b97f4a7c15ULL * (restart + 1));
+    PathSolution current = lin_kernighan_style_path(instance, rng);
+    PathSolution best = current;
+    for (int kick = 0; kick < options.kicks; ++kick) {
+      Order perturbed = double_bridge_kick(best.order, rng);
+      PathSolution candidate = lin_kernighan_style_path_from(instance, std::move(perturbed));
+      if (candidate.cost < best.cost) best = std::move(candidate);
+    }
+    const std::lock_guard lock(best_mutex);
+    if (global_best.cost < 0 || best.cost < global_best.cost) global_best = std::move(best);
+  };
+
+  parallel_for(static_cast<std::size_t>(options.restarts), run_restart, options.threads);
+  LPTSP_ENSURE(global_best.cost >= 0, "chained LK produced no solution");
+  return global_best;
+}
+
+}  // namespace lptsp

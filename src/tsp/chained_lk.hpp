@@ -1,0 +1,27 @@
+#pragma once
+
+#include "tsp/path.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+
+/// Options for the chained Lin–Kernighan-style engine.
+struct ChainedLkOptions {
+  int restarts = 3;       ///< independent multi-starts (parallelizable)
+  int kicks = 40;         ///< double-bridge perturbations per restart
+  std::uint64_t seed = 1; ///< master seed; restarts derive child streams
+  unsigned threads = 1;   ///< 0 = shared pool, 1 = serial
+};
+
+/// Chained LK in the sense of Applegate–Cook–Rohe: local-optimize, then
+/// repeatedly apply a double-bridge kick and re-optimize, keeping
+/// improvements; the whole chain is multi-started. This is the strongest
+/// heuristic engine in the library and the practical counterpart of the
+/// paper's "use Concorde/LKH as engines" pitch.
+PathSolution chained_lk_path(const MetricInstance& instance, const ChainedLkOptions& options = {});
+
+/// A double-bridge 4-opt kick for open paths: cut into four non-empty
+/// segments A B C D and rearrange to A C B D.
+Order double_bridge_kick(const Order& order, Rng& rng);
+
+}  // namespace lptsp

@@ -1,0 +1,169 @@
+#include "tsp/christofides.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "tsp/matching.hpp"
+#include "tsp/mst.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Multigraph on instance vertices; parallel edges are expected (an MST
+/// edge can coincide with a matching edge).
+struct Multigraph {
+  explicit Multigraph(int n) : adjacency(static_cast<std::size_t>(n)) {}
+
+  void add_edge(int u, int v) {
+    const int id = static_cast<int>(edge_used.size());
+    adjacency[static_cast<std::size_t>(u)].emplace_back(v, id);
+    adjacency[static_cast<std::size_t>(v)].emplace_back(u, id);
+    edge_used.push_back(false);
+  }
+
+  std::vector<std::vector<std::pair<int, int>>> adjacency;  // (to, edge id)
+  std::vector<bool> edge_used;
+};
+
+/// Hierholzer's algorithm. Returns the Eulerian walk starting at `start`
+/// (a circuit when all degrees are even, a path when exactly two are odd
+/// and `start` is one of them).
+std::vector<int> eulerian_walk(Multigraph& graph, int start) {
+  std::vector<std::size_t> next_edge(graph.adjacency.size(), 0);
+  std::vector<int> stack{start};
+  std::vector<int> walk;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    auto& cursor = next_edge[static_cast<std::size_t>(v)];
+    const auto& neighbors = graph.adjacency[static_cast<std::size_t>(v)];
+    while (cursor < neighbors.size() && graph.edge_used[static_cast<std::size_t>(neighbors[cursor].second)]) {
+      ++cursor;
+    }
+    if (cursor == neighbors.size()) {
+      walk.push_back(v);
+      stack.pop_back();
+    } else {
+      graph.edge_used[static_cast<std::size_t>(neighbors[cursor].second)] = true;
+      stack.push_back(neighbors[cursor].first);
+    }
+  }
+  std::reverse(walk.begin(), walk.end());
+  return walk;
+}
+
+/// Shortcut an Eulerian walk to a simple vertex order (first occurrences).
+Order shortcut(const std::vector<int>& walk, int n) {
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  Order order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (const int v : walk) {
+    if (!seen[static_cast<std::size_t>(v)]) {
+      seen[static_cast<std::size_t>(v)] = true;
+      order.push_back(v);
+    }
+  }
+  return order;
+}
+
+/// Rotate a Hamiltonian-cycle order so that its heaviest edge becomes the
+/// (dropped) wrap-around edge, yielding the cheapest path from the cycle.
+Order drop_heaviest_cycle_edge(const MetricInstance& instance, const Order& cycle) {
+  const std::size_t n = cycle.size();
+  std::size_t heaviest = 0;  // edge (cycle[i], cycle[(i+1) % n])
+  Weight heaviest_weight = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Weight w = instance.weight(cycle[i], cycle[(i + 1) % n]);
+    if (w > heaviest_weight) {
+      heaviest_weight = w;
+      heaviest = i;
+    }
+  }
+  Order path;
+  path.reserve(n);
+  for (std::size_t step = 1; step <= n; ++step) path.push_back(cycle[(heaviest + step) % n]);
+  return path;
+}
+
+}  // namespace
+
+ChristofidesResult christofides_path(const MetricInstance& instance) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
+  if (n == 1) return {{{0}, 0}, true};
+  if (n == 2) return {{{0, 1}, instance.weight(0, 1)}, true};
+
+  const SpanningTree tree = prim_mst(instance);
+  const std::vector<int> odd = tree.odd_degree_vertices();
+  LPTSP_ENSURE(odd.size() % 2 == 0, "odd-degree vertex count must be even");
+  const MatchingResult matching = min_weight_perfect_matching(instance, odd);
+
+  const auto build_base = [&] {
+    Multigraph graph(n);
+    for (int v = 1; v < n; ++v) graph.add_edge(v, tree.parent[static_cast<std::size_t>(v)]);
+    return graph;
+  };
+
+  // Variant (a): full matching -> Eulerian circuit -> cycle -> drop edge.
+  Multigraph circuit_graph = build_base();
+  for (const auto& [u, v] : matching.pairs) circuit_graph.add_edge(u, v);
+  const Order cycle = shortcut(eulerian_walk(circuit_graph, 0), n);
+  LPTSP_ENSURE(is_valid_order(cycle, n), "Eulerian shortcut missed vertices");
+  Order best_order = drop_heaviest_cycle_edge(instance, cycle);
+  Weight best_cost = path_length(instance, best_order);
+
+  // Variant (b): drop the heaviest matching edge, leaving two odd
+  // vertices -> Eulerian path -> shortcut.
+  if (!matching.pairs.empty()) {
+    std::size_t heaviest = 0;
+    for (std::size_t i = 1; i < matching.pairs.size(); ++i) {
+      if (instance.weight(matching.pairs[i].first, matching.pairs[i].second) >
+          instance.weight(matching.pairs[heaviest].first, matching.pairs[heaviest].second)) {
+        heaviest = i;
+      }
+    }
+    Multigraph path_graph = build_base();
+    for (std::size_t i = 0; i < matching.pairs.size(); ++i) {
+      if (i != heaviest) path_graph.add_edge(matching.pairs[i].first, matching.pairs[i].second);
+    }
+    const Order path =
+        shortcut(eulerian_walk(path_graph, matching.pairs[heaviest].first), n);
+    LPTSP_ENSURE(is_valid_order(path, n), "Eulerian path shortcut missed vertices");
+    const Weight cost = path_length(instance, path);
+    if (cost < best_cost) {
+      best_order = path;
+      best_cost = cost;
+    }
+  }
+
+  return {{std::move(best_order), best_cost}, matching.certified_optimal};
+}
+
+PathSolution double_mst_path(const MetricInstance& instance) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
+  const SpanningTree tree = prim_mst(instance);
+  const auto adjacency = tree.adjacency();
+  Order order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(v)]) continue;
+    seen[static_cast<std::size_t>(v)] = true;
+    order.push_back(v);
+    // Push children in reverse so the walk follows adjacency order.
+    for (auto it = adjacency[static_cast<std::size_t>(v)].rbegin();
+         it != adjacency[static_cast<std::size_t>(v)].rend(); ++it) {
+      if (!seen[static_cast<std::size_t>(*it)]) stack.push_back(*it);
+    }
+  }
+  LPTSP_ENSURE(is_valid_order(order, n), "MST preorder missed vertices");
+  return {order, path_length(instance, order)};
+}
+
+}  // namespace lptsp

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "tsp/path.hpp"
+
+namespace lptsp {
+
+/// Outcome of the Christofides–Hoogeveen approximation.
+struct ChristofidesResult {
+  PathSolution solution;
+  /// True when the matching step was certifiably optimal (two-valued
+  /// reduction or exact DP), i.e. the classic analysis applies.
+  bool matching_certified = false;
+};
+
+/// Christofides adapted to Path TSP with free endpoints (Hoogeveen's
+/// variant): MST + min-weight perfect matching on the odd-degree vertices,
+/// then the better of
+///   (a) Eulerian circuit -> Hamiltonian cycle -> drop the heaviest edge;
+///   (b) drop the heaviest matching edge first, leaving exactly two odd
+///       vertices -> Eulerian path -> shortcut.
+/// Under the paper's pmax <= 2*pmin metrics the realized ratio is
+/// <= 1.5 * (1 + 2/(n-1)) against the optimal path; the benches measure
+/// it directly against exact optima. Requires a metric instance.
+ChristofidesResult christofides_path(const MetricInstance& instance);
+
+/// Double-MST 2-approximation for Path TSP: DFS preorder of the minimum
+/// spanning tree. (The MST itself lower-bounds the optimal path, so the
+/// preorder walk costs at most 2*MST - the walk back.)
+PathSolution double_mst_path(const MetricInstance& instance);
+
+}  // namespace lptsp

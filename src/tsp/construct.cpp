@@ -1,0 +1,176 @@
+#include "tsp/construct.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+PathSolution nearest_neighbor_path(const MetricInstance& instance, int start) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
+  LPTSP_REQUIRE(start >= 0 && start < n, "start vertex out of range");
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  Order order;
+  order.reserve(static_cast<std::size_t>(n));
+  order.push_back(start);
+  visited[static_cast<std::size_t>(start)] = true;
+  Weight cost = 0;
+  for (int step = 1; step < n; ++step) {
+    const int tail = order.back();
+    int pick = -1;
+    Weight best = std::numeric_limits<Weight>::max();
+    for (int v = 0; v < n; ++v) {
+      if (visited[static_cast<std::size_t>(v)]) continue;
+      const Weight w = instance.weight(tail, v);
+      if (w < best) {
+        best = w;
+        pick = v;
+      }
+    }
+    order.push_back(pick);
+    visited[static_cast<std::size_t>(pick)] = true;
+    cost += best;
+  }
+  return {order, cost};
+}
+
+PathSolution best_nearest_neighbor_path(const MetricInstance& instance, int samples, Rng& rng) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(samples >= 1, "need at least one start sample");
+  std::vector<int> starts = rng.permutation(n);
+  starts.resize(static_cast<std::size_t>(std::min(samples, n)));
+  PathSolution best = nearest_neighbor_path(instance, starts.front());
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    PathSolution candidate = nearest_neighbor_path(instance, starts[i]);
+    if (candidate.cost < best.cost) best = std::move(candidate);
+  }
+  return best;
+}
+
+PathSolution greedy_edge_path(const MetricInstance& instance) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
+  if (n == 1) return {{0}, 0};
+
+  struct Edge {
+    Weight w;
+    int u, v;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) edges.push_back({instance.weight(u, v), u, v});
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) { return a.w < b.w; });
+
+  // Union-find over path fragments; degree caps keep every fragment a path.
+  std::vector<int> root(static_cast<std::size_t>(n));
+  std::iota(root.begin(), root.end(), 0);
+  const auto find = [&](int v) {
+    while (root[static_cast<std::size_t>(v)] != v) {
+      root[static_cast<std::size_t>(v)] = root[static_cast<std::size_t>(root[static_cast<std::size_t>(v)])];
+      v = root[static_cast<std::size_t>(v)];
+    }
+    return v;
+  };
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> adjacency(static_cast<std::size_t>(n));
+  int chosen = 0;
+  for (const auto& edge : edges) {
+    if (chosen == n - 1) break;
+    if (degree[static_cast<std::size_t>(edge.u)] >= 2 || degree[static_cast<std::size_t>(edge.v)] >= 2) continue;
+    const int ru = find(edge.u);
+    const int rv = find(edge.v);
+    if (ru == rv) continue;
+    root[static_cast<std::size_t>(ru)] = rv;
+    ++degree[static_cast<std::size_t>(edge.u)];
+    ++degree[static_cast<std::size_t>(edge.v)];
+    adjacency[static_cast<std::size_t>(edge.u)].push_back(edge.v);
+    adjacency[static_cast<std::size_t>(edge.v)].push_back(edge.u);
+    ++chosen;
+  }
+  LPTSP_ENSURE(chosen == n - 1, "greedy edge failed to build a spanning path");
+
+  int endpoint = 0;
+  while (degree[static_cast<std::size_t>(endpoint)] == 2) ++endpoint;
+  Order order;
+  order.reserve(static_cast<std::size_t>(n));
+  int prev = -1;
+  int cursor = endpoint;
+  while (static_cast<int>(order.size()) < n) {
+    order.push_back(cursor);
+    int next = -1;
+    for (const int candidate : adjacency[static_cast<std::size_t>(cursor)]) {
+      if (candidate != prev) {
+        next = candidate;
+        break;
+      }
+    }
+    prev = cursor;
+    if (next == -1) break;
+    cursor = next;
+  }
+  LPTSP_ENSURE(is_valid_order(order, n), "greedy edge produced a broken path");
+  return {order, path_length(instance, order)};
+}
+
+PathSolution cheapest_insertion_path(const MetricInstance& instance) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
+  if (n == 1) return {{0}, 0};
+
+  int seed_u = 0;
+  int seed_v = 1;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (instance.weight(u, v) < instance.weight(seed_u, seed_v)) {
+        seed_u = u;
+        seed_v = v;
+      }
+    }
+  }
+  Order order{seed_u, seed_v};
+  std::vector<bool> placed(static_cast<std::size_t>(n), false);
+  placed[static_cast<std::size_t>(seed_u)] = placed[static_cast<std::size_t>(seed_v)] = true;
+
+  while (static_cast<int>(order.size()) < n) {
+    int best_vertex = -1;
+    std::size_t best_position = 0;  // insert before this index; order.size() = append
+    Weight best_delta = std::numeric_limits<Weight>::max();
+    for (int v = 0; v < n; ++v) {
+      if (placed[static_cast<std::size_t>(v)]) continue;
+      // Prepend / append.
+      const Weight front_delta = instance.weight(v, order.front());
+      if (front_delta < best_delta) {
+        best_delta = front_delta;
+        best_vertex = v;
+        best_position = 0;
+      }
+      const Weight back_delta = instance.weight(order.back(), v);
+      if (back_delta < best_delta) {
+        best_delta = back_delta;
+        best_vertex = v;
+        best_position = order.size();
+      }
+      // Between consecutive path vertices.
+      for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        const Weight delta = instance.weight(order[i], v) + instance.weight(v, order[i + 1]) -
+                             instance.weight(order[i], order[i + 1]);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_vertex = v;
+          best_position = i + 1;
+        }
+      }
+    }
+    order.insert(order.begin() + static_cast<std::ptrdiff_t>(best_position), best_vertex);
+    placed[static_cast<std::size_t>(best_vertex)] = true;
+  }
+  return {order, path_length(instance, order)};
+}
+
+}  // namespace lptsp

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "tsp/path.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+
+/// Nearest-neighbor path from a fixed start vertex, O(n^2).
+PathSolution nearest_neighbor_path(const MetricInstance& instance, int start);
+
+/// Nearest-neighbor from up to `samples` random distinct starts; returns
+/// the best path found.
+PathSolution best_nearest_neighbor_path(const MetricInstance& instance, int samples, Rng& rng);
+
+/// Greedy-edge construction: sort all pairs by weight and add an edge
+/// whenever both endpoints still have degree < 2 and no cycle forms; the
+/// n-1 chosen edges form a Hamiltonian path. O(n^2 log n).
+PathSolution greedy_edge_path(const MetricInstance& instance);
+
+/// Cheapest-insertion: grow a path from the lightest pair, repeatedly
+/// inserting the vertex whose best insertion position (including both
+/// ends) is cheapest. O(n^2) with incremental best-position tracking.
+PathSolution cheapest_insertion_path(const MetricInstance& instance);
+
+}  // namespace lptsp

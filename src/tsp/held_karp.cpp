@@ -1,0 +1,132 @@
+#include "tsp/held_karp.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lptsp {
+
+namespace {
+
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max() / 2;
+
+/// All subsets of {0..n-1} with the given popcount, ascending (Gosper).
+std::vector<std::uint32_t> subsets_of_size(int n, int popcount) {
+  std::vector<std::uint32_t> subsets;
+  if (popcount == 0 || popcount > n) return subsets;
+  std::uint32_t mask = (1u << popcount) - 1;
+  const std::uint32_t limit = 1u << n;
+  while (mask < limit) {
+    subsets.push_back(mask);
+    const std::uint32_t low = mask & (~mask + 1);
+    const std::uint32_t ripple = mask + low;
+    mask = ripple | (((mask ^ ripple) >> 2) / low);
+  }
+  return subsets;
+}
+
+}  // namespace
+
+PathSolution held_karp_path(const MetricInstance& instance, const HeldKarpOptions& options) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "instance must have at least one vertex");
+  LPTSP_REQUIRE(n <= options.max_n && options.max_n <= 24,
+                "Held-Karp size cap exceeded (memory is 2^n * n * 4 bytes)");
+  LPTSP_REQUIRE(options.fixed_start == -1 || (options.fixed_start >= 0 && options.fixed_start < n),
+                "fixed_start out of range");
+  if (n >= 2) {
+    // The DP stores 32-bit costs; make sure no path can overflow them.
+    const Weight worst = static_cast<Weight>(n - 1) * instance.max_weight();
+    LPTSP_REQUIRE(worst < kInf, "weights too large for the 32-bit Held-Karp table");
+  }
+
+  if (n == 1) return {{0}, 0};
+
+  const std::uint32_t full = (1u << n) - 1;
+  std::vector<std::int32_t> dp(static_cast<std::size_t>(full + 1) * static_cast<std::size_t>(n),
+                               kInf);
+  const auto cell = [n](std::uint32_t set, int end) {
+    return static_cast<std::size_t>(set) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(end);
+  };
+
+  // Layer 1: singleton paths.
+  for (int v = 0; v < n; ++v) {
+    if (options.fixed_start == -1 || options.fixed_start == v) {
+      dp[cell(1u << v, v)] = 0;
+    }
+  }
+
+  // Pull-style recurrence: dp[S][i] depends only on the popcount-1 layer,
+  // so every subset within one layer is independent — the parallel grain.
+  const auto process_subset = [&](std::uint32_t set) {
+    for (std::uint32_t ends = set; ends != 0; ends &= ends - 1) {
+      const int i = std::countr_zero(ends);
+      const std::uint32_t rest = set ^ (1u << i);
+      std::int32_t best = kInf;
+      for (std::uint32_t sources = rest; sources != 0; sources &= sources - 1) {
+        const int j = std::countr_zero(sources);
+        const std::int32_t base = dp[cell(rest, j)];
+        if (base >= kInf) continue;
+        const std::int32_t candidate =
+            base + static_cast<std::int32_t>(instance.weight(j, i));
+        if (candidate < best) best = candidate;
+      }
+      dp[cell(set, i)] = best;
+    }
+  };
+
+  if (options.threads == 1) {
+    // Serial: ascending masks already respect the layer order.
+    for (std::uint32_t set = 1; set <= full; ++set) {
+      if (std::popcount(set) >= 2) process_subset(set);
+    }
+  } else {
+    for (int layer = 2; layer <= n; ++layer) {
+      const auto subsets = subsets_of_size(n, layer);
+      parallel_for(
+          subsets.size(), [&](std::size_t idx) { process_subset(subsets[idx]); },
+          options.threads);
+    }
+  }
+
+  int best_end = 0;
+  for (int v = 1; v < n; ++v) {
+    if (dp[cell(full, v)] < dp[cell(full, best_end)]) best_end = v;
+  }
+  LPTSP_ENSURE(dp[cell(full, best_end)] < kInf, "Held-Karp found no complete path");
+
+  // Reconstruct backwards by re-deriving each argmin; this avoids a parent
+  // table of the same footprint as dp itself.
+  Order order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::uint32_t set = full;
+  int end = best_end;
+  order.push_back(end);
+  while (std::popcount(set) > 1) {
+    const std::uint32_t rest = set ^ (1u << end);
+    int chosen = -1;
+    for (std::uint32_t sources = rest; sources != 0; sources &= sources - 1) {
+      const int j = std::countr_zero(sources);
+      if (dp[cell(rest, j)] >= kInf) continue;
+      if (dp[cell(rest, j)] + static_cast<std::int32_t>(instance.weight(j, end)) ==
+          dp[cell(set, end)]) {
+        chosen = j;
+        break;
+      }
+    }
+    LPTSP_ENSURE(chosen != -1, "Held-Karp reconstruction failed");
+    set = rest;
+    end = chosen;
+    order.push_back(end);
+  }
+  std::reverse(order.begin(), order.end());
+
+  return {order, dp[cell(full, best_end)]};
+}
+
+}  // namespace lptsp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "tsp/path.hpp"
+
+namespace lptsp {
+
+/// Options for the Held–Karp dynamic program.
+struct HeldKarpOptions {
+  /// Worker threads for the subset layers (0 = shared pool, 1 = serial).
+  unsigned threads = 1;
+  /// Fix the path's first vertex (-1 = free). Free endpoints solve the
+  /// paper's Path TSP; a fixed start is exposed for tests and for callers
+  /// embedding the DP in other algorithms.
+  int fixed_start = -1;
+  /// Hard cap on n; the DP allocates 2^n * n * 4 bytes, so 24 (~1.6 GiB)
+  /// is an absolute ceiling and the default stays laptop-friendly.
+  int max_n = 22;
+};
+
+/// Exact Path TSP via the Held–Karp O(2^n n^2) dynamic program
+/// (Corollary 1 of the paper). dp[S][j] = cheapest path visiting exactly
+/// the vertex set S and ending at j; layers are processed in popcount
+/// order, which makes the recurrence race-free and parallelizable.
+///
+/// Requires 1 <= n <= options.max_n.
+PathSolution held_karp_path(const MetricInstance& instance, const HeldKarpOptions& options = {});
+
+}  // namespace lptsp

@@ -1,0 +1,111 @@
+#include "tsp/instance.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+MetricInstance::MetricInstance(int n) : n_(n) {
+  LPTSP_REQUIRE(n >= 0, "instance size must be non-negative");
+  w_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
+}
+
+MetricInstance MetricInstance::from_matrix(int n, const std::vector<Weight>& flat) {
+  LPTSP_REQUIRE(flat.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                "matrix size mismatch");
+  MetricInstance instance(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Weight w = flat[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)];
+      if (i == j) {
+        LPTSP_REQUIRE(w == 0, "diagonal must be zero");
+      } else {
+        LPTSP_REQUIRE(w >= 0, "weights must be non-negative");
+        LPTSP_REQUIRE(w == flat[static_cast<std::size_t>(j) * n + static_cast<std::size_t>(i)],
+                      "matrix must be symmetric");
+        instance.w_[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] = w;
+      }
+    }
+  }
+  return instance;
+}
+
+Weight MetricInstance::weight(int i, int j) const {
+  LPTSP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "vertex out of range");
+  return w_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j)];
+}
+
+void MetricInstance::set_weight(int i, int j, Weight w) {
+  LPTSP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "vertex out of range");
+  LPTSP_REQUIRE(i != j, "diagonal weights are fixed at zero");
+  LPTSP_REQUIRE(w >= 0, "weights must be non-negative");
+  w_[static_cast<std::size_t>(i) * n_ + static_cast<std::size_t>(j)] = w;
+  w_[static_cast<std::size_t>(j) * n_ + static_cast<std::size_t>(i)] = w;
+}
+
+Weight MetricInstance::min_weight() const {
+  LPTSP_REQUIRE(n_ >= 2, "min_weight needs at least 2 vertices");
+  Weight best = weight(0, 1);
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) best = std::min(best, weight(i, j));
+  }
+  return best;
+}
+
+Weight MetricInstance::max_weight() const {
+  LPTSP_REQUIRE(n_ >= 2, "max_weight needs at least 2 vertices");
+  Weight best = weight(0, 1);
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) best = std::max(best, weight(i, j));
+  }
+  return best;
+}
+
+std::vector<Weight> MetricInstance::distinct_weights() const {
+  std::set<Weight> values;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) values.insert(weight(i, j));
+  }
+  return {values.begin(), values.end()};
+}
+
+bool MetricInstance::is_metric() const {
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      if (j == i) continue;
+      for (int k = 0; k < n_; ++k) {
+        if (k == i || k == j) continue;
+        if (weight(i, k) > weight(i, j) + weight(j, k)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+MetricInstance MetricInstance::with_zero_depot() const {
+  MetricInstance result(n_ + 1);
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) result.set_weight(i, j, weight(i, j));
+  }
+  // Depot row stays zero: result.weight(n_, v) == 0 for every v.
+  return result;
+}
+
+void MetricInstance::write_tsplib(std::ostream& out, const std::string& name) const {
+  out << "NAME: " << name << "\n"
+      << "TYPE: TSP\n"
+      << "COMMENT: reduced L(p)-labeling instance (lptsp)\n"
+      << "DIMENSION: " << n_ << "\n"
+      << "EDGE_WEIGHT_TYPE: EXPLICIT\n"
+      << "EDGE_WEIGHT_FORMAT: FULL_MATRIX\n"
+      << "EDGE_WEIGHT_SECTION\n";
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) out << weight(i, j) << (j + 1 == n_ ? '\n' : ' ');
+  }
+  out << "EOF\n";
+}
+
+}  // namespace lptsp

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lptsp {
+
+/// Edge weight type used throughout the TSP layer. Labeling spans are sums
+/// of at most n-1 weights, each bounded by 2*pmin, so 64 bits never
+/// overflows for any realistic input.
+using Weight = std::int64_t;
+
+/// Symmetric complete edge-weighted graph — the object H of the paper's
+/// Theorem 2 and the input to every TSP algorithm in this library.
+///
+/// Weights are stored as a flat upper-triangular-mirrored n*n matrix;
+/// w(i,i) = 0 by construction and cannot be changed.
+class MetricInstance {
+ public:
+  /// Complete graph on n >= 0 vertices with all weights zero.
+  explicit MetricInstance(int n = 0);
+
+  /// Build from a flat row-major n*n matrix; must be symmetric with a zero
+  /// diagonal and non-negative entries.
+  static MetricInstance from_matrix(int n, const std::vector<Weight>& flat);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+
+  [[nodiscard]] Weight weight(int i, int j) const;
+  void set_weight(int i, int j, Weight w);
+
+  /// Smallest / largest off-diagonal weight (requires n >= 2).
+  [[nodiscard]] Weight min_weight() const;
+  [[nodiscard]] Weight max_weight() const;
+
+  /// Sorted distinct off-diagonal weights.
+  [[nodiscard]] std::vector<Weight> distinct_weights() const;
+
+  /// O(n^3) triangle-inequality check: w(i,k) <= w(i,j) + w(j,k) for all
+  /// triples. The paper's reduction guarantees this when pmax <= 2*pmin.
+  [[nodiscard]] bool is_metric() const;
+
+  /// Copy with one extra vertex (index n) at weight 0 to every other —
+  /// the classic Path-TSP -> TSP transformation. The result is generally
+  /// NOT metric; only algorithms that do not rely on the triangle
+  /// inequality (local search, Held-Karp) may use it.
+  [[nodiscard]] MetricInstance with_zero_depot() const;
+
+  /// Write in TSPLIB EXPLICIT / FULL_MATRIX format so external engines the
+  /// paper mentions (Concorde, LKH) can consume reduced instances directly.
+  void write_tsplib(std::ostream& out, const std::string& name) const;
+
+ private:
+  int n_ = 0;
+  std::vector<Weight> w_;
+};
+
+}  // namespace lptsp

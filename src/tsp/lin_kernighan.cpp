@@ -1,0 +1,22 @@
+#include "tsp/lin_kernighan.hpp"
+
+#include "tsp/construct.hpp"
+#include "tsp/local_search.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+PathSolution lin_kernighan_style_path(const MetricInstance& instance, Rng& rng) {
+  LPTSP_REQUIRE(instance.n() >= 1, "instance must be non-empty");
+  PathSolution start = nearest_neighbor_path(instance, rng.uniform_int(0, instance.n() - 1));
+  return lin_kernighan_style_path_from(instance, std::move(start.order));
+}
+
+PathSolution lin_kernighan_style_path_from(const MetricInstance& instance, Order start) {
+  LPTSP_REQUIRE(is_valid_order(start, instance.n()), "start must be a permutation");
+  vnd(instance, start);
+  const Weight cost = path_length(instance, start);
+  return {std::move(start), cost};
+}
+
+}  // namespace lptsp

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "tsp/path.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+
+/// Lin–Kernighan-style variable-depth engine for open paths.
+///
+/// This is the library's stand-in for the external LK implementations the
+/// paper proposes as engines (LKH, Concorde's linkern). It chains 2-opt
+/// and Or-opt neighborhoods to a joint local optimum (variable-
+/// neighborhood descent) starting from a nearest-neighbor construction.
+/// See DESIGN.md "Substitutions" for the fidelity discussion.
+PathSolution lin_kernighan_style_path(const MetricInstance& instance, Rng& rng);
+
+/// Same, but starting from a caller-provided order.
+PathSolution lin_kernighan_style_path_from(const MetricInstance& instance, Order start);
+
+}  // namespace lptsp

@@ -1,0 +1,129 @@
+#include "tsp/local_search.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Weight of the path edge entering position i from i-1, 0 at the ends.
+Weight edge_before(const MetricInstance& instance, const Order& order, std::size_t i) {
+  return i == 0 ? 0 : instance.weight(order[i - 1], order[i]);
+}
+
+Weight edge_after(const MetricInstance& instance, const Order& order, std::size_t i) {
+  return i + 1 >= order.size() ? 0 : instance.weight(order[i], order[i + 1]);
+}
+
+}  // namespace
+
+bool two_opt_pass(const MetricInstance& instance, Order& order) {
+  const std::size_t n = order.size();
+  if (n < 3) return false;
+  bool improved = false;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (i == 0 && j == n - 1) continue;  // full reversal is a no-op
+      // Reversing order[i..j] swaps the boundary edges (i-1,i),(j,j+1)
+      // for (i-1,j),(i,j+1); interior edges only flip direction.
+      const Weight removed = edge_before(instance, order, i) + edge_after(instance, order, j);
+      const Weight added =
+          (i == 0 ? 0 : instance.weight(order[i - 1], order[j])) +
+          (j + 1 >= n ? 0 : instance.weight(order[i], order[j + 1]));
+      if (added < removed) {
+        std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                     order.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+        improved = true;
+      }
+    }
+  }
+  return improved;
+}
+
+void two_opt(const MetricInstance& instance, Order& order) {
+  while (two_opt_pass(instance, order)) {
+  }
+}
+
+bool or_opt_pass(const MetricInstance& instance, Order& order, int max_segment) {
+  LPTSP_REQUIRE(max_segment >= 1, "segment length must be positive");
+  const std::size_t n = order.size();
+  if (n < 3) return false;
+  bool improved = false;
+  for (std::size_t seg_len = 1; seg_len <= static_cast<std::size_t>(max_segment); ++seg_len) {
+    if (seg_len >= n) break;
+    for (std::size_t s = 0; s + seg_len <= n; ++s) {
+      const std::size_t e = s + seg_len - 1;  // inclusive segment end
+      // Cost saved by splicing the segment out.
+      const Weight bridge =
+          (s > 0 && e + 1 < n) ? instance.weight(order[s - 1], order[e + 1]) : 0;
+      const Weight removal_gain =
+          edge_before(instance, order, s) + edge_after(instance, order, e) - bridge;
+      if (removal_gain <= 0) continue;
+
+      // Find the best re-insertion point in the path without the segment.
+      Order rest;
+      rest.reserve(n - seg_len);
+      rest.insert(rest.end(), order.begin(), order.begin() + static_cast<std::ptrdiff_t>(s));
+      rest.insert(rest.end(), order.begin() + static_cast<std::ptrdiff_t>(e) + 1, order.end());
+      const int seg_front = order[s];
+      const int seg_back = order[e];
+
+      Weight best_cost = 0;  // improvement threshold: beat removal_gain
+      std::size_t best_position = 0;
+      bool best_reversed = false;
+      bool found = false;
+      auto consider = [&](std::size_t position, Weight cost, bool reversed) {
+        if (cost < removal_gain && (!found || cost < best_cost)) {
+          best_cost = cost;
+          best_position = position;
+          best_reversed = reversed;
+          found = true;
+        }
+      };
+      // Insert before rest[0] or after rest.back().
+      consider(0, instance.weight(seg_back, rest.front()), false);
+      consider(0, instance.weight(seg_front, rest.front()), true);
+      consider(rest.size(), instance.weight(rest.back(), seg_front), false);
+      consider(rest.size(), instance.weight(rest.back(), seg_back), true);
+      for (std::size_t t = 0; t + 1 < rest.size(); ++t) {
+        const Weight base = instance.weight(rest[t], rest[t + 1]);
+        consider(t + 1,
+                 instance.weight(rest[t], seg_front) + instance.weight(seg_back, rest[t + 1]) -
+                     base,
+                 false);
+        consider(t + 1,
+                 instance.weight(rest[t], seg_back) + instance.weight(seg_front, rest[t + 1]) -
+                     base,
+                 true);
+      }
+      if (!found) continue;
+      // Skip moves that only re-create the original position.
+      Order segment(order.begin() + static_cast<std::ptrdiff_t>(s),
+                    order.begin() + static_cast<std::ptrdiff_t>(e) + 1);
+      if (best_reversed) std::reverse(segment.begin(), segment.end());
+      rest.insert(rest.begin() + static_cast<std::ptrdiff_t>(best_position), segment.begin(),
+                  segment.end());
+      if (rest == order) continue;
+      order = std::move(rest);
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+void or_opt(const MetricInstance& instance, Order& order, int max_segment) {
+  while (or_opt_pass(instance, order, max_segment)) {
+  }
+}
+
+void vnd(const MetricInstance& instance, Order& order, int max_segment) {
+  while (true) {
+    two_opt(instance, order);
+    if (!or_opt_pass(instance, order, max_segment)) break;
+  }
+}
+
+}  // namespace lptsp

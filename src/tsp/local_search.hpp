@@ -1,0 +1,27 @@
+#pragma once
+
+#include "tsp/path.hpp"
+
+namespace lptsp {
+
+/// One full 2-opt pass over an open path (segment reversal; endpoints are
+/// handled as free, so prefix/suffix reversals cost one edge swap).
+/// Returns true if any improving move was applied.
+bool two_opt_pass(const MetricInstance& instance, Order& order);
+
+/// 2-opt to a local optimum.
+void two_opt(const MetricInstance& instance, Order& order);
+
+/// One Or-opt pass: relocate segments of length 1..max_segment to a better
+/// position, in either orientation. Returns true if improved.
+bool or_opt_pass(const MetricInstance& instance, Order& order, int max_segment = 3);
+
+/// Or-opt to a local optimum.
+void or_opt(const MetricInstance& instance, Order& order, int max_segment = 3);
+
+/// Variable-neighborhood descent: alternate 2-opt and Or-opt until the
+/// path is locally optimal for both. This is the inner optimizer of the
+/// library's Lin–Kernighan-style engine.
+void vnd(const MetricInstance& instance, Order& order, int max_segment = 3);
+
+}  // namespace lptsp

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// MST weight — a valid lower bound for Path TSP (every Hamiltonian path
+/// is a spanning tree).
+Weight mst_lower_bound(const MetricInstance& instance);
+
+/// (n-1) * min off-diagonal weight.
+Weight trivial_lower_bound(const MetricInstance& instance);
+
+/// max(MST bound, trivial bound) — the certificate used by heuristic
+/// benchmarks when exact optima are out of reach.
+Weight path_lower_bound(const MetricInstance& instance);
+
+/// Held–Karp Lagrangian ascent for Path TSP: maximize
+///   L(pi) = MST(w + pi_u + pi_v) - 2 * sum(pi)   over pi >= 0.
+/// Every Hamiltonian path P satisfies w_pi(P) <= w(P) + 2*sum(pi) (vertex
+/// degrees are at most 2) and contains a spanning tree, so L(pi) <= OPT
+/// for every feasible pi; subgradient steps penalize vertices the MST
+/// touches more than twice. Always >= the plain MST bound (pi = 0 is the
+/// starting point and the best iterate is kept). Returned as floor(L),
+/// which stays valid because OPT is integral.
+Weight held_karp_ascent_lower_bound(const MetricInstance& instance, int iterations = 60);
+
+}  // namespace lptsp

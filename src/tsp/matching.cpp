@@ -1,0 +1,328 @@
+#include "tsp/matching.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// State for one augmenting-path search of the blossom algorithm.
+struct BlossomSearch {
+  const Graph& graph;
+  std::vector<int>& match;
+  std::vector<int> parent;
+  std::vector<int> base;
+  std::vector<bool> used;
+  std::vector<bool> in_blossom;
+
+  explicit BlossomSearch(const Graph& g, std::vector<int>& m)
+      : graph(g),
+        match(m),
+        parent(static_cast<std::size_t>(g.n()), -1),
+        base(static_cast<std::size_t>(g.n())),
+        used(static_cast<std::size_t>(g.n()), false),
+        in_blossom(static_cast<std::size_t>(g.n()), false) {}
+
+  /// Lowest common ancestor of a and b in the alternating forest, walking
+  /// through blossom bases.
+  int lca(int a, int b) {
+    std::vector<bool> visited(static_cast<std::size_t>(graph.n()), false);
+    int cursor = a;
+    while (true) {
+      cursor = base[static_cast<std::size_t>(cursor)];
+      visited[static_cast<std::size_t>(cursor)] = true;
+      if (match[static_cast<std::size_t>(cursor)] == -1) break;
+      cursor = parent[static_cast<std::size_t>(match[static_cast<std::size_t>(cursor)])];
+    }
+    cursor = b;
+    while (true) {
+      cursor = base[static_cast<std::size_t>(cursor)];
+      if (visited[static_cast<std::size_t>(cursor)]) return cursor;
+      cursor = parent[static_cast<std::size_t>(match[static_cast<std::size_t>(cursor)])];
+    }
+  }
+
+  void mark_path(int v, int blossom_base, int child) {
+    while (base[static_cast<std::size_t>(v)] != blossom_base) {
+      in_blossom[static_cast<std::size_t>(base[static_cast<std::size_t>(v)])] = true;
+      in_blossom[static_cast<std::size_t>(
+          base[static_cast<std::size_t>(match[static_cast<std::size_t>(v)])])] = true;
+      parent[static_cast<std::size_t>(v)] = child;
+      child = match[static_cast<std::size_t>(v)];
+      v = parent[static_cast<std::size_t>(match[static_cast<std::size_t>(v)])];
+    }
+  }
+
+  /// BFS for an augmenting path from root; augments and returns true on
+  /// success.
+  bool find_and_augment(int root) {
+    std::fill(parent.begin(), parent.end(), -1);
+    std::fill(used.begin(), used.end(), false);
+    for (int v = 0; v < graph.n(); ++v) base[static_cast<std::size_t>(v)] = v;
+
+    used[static_cast<std::size_t>(root)] = true;
+    std::vector<int> queue{root};
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const int v = queue[head];
+      for (const int u : graph.neighbors(v)) {
+        if (base[static_cast<std::size_t>(v)] == base[static_cast<std::size_t>(u)] ||
+            match[static_cast<std::size_t>(v)] == u) {
+          continue;
+        }
+        if (u == root ||
+            (match[static_cast<std::size_t>(u)] != -1 &&
+             parent[static_cast<std::size_t>(match[static_cast<std::size_t>(u)])] != -1)) {
+          // Odd cycle found: contract the blossom.
+          const int blossom_base = lca(v, u);
+          std::fill(in_blossom.begin(), in_blossom.end(), false);
+          mark_path(v, blossom_base, u);
+          mark_path(u, blossom_base, v);
+          for (int i = 0; i < graph.n(); ++i) {
+            if (in_blossom[static_cast<std::size_t>(base[static_cast<std::size_t>(i)])]) {
+              base[static_cast<std::size_t>(i)] = blossom_base;
+              if (!used[static_cast<std::size_t>(i)]) {
+                used[static_cast<std::size_t>(i)] = true;
+                queue.push_back(i);
+              }
+            }
+          }
+        } else if (parent[static_cast<std::size_t>(u)] == -1) {
+          parent[static_cast<std::size_t>(u)] = v;
+          if (match[static_cast<std::size_t>(u)] == -1) {
+            // Augment along the alternating path ending at u.
+            int end = u;
+            while (end != -1) {
+              const int prev = parent[static_cast<std::size_t>(end)];
+              const int next = match[static_cast<std::size_t>(prev)];
+              match[static_cast<std::size_t>(end)] = prev;
+              match[static_cast<std::size_t>(prev)] = end;
+              end = next;
+            }
+            return true;
+          }
+          used[static_cast<std::size_t>(match[static_cast<std::size_t>(u)])] = true;
+          queue.push_back(match[static_cast<std::size_t>(u)]);
+        }
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::vector<int> max_cardinality_matching(const Graph& graph) {
+  std::vector<int> match(static_cast<std::size_t>(graph.n()), -1);
+  // Greedy warm start halves the number of augmenting searches.
+  for (int v = 0; v < graph.n(); ++v) {
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    for (const int u : graph.neighbors(v)) {
+      if (match[static_cast<std::size_t>(u)] == -1) {
+        match[static_cast<std::size_t>(v)] = u;
+        match[static_cast<std::size_t>(u)] = v;
+        break;
+      }
+    }
+  }
+  for (int v = 0; v < graph.n(); ++v) {
+    if (match[static_cast<std::size_t>(v)] == -1) {
+      BlossomSearch search(graph, match);
+      search.find_and_augment(v);
+    }
+  }
+  return match;
+}
+
+MatchingResult min_weight_perfect_matching_dp(const MetricInstance& instance,
+                                              const std::vector<int>& vertices) {
+  const int k = static_cast<int>(vertices.size());
+  LPTSP_REQUIRE(k % 2 == 0, "perfect matching needs an even vertex count");
+  LPTSP_REQUIRE(k <= 22, "matching DP capped at 22 vertices");
+  MatchingResult result;
+  result.certified_optimal = true;
+  if (k == 0) return result;
+
+  // Pull formulation: dp[M] pairs the lowest set bit of M with every other
+  // member, so each even-popcount mask is resolved once and reconstruction
+  // can re-derive the argmin directly.
+  constexpr Weight kInf = std::numeric_limits<Weight>::max() / 4;
+  const std::uint32_t full = (1u << k) - 1;
+  std::vector<Weight> dp(static_cast<std::size_t>(full) + 1, kInf);
+  dp[0] = 0;
+  const auto pair_weight = [&](int i, int j) {
+    return instance.weight(vertices[static_cast<std::size_t>(i)],
+                           vertices[static_cast<std::size_t>(j)]);
+  };
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    if (std::popcount(mask) % 2 != 0) continue;
+    const int i = std::countr_zero(mask);
+    Weight best = kInf;
+    for (std::uint32_t rest = mask ^ (1u << i); rest != 0; rest &= rest - 1) {
+      const int j = std::countr_zero(rest);
+      const Weight base = dp[mask ^ (1u << i) ^ (1u << j)];
+      if (base < kInf) best = std::min(best, base + pair_weight(i, j));
+    }
+    dp[mask] = best;
+  }
+  LPTSP_ENSURE(dp[full] < kInf, "matching DP failed on a complete instance");
+  result.weight = dp[full];
+
+  std::uint32_t mask = full;
+  while (mask != 0) {
+    const int i = std::countr_zero(mask);
+    for (std::uint32_t rest = mask ^ (1u << i); rest != 0; rest &= rest - 1) {
+      const int j = std::countr_zero(rest);
+      const Weight base = dp[mask ^ (1u << i) ^ (1u << j)];
+      if (base < kInf && base + pair_weight(i, j) == dp[mask]) {
+        result.pairs.emplace_back(vertices[static_cast<std::size_t>(i)],
+                                  vertices[static_cast<std::size_t>(j)]);
+        mask ^= (1u << i) | (1u << j);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+MatchingResult min_weight_perfect_matching_two_valued(const MetricInstance& instance,
+                                                      const std::vector<int>& vertices) {
+  const int k = static_cast<int>(vertices.size());
+  LPTSP_REQUIRE(k % 2 == 0, "perfect matching needs an even vertex count");
+  MatchingResult result;
+  result.certified_optimal = true;
+  if (k == 0) return result;
+
+  std::set<Weight> values;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      values.insert(instance.weight(vertices[static_cast<std::size_t>(i)],
+                                    vertices[static_cast<std::size_t>(j)]));
+    }
+  }
+  LPTSP_REQUIRE(values.size() <= 2, "two-valued matching requires at most 2 distinct weights");
+  const Weight cheap = *values.begin();
+  const Weight heavy = *values.rbegin();
+
+  // Maximum matching restricted to cheap edges; heavy edges pair the rest.
+  Graph cheap_graph(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      if (instance.weight(vertices[static_cast<std::size_t>(i)],
+                          vertices[static_cast<std::size_t>(j)]) == cheap) {
+        cheap_graph.add_edge(i, j);
+      }
+    }
+  }
+  const auto match = max_cardinality_matching(cheap_graph);
+  std::vector<int> leftover;
+  for (int i = 0; i < k; ++i) {
+    if (match[static_cast<std::size_t>(i)] == -1) {
+      leftover.push_back(i);
+    } else if (match[static_cast<std::size_t>(i)] > i) {
+      result.pairs.emplace_back(vertices[static_cast<std::size_t>(i)],
+                                vertices[static_cast<std::size_t>(match[static_cast<std::size_t>(i)])]);
+      result.weight += cheap;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < leftover.size(); i += 2) {
+    result.pairs.emplace_back(vertices[static_cast<std::size_t>(leftover[i])],
+                              vertices[static_cast<std::size_t>(leftover[i + 1])]);
+    result.weight += heavy;
+  }
+  return result;
+}
+
+MatchingResult greedy_perfect_matching(const MetricInstance& instance,
+                                       const std::vector<int>& vertices) {
+  const int k = static_cast<int>(vertices.size());
+  LPTSP_REQUIRE(k % 2 == 0, "perfect matching needs an even vertex count");
+  MatchingResult result;
+  result.certified_optimal = (k <= 2);
+  if (k == 0) return result;
+
+  struct Edge {
+    Weight w;
+    int i, j;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(k) * (k - 1) / 2);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      edges.push_back({instance.weight(vertices[static_cast<std::size_t>(i)],
+                                       vertices[static_cast<std::size_t>(j)]),
+                       i, j});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.w < b.w; });
+  std::vector<int> partner(static_cast<std::size_t>(k), -1);
+  for (const auto& edge : edges) {
+    if (partner[static_cast<std::size_t>(edge.i)] == -1 &&
+        partner[static_cast<std::size_t>(edge.j)] == -1) {
+      partner[static_cast<std::size_t>(edge.i)] = edge.j;
+      partner[static_cast<std::size_t>(edge.j)] = edge.i;
+    }
+  }
+
+  // 2-exchange refinement: for pairs (a,b) and (c,d), try the two
+  // alternative pairings until a fixpoint (bounded passes for safety).
+  const auto w = [&](int a, int b) {
+    return instance.weight(vertices[static_cast<std::size_t>(a)],
+                           vertices[static_cast<std::size_t>(b)]);
+  };
+  std::vector<std::pair<int, int>> local_pairs;
+  for (int i = 0; i < k; ++i) {
+    if (partner[static_cast<std::size_t>(i)] > i) local_pairs.emplace_back(i, partner[static_cast<std::size_t>(i)]);
+  }
+  for (int pass = 0; pass < 50; ++pass) {
+    bool improved = false;
+    for (std::size_t x = 0; x < local_pairs.size(); ++x) {
+      for (std::size_t y = x + 1; y < local_pairs.size(); ++y) {
+        auto& [a, b] = local_pairs[x];
+        auto& [c, d] = local_pairs[y];
+        const Weight current = w(a, b) + w(c, d);
+        if (w(a, c) + w(b, d) < current) {
+          std::swap(b, c);
+          improved = true;
+        } else if (w(a, d) + w(b, c) < current) {
+          std::swap(b, d);
+          improved = true;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  for (const auto& [i, j] : local_pairs) {
+    result.pairs.emplace_back(vertices[static_cast<std::size_t>(i)],
+                              vertices[static_cast<std::size_t>(j)]);
+    result.weight += w(i, j);
+  }
+  return result;
+}
+
+MatchingResult min_weight_perfect_matching(const MetricInstance& instance,
+                                           const std::vector<int>& vertices) {
+  const int k = static_cast<int>(vertices.size());
+  LPTSP_REQUIRE(k % 2 == 0, "perfect matching needs an even vertex count");
+  if (k == 0) return {.pairs = {}, .weight = 0, .certified_optimal = true};
+
+  std::set<Weight> values;
+  for (int i = 0; i < k && values.size() <= 2; ++i) {
+    for (int j = i + 1; j < k && values.size() <= 2; ++j) {
+      values.insert(instance.weight(vertices[static_cast<std::size_t>(i)],
+                                    vertices[static_cast<std::size_t>(j)]));
+    }
+  }
+  if (values.size() <= 2) return min_weight_perfect_matching_two_valued(instance, vertices);
+  if (k <= 20) return min_weight_perfect_matching_dp(instance, vertices);
+  return greedy_perfect_matching(instance, vertices);
+}
+
+}  // namespace lptsp

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// Maximum-cardinality matching on a general (non-bipartite) graph via the
+/// blossom algorithm, O(V^3). Returns match[v] = partner or -1.
+std::vector<int> max_cardinality_matching(const Graph& graph);
+
+/// Result of a perfect-matching computation on a vertex subset.
+struct MatchingResult {
+  std::vector<std::pair<int, int>> pairs;  // instance vertex ids
+  Weight weight = 0;
+  /// True when the algorithm guarantees minimality (two-valued reduction
+  /// or exact DP); false for the greedy + swap fallback.
+  bool certified_optimal = false;
+};
+
+/// Exact min-weight perfect matching on `vertices` by bitmask DP,
+/// O(2^k * k). Requires an even k <= 22.
+MatchingResult min_weight_perfect_matching_dp(const MetricInstance& instance,
+                                              const std::vector<int>& vertices);
+
+/// Exact min-weight perfect matching when the weights among `vertices`
+/// take at most two distinct values {a < b}. On a complete graph, a
+/// perfect matching with h heavy edges exists iff the cheap subgraph has a
+/// matching of (k/2 - h) edges, so the optimum is r*a + (k/2 - r)*b where
+/// r is the maximum-cardinality matching of the cheap subgraph. This is
+/// exactly the situation of reduced diameter-2 instances (weights {p, q}).
+MatchingResult min_weight_perfect_matching_two_valued(const MetricInstance& instance,
+                                                      const std::vector<int>& vertices);
+
+/// Greedy (sorted-edge) perfect matching followed by 2-exchange
+/// improvement passes. Fast, uncertified; used when k is too large for the
+/// exact methods and the weights are not two-valued.
+MatchingResult greedy_perfect_matching(const MetricInstance& instance,
+                                       const std::vector<int>& vertices);
+
+/// Dispatcher: picks the strongest applicable engine (two-valued exact ->
+/// DP exact -> greedy). Requires an even vertex count.
+MatchingResult min_weight_perfect_matching(const MetricInstance& instance,
+                                           const std::vector<int>& vertices);
+
+}  // namespace lptsp

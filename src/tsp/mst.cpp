@@ -1,0 +1,65 @@
+#include "tsp/mst.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+std::vector<std::vector<int>> SpanningTree::adjacency() const {
+  std::vector<std::vector<int>> adj(parent.size());
+  for (std::size_t v = 1; v < parent.size(); ++v) {
+    const int p = parent[v];
+    adj[v].push_back(p);
+    adj[static_cast<std::size_t>(p)].push_back(static_cast<int>(v));
+  }
+  return adj;
+}
+
+std::vector<int> SpanningTree::odd_degree_vertices() const {
+  const auto adj = adjacency();
+  std::vector<int> odd;
+  for (std::size_t v = 0; v < adj.size(); ++v) {
+    if (adj[v].size() % 2 == 1) odd.push_back(static_cast<int>(v));
+  }
+  return odd;
+}
+
+SpanningTree prim_mst(const MetricInstance& instance) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "MST needs at least one vertex");
+  SpanningTree tree;
+  tree.parent.assign(static_cast<std::size_t>(n), -1);
+  if (n == 1) return tree;
+
+  constexpr Weight kInf = std::numeric_limits<Weight>::max();
+  std::vector<Weight> best(static_cast<std::size_t>(n), kInf);
+  std::vector<int> from(static_cast<std::size_t>(n), -1);
+  std::vector<bool> in_tree(static_cast<std::size_t>(n), false);
+  best[0] = 0;
+  for (int round = 0; round < n; ++round) {
+    int pick = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!in_tree[static_cast<std::size_t>(v)] &&
+          (pick == -1 || best[static_cast<std::size_t>(v)] < best[static_cast<std::size_t>(pick)])) {
+        pick = v;
+      }
+    }
+    in_tree[static_cast<std::size_t>(pick)] = true;
+    if (from[static_cast<std::size_t>(pick)] != -1) {
+      tree.parent[static_cast<std::size_t>(pick)] = from[static_cast<std::size_t>(pick)];
+      tree.total_weight += best[static_cast<std::size_t>(pick)];
+    }
+    for (int v = 0; v < n; ++v) {
+      if (in_tree[static_cast<std::size_t>(v)]) continue;
+      const Weight w = instance.weight(pick, v);
+      if (w < best[static_cast<std::size_t>(v)]) {
+        best[static_cast<std::size_t>(v)] = w;
+        from[static_cast<std::size_t>(v)] = pick;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// A spanning tree of a complete instance, as a parent array rooted at 0.
+struct SpanningTree {
+  std::vector<int> parent;  // parent[0] == -1
+  Weight total_weight = 0;
+
+  /// Adjacency lists of the tree (n entries).
+  [[nodiscard]] std::vector<std::vector<int>> adjacency() const;
+
+  /// Vertices with odd degree in the tree (always an even count).
+  [[nodiscard]] std::vector<int> odd_degree_vertices() const;
+};
+
+/// Minimum spanning tree via Prim in O(n^2) — the right complexity class
+/// for complete instances. Requires n >= 1.
+SpanningTree prim_mst(const MetricInstance& instance);
+
+}  // namespace lptsp

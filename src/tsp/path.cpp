@@ -1,0 +1,51 @@
+#include "tsp/path.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+bool is_valid_order(const Order& order, int n) {
+  if (static_cast<int>(order.size()) != n) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (const int v : order) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+Weight path_length(const MetricInstance& instance, const Order& order) {
+  LPTSP_REQUIRE(is_valid_order(order, instance.n()), "order must be a permutation of vertices");
+  Weight total = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    total += instance.weight(order[i], order[i + 1]);
+  }
+  return total;
+}
+
+Weight tour_length(const MetricInstance& instance, const Order& order) {
+  LPTSP_REQUIRE(is_valid_order(order, instance.n()), "order must be a permutation of vertices");
+  if (order.size() < 2) return 0;
+  return path_length(instance, order) + instance.weight(order.back(), order.front());
+}
+
+Order path_from_depot_tour(const Order& tour, int depot) {
+  const auto it = std::find(tour.begin(), tour.end(), depot);
+  LPTSP_REQUIRE(it != tour.end(), "depot not present in tour");
+  Order path;
+  path.reserve(tour.size() - 1);
+  for (auto cursor = it + 1; cursor != tour.end(); ++cursor) path.push_back(*cursor);
+  for (auto cursor = tour.begin(); cursor != it; ++cursor) path.push_back(*cursor);
+  return path;
+}
+
+Order canonical_path(Order order) {
+  if (!order.empty() && order.front() > order.back()) {
+    std::reverse(order.begin(), order.end());
+  }
+  return order;
+}
+
+}  // namespace lptsp

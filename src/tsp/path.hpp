@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// A visiting order of all n vertices: interpreted as an open Hamiltonian
+/// path (path_length) or a closed tour (tour_length) depending on context.
+using Order = std::vector<int>;
+
+/// A solved Hamiltonian path: the order plus its total weight.
+struct PathSolution {
+  Order order;
+  Weight cost = 0;
+};
+
+/// True if `order` is a permutation of {0, ..., n-1}.
+bool is_valid_order(const Order& order, int n);
+
+/// Sum of consecutive-pair weights (open path, n-1 edges).
+Weight path_length(const MetricInstance& instance, const Order& order);
+
+/// Sum of consecutive-pair weights plus the closing edge (n edges).
+Weight tour_length(const MetricInstance& instance, const Order& order);
+
+/// Convert a closed tour on instance.with_zero_depot() back to an open
+/// path on the original instance: rotate so `depot` leads, then drop it.
+Order path_from_depot_tour(const Order& tour, int depot);
+
+/// Canonical form for comparisons: a path and its reverse are the same
+/// solution, so orient with the smaller endpoint first.
+Order canonical_path(Order order);
+
+}  // namespace lptsp

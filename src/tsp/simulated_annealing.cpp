@@ -1,0 +1,88 @@
+#include "tsp/simulated_annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tsp/construct.hpp"
+#include "tsp/local_search.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Weight of the path edge (order[i], order[i+1]), 0 outside the path.
+Weight edge_at(const MetricInstance& instance, const Order& order, std::ptrdiff_t i) {
+  if (i < 0 || i + 1 >= static_cast<std::ptrdiff_t>(order.size())) return 0;
+  return instance.weight(order[static_cast<std::size_t>(i)],
+                         order[static_cast<std::size_t>(i) + 1]);
+}
+
+/// Delta of reversing order[i..j] (2-opt move on an open path).
+Weight reversal_delta(const MetricInstance& instance, const Order& order, std::size_t i,
+                      std::size_t j) {
+  const std::ptrdiff_t si = static_cast<std::ptrdiff_t>(i);
+  const std::ptrdiff_t sj = static_cast<std::ptrdiff_t>(j);
+  const Weight removed = edge_at(instance, order, si - 1) + edge_at(instance, order, sj);
+  const Weight added =
+      (i == 0 ? 0 : instance.weight(order[i - 1], order[j])) +
+      (j + 1 >= order.size() ? 0 : instance.weight(order[i], order[j + 1]));
+  return added - removed;
+}
+
+}  // namespace
+
+PathSolution simulated_annealing_path(const MetricInstance& instance,
+                                      const AnnealOptions& options) {
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
+  LPTSP_REQUIRE(options.cooling > 0 && options.cooling < 1, "cooling must be in (0,1)");
+  if (n <= 3) {
+    Rng rng(options.seed);
+    PathSolution trivial = nearest_neighbor_path(instance, 0);
+    vnd(instance, trivial.order);
+    trivial.cost = path_length(instance, trivial.order);
+    return trivial;
+  }
+
+  Rng rng(options.seed);
+  Order current = nearest_neighbor_path(instance, rng.uniform_int(0, n - 1)).order;
+  Weight current_cost = path_length(instance, current);
+  Order best = current;
+  Weight best_cost = current_cost;
+
+  // Temperature in absolute weight units, scaled by the mean edge weight
+  // so the same options work for any pmin.
+  const double mean_weight =
+      static_cast<double>(instance.min_weight() + instance.max_weight()) / 2.0;
+  double temperature = options.initial_temperature * mean_weight;
+  const double floor_temperature = options.final_temperature * mean_weight;
+  const int moves = options.moves_per_temperature > 0 ? options.moves_per_temperature : 8 * n;
+
+  while (temperature > floor_temperature) {
+    for (int move = 0; move < moves; ++move) {
+      std::size_t i = rng.uniform_index(static_cast<std::size_t>(n));
+      std::size_t j = rng.uniform_index(static_cast<std::size_t>(n));
+      if (i == j) continue;
+      if (i > j) std::swap(i, j);
+      if (i == 0 && j + 1 == static_cast<std::size_t>(n)) continue;  // no-op reversal
+      const Weight delta = reversal_delta(instance, current, i, j);
+      if (delta <= 0 ||
+          rng.uniform01() < std::exp(-static_cast<double>(delta) / temperature)) {
+        std::reverse(current.begin() + static_cast<std::ptrdiff_t>(i),
+                     current.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+        current_cost += delta;
+        if (current_cost < best_cost) {
+          best_cost = current_cost;
+          best = current;
+        }
+      }
+    }
+    temperature *= options.cooling;
+  }
+
+  vnd(instance, best);
+  return {best, path_length(instance, best)};
+}
+
+}  // namespace lptsp

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "tsp/path.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+
+/// Options for the simulated-annealing engine.
+struct AnnealOptions {
+  double initial_temperature = 2.0;  ///< in units of mean edge weight
+  double cooling = 0.995;            ///< geometric cooling factor per batch
+  int moves_per_temperature = 0;     ///< 0 = 8 * n
+  double final_temperature = 1e-3;   ///< stop threshold (same units)
+  std::uint64_t seed = 1;
+};
+
+/// Classic simulated annealing over 2-opt/Or-opt moves on an open path —
+/// included as the third member of the practical engine portfolio the
+/// paper gestures at (construction, local search, metaheuristic). Always
+/// finishes with a VND polish so the result is at least a local optimum.
+PathSolution simulated_annealing_path(const MetricInstance& instance,
+                                      const AnnealOptions& options = {});
+
+}  // namespace lptsp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// Precondition / invariant checking for the lptsp library.
+///
+/// Following the library-wide error policy, violated preconditions throw
+/// std::invalid_argument (caller error) and violated internal invariants
+/// throw std::logic_error (library bug). Checks stay enabled in release
+/// builds: all inputs here are untrusted user graphs and the checks are
+/// O(1) or amortized into already-linear work.
+namespace lptsp {
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (indicates a library bug).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg) {
+  throw precondition_error("precondition failed: " + std::string(expr) +
+                           (msg.empty() ? "" : " — " + msg));
+}
+[[noreturn]] inline void throw_invariant(const char* expr, const std::string& msg) {
+  throw invariant_error("invariant failed: " + std::string(expr) +
+                        (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace lptsp
+
+/// Validate a documented precondition of a public API function.
+#define LPTSP_REQUIRE(expr, msg)                           \
+  do {                                                     \
+    if (!(expr)) ::lptsp::detail::throw_precondition(#expr, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant; failure means a bug in lptsp itself.
+#define LPTSP_ENSURE(expr, msg)                            \
+  do {                                                     \
+    if (!(expr)) ::lptsp::detail::throw_invariant(#expr, (msg)); \
+  } while (false)

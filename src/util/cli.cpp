@@ -1,0 +1,52 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace lptsp {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int CliArgs::get_int(const std::string& name, int fallback) const {
+  const std::string value = get(name, "");
+  return value.empty() ? fallback : std::atoi(value.c_str());
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const std::string value = get(name, "");
+  return value.empty() ? fallback : std::atof(value.c_str());
+}
+
+std::vector<std::string> CliArgs::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, _] : values_) {
+    if (!queried_.count(key)) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lptsp {
+
+/// Minimal --key=value / --flag command-line parser for examples and
+/// benchmark binaries. Unknown keys are collected so callers can reject
+/// typos instead of silently ignoring them.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if --name or --name=... was passed.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of --name=value, or fallback when absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Positional (non --) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Keys seen on the command line that were never queried via get/has.
+  [[nodiscard]] std::vector<std::string> unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lptsp

@@ -1,0 +1,76 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace lptsp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  for (auto& word : state_) word = splitmix64(seed);
+  // xoshiro must not start from the all-zero state.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+int Rng::uniform_int(int lo, int hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<int>(uniform_index(static_cast<std::size_t>(range)));
+}
+
+std::size_t Rng::uniform_index(std::size_t n) noexcept {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = n;
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return static_cast<std::size_t>(draw % bound);
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double prob) noexcept {
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return uniform01() < prob;
+}
+
+std::vector<int> Rng::permutation(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  shuffle(order);
+  return order;
+}
+
+Rng Rng::split() noexcept {
+  return Rng(next());
+}
+
+}  // namespace lptsp

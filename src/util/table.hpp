@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lptsp {
+
+/// Fixed-column ASCII table used by every benchmark binary to print
+/// paper-style result tables, with optional CSV emission for scripting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print the ASCII rendering to stdout with a title banner.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benchmark mains.
+std::string format_double(double value, int precision = 3);
+std::string format_ratio(double value);
+
+}  // namespace lptsp

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lptsp {
+
+/// Fixed-size worker pool for data-parallel loops.
+///
+/// The pool is created once and reused across parallel regions; workers
+/// sleep on a condition variable between regions, so an idle pool costs
+/// nothing measurable. Exceptions thrown by loop bodies are captured and
+/// rethrown on the calling thread (first one wins), matching the
+/// Core Guidelines advice that worker threads must not let exceptions
+/// escape into std::thread.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(i) for every i in [0, count), split into blocks across workers.
+  /// Blocks until the whole range is processed. The body must be safe to
+  /// run concurrently for distinct indices.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(block_begin, block_end) on contiguous blocks of [0, count).
+  /// Lower scheduling overhead than the per-index overload for tight loops.
+  void parallel_blocks(std::size_t count,
+                       const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// The process-wide shared pool (lazily constructed with hardware size).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+
+  // Current parallel region; guarded by mutex_.
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t next_block_ = 0;
+  std::size_t block_size_ = 1;
+  std::size_t active_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::shared().parallel_for. `threads`
+/// values of 0 or 1 run inline on the calling thread (useful for
+/// benchmarking serial baselines with identical code paths).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  unsigned threads = 0);
+
+}  // namespace lptsp

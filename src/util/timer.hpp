@@ -1,0 +1,28 @@
+#pragma once
+
+#include <chrono>
+
+namespace lptsp {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and solver statistics.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lptsp

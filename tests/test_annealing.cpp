@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "tsp/brute_force.hpp"
+#include "tsp/lower_bounds.hpp"
+#include "tsp/simulated_annealing.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+MetricInstance random_instance(int n, Rng& rng, int lo = 1, int hi = 9) {
+  MetricInstance instance(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) instance.set_weight(i, j, rng.uniform_int(lo, hi));
+  }
+  return instance;
+}
+
+TEST(Annealing, TinyInstances) {
+  EXPECT_EQ(simulated_annealing_path(MetricInstance(1)).cost, 0);
+  MetricInstance pair(2);
+  pair.set_weight(0, 1, 3);
+  EXPECT_EQ(simulated_annealing_path(pair).cost, 3);
+}
+
+TEST(Annealing, RejectsBadCooling) {
+  AnnealOptions options;
+  options.cooling = 1.5;
+  EXPECT_THROW(simulated_annealing_path(MetricInstance(5), options), precondition_error);
+}
+
+class AnnealingProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 503 + 7)};
+};
+
+TEST_P(AnnealingProperty, ValidAndSandwiched) {
+  const MetricInstance instance = random_instance(12, rng_);
+  AnnealOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam());
+  const PathSolution solution = simulated_annealing_path(instance, options);
+  EXPECT_TRUE(is_valid_order(solution.order, 12));
+  EXPECT_EQ(path_length(instance, solution.order), solution.cost);
+  EXPECT_GE(solution.cost, mst_lower_bound(instance));
+}
+
+TEST_P(AnnealingProperty, NearOptimalOnSmallInstances) {
+  const MetricInstance instance = random_instance(9, rng_);
+  AnnealOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam() + 1);
+  const Weight annealed = simulated_annealing_path(instance, options).cost;
+  const Weight optimal = brute_force_path(instance).cost;
+  EXPECT_GE(annealed, optimal);
+  EXPECT_LE(static_cast<double>(annealed), 1.1 * static_cast<double>(optimal));
+}
+
+TEST_P(AnnealingProperty, DeterministicForSeed) {
+  const Graph graph = random_with_diameter_at_most(15, 2, 0.3, rng_);
+  const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+  AnnealOptions options;
+  options.seed = 99;
+  const PathSolution first = simulated_annealing_path(reduced.instance, options);
+  const PathSolution second = simulated_annealing_path(reduced.instance, options);
+  EXPECT_EQ(first.cost, second.cost);
+  EXPECT_EQ(first.order, second.order);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealingProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "tsp/brute_force.hpp"
+#include "tsp/christofides.hpp"
+#include "tsp/held_karp.hpp"
+#include "tsp/lower_bounds.hpp"
+#include "tsp/mst.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(Christofides, TinyInstances) {
+  EXPECT_EQ(christofides_path(MetricInstance(1)).solution.cost, 0);
+  MetricInstance pair(2);
+  pair.set_weight(0, 1, 3);
+  EXPECT_EQ(christofides_path(pair).solution.cost, 3);
+}
+
+TEST(DoubleMst, TinyInstances) {
+  EXPECT_EQ(double_mst_path(MetricInstance(1)).cost, 0);
+}
+
+class ApproxProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 577 + 29)};
+};
+
+TEST_P(ApproxProperty, ChristofidesValidAndBounded) {
+  // Reduced labeling instances: metric with two or three weight values.
+  const Graph graph = random_with_diameter_at_most(11, 2, 0.3, rng_);
+  const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+  const ChristofidesResult result = christofides_path(reduced.instance);
+  EXPECT_TRUE(is_valid_order(result.solution.order, 11));
+  EXPECT_EQ(path_length(reduced.instance, result.solution.order), result.solution.cost);
+  EXPECT_TRUE(result.matching_certified);  // two-valued weights
+
+  const Weight optimal = brute_force_path(reduced.instance).cost;
+  EXPECT_GE(result.solution.cost, optimal);
+  // Hoogeveen analysis bound for bounded metrics (n = 11):
+  // ratio <= 1.5 * (1 + 2/(n-1)) = 1.8.
+  EXPECT_LE(static_cast<double>(result.solution.cost), 1.8 * static_cast<double>(optimal));
+}
+
+TEST_P(ApproxProperty, ChristofidesOnDiameter3Instances) {
+  const Graph graph = random_with_diameter_at_most(10, 3, 0.2, rng_);
+  const auto reduced = reduce_to_path_tsp(graph, PVec({2, 2, 1}));
+  const ChristofidesResult result = christofides_path(reduced.instance);
+  const Weight optimal = held_karp_path(reduced.instance).cost;
+  EXPECT_GE(result.solution.cost, optimal);
+  EXPECT_LE(static_cast<double>(result.solution.cost),
+            1.5 * (1.0 + 2.0 / 9.0) * static_cast<double>(optimal) + 1e-9);
+}
+
+TEST_P(ApproxProperty, DoubleMstWithinTwoTimesMst) {
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.25, rng_);
+  const auto reduced = reduce_to_path_tsp(graph, PVec::Lpq(3, 2));
+  const PathSolution walk = double_mst_path(reduced.instance);
+  EXPECT_TRUE(is_valid_order(walk.order, 12));
+  const Weight mst = mst_lower_bound(reduced.instance);
+  EXPECT_LE(walk.cost, 2 * mst);
+  EXPECT_GE(walk.cost, mst);
+}
+
+TEST_P(ApproxProperty, ChristofidesNeverWorseThanDoubleMstByMuch) {
+  // Not a theorem, but a sanity check on typical instances: Christofides
+  // must at least stay within the double-MST guarantee.
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng_);
+  const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+  const Weight christofides = christofides_path(reduced.instance).solution.cost;
+  EXPECT_LE(christofides, 2 * mst_lower_bound(reduced.instance));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/cograph_paths.hpp"
+#include "core/partition_paths.hpp"
+#include "graph/generators.hpp"
+#include "graph/operations.hpp"
+#include "graph/properties.hpp"
+#include "ham/hamiltonian.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(CographPaths, KnownValues) {
+  EXPECT_EQ(cograph_min_path_cover(complete_graph(6)), 1);
+  EXPECT_EQ(cograph_min_path_cover(Graph(5)), 5);
+  EXPECT_EQ(cograph_min_path_cover(star_graph(6)), 4);        // K_{1,5}
+  EXPECT_EQ(cograph_min_path_cover(complete_bipartite(2, 5)), 3);  // max(1, 5-2)
+  EXPECT_EQ(cograph_min_path_cover(complete_bipartite(3, 4)), 1);  // |a-b| <= 1
+  EXPECT_EQ(cograph_min_path_cover(Graph(1)), 1);
+}
+
+TEST(CographPaths, DisjointUnionAdds) {
+  const Graph graph = disjoint_union(complete_graph(3), Graph(2));
+  EXPECT_EQ(cograph_min_path_cover(graph), 3);
+}
+
+TEST(CographPaths, JoinFormulaMatchesIntuition) {
+  // join(empty_5, empty_1) = K_{1,5}: 5 - 1 = 4 paths.
+  const Graph graph = join(Graph(5), Graph(1));
+  EXPECT_EQ(cograph_min_path_cover(graph), 4);
+  // join(empty_4, empty_4) = K_{4,4}: Hamiltonian.
+  EXPECT_EQ(cograph_min_path_cover(join(Graph(4), Graph(4))), 1);
+}
+
+TEST(CographPaths, RejectsNonCographs) {
+  EXPECT_THROW(cograph_min_path_cover(path_graph(4)), precondition_error);
+  EXPECT_THROW(cograph_min_path_cover(cycle_graph(5)), precondition_error);
+}
+
+TEST(CographPaths, HamiltonicityHelper) {
+  EXPECT_TRUE(cograph_has_hamiltonian_path(complete_graph(4)));
+  EXPECT_FALSE(cograph_has_hamiltonian_path(star_graph(5)));
+}
+
+class CographSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 283 + 7)};
+};
+
+TEST_P(CographSweep, CotreeDpMatchesExactDp) {
+  // The modular-decomposition route (cotree fold) must agree with the
+  // reduction-based exact path partition on random cographs.
+  const Graph graph = random_cograph(13, rng_);
+  EXPECT_EQ(cograph_min_path_cover(graph), min_path_partition_exact(graph));
+}
+
+TEST_P(CographSweep, HamiltonicityMatchesDp) {
+  const Graph graph = random_cograph(12, rng_);
+  EXPECT_EQ(cograph_has_hamiltonian_path(graph), has_hamiltonian_path(graph));
+}
+
+TEST_P(CographSweep, Corollary2CographSolverMatchesExact) {
+  // Join-rooted cographs are connected with diameter <= 2, the exact
+  // setting of Corollary 2 with the CographDP solver.
+  const Graph graph = join(random_cograph(5, rng_), random_cograph(5, rng_));
+  ASSERT_TRUE(is_connected(graph));
+  ASSERT_LE(diameter(graph), 2);
+  const Diameter2Result exact = lpq_span_diameter2(graph, 2, 1, PartitionSolver::Exact);
+  const Diameter2Result cotree = lpq_span_diameter2(graph, 2, 1, PartitionSolver::CographDP);
+  EXPECT_EQ(cotree.span, exact.span);
+  EXPECT_EQ(cotree.partition_size, exact.partition_size);
+}
+
+TEST_P(CographSweep, ComplementCaseAlsoCograph) {
+  // Complements of cographs are cographs, so the p > q branch works with
+  // the cotree solver as well.
+  const Graph graph = join(random_cograph(5, rng_), random_cograph(4, rng_));
+  const Diameter2Result exact = lpq_span_diameter2(graph, 3, 2, PartitionSolver::Exact);
+  const Diameter2Result cotree = lpq_span_diameter2(graph, 3, 2, PartitionSolver::CographDP);
+  EXPECT_EQ(cotree.span, exact.span);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CographSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace lptsp

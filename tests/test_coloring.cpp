@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/coloring.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+std::vector<int> identity_order(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+TEST(GreedyColoring, ProperOnRandomGraphs) {
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = erdos_renyi(15, 0.4, rng);
+    const Coloring coloring = greedy_coloring(graph, identity_order(15));
+    EXPECT_TRUE(is_proper_coloring(graph, coloring));
+  }
+}
+
+TEST(GreedyColoring, PathUsesTwoColors) {
+  const Coloring coloring = greedy_coloring(path_graph(7), identity_order(7));
+  EXPECT_EQ(coloring.count, 2);
+}
+
+TEST(Dsatur, ProperAndAtMostGreedy) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = erdos_renyi(16, 0.35, rng);
+    const Coloring dsatur = dsatur_coloring(graph);
+    EXPECT_TRUE(is_proper_coloring(graph, dsatur));
+    EXPECT_LE(dsatur.count, greedy_coloring(graph, identity_order(16)).count + 1);
+  }
+}
+
+TEST(Dsatur, BipartiteUsesTwoColors) {
+  // DSATUR is exact on bipartite graphs.
+  EXPECT_EQ(dsatur_coloring(complete_bipartite(4, 5)).count, 2);
+  EXPECT_EQ(dsatur_coloring(cycle_graph(8)).count, 2);
+  EXPECT_EQ(dsatur_coloring(grid_graph(3, 5)).count, 2);
+}
+
+TEST(GreedyClique, FindsKnownCliques) {
+  EXPECT_EQ(greedy_clique(complete_graph(6)).size(), 6u);
+  EXPECT_EQ(greedy_clique(cycle_graph(6)).size(), 2u);
+  EXPECT_EQ(greedy_clique(Graph(4)).size(), 1u);
+}
+
+TEST(ExactColoring, KnownChromaticNumbers) {
+  EXPECT_EQ(exact_coloring(complete_graph(5)).count, 5);
+  EXPECT_EQ(exact_coloring(cycle_graph(6)).count, 2);
+  EXPECT_EQ(exact_coloring(cycle_graph(7)).count, 3);  // odd cycle
+  EXPECT_EQ(exact_coloring(petersen_graph()).count, 3);
+  EXPECT_EQ(exact_coloring(complete_bipartite(3, 4)).count, 2);
+  EXPECT_EQ(exact_coloring(wheel_graph(6)).count, 4);  // odd rim + hub
+  EXPECT_EQ(exact_coloring(wheel_graph(7)).count, 3);  // even rim + hub
+  EXPECT_EQ(exact_coloring(Graph(5)).count, 1);
+}
+
+TEST(ExactColoring, EmptyGraph) {
+  EXPECT_EQ(exact_coloring(Graph(0)).count, 0);
+}
+
+class ColoringSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 769 + 5)};
+};
+
+TEST_P(ColoringSweep, ExactAtMostDsaturAtLeastClique) {
+  const Graph graph = erdos_renyi(13, 0.25 + 0.05 * (GetParam() % 6), rng_);
+  const Coloring exact = exact_coloring(graph);
+  EXPECT_TRUE(is_proper_coloring(graph, exact));
+  EXPECT_LE(exact.count, dsatur_coloring(graph).count);
+  EXPECT_GE(exact.count, static_cast<int>(greedy_clique(graph).size()));
+}
+
+TEST_P(ColoringSweep, ExactIsMinimalByBruteForce) {
+  // Verify optimality against a tiny brute-force k-colorability check.
+  const Graph graph = erdos_renyi(8, 0.4, rng_);
+  const Coloring exact = exact_coloring(graph);
+  const int k = exact.count - 1;
+  if (k >= 1) {
+    // Try all k-colorings of 8 vertices (k <= ~6, 6^8 = 1.7M worst case).
+    std::vector<int> assignment(8, 0);
+    bool colorable = false;
+    while (true) {
+      bool proper = true;
+      for (const auto& [u, v] : graph.edges()) {
+        if (assignment[static_cast<std::size_t>(u)] == assignment[static_cast<std::size_t>(v)]) {
+          proper = false;
+          break;
+        }
+      }
+      if (proper) {
+        colorable = true;
+        break;
+      }
+      int pos = 7;
+      while (pos >= 0 && assignment[static_cast<std::size_t>(pos)] == k - 1) {
+        assignment[static_cast<std::size_t>(pos)] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+      ++assignment[static_cast<std::size_t>(pos)];
+    }
+    EXPECT_FALSE(colorable) << "exact_coloring missed a " << k << "-coloring";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "tsp/brute_force.hpp"
+#include "tsp/chained_lk.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/local_search.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+MetricInstance random_instance(int n, Rng& rng, int lo = 1, int hi = 9) {
+  MetricInstance instance(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) instance.set_weight(i, j, rng.uniform_int(lo, hi));
+  }
+  return instance;
+}
+
+TEST(NearestNeighbor, ValidPathWithConsistentCost) {
+  Rng rng(1);
+  const MetricInstance instance = random_instance(12, rng);
+  const PathSolution solution = nearest_neighbor_path(instance, 0);
+  EXPECT_TRUE(is_valid_order(solution.order, 12));
+  EXPECT_EQ(solution.order.front(), 0);
+  EXPECT_EQ(path_length(instance, solution.order), solution.cost);
+}
+
+TEST(NearestNeighbor, BestOverStartsIsNoWorse) {
+  Rng rng(2);
+  const MetricInstance instance = random_instance(10, rng);
+  Rng starts_rng(3);
+  const PathSolution best = best_nearest_neighbor_path(instance, 10, starts_rng);
+  for (int start = 0; start < 10; ++start) {
+    EXPECT_LE(best.cost, nearest_neighbor_path(instance, start).cost);
+  }
+}
+
+TEST(GreedyEdge, ValidPath) {
+  Rng rng(4);
+  const MetricInstance instance = random_instance(15, rng);
+  const PathSolution solution = greedy_edge_path(instance);
+  EXPECT_TRUE(is_valid_order(solution.order, 15));
+  EXPECT_EQ(path_length(instance, solution.order), solution.cost);
+}
+
+TEST(GreedyEdge, SingleAndPair) {
+  EXPECT_EQ(greedy_edge_path(MetricInstance(1)).cost, 0);
+  MetricInstance pair(2);
+  pair.set_weight(0, 1, 7);
+  EXPECT_EQ(greedy_edge_path(pair).cost, 7);
+}
+
+TEST(CheapestInsertion, ValidPath) {
+  Rng rng(5);
+  const MetricInstance instance = random_instance(13, rng);
+  const PathSolution solution = cheapest_insertion_path(instance);
+  EXPECT_TRUE(is_valid_order(solution.order, 13));
+  EXPECT_EQ(path_length(instance, solution.order), solution.cost);
+}
+
+class LocalSearchProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 97 + 13)};
+};
+
+TEST_P(LocalSearchProperty, TwoOptNeverWorsens) {
+  const MetricInstance instance = random_instance(14, rng_);
+  Order order = rng_.permutation(14);
+  const Weight before = path_length(instance, order);
+  two_opt(instance, order);
+  EXPECT_TRUE(is_valid_order(order, 14));
+  EXPECT_LE(path_length(instance, order), before);
+}
+
+TEST_P(LocalSearchProperty, TwoOptReachesLocalOptimum) {
+  const MetricInstance instance = random_instance(10, rng_);
+  Order order = rng_.permutation(10);
+  two_opt(instance, order);
+  EXPECT_FALSE(two_opt_pass(instance, order));  // no improving move remains
+}
+
+TEST_P(LocalSearchProperty, OrOptNeverWorsens) {
+  const MetricInstance instance = random_instance(14, rng_);
+  Order order = rng_.permutation(14);
+  const Weight before = path_length(instance, order);
+  or_opt(instance, order);
+  EXPECT_TRUE(is_valid_order(order, 14));
+  EXPECT_LE(path_length(instance, order), before);
+}
+
+TEST_P(LocalSearchProperty, VndAtLeastAsGoodAsTwoOptAlone) {
+  const MetricInstance instance = random_instance(12, rng_);
+  Order two_opt_order = rng_.permutation(12);
+  Order vnd_order = two_opt_order;
+  two_opt(instance, two_opt_order);
+  vnd(instance, vnd_order);
+  EXPECT_LE(path_length(instance, vnd_order), path_length(instance, two_opt_order));
+}
+
+TEST_P(LocalSearchProperty, TwoOptFromNnBeatsOrEqualsNn) {
+  const MetricInstance instance = random_instance(16, rng_);
+  const PathSolution nn = nearest_neighbor_path(instance, 0);
+  Order improved = nn.order;
+  two_opt(instance, improved);
+  EXPECT_LE(path_length(instance, improved), nn.cost);
+}
+
+TEST_P(LocalSearchProperty, HeuristicsNeverBeatExact) {
+  const MetricInstance instance = random_instance(8, rng_);
+  const Weight optimal = brute_force_path(instance).cost;
+  EXPECT_GE(nearest_neighbor_path(instance, 0).cost, optimal);
+  EXPECT_GE(greedy_edge_path(instance).cost, optimal);
+  EXPECT_GE(cheapest_insertion_path(instance).cost, optimal);
+  Order order = rng_.permutation(8);
+  vnd(instance, order);
+  EXPECT_GE(path_length(instance, order), optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchProperty, ::testing::Range(0, 10));
+
+TEST(DoubleBridge, ProducesValidPermutation) {
+  Rng rng(9);
+  const Order order = rng.permutation(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Order kicked = double_bridge_kick(order, rng);
+    EXPECT_TRUE(is_valid_order(kicked, 12));
+  }
+}
+
+TEST(DoubleBridge, TinyPathsPassThrough) {
+  Rng rng(10);
+  const Order order{0, 2, 1};
+  EXPECT_EQ(double_bridge_kick(order, rng), order);
+}
+
+TEST(DoubleBridge, UsuallyChangesTheOrder) {
+  Rng rng(11);
+  const Order order = rng.permutation(20);
+  int changed = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    if (double_bridge_kick(order, rng) != order) ++changed;
+  }
+  EXPECT_GE(changed, 15);
+}
+
+}  // namespace
+}  // namespace lptsp

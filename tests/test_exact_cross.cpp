@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "core/order_labeling.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+/// Three independent exact algorithms must agree on lambda_p:
+///  1. solve_labeling with Held-Karp = Theorem-2 reduction + Corollary 1;
+///  2. min_span_over_all_orders = order enumeration + general per-order DP
+///     (independent of Claim 1's prefix-sum argument);
+///  3. exact_labeling_branch_and_bound = direct search over label
+///     assignments (independent of the reduction entirely).
+class ThreeOracles : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 947 + 19)};
+
+  void expect_all_equal(const Graph& graph, const PVec& p) {
+    SolveOptions options;
+    options.engine = Engine::HeldKarp;
+    const Weight via_tsp = solve_labeling(graph, p, options).span;
+    const Weight via_orders = min_span_over_all_orders(graph, p);
+    const ExactBBResult via_direct = exact_labeling_branch_and_bound(graph, p);
+    EXPECT_EQ(via_tsp, via_orders) << "p = " << p.to_string();
+    EXPECT_EQ(via_tsp, via_direct.span) << "p = " << p.to_string();
+    EXPECT_TRUE(is_valid_labeling(graph, p, via_direct.labeling));
+  }
+};
+
+TEST_P(ThreeOracles, Diameter2L21) {
+  const Graph graph = random_with_diameter_at_most(7, 2, 0.3, rng_);
+  expect_all_equal(graph, PVec::L21());
+}
+
+TEST_P(ThreeOracles, Diameter2VariousP) {
+  const Graph graph = random_with_diameter_at_most(6, 2, 0.35, rng_);
+  for (const PVec& p : {PVec({1, 1}), PVec::Lpq(3, 2), PVec({2, 2}), PVec({4, 2})}) {
+    expect_all_equal(graph, p);
+  }
+}
+
+TEST_P(ThreeOracles, Diameter3VariousP) {
+  const Graph graph = random_with_diameter_at_most(7, 3, 0.25, rng_);
+  for (const PVec& p : {PVec({2, 1, 1}), PVec({2, 2, 1}), PVec({1, 1, 1}), PVec({4, 3, 2})}) {
+    expect_all_equal(graph, p);
+  }
+}
+
+TEST_P(ThreeOracles, Diameter4) {
+  const Graph graph = random_with_diameter_at_most(7, 4, 0.2, rng_);
+  expect_all_equal(graph, PVec({2, 2, 1, 1}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeOracles, ::testing::Range(0, 8));
+
+TEST(ScalingLaw, LambdaScalesLinearly) {
+  // lambda_{c*p} = c * lambda_p (used by Corollary 3's proof).
+  Rng rng(5);
+  const Graph graph = random_with_diameter_at_most(7, 2, 0.3, rng);
+  const PVec p = PVec::L21();
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  const Weight base = solve_labeling(graph, p, options).span;
+  for (int c = 2; c <= 4; ++c) {
+    EXPECT_EQ(solve_labeling(graph, p.scaled(c), options).span, c * base);
+  }
+}
+
+TEST(KnownOptima, FigureOneGraph) {
+  // All 5 vertices are pairwise within distance 3, so labels are distinct
+  // and lambda >= 4; the manual labeling in test_pvec_labeling achieves 4.
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  EXPECT_EQ(solve_labeling(fig1_graph(), PVec({2, 1, 1}), options).span, 4);
+}
+
+TEST(KnownOptima, CompleteGraphL21) {
+  // K_n: all pairs adjacent -> labels 0, 2, 4, ..., span 2(n-1).
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  for (int n : {2, 4, 6}) {
+    EXPECT_EQ(solve_labeling(complete_graph(n), PVec::L21(), options).span, 2 * (n - 1));
+  }
+}
+
+TEST(KnownOptima, StarL21) {
+  // K_{1,m} (diameter 2): known lambda_{2,1} = m + 1.
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  for (int n : {4, 6, 8}) {
+    EXPECT_EQ(solve_labeling(star_graph(n), PVec::L21(), options).span, n);
+  }
+}
+
+TEST(KnownOptima, CycleL21) {
+  // Griggs–Yeh: lambda_{2,1}(C_n) = 4 for every cycle n >= 3 with diam<=2,
+  // i.e. C_3, C_4, C_5 (C_3 = K_3 has span 4 as well).
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  EXPECT_EQ(solve_labeling(cycle_graph(4), PVec::L21(), options).span, 4);
+  EXPECT_EQ(solve_labeling(cycle_graph(5), PVec::L21(), options).span, 4);
+}
+
+TEST(KnownOptima, PetersenL21) {
+  // The Petersen graph is a Moore graph of diameter 2; its lambda_{2,1}
+  // is 9 (known tight value).
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  EXPECT_EQ(solve_labeling(petersen_graph(), PVec::L21(), options).span, 9);
+}
+
+TEST(KnownOptima, CompleteBipartiteL21) {
+  // lambda_{2,1}(K_{m,n}) = m + n (Griggs–Yeh).
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  EXPECT_EQ(solve_labeling(complete_bipartite(2, 3), PVec::L21(), options).span, 5);
+  EXPECT_EQ(solve_labeling(complete_bipartite(3, 3), PVec::L21(), options).span, 6);
+  EXPECT_EQ(solve_labeling(complete_bipartite(4, 2), PVec::L21(), options).span, 6);
+}
+
+TEST(KnownOptima, WheelL21) {
+  // Wheel W_n (hub + cycle n-1): lambda_{2,1} = n + 1 for n-1 >= 6? The
+  // hub is adjacent to all, rim pairs are within distance 2, so labels are
+  // all distinct and hub needs gap 2 from everyone: lambda = n + 1 for
+  // large enough wheels (Griggs–Yeh give Delta + 2 lower bounds).
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  const SolveResult result = solve_labeling(wheel_graph(8), PVec::L21(), options);
+  // Sanity: diameter-2 graph on 8 vertices, so span >= 7; hub forces more.
+  EXPECT_GE(result.span, 8);
+  EXPECT_TRUE(result.optimal);
+}
+
+}  // namespace
+}  // namespace lptsp

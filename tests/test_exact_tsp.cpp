@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "tsp/brute_force.hpp"
+#include "tsp/held_karp.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+MetricInstance random_instance(int n, Rng& rng, Weight lo = 1, Weight hi = 9) {
+  MetricInstance instance(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      instance.set_weight(i, j, rng.uniform_int(static_cast<int>(lo), static_cast<int>(hi)));
+    }
+  }
+  return instance;
+}
+
+TEST(BruteForce, TinyInstances) {
+  MetricInstance instance(3);
+  instance.set_weight(0, 1, 1);
+  instance.set_weight(1, 2, 1);
+  instance.set_weight(0, 2, 5);
+  const PathSolution solution = brute_force_path(instance);
+  EXPECT_EQ(solution.cost, 2);
+  EXPECT_TRUE(is_valid_order(solution.order, 3));
+  EXPECT_EQ(path_length(instance, solution.order), solution.cost);
+}
+
+TEST(BruteForce, SingleVertex) {
+  const PathSolution solution = brute_force_path(MetricInstance(1));
+  EXPECT_EQ(solution.cost, 0);
+  EXPECT_EQ(solution.order, (Order{0}));
+}
+
+TEST(BruteForce, SizeCap) {
+  EXPECT_THROW(brute_force_path(MetricInstance(12)), precondition_error);
+}
+
+TEST(HeldKarp, MatchesKnownOptimum) {
+  MetricInstance instance(4);
+  instance.set_weight(0, 1, 1);
+  instance.set_weight(1, 2, 1);
+  instance.set_weight(2, 3, 1);
+  instance.set_weight(0, 2, 2);
+  instance.set_weight(1, 3, 2);
+  instance.set_weight(0, 3, 2);
+  const PathSolution solution = held_karp_path(instance);
+  EXPECT_EQ(solution.cost, 3);
+}
+
+TEST(HeldKarp, SizeAndOverflowGuards) {
+  HeldKarpOptions options;
+  options.max_n = 10;
+  EXPECT_THROW(held_karp_path(MetricInstance(11), options), precondition_error);
+
+  MetricInstance huge(3);
+  huge.set_weight(0, 1, Weight{1} << 40);
+  huge.set_weight(1, 2, Weight{1} << 40);
+  huge.set_weight(0, 2, Weight{1} << 40);
+  EXPECT_THROW(held_karp_path(huge), precondition_error);
+}
+
+TEST(HeldKarp, FixedStartRespected) {
+  Rng rng(3);
+  const MetricInstance instance = random_instance(7, rng);
+  for (int start = 0; start < 7; ++start) {
+    HeldKarpOptions options;
+    options.fixed_start = start;
+    const PathSolution solution = held_karp_path(instance, options);
+    EXPECT_EQ(solution.order.front(), start);
+    EXPECT_EQ(path_length(instance, solution.order), solution.cost);
+  }
+}
+
+TEST(HeldKarp, FixedStartNeverBeatsFree) {
+  Rng rng(4);
+  const MetricInstance instance = random_instance(7, rng);
+  const Weight free_cost = held_karp_path(instance).cost;
+  for (int start = 0; start < 7; ++start) {
+    HeldKarpOptions options;
+    options.fixed_start = start;
+    EXPECT_GE(held_karp_path(instance, options).cost, free_cost);
+  }
+}
+
+TEST(HeldKarp, InvalidFixedStart) {
+  HeldKarpOptions options;
+  options.fixed_start = 5;
+  EXPECT_THROW(held_karp_path(MetricInstance(3), options), precondition_error);
+}
+
+class ExactCross : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 131 + 7)};
+};
+
+TEST_P(ExactCross, HeldKarpEqualsBruteForce) {
+  for (int n = 2; n <= 8; ++n) {
+    const MetricInstance instance = random_instance(n, rng_);
+    const PathSolution hk = held_karp_path(instance);
+    const PathSolution bf = brute_force_path(instance);
+    EXPECT_EQ(hk.cost, bf.cost) << "n = " << n;
+    EXPECT_EQ(path_length(instance, hk.order), hk.cost);
+  }
+}
+
+TEST_P(ExactCross, ParallelLayersMatchSerial) {
+  const MetricInstance instance = random_instance(9, rng_);
+  HeldKarpOptions parallel_options;
+  parallel_options.threads = 0;  // shared pool
+  EXPECT_EQ(held_karp_path(instance).cost, held_karp_path(instance, parallel_options).cost);
+}
+
+TEST_P(ExactCross, ReducedInstancesSolvedExactly) {
+  // End-to-end: reduced labeling instances are valid HK inputs.
+  const Graph graph = random_with_diameter_at_most(8, 2, 0.3, rng_);
+  const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+  const PathSolution hk = held_karp_path(reduced.instance);
+  const PathSolution bf = brute_force_path(reduced.instance);
+  EXPECT_EQ(hk.cost, bf.cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactCross, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "core/order_labeling.hpp"
+#include "core/partition_paths.hpp"
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "tsp/held_karp.hpp"
+
+namespace lptsp {
+namespace {
+
+/// Exhaustive verification of Theorem 2 over ALL connected graphs of a
+/// given order whose diameter fits p — the strongest correctness evidence
+/// in the suite (no sampling bias).
+struct ExhaustiveStats {
+  int connected = 0;
+  int in_scope = 0;  // diameter <= k
+};
+
+ExhaustiveStats sweep_all_graphs(int n, const PVec& p, bool also_direct_oracle) {
+  ExhaustiveStats stats;
+  const std::uint64_t masks = std::uint64_t{1} << (n * (n - 1) / 2);
+  for (std::uint64_t mask = 0; mask < masks; ++mask) {
+    const Graph graph = graph_from_edge_mask(n, mask);
+    if (!is_connected(graph)) continue;
+    ++stats.connected;
+    if (diameter(graph) > p.k()) continue;
+    ++stats.in_scope;
+
+    const auto reduced = reduce_to_path_tsp(graph, p);
+    const Weight via_tsp = held_karp_path(reduced.instance).cost;
+    const Weight via_orders = min_span_over_all_orders(graph, p);
+    EXPECT_EQ(via_tsp, via_orders) << "n=" << n << " mask=" << mask << " p=" << p.to_string();
+    if (also_direct_oracle) {
+      EXPECT_EQ(via_tsp, exact_labeling_branch_and_bound(graph, p).span)
+          << "n=" << n << " mask=" << mask;
+    }
+  }
+  return stats;
+}
+
+TEST(ExhaustiveTheorem2, AllGraphsOn4VerticesL21) {
+  const ExhaustiveStats stats = sweep_all_graphs(4, PVec::L21(), true);
+  EXPECT_EQ(stats.connected, 38);  // known count of connected labelled graphs on 4 vertices
+  EXPECT_GT(stats.in_scope, 0);
+}
+
+TEST(ExhaustiveTheorem2, AllGraphsOn5VerticesL21) {
+  const ExhaustiveStats stats = sweep_all_graphs(5, PVec::L21(), true);
+  EXPECT_EQ(stats.connected, 728);  // known count on 5 vertices
+  EXPECT_GT(stats.in_scope, 300);
+}
+
+TEST(ExhaustiveTheorem2, AllGraphsOn5VerticesL11AndL32) {
+  sweep_all_graphs(5, PVec({1, 1}), false);
+  sweep_all_graphs(5, PVec::Lpq(3, 2), false);
+}
+
+TEST(ExhaustiveTheorem2, AllGraphsOn5VerticesDiameter3) {
+  sweep_all_graphs(5, PVec({2, 2, 1}), false);
+}
+
+TEST(ExhaustiveTheorem2, AllGraphsOn6VerticesL21) {
+  const ExhaustiveStats stats = sweep_all_graphs(6, PVec::L21(), false);
+  EXPECT_EQ(stats.connected, 26704);  // known count on 6 vertices
+}
+
+TEST(ExhaustiveCorollary2, AllDiameter2GraphsOn5Vertices) {
+  // Formula vs TSP pipeline on every diameter-<=2 graph of order 5.
+  const int n = 5;
+  const std::uint64_t masks = std::uint64_t{1} << (n * (n - 1) / 2);
+  int verified = 0;
+  for (std::uint64_t mask = 0; mask < masks; ++mask) {
+    const Graph graph = graph_from_edge_mask(n, mask);
+    if (!is_connected(graph) || diameter(graph) > 2) continue;
+    for (const auto& [p, q] : std::vector<std::pair<int, int>>{{2, 1}, {1, 2}, {3, 2}}) {
+      const auto reduced = reduce_to_path_tsp(graph, PVec::Lpq(p, q));
+      const Weight via_tsp = held_karp_path(reduced.instance).cost;
+      EXPECT_EQ(lpq_span_diameter2(graph, p, q).span, via_tsp)
+          << "mask=" << mask << " p=" << p << " q=" << q;
+    }
+    ++verified;
+  }
+  EXPECT_GT(verified, 300);
+}
+
+}  // namespace
+}  // namespace lptsp

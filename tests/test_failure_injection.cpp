@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "core/greedy_labeling.hpp"
+#include "core/l1_labeling.hpp"
+#include "core/order_labeling.hpp"
+#include "core/partition_paths.hpp"
+#include "core/reduction.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "ham/gadgets.hpp"
+#include "ham/hamiltonian.hpp"
+#include "params/modular_decomposition.hpp"
+#include "tsp/brute_force.hpp"
+#include "tsp/construct.hpp"
+#include "tsp/held_karp.hpp"
+#include "tsp/matching.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+namespace {
+
+/// Systematic rejection tests: every documented precondition across the
+/// public API must throw precondition_error, never silently mislabel.
+
+TEST(FailureInjection, PVecInputs) {
+  EXPECT_THROW(PVec({}), precondition_error);
+  EXPECT_THROW(PVec({2, -1}), precondition_error);
+  EXPECT_THROW(PVec({2, 1}).scaled(-1), precondition_error);
+  EXPECT_THROW(PVec::ones(0), precondition_error);
+}
+
+TEST(FailureInjection, ReductionScope) {
+  // Disconnected.
+  EXPECT_THROW(reduce_to_path_tsp(Graph(3), PVec::L21()), precondition_error);
+  // Diameter exceeds k.
+  EXPECT_THROW(reduce_to_path_tsp(cycle_graph(7), PVec::L21()), precondition_error);
+  // Metric condition.
+  EXPECT_THROW(reduce_to_path_tsp(complete_graph(4), PVec({5, 2})), precondition_error);
+  // Empty graph.
+  EXPECT_THROW(reduce_to_path_tsp(Graph(0), PVec::L21()), precondition_error);
+}
+
+TEST(FailureInjection, SolverCaps) {
+  EXPECT_THROW(brute_force_path(MetricInstance(0)), precondition_error);
+  EXPECT_THROW(brute_force_path(MetricInstance(20)), precondition_error);
+  HeldKarpOptions tight;
+  tight.max_n = 25;  // above the absolute ceiling
+  EXPECT_THROW(held_karp_path(MetricInstance(5), tight), precondition_error);
+  EXPECT_THROW(exact_labeling_branch_and_bound(complete_graph(11), PVec::L21()),
+               precondition_error);
+  EXPECT_THROW(min_span_over_all_orders(complete_graph(10), PVec::L21()), precondition_error);
+}
+
+TEST(FailureInjection, OrderValidation) {
+  const MetricInstance instance(4);
+  EXPECT_THROW(path_length(instance, {0, 1, 2}), precondition_error);
+  EXPECT_THROW(path_length(instance, {0, 1, 2, 2}), precondition_error);
+  EXPECT_THROW(labeling_from_order(instance, {3, 2, 1}), precondition_error);
+}
+
+TEST(FailureInjection, ConstructionInputs) {
+  EXPECT_THROW(nearest_neighbor_path(MetricInstance(3), 5), precondition_error);
+  EXPECT_THROW(nearest_neighbor_path(MetricInstance(0), 0), precondition_error);
+  Rng rng(1);
+  EXPECT_THROW(best_nearest_neighbor_path(MetricInstance(3), 0, rng), precondition_error);
+}
+
+TEST(FailureInjection, MatchingInputs) {
+  EXPECT_THROW(min_weight_perfect_matching(MetricInstance(3), {0, 1, 2}), precondition_error);
+  EXPECT_THROW(min_weight_perfect_matching_dp(MetricInstance(30), std::vector<int>(24, 0)),
+               precondition_error);
+  MetricInstance three_valued(4);
+  three_valued.set_weight(0, 1, 1);
+  three_valued.set_weight(0, 2, 2);
+  three_valued.set_weight(0, 3, 3);
+  three_valued.set_weight(1, 2, 1);
+  three_valued.set_weight(1, 3, 1);
+  three_valued.set_weight(2, 3, 1);
+  EXPECT_THROW(min_weight_perfect_matching_two_valued(three_valued, {0, 1, 2, 3}),
+               precondition_error);
+}
+
+TEST(FailureInjection, HamiltonianCaps) {
+  EXPECT_THROW(has_hamiltonian_path(complete_graph(30)), precondition_error);
+  EXPECT_THROW(min_path_partition_exact(Graph(0)), precondition_error);
+}
+
+TEST(FailureInjection, GadgetInputs) {
+  EXPECT_THROW(hc_to_hp_gadget(Graph(0)), precondition_error);
+  EXPECT_THROW(hc_to_hp_gadget(cycle_graph(4), 9), precondition_error);
+  EXPECT_THROW(griggs_yeh_gadget(Graph(0)), precondition_error);
+}
+
+TEST(FailureInjection, PartitionScope) {
+  EXPECT_THROW(lpq_span_diameter2(cycle_graph(7), 2, 1), precondition_error);
+  EXPECT_THROW(lpq_span_diameter2(complete_graph(3), -1, 1), precondition_error);
+  EXPECT_THROW(lpq_span_diameter2(complete_graph(3), 7, 3), precondition_error);
+}
+
+TEST(FailureInjection, GreedyLabelingInputs) {
+  EXPECT_THROW(greedy_first_fit(Graph(0), PVec::L21()), precondition_error);
+  EXPECT_THROW(greedy_first_fit(path_graph(3), PVec::L21(), GreedyOrder::Random, nullptr),
+               precondition_error);
+}
+
+TEST(FailureInjection, L1Inputs) {
+  EXPECT_THROW(l1_labeling_exact(path_graph(3), 0), precondition_error);
+  EXPECT_THROW(l1_labeling_nd_kernel(path_graph(3), -1), precondition_error);
+}
+
+TEST(FailureInjection, ModularDecompositionInputs) {
+  EXPECT_THROW(modular_decomposition(Graph(0)), precondition_error);
+  EXPECT_THROW(module_closure(path_graph(3), {}), precondition_error);
+}
+
+TEST(FailureInjection, ErrorsCarryContext) {
+  // Error messages should name the violated requirement.
+  try {
+    reduce_to_path_tsp(path_graph(6), PVec::L21());
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& error) {
+    EXPECT_NE(std::string(error.what()).find("diam"), std::string::npos);
+  }
+  try {
+    reduce_to_path_tsp(complete_graph(3), PVec({5, 1}));
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& error) {
+    EXPECT_NE(std::string(error.what()).find("pmax"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lptsp

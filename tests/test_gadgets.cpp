@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/reduction.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "ham/gadgets.hpp"
+#include "ham/hamiltonian.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(HcToHpGadget, StructureIsAsSpecified) {
+  const Graph graph = cycle_graph(5);
+  const HcToHpGadget gadget = hc_to_hp_gadget(graph, 0);
+  EXPECT_EQ(gadget.graph.n(), 8);
+  // Twin copies the pivot's neighborhood.
+  EXPECT_TRUE(gadget.graph.has_edge(gadget.twin, 1));
+  EXPECT_TRUE(gadget.graph.has_edge(gadget.twin, 4));
+  EXPECT_FALSE(gadget.graph.has_edge(gadget.twin, 0));  // false twin
+  // Pendants have degree 1.
+  EXPECT_EQ(gadget.graph.degree(gadget.pendant), 1);
+  EXPECT_EQ(gadget.graph.degree(gadget.pendant2), 1);
+}
+
+class GadgetEquivalence : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 251 + 1)};
+};
+
+TEST_P(GadgetEquivalence, Theorem1HamCycleIffGadgetHamPath) {
+  const Graph graph = erdos_renyi(9, 0.25 + 0.05 * (GetParam() % 6), rng_);
+  const HcToHpGadget gadget = hc_to_hp_gadget(graph, rng_.uniform_int(0, 8));
+  EXPECT_EQ(has_hamiltonian_cycle(graph), has_hamiltonian_path(gadget.graph));
+}
+
+TEST_P(GadgetEquivalence, Theorem3SpanSeparatesHamPath) {
+  // Griggs–Yeh: lambda_{2,1}(gadget(G)) = n+1 iff G has a Hamiltonian
+  // path, and >= n+2 otherwise.
+  const int n = 8;
+  const Graph graph = erdos_renyi(n, 0.35 + 0.05 * (GetParam() % 5), rng_);
+  const Graph gadget = griggs_yeh_gadget(graph);
+  EXPECT_LE(diameter(gadget), 2);
+
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  const SolveResult result = solve_labeling(gadget, PVec::L21(), options);
+  if (has_hamiltonian_path(graph)) {
+    EXPECT_EQ(result.span, n + 1);
+  } else {
+    EXPECT_GE(result.span, n + 2);
+  }
+}
+
+TEST_P(GadgetEquivalence, Theorem3LowerBoundAlwaysHolds) {
+  const int n = 7;
+  const Graph graph = erdos_renyi(n, 0.3, rng_);
+  const Graph gadget = griggs_yeh_gadget(graph);
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  // The universal vertex forces at least one heavy (weight-2) step.
+  EXPECT_GE(solve_labeling(gadget, PVec::L21(), options).span, n + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GadgetEquivalence, ::testing::Range(0, 10));
+
+TEST(GriggsYeh, PathInstanceGivesExactThreshold) {
+  // A path graph certainly has a Hamiltonian path.
+  const Graph graph = path_graph(6);
+  const Graph gadget = griggs_yeh_gadget(graph);
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  EXPECT_EQ(solve_labeling(gadget, PVec::L21(), options).span, 7);
+}
+
+TEST(GriggsYeh, StarInstanceExceedsThreshold) {
+  // Stars K_{1,m} with m >= 3 have no Hamiltonian path.
+  const Graph graph = star_graph(6);
+  const Graph gadget = griggs_yeh_gadget(graph);
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  EXPECT_GE(solve_labeling(gadget, PVec::L21(), options).span, 8);
+}
+
+}  // namespace
+}  // namespace lptsp

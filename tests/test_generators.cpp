@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "params/cotree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(ClassicFamilies, PathGraph) {
+  const Graph graph = path_graph(6);
+  EXPECT_EQ(graph.m(), 5);
+  EXPECT_EQ(graph.degree(0), 1);
+  EXPECT_EQ(graph.degree(3), 2);
+}
+
+TEST(ClassicFamilies, CycleGraph) {
+  const Graph graph = cycle_graph(5);
+  EXPECT_EQ(graph.m(), 5);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(graph.degree(v), 2);
+  EXPECT_THROW(cycle_graph(2), precondition_error);
+}
+
+TEST(ClassicFamilies, CompleteGraph) {
+  const Graph graph = complete_graph(6);
+  EXPECT_EQ(graph.m(), 15);
+  EXPECT_EQ(diameter(graph), 1);
+}
+
+TEST(ClassicFamilies, StarAndWheel) {
+  const Graph star = star_graph(7);
+  EXPECT_EQ(star.m(), 6);
+  EXPECT_EQ(star.degree(0), 6);
+
+  const Graph wheel = wheel_graph(7);
+  EXPECT_EQ(wheel.m(), 12);  // 6 rim + 6 spokes
+  EXPECT_EQ(wheel.degree(6), 6);
+  EXPECT_EQ(diameter(wheel), 2);
+}
+
+TEST(ClassicFamilies, CompleteBipartiteAndMultipartite) {
+  const Graph bip = complete_bipartite(3, 4);
+  EXPECT_EQ(bip.m(), 12);
+  EXPECT_EQ(diameter(bip), 2);
+
+  const Graph multi = complete_multipartite({2, 2, 2});
+  EXPECT_EQ(multi.m(), 12);  // K_{2,2,2} octahedron
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(multi.degree(v), 4);
+}
+
+TEST(ClassicFamilies, Grid) {
+  const Graph grid = grid_graph(3, 4);
+  EXPECT_EQ(grid.n(), 12);
+  EXPECT_EQ(grid.m(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_EQ(diameter(grid), 5);
+}
+
+TEST(ClassicFamilies, Petersen) {
+  const Graph petersen = petersen_graph();
+  EXPECT_EQ(petersen.n(), 10);
+  EXPECT_EQ(petersen.m(), 15);
+  for (int v = 0; v < 10; ++v) EXPECT_EQ(petersen.degree(v), 3);
+  EXPECT_EQ(diameter(petersen), 2);
+}
+
+TEST(Fig1, DistanceMultisetMatchesPaper) {
+  // Figure 1 shows weights {p1 x5, p2 x3, p3 x2} on the 10 pairs.
+  const Graph graph = fig1_graph();
+  EXPECT_EQ(graph.n(), 5);
+  EXPECT_EQ(graph.m(), 5);
+  EXPECT_EQ(diameter(graph), 3);
+  const auto dist = all_pairs_distances(graph);
+  std::map<int, int> histogram;
+  for (int u = 0; u < 5; ++u) {
+    for (int v = u + 1; v < 5; ++v) ++histogram[dist.at(u, v)];
+  }
+  EXPECT_EQ(histogram[1], 5);
+  EXPECT_EQ(histogram[2], 3);
+  EXPECT_EQ(histogram[3], 2);
+}
+
+TEST(EdgeMask, RoundTripsAllPairs) {
+  // Mask with all bits set must give the complete graph.
+  const int n = 5;
+  const std::uint64_t full = (std::uint64_t{1} << (n * (n - 1) / 2)) - 1;
+  EXPECT_TRUE(graph_from_edge_mask(n, full) == complete_graph(n));
+  EXPECT_TRUE(graph_from_edge_mask(n, 0) == Graph(n));
+}
+
+TEST(EdgeMask, RejectsTooManyVertices) {
+  EXPECT_THROW(graph_from_edge_mask(12, 0), precondition_error);
+}
+
+TEST(EdgeMask, SpecificBitsMapLexicographically) {
+  // Bit 0 = {0,1}, bit 1 = {0,2}, bit 2 = {0,3}, bit 3 = {1,2}.
+  const Graph graph = graph_from_edge_mask(4, 0b1001);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(1, 2));
+  EXPECT_EQ(graph.m(), 2);
+}
+
+class RandomFamilies : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 7919 + 1)};
+};
+
+TEST_P(RandomFamilies, ErdosRenyiExtremes) {
+  EXPECT_EQ(erdos_renyi(10, 0.0, rng_).m(), 0);
+  EXPECT_EQ(erdos_renyi(10, 1.0, rng_).m(), 45);
+}
+
+TEST_P(RandomFamilies, RandomTreeIsTree) {
+  const Graph tree = random_tree(17, rng_);
+  EXPECT_EQ(tree.m(), 16);
+  EXPECT_TRUE(is_connected(tree));
+}
+
+TEST_P(RandomFamilies, RandomConnectedIsConnected) {
+  const Graph graph = random_connected(25, 0.05, rng_);
+  EXPECT_TRUE(is_connected(graph));
+}
+
+TEST_P(RandomFamilies, DiameterCapIsRespected) {
+  for (const int cap : {2, 3}) {
+    const Graph graph = random_with_diameter_at_most(20, cap, 0.1, rng_);
+    EXPECT_TRUE(is_connected(graph));
+    EXPECT_LE(diameter(graph), cap);
+  }
+}
+
+TEST_P(RandomFamilies, GeometricSmallDiameter) {
+  const Graph graph = random_geometric_small_diameter(30, 6.0, 3, rng_);
+  EXPECT_TRUE(is_connected(graph));
+  EXPECT_LE(diameter(graph), 3);
+}
+
+TEST_P(RandomFamilies, RandomCographIsCograph) {
+  const Graph graph = random_cograph(20, rng_);
+  EXPECT_EQ(graph.n(), 20);
+  EXPECT_TRUE(is_cograph(graph));
+}
+
+TEST_P(RandomFamilies, SplitGraphHasCliqueAndIndependentSide) {
+  const Graph graph = random_split_graph(20, 0.5, 0.3, rng_);
+  EXPECT_TRUE(is_connected(graph));
+  std::vector<int> clique_side;
+  for (int v = 0; v < 10; ++v) clique_side.push_back(v);
+  EXPECT_TRUE(is_clique(graph, clique_side));
+  std::vector<int> independent_side;
+  for (int v = 10; v < 20; ++v) independent_side.push_back(v);
+  EXPECT_TRUE(is_independent_set(graph, independent_side));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFamilies, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph graph(0);
+  EXPECT_EQ(graph.n(), 0);
+  EXPECT_EQ(graph.m(), 0);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph graph(3);
+  graph.add_edge(0, 1);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(1, 0));
+  EXPECT_FALSE(graph.has_edge(0, 2));
+  EXPECT_EQ(graph.m(), 1);
+  EXPECT_EQ(graph.degree(0), 1);
+  EXPECT_EQ(graph.degree(2), 0);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph graph(2);
+  EXPECT_THROW(graph.add_edge(1, 1), precondition_error);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  Graph graph(2);
+  graph.add_edge(0, 1);
+  EXPECT_THROW(graph.add_edge(1, 0), precondition_error);
+}
+
+TEST(Graph, RejectsOutOfRange) {
+  Graph graph(2);
+  EXPECT_THROW(graph.add_edge(0, 2), precondition_error);
+  EXPECT_THROW(graph.add_edge(-1, 0), precondition_error);
+  EXPECT_THROW(static_cast<void>(graph.neighbors(5)), precondition_error);
+}
+
+TEST(Graph, AddEdgeIfAbsent) {
+  Graph graph(3);
+  EXPECT_TRUE(graph.add_edge_if_absent(0, 1));
+  EXPECT_FALSE(graph.add_edge_if_absent(0, 1));
+  EXPECT_FALSE(graph.add_edge_if_absent(2, 2));
+  EXPECT_EQ(graph.m(), 1);
+}
+
+TEST(Graph, EdgesSortedAndComplete) {
+  const Graph graph = Graph::from_edges(4, {{2, 3}, {0, 1}, {1, 3}});
+  const auto edges = graph.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(edges[1], std::make_pair(1, 3));
+  EXPECT_EQ(edges[2], std::make_pair(2, 3));
+}
+
+TEST(Graph, AdjacencyRowBitsMatchHasEdge) {
+  Rng rng(1);
+  const Graph graph = erdos_renyi(70, 0.3, rng);  // spans >1 word per row
+  for (int u = 0; u < graph.n(); ++u) {
+    const std::uint64_t* row = graph.adjacency_row(u);
+    for (int v = 0; v < graph.n(); ++v) {
+      const bool bit = (row[v / 64] >> (v % 64)) & 1;
+      EXPECT_EQ(bit, graph.has_edge(u, v));
+    }
+  }
+}
+
+TEST(Graph, EqualityComparesEdgeSets) {
+  const Graph a = Graph::from_edges(3, {{0, 1}});
+  const Graph b = Graph::from_edges(3, {{0, 1}});
+  const Graph c = Graph::from_edges(3, {{0, 2}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Bfs, PathGraphDistances) {
+  const Graph graph = path_graph(5);
+  const auto dist = bfs_distances(graph, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Bfs, DisconnectedUnreachable) {
+  Graph graph(3);
+  graph.add_edge(0, 1);
+  const auto dist = bfs_distances(graph, 0);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(DistanceMatrix, DiagonalZeroAndSymmetricFill) {
+  const Graph graph = cycle_graph(6);
+  const auto dist = all_pairs_distances(graph);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(dist.at(v, v), 0);
+  for (int u = 0; u < 6; ++u) {
+    for (int v = 0; v < 6; ++v) EXPECT_EQ(dist.at(u, v), dist.at(v, u));
+  }
+  EXPECT_EQ(dist.at(0, 3), 3);
+  EXPECT_TRUE(dist.all_finite());
+  EXPECT_EQ(dist.max_finite(), 3);
+}
+
+/// Reference Floyd–Warshall for cross-checking BFS all-pairs distances.
+DistanceMatrix floyd_warshall(const Graph& graph) {
+  const int n = graph.n();
+  DistanceMatrix dist(n);
+  constexpr int kBig = 1 << 20;
+  std::vector<std::vector<int>> d(static_cast<std::size_t>(n),
+                                  std::vector<int>(static_cast<std::size_t>(n), kBig));
+  for (int v = 0; v < n; ++v) d[static_cast<std::size_t>(v)][static_cast<std::size_t>(v)] = 0;
+  for (const auto& [u, v] : graph.edges()) {
+    d[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = 1;
+    d[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] = 1;
+  }
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            std::min(d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                     d[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] +
+                         d[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      dist.set(i, j, d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] >= kBig
+                         ? kUnreachable
+                         : d[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+    }
+  }
+  return dist;
+}
+
+class ApspProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApspProperty, BfsMatchesFloydWarshall) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Graph graph = erdos_renyi(24, 0.2, rng);
+  const auto bfs = all_pairs_distances(graph, 1);
+  const auto reference = floyd_warshall(graph);
+  for (int u = 0; u < graph.n(); ++u) {
+    for (int v = 0; v < graph.n(); ++v) EXPECT_EQ(bfs.at(u, v), reference.at(u, v));
+  }
+}
+
+TEST_P(ApspProperty, ParallelMatchesSerial) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const Graph graph = random_connected(30, 0.15, rng);
+  const auto serial = all_pairs_distances(graph, 1);
+  const auto parallel = all_pairs_distances(graph, 0);
+  for (int u = 0; u < graph.n(); ++u) {
+    for (int v = 0; v < graph.n(); ++v) EXPECT_EQ(serial.at(u, v), parallel.at(u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApspProperty, ::testing::Range(0, 8));
+
+TEST(Properties, Connectivity) {
+  EXPECT_TRUE(is_connected(path_graph(4)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_TRUE(is_connected(Graph(0)));
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  EXPECT_FALSE(is_connected(disconnected));
+}
+
+TEST(Properties, ConnectedComponents) {
+  Graph graph(5);
+  graph.add_edge(0, 1);
+  graph.add_edge(3, 4);
+  const auto component = connected_components(graph);
+  EXPECT_EQ(component[0], component[1]);
+  EXPECT_EQ(component[3], component[4]);
+  EXPECT_NE(component[0], component[2]);
+  EXPECT_NE(component[0], component[3]);
+}
+
+TEST(Properties, DiameterKnownGraphs) {
+  EXPECT_EQ(diameter(path_graph(6)), 5);
+  EXPECT_EQ(diameter(cycle_graph(8)), 4);
+  EXPECT_EQ(diameter(complete_graph(7)), 1);
+  EXPECT_EQ(diameter(star_graph(9)), 2);
+  EXPECT_EQ(diameter(petersen_graph()), 2);
+}
+
+TEST(Properties, DiameterRequiresConnected) {
+  Graph graph(3);
+  graph.add_edge(0, 1);
+  EXPECT_THROW(diameter(graph), precondition_error);
+}
+
+TEST(Properties, MaxDegree) {
+  EXPECT_EQ(max_degree(star_graph(6)), 5);
+  EXPECT_EQ(max_degree(Graph(3)), 0);
+}
+
+TEST(Properties, CliqueAndIndependentChecks) {
+  const Graph graph = complete_graph(4);
+  EXPECT_TRUE(is_clique(graph, {0, 1, 2, 3}));
+  EXPECT_FALSE(is_independent_set(graph, {0, 1}));
+  const Graph empty(4);
+  EXPECT_TRUE(is_independent_set(empty, {0, 1, 2}));
+  EXPECT_FALSE(is_clique(empty, {0, 1}));
+}
+
+}  // namespace
+}  // namespace lptsp

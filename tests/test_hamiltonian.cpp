@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/operations.hpp"
+#include "graph/properties.hpp"
+#include "ham/hamiltonian.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(HamiltonianPath, KnownGraphs) {
+  EXPECT_TRUE(has_hamiltonian_path(path_graph(6)));
+  EXPECT_TRUE(has_hamiltonian_path(cycle_graph(6)));
+  EXPECT_TRUE(has_hamiltonian_path(complete_graph(5)));
+  EXPECT_TRUE(has_hamiltonian_path(petersen_graph()));
+  EXPECT_TRUE(has_hamiltonian_path(Graph(1)));
+  EXPECT_FALSE(has_hamiltonian_path(star_graph(5)));
+  EXPECT_FALSE(has_hamiltonian_path(Graph(3)));  // no edges
+  EXPECT_FALSE(has_hamiltonian_path(Graph(0)));
+}
+
+TEST(HamiltonianPath, StarThresholds) {
+  // K_{1,1} and K_{1,2} are paths; bigger stars are not traceable.
+  EXPECT_TRUE(has_hamiltonian_path(star_graph(2)));
+  EXPECT_TRUE(has_hamiltonian_path(star_graph(3)));
+  EXPECT_FALSE(has_hamiltonian_path(star_graph(4)));
+}
+
+TEST(HamiltonianPath, WitnessIsValid) {
+  const Graph graph = petersen_graph();
+  const auto witness = hamiltonian_path(graph);
+  ASSERT_TRUE(witness.has_value());
+  ASSERT_EQ(witness->size(), 10u);
+  std::vector<bool> seen(10, false);
+  for (std::size_t i = 0; i < witness->size(); ++i) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>((*witness)[i])]);
+    seen[static_cast<std::size_t>((*witness)[i])] = true;
+    if (i > 0) {
+      EXPECT_TRUE(graph.has_edge((*witness)[i - 1], (*witness)[i]));
+    }
+  }
+}
+
+TEST(HamiltonianPath, NoWitnessWhenAbsent) {
+  EXPECT_FALSE(hamiltonian_path(star_graph(6)).has_value());
+}
+
+TEST(HamiltonianCycle, KnownGraphs) {
+  EXPECT_TRUE(has_hamiltonian_cycle(cycle_graph(5)));
+  EXPECT_TRUE(has_hamiltonian_cycle(complete_graph(4)));
+  EXPECT_TRUE(has_hamiltonian_cycle(wheel_graph(6)));
+  EXPECT_FALSE(has_hamiltonian_cycle(path_graph(5)));
+  EXPECT_FALSE(has_hamiltonian_cycle(petersen_graph()));  // famously not
+  EXPECT_FALSE(has_hamiltonian_cycle(star_graph(5)));
+  EXPECT_FALSE(has_hamiltonian_cycle(Graph(2)));
+}
+
+TEST(HamiltonianCycle, CompleteBipartiteBalancedOnly) {
+  EXPECT_TRUE(has_hamiltonian_cycle(complete_bipartite(3, 3)));
+  EXPECT_FALSE(has_hamiltonian_cycle(complete_bipartite(3, 4)));
+}
+
+TEST(Hamiltonian, SizeCaps) {
+  EXPECT_THROW(has_hamiltonian_path(complete_graph(25)), precondition_error);
+  EXPECT_THROW(has_hamiltonian_cycle(complete_graph(25)), precondition_error);
+}
+
+TEST(PathPartition, KnownValues) {
+  EXPECT_EQ(min_path_partition_exact(path_graph(7)), 1);
+  EXPECT_EQ(min_path_partition_exact(cycle_graph(6)), 1);
+  EXPECT_EQ(min_path_partition_exact(complete_graph(5)), 1);
+  EXPECT_EQ(min_path_partition_exact(Graph(4)), 4);       // no edges
+  EXPECT_EQ(min_path_partition_exact(star_graph(6)), 4);  // K_{1,5}: center+2 leaves, 3 leftovers
+  EXPECT_EQ(min_path_partition_exact(Graph(1)), 1);
+}
+
+TEST(PathPartition, DisjointUnionAdds) {
+  const Graph graph = disjoint_union(path_graph(3), path_graph(4));
+  EXPECT_EQ(min_path_partition_exact(graph), 2);
+}
+
+class PartitionProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 167 + 43)};
+};
+
+TEST_P(PartitionProperty, GreedyUpperBoundsExact) {
+  const Graph graph = erdos_renyi(12, 0.15 + 0.05 * (GetParam() % 5), rng_);
+  const int exact = min_path_partition_exact(graph);
+  const int greedy = min_path_partition_greedy(graph);
+  EXPECT_GE(greedy, exact);
+  EXPECT_GE(exact, 1);
+  EXPECT_LE(exact, graph.n());
+}
+
+TEST_P(PartitionProperty, HamiltonianPathIffPartitionOne) {
+  const Graph graph = erdos_renyi(10, 0.3, rng_);
+  EXPECT_EQ(has_hamiltonian_path(graph) && is_connected(graph) ? 1 : 0,
+            min_path_partition_exact(graph) == 1 ? 1 : 0)
+      << "partition=1 must coincide with having a Hamiltonian path";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tsp/instance.hpp"
+#include "tsp/path.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(MetricInstance, DefaultsToZeroWeights) {
+  const MetricInstance instance(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_EQ(instance.weight(i, j), 0);
+  }
+}
+
+TEST(MetricInstance, SetWeightIsSymmetric) {
+  MetricInstance instance(3);
+  instance.set_weight(0, 2, 7);
+  EXPECT_EQ(instance.weight(0, 2), 7);
+  EXPECT_EQ(instance.weight(2, 0), 7);
+}
+
+TEST(MetricInstance, RejectsDiagonalAndNegative) {
+  MetricInstance instance(3);
+  EXPECT_THROW(instance.set_weight(1, 1, 5), precondition_error);
+  EXPECT_THROW(instance.set_weight(0, 1, -1), precondition_error);
+}
+
+TEST(MetricInstance, FromMatrixValidates) {
+  EXPECT_NO_THROW(MetricInstance::from_matrix(2, {0, 3, 3, 0}));
+  EXPECT_THROW(MetricInstance::from_matrix(2, {0, 3, 4, 0}), precondition_error);  // asymmetric
+  EXPECT_THROW(MetricInstance::from_matrix(2, {1, 3, 3, 0}), precondition_error);  // diagonal
+  EXPECT_THROW(MetricInstance::from_matrix(2, {0, 3, 3}), precondition_error);     // size
+}
+
+TEST(MetricInstance, MinMaxDistinct) {
+  MetricInstance instance(3);
+  instance.set_weight(0, 1, 2);
+  instance.set_weight(0, 2, 4);
+  instance.set_weight(1, 2, 2);
+  EXPECT_EQ(instance.min_weight(), 2);
+  EXPECT_EQ(instance.max_weight(), 4);
+  EXPECT_EQ(instance.distinct_weights(), (std::vector<Weight>{2, 4}));
+}
+
+TEST(MetricInstance, MetricCheck) {
+  MetricInstance good(3);
+  good.set_weight(0, 1, 1);
+  good.set_weight(1, 2, 1);
+  good.set_weight(0, 2, 2);
+  EXPECT_TRUE(good.is_metric());
+
+  MetricInstance bad(3);
+  bad.set_weight(0, 1, 1);
+  bad.set_weight(1, 2, 1);
+  bad.set_weight(0, 2, 3);  // 3 > 1 + 1
+  EXPECT_FALSE(bad.is_metric());
+}
+
+TEST(MetricInstance, ZeroDepotBreaksMetricityButKeepsWeights) {
+  MetricInstance instance(3);
+  instance.set_weight(0, 1, 2);
+  instance.set_weight(0, 2, 2);
+  instance.set_weight(1, 2, 2);
+  const MetricInstance with_depot = instance.with_zero_depot();
+  EXPECT_EQ(with_depot.n(), 4);
+  EXPECT_EQ(with_depot.weight(3, 0), 0);
+  EXPECT_EQ(with_depot.weight(0, 1), 2);
+  EXPECT_FALSE(with_depot.is_metric());
+}
+
+TEST(MetricInstance, TsplibExportContainsMatrix) {
+  MetricInstance instance(2);
+  instance.set_weight(0, 1, 9);
+  std::ostringstream out;
+  instance.write_tsplib(out, "toy");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("NAME: toy"), std::string::npos);
+  EXPECT_NE(text.find("DIMENSION: 2"), std::string::npos);
+  EXPECT_NE(text.find("FULL_MATRIX"), std::string::npos);
+  EXPECT_NE(text.find("0 9"), std::string::npos);
+}
+
+TEST(PathUtilities, ValidOrderChecks) {
+  EXPECT_TRUE(is_valid_order({2, 0, 1}, 3));
+  EXPECT_FALSE(is_valid_order({0, 0, 1}, 3));
+  EXPECT_FALSE(is_valid_order({0, 1}, 3));
+  EXPECT_FALSE(is_valid_order({0, 1, 3}, 3));
+}
+
+TEST(PathUtilities, PathAndTourLength) {
+  MetricInstance instance(3);
+  instance.set_weight(0, 1, 1);
+  instance.set_weight(1, 2, 2);
+  instance.set_weight(0, 2, 4);
+  EXPECT_EQ(path_length(instance, {0, 1, 2}), 3);
+  EXPECT_EQ(tour_length(instance, {0, 1, 2}), 7);
+  EXPECT_EQ(path_length(instance, {1, 0, 2}), 5);
+}
+
+TEST(PathUtilities, PathLengthValidatesOrder) {
+  const MetricInstance instance(3);
+  EXPECT_THROW(path_length(instance, {0, 1}), precondition_error);
+}
+
+TEST(PathUtilities, DepotTourConversion) {
+  const Order tour{4, 2, 3, 0, 1};
+  EXPECT_EQ(path_from_depot_tour(tour, 3), (Order{0, 1, 4, 2}));
+  EXPECT_EQ(path_from_depot_tour(tour, 4), (Order{2, 3, 0, 1}));
+  EXPECT_THROW(path_from_depot_tour(tour, 9), precondition_error);
+}
+
+TEST(PathUtilities, CanonicalPathOrientsBySmallerEndpoint) {
+  EXPECT_EQ(canonical_path({3, 1, 0}), (Order{0, 1, 3}));
+  EXPECT_EQ(canonical_path({0, 1, 3}), (Order{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(EdgeListIo, RoundTripThroughStream) {
+  Rng rng(1);
+  const Graph original = random_connected(14, 0.3, rng);
+  std::stringstream buffer;
+  write_edge_list(buffer, original);
+  const Graph loaded = read_edge_list(buffer);
+  EXPECT_TRUE(original == loaded);
+}
+
+TEST(EdgeListIo, ParsesCommentsAndBlankLines) {
+  std::stringstream input("# a comment\n\n3 2\n# another\n0 1\n\n1 2\n");
+  const Graph graph = read_edge_list(input);
+  EXPECT_EQ(graph.n(), 3);
+  EXPECT_EQ(graph.m(), 2);
+  EXPECT_TRUE(graph.has_edge(0, 1));
+  EXPECT_TRUE(graph.has_edge(1, 2));
+}
+
+TEST(EdgeListIo, RejectsMissingHeader) {
+  std::stringstream input("# only comments\n");
+  EXPECT_THROW(read_edge_list(input), precondition_error);
+}
+
+TEST(EdgeListIo, RejectsTruncatedEdgeSection) {
+  std::stringstream input("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(input), precondition_error);
+}
+
+TEST(EdgeListIo, RejectsOutOfRangeEndpoint) {
+  std::stringstream input("2 1\n0 5\n");
+  EXPECT_THROW(read_edge_list(input), precondition_error);
+}
+
+TEST(EdgeListIo, RejectsDuplicateEdge) {
+  std::stringstream input("3 2\n0 1\n1 0\n");
+  EXPECT_THROW(read_edge_list(input), precondition_error);
+}
+
+TEST(EdgeListIo, RejectsMalformedHeader) {
+  std::stringstream input("three two\n");
+  EXPECT_THROW(read_edge_list(input), precondition_error);
+}
+
+TEST(EdgeListIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/lptsp_io_test.graph";
+  const Graph original = petersen_graph();
+  write_edge_list_file(path, original);
+  const Graph loaded = read_edge_list_file(path);
+  EXPECT_TRUE(original == loaded);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/dir/file.graph"), precondition_error);
+}
+
+}  // namespace
+}  // namespace lptsp

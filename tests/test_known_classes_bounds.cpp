@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "util/check.hpp"
+#include "core/exact_bb.hpp"
+#include "core/known_classes.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+/// Exact lambda_{2,1} by the strongest applicable in-repo oracle.
+Weight exact_l21(const Graph& graph) {
+  if (is_connected(graph) && graph.n() >= 2 && diameter(graph) <= 2) {
+    SolveOptions options;
+    options.engine = Engine::HeldKarp;
+    return solve_labeling(graph, PVec::L21(), options).span;
+  }
+  return exact_labeling_branch_and_bound(graph, PVec::L21()).span;
+}
+
+TEST(KnownClasses, PathFormula) {
+  for (int n = 1; n <= 9; ++n) {
+    EXPECT_EQ(l21_span_path(n), exact_l21(path_graph(n))) << "n = " << n;
+  }
+}
+
+TEST(KnownClasses, CycleFormula) {
+  for (int n = 3; n <= 9; ++n) {
+    EXPECT_EQ(l21_span_cycle(n), exact_l21(cycle_graph(n))) << "n = " << n;
+  }
+}
+
+TEST(KnownClasses, WheelFormula) {
+  for (int n = 4; n <= 12; ++n) {
+    SolveOptions options;
+    options.engine = Engine::HeldKarp;
+    EXPECT_EQ(l21_span_wheel(n), solve_labeling(wheel_graph(n), PVec::L21(), options).span)
+        << "n = " << n;
+  }
+}
+
+TEST(KnownClasses, CompleteAndStarAndBipartite) {
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  for (int n = 2; n <= 8; ++n) {
+    EXPECT_EQ(l21_span_complete(n), solve_labeling(complete_graph(n), PVec::L21(), options).span);
+  }
+  for (int leaves = 2; leaves <= 8; ++leaves) {
+    EXPECT_EQ(l21_span_star(leaves),
+              solve_labeling(star_graph(leaves + 1), PVec::L21(), options).span);
+  }
+  for (int a = 1; a <= 4; ++a) {
+    for (int b = a; b <= 4; ++b) {
+      if (a == 1 && b == 1) continue;  // K_{1,1} = K_2 is diameter 1
+      EXPECT_EQ(l21_span_complete_bipartite(a, b),
+                solve_labeling(complete_bipartite(a, b), PVec::L21(), options).span)
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(KnownClasses, InputValidation) {
+  EXPECT_THROW(l21_span_path(0), precondition_error);
+  EXPECT_THROW(l21_span_cycle(2), precondition_error);
+  EXPECT_THROW(l21_span_wheel(3), precondition_error);
+}
+
+TEST(Bounds, DegreeBoundReproducesDeltaPlusOne) {
+  // Classic Griggs–Yeh: lambda_{2,1} >= Delta + 1.
+  for (const Graph& graph : {star_graph(7), wheel_graph(8), petersen_graph()}) {
+    EXPECT_EQ(span_lower_bound_degree(graph, PVec::L21()), max_degree(graph) + 1);
+  }
+}
+
+TEST(Bounds, SmallDiameterBoundRequiresScope) {
+  EXPECT_THROW(span_lower_bound_small_diameter(path_graph(5), PVec::L21()), precondition_error);
+  EXPECT_EQ(span_lower_bound_small_diameter(complete_graph(5), PVec::L21()), 4);
+}
+
+class BoundsSandwich : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 613 + 17)};
+};
+
+TEST_P(BoundsSandwich, LowerExactUpperOrdering) {
+  const Graph graph = random_with_diameter_at_most(8, 2, 0.35, rng_);
+  for (const PVec& p : {PVec::L21(), PVec::Lpq(3, 2), PVec({2, 2})}) {
+    SolveOptions options;
+    options.engine = Engine::HeldKarp;
+    const Weight exact = solve_labeling(graph, p, options).span;
+    EXPECT_LE(span_lower_bound(graph, p), exact) << p.to_string();
+    EXPECT_GE(span_upper_bound_greedy(graph, p), exact) << p.to_string();
+  }
+}
+
+TEST_P(BoundsSandwich, WorksBeyondReductionScope) {
+  // Larger-diameter graphs: bounds still bracket the direct exact solver.
+  const Graph graph = random_connected(8, 0.25, rng_);
+  const PVec p = PVec::L21();
+  const Weight exact = exact_labeling_branch_and_bound(graph, p).span;
+  EXPECT_LE(span_lower_bound(graph, p), exact);
+  EXPECT_GE(span_upper_bound_greedy(graph, p), exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsSandwich, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/approx.hpp"
+#include "core/l1_labeling.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "graph/operations.hpp"
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(L1Labeling, Diameter2PowerIsCompleteSoSpanIsNMinus1) {
+  // "L(1,1)-LABELING on graphs with diameter 2 is trivially solvable
+  // because G^2 is a complete graph" — the paper's remark after Thm 3.
+  Rng rng(1);
+  const Graph graph = random_with_diameter_at_most(9, 2, 0.3, rng);
+  const L1Result result = l1_labeling_exact(graph, 2);
+  EXPECT_EQ(result.span, graph.n() - 1);
+}
+
+TEST(L1Labeling, PathSquareColoring) {
+  // P_6^2 needs 3 colors.
+  const L1Result result = l1_labeling_exact(path_graph(6), 2);
+  EXPECT_EQ(result.span, 2);
+  EXPECT_TRUE(result.optimal);
+}
+
+TEST(L1Labeling, K1EqualsPlainColoring) {
+  const L1Result result = l1_labeling_exact(petersen_graph(), 1);
+  EXPECT_EQ(result.span, 2);  // chi(Petersen) = 3
+}
+
+TEST(L1Labeling, GreedyUpperBoundsExact) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = random_connected(12, 0.2, rng);
+    EXPECT_GE(l1_labeling_greedy(graph, 2).span, l1_labeling_exact(graph, 2).span);
+  }
+}
+
+class NdKernelSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 359 + 11)};
+};
+
+TEST_P(NdKernelSweep, KernelSolverMatchesExact) {
+  const Graph graph = random_connected(12, 0.15 + 0.05 * (GetParam() % 5), rng_);
+  for (int k = 1; k <= 3; ++k) {
+    const L1Result exact = l1_labeling_exact(graph, k);
+    const L1Result kernel = l1_labeling_nd_kernel(graph, k);
+    EXPECT_EQ(kernel.span, exact.span) << "k = " << k;
+    EXPECT_TRUE(kernel.optimal);
+    EXPECT_LE(kernel.kernel_size, graph.n());
+    EXPECT_TRUE(is_valid_labeling(graph, PVec::ones(k), kernel.labeling));
+  }
+}
+
+TEST_P(NdKernelSweep, KernelShrinksOnTwinRichGraphs) {
+  // Cographs joined with cographs have many twins in the square.
+  const Graph graph = join(random_cograph(6, rng_), random_cograph(6, rng_));
+  const L1Result kernel = l1_labeling_nd_kernel(graph, 2);
+  // G^2 is complete here (diameter <= 2), so the kernel is... still the
+  // clique class of everything: size n. Use k = 1 for actual shrink.
+  const L1Result kernel1 = l1_labeling_nd_kernel(graph, 1);
+  EXPECT_LE(kernel1.kernel_size, graph.n());
+  EXPECT_EQ(kernel1.span, l1_labeling_exact(graph, 1).span);
+  EXPECT_EQ(kernel.span, graph.n() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NdKernelSweep, ::testing::Range(0, 6));
+
+TEST(PmaxApprox, ValidAndBounded) {
+  Rng rng(7);
+  const Graph graph = random_with_diameter_at_most(8, 2, 0.3, rng);
+  const PVec p = PVec::L21();
+  const PmaxApproxResult approx = pmax_approx_labeling(graph, p);
+  EXPECT_TRUE(is_valid_labeling(graph, p, approx.labeling));
+  EXPECT_TRUE(approx.bound_certified);
+
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  const Weight optimal = solve_labeling(graph, p, options).span;
+  // Corollary 3: span <= pmax * lambda_1 <= pmax * lambda_p.
+  EXPECT_LE(approx.span, static_cast<Weight>(p.pmax()) * optimal);
+  EXPECT_GE(approx.span, optimal);
+}
+
+TEST(PmaxApprox, WorksBeyondTheoremTwoScope) {
+  // The pmax-approximation needs no diameter bound: P_8 with k = 2.
+  const Graph graph = path_graph(8);
+  const PVec p = PVec::L21();
+  const PmaxApproxResult approx = pmax_approx_labeling(graph, p);
+  EXPECT_TRUE(is_valid_labeling(graph, p, approx.labeling));
+  // lambda_{2,1}(P_n) = 4 for n >= 5; the approximation is within 2x.
+  EXPECT_LE(approx.span, 8);
+}
+
+TEST(PmaxApprox, GreedyVariantStillValid) {
+  Rng rng(9);
+  const Graph graph = random_connected(14, 0.25, rng);
+  const PmaxApproxResult approx = pmax_approx_labeling(graph, PVec({2, 2, 1}), false);
+  EXPECT_TRUE(is_valid_labeling(graph, PVec({2, 2, 1}), approx.labeling));
+  EXPECT_FALSE(approx.bound_certified);
+}
+
+class PmaxRatioSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 137 + 3)};
+};
+
+TEST_P(PmaxRatioSweep, RatioNeverExceedsPmax) {
+  const Graph graph = random_with_diameter_at_most(7, 2, 0.35, rng_);
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  for (const PVec& p : {PVec::L21(), PVec::Lpq(3, 2), PVec({2, 2})}) {
+    const Weight optimal = solve_labeling(graph, p, options).span;
+    const PmaxApproxResult approx = pmax_approx_labeling(graph, p);
+    if (optimal > 0) {
+      EXPECT_LE(static_cast<double>(approx.span) / static_cast<double>(optimal),
+                static_cast<double>(p.pmax()) + 1e-9)
+          << "p = " << p.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmaxRatioSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace lptsp

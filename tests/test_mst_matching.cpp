@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/generators.hpp"
+#include "tsp/brute_force.hpp"
+#include "tsp/lower_bounds.hpp"
+#include "tsp/matching.hpp"
+#include "tsp/mst.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+MetricInstance random_instance(int n, Rng& rng, int lo = 1, int hi = 9) {
+  MetricInstance instance(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) instance.set_weight(i, j, rng.uniform_int(lo, hi));
+  }
+  return instance;
+}
+
+/// Reference: exhaustive minimum spanning tree weight via edge subsets
+/// (Prüfer-free; n is tiny so try all parent arrays is easier via brute
+/// force over permutations of Prim — instead we check against a simple
+/// Kruskal implementation).
+Weight kruskal_weight(const MetricInstance& instance) {
+  struct Edge {
+    Weight w;
+    int u, v;
+  };
+  std::vector<Edge> edges;
+  for (int u = 0; u < instance.n(); ++u) {
+    for (int v = u + 1; v < instance.n(); ++v) edges.push_back({instance.weight(u, v), u, v});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) { return a.w < b.w; });
+  std::vector<int> root(static_cast<std::size_t>(instance.n()));
+  for (int v = 0; v < instance.n(); ++v) root[static_cast<std::size_t>(v)] = v;
+  const auto find = [&](int v) {
+    while (root[static_cast<std::size_t>(v)] != v) v = root[static_cast<std::size_t>(v)] = root[static_cast<std::size_t>(root[static_cast<std::size_t>(v)])];
+    return v;
+  };
+  Weight total = 0;
+  for (const auto& edge : edges) {
+    const int ru = find(edge.u);
+    const int rv = find(edge.v);
+    if (ru != rv) {
+      root[static_cast<std::size_t>(ru)] = rv;
+      total += edge.w;
+    }
+  }
+  return total;
+}
+
+/// Reference: brute-force min-weight perfect matching by recursion.
+Weight brute_force_min_matching(const MetricInstance& instance, std::vector<int> vertices) {
+  if (vertices.empty()) return 0;
+  const int first = vertices[0];
+  Weight best = std::numeric_limits<Weight>::max();
+  for (std::size_t i = 1; i < vertices.size(); ++i) {
+    std::vector<int> rest;
+    for (std::size_t j = 1; j < vertices.size(); ++j) {
+      if (j != i) rest.push_back(vertices[j]);
+    }
+    best = std::min(best, instance.weight(first, vertices[i]) +
+                              brute_force_min_matching(instance, std::move(rest)));
+  }
+  return best;
+}
+
+/// Reference: brute-force maximum matching size via edge subsets.
+int brute_force_max_matching(const Graph& graph) {
+  const auto edges = graph.edges();
+  int best = 0;
+  const int m = static_cast<int>(edges.size());
+  for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+    std::vector<bool> used(static_cast<std::size_t>(graph.n()), false);
+    int size = 0;
+    bool valid = true;
+    for (int e = 0; e < m && valid; ++e) {
+      if (!((mask >> e) & 1)) continue;
+      const auto& [u, v] = edges[static_cast<std::size_t>(e)];
+      if (used[static_cast<std::size_t>(u)] || used[static_cast<std::size_t>(v)]) {
+        valid = false;
+      } else {
+        used[static_cast<std::size_t>(u)] = used[static_cast<std::size_t>(v)] = true;
+        ++size;
+      }
+    }
+    if (valid) best = std::max(best, size);
+  }
+  return best;
+}
+
+TEST(Mst, SingleVertex) {
+  const SpanningTree tree = prim_mst(MetricInstance(1));
+  EXPECT_EQ(tree.total_weight, 0);
+  EXPECT_EQ(tree.parent[0], -1);
+}
+
+TEST(Mst, KnownTriangle) {
+  MetricInstance instance(3);
+  instance.set_weight(0, 1, 1);
+  instance.set_weight(1, 2, 2);
+  instance.set_weight(0, 2, 3);
+  EXPECT_EQ(prim_mst(instance).total_weight, 3);
+}
+
+TEST(Mst, OddDegreeCountIsEven) {
+  Rng rng(5);
+  for (int n : {2, 5, 9, 14}) {
+    const MetricInstance instance = random_instance(n, rng);
+    EXPECT_EQ(prim_mst(instance).odd_degree_vertices().size() % 2, 0u);
+  }
+}
+
+class MstProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 733 + 11)};
+};
+
+TEST_P(MstProperty, PrimMatchesKruskal) {
+  for (int n : {2, 4, 7, 11}) {
+    const MetricInstance instance = random_instance(n, rng_);
+    EXPECT_EQ(prim_mst(instance).total_weight, kruskal_weight(instance)) << "n = " << n;
+  }
+}
+
+TEST_P(MstProperty, MstLowerBoundsOptimalPath) {
+  const MetricInstance instance = random_instance(8, rng_);
+  EXPECT_LE(mst_lower_bound(instance), brute_force_path(instance).cost);
+  EXPECT_LE(trivial_lower_bound(instance), brute_force_path(instance).cost);
+  EXPECT_LE(path_lower_bound(instance), brute_force_path(instance).cost);
+}
+
+TEST_P(MstProperty, AscentBoundValidAndDominatesMst) {
+  const MetricInstance instance = random_instance(9, rng_);
+  const Weight ascent = held_karp_ascent_lower_bound(instance);
+  EXPECT_LE(ascent, brute_force_path(instance).cost);
+  EXPECT_GE(ascent, path_lower_bound(instance));
+}
+
+TEST(AscentBound, StrictlyBeatsMstOnStarMetrics) {
+  // Star metric: one hub at distance 1 from everyone, periphery pairs at
+  // distance 2. The MST is the star (weight n-1) but any Hamiltonian path
+  // must use >= n-3 weight-2 edges; the ascent closes most of that gap.
+  const int n = 9;
+  MetricInstance instance(n);
+  for (int i = 1; i < n; ++i) instance.set_weight(0, i, 1);
+  for (int i = 1; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) instance.set_weight(i, j, 2);
+  }
+  const Weight mst = path_lower_bound(instance);
+  const Weight ascent = held_karp_ascent_lower_bound(instance, 200);
+  const Weight optimal = brute_force_path(instance).cost;
+  EXPECT_GT(ascent, mst);
+  EXPECT_LE(ascent, optimal);
+}
+
+TEST(AscentBound, RejectsZeroIterations) {
+  EXPECT_THROW(held_karp_ascent_lower_bound(MetricInstance(4), 0), precondition_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstProperty, ::testing::Range(0, 8));
+
+TEST(Blossom, PerfectOnCompleteEvenGraph) {
+  const auto match = max_cardinality_matching(complete_graph(8));
+  for (int v = 0; v < 8; ++v) {
+    ASSERT_NE(match[static_cast<std::size_t>(v)], -1);
+    EXPECT_EQ(match[static_cast<std::size_t>(match[static_cast<std::size_t>(v)])], v);
+  }
+}
+
+TEST(Blossom, KnownMatchingNumbers) {
+  const auto count_matched = [](const std::vector<int>& match) {
+    int matched = 0;
+    for (const int partner : match) {
+      if (partner != -1) ++matched;
+    }
+    return matched / 2;
+  };
+  EXPECT_EQ(count_matched(max_cardinality_matching(petersen_graph())), 5);
+  EXPECT_EQ(count_matched(max_cardinality_matching(path_graph(7))), 3);
+  EXPECT_EQ(count_matched(max_cardinality_matching(cycle_graph(9))), 4);
+  EXPECT_EQ(count_matched(max_cardinality_matching(star_graph(6))), 1);
+  EXPECT_EQ(count_matched(max_cardinality_matching(Graph(5))), 0);
+}
+
+class BlossomProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 389 + 3)};
+};
+
+TEST_P(BlossomProperty, MatchesBruteForceSize) {
+  const Graph graph = erdos_renyi(9, 0.25 + 0.05 * (GetParam() % 5), rng_);
+  const auto match = max_cardinality_matching(graph);
+  int matched = 0;
+  for (int v = 0; v < graph.n(); ++v) {
+    if (match[static_cast<std::size_t>(v)] != -1) {
+      EXPECT_EQ(match[static_cast<std::size_t>(match[static_cast<std::size_t>(v)])], v);
+      EXPECT_TRUE(graph.has_edge(v, match[static_cast<std::size_t>(v)]));
+      ++matched;
+    }
+  }
+  EXPECT_EQ(matched / 2, brute_force_max_matching(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlossomProperty, ::testing::Range(0, 12));
+
+TEST(MatchingDp, EmptyAndPair) {
+  const MetricInstance instance = MetricInstance(2);
+  EXPECT_EQ(min_weight_perfect_matching_dp(instance, {}).weight, 0);
+  MetricInstance pair(2);
+  pair.set_weight(0, 1, 4);
+  const auto result = min_weight_perfect_matching_dp(pair, {0, 1});
+  EXPECT_EQ(result.weight, 4);
+  ASSERT_EQ(result.pairs.size(), 1u);
+}
+
+TEST(MatchingDp, RejectsOddCount) {
+  EXPECT_THROW(min_weight_perfect_matching_dp(MetricInstance(3), {0, 1, 2}), precondition_error);
+}
+
+class MatchingProperty : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 211 + 17)};
+};
+
+TEST_P(MatchingProperty, DpMatchesBruteForce) {
+  for (int k : {2, 4, 6, 8}) {
+    const MetricInstance instance = random_instance(k, rng_);
+    std::vector<int> vertices;
+    for (int v = 0; v < k; ++v) vertices.push_back(v);
+    const auto dp = min_weight_perfect_matching_dp(instance, vertices);
+    EXPECT_EQ(dp.weight, brute_force_min_matching(instance, vertices)) << "k = " << k;
+    EXPECT_TRUE(dp.certified_optimal);
+    // Pairs must cover each vertex exactly once and sum to the weight.
+    std::vector<bool> seen(static_cast<std::size_t>(k), false);
+    Weight total = 0;
+    for (const auto& [a, b] : dp.pairs) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(a)]);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(b)]);
+      seen[static_cast<std::size_t>(a)] = seen[static_cast<std::size_t>(b)] = true;
+      total += instance.weight(a, b);
+    }
+    EXPECT_EQ(total, dp.weight);
+  }
+}
+
+TEST_P(MatchingProperty, TwoValuedMatchesDp) {
+  const int k = 10;
+  MetricInstance instance(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) instance.set_weight(i, j, rng_.bernoulli(0.5) ? 1 : 2);
+  }
+  std::vector<int> vertices;
+  for (int v = 0; v < k; ++v) vertices.push_back(v);
+  const auto two_valued = min_weight_perfect_matching_two_valued(instance, vertices);
+  const auto dp = min_weight_perfect_matching_dp(instance, vertices);
+  EXPECT_EQ(two_valued.weight, dp.weight);
+  EXPECT_TRUE(two_valued.certified_optimal);
+}
+
+TEST_P(MatchingProperty, GreedyNeverBeatsExact) {
+  const int k = 10;
+  const MetricInstance instance = random_instance(k, rng_);
+  std::vector<int> vertices;
+  for (int v = 0; v < k; ++v) vertices.push_back(v);
+  const auto greedy = greedy_perfect_matching(instance, vertices);
+  const auto dp = min_weight_perfect_matching_dp(instance, vertices);
+  EXPECT_GE(greedy.weight, dp.weight);
+}
+
+TEST_P(MatchingProperty, DispatcherPicksCertifiedEngines) {
+  // Two-valued: certified even at large k.
+  MetricInstance two_valued(30);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = i + 1; j < 30; ++j) two_valued.set_weight(i, j, rng_.bernoulli(0.5) ? 3 : 6);
+  }
+  std::vector<int> all30;
+  for (int v = 0; v < 30; ++v) all30.push_back(v);
+  EXPECT_TRUE(min_weight_perfect_matching(two_valued, all30).certified_optimal);
+
+  // Small many-valued: DP, certified.
+  const MetricInstance small = random_instance(8, rng_);
+  std::vector<int> all8;
+  for (int v = 0; v < 8; ++v) all8.push_back(v);
+  EXPECT_TRUE(min_weight_perfect_matching(small, all8).certified_optimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace lptsp

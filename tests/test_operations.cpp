@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/operations.hpp"
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(Complement, ComplementOfCompleteIsEmpty) {
+  const Graph graph = complement(complete_graph(5));
+  EXPECT_EQ(graph.m(), 0);
+}
+
+TEST(Complement, IsInvolution) {
+  Rng rng(3);
+  const Graph graph = erdos_renyi(15, 0.4, rng);
+  EXPECT_TRUE(complement(complement(graph)) == graph);
+}
+
+TEST(Complement, EdgeCountsSumToAllPairs) {
+  Rng rng(5);
+  const Graph graph = erdos_renyi(12, 0.3, rng);
+  EXPECT_EQ(graph.m() + complement(graph).m(), 12 * 11 / 2);
+}
+
+TEST(Power, FirstPowerIsIdentity) {
+  Rng rng(7);
+  const Graph graph = random_connected(12, 0.2, rng);
+  EXPECT_TRUE(power(graph, 1) == graph);
+}
+
+TEST(Power, DiameterPowerIsComplete) {
+  const Graph graph = path_graph(6);
+  EXPECT_TRUE(power(graph, 5) == complete_graph(6));
+}
+
+TEST(Power, SquareOfPath) {
+  const Graph square = power(path_graph(5), 2);
+  EXPECT_TRUE(square.has_edge(0, 2));
+  EXPECT_FALSE(square.has_edge(0, 3));
+  EXPECT_EQ(square.m(), 4 + 3);
+}
+
+TEST(Power, RejectsNonPositiveExponent) {
+  EXPECT_THROW(power(path_graph(3), 0), precondition_error);
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  const Graph graph = cycle_graph(6);
+  const Graph sub = induced_subgraph(graph, {0, 1, 3});
+  EXPECT_EQ(sub.n(), 3);
+  EXPECT_EQ(sub.m(), 1);  // only {0,1} survives
+  EXPECT_TRUE(sub.has_edge(0, 1));
+}
+
+TEST(InducedSubgraph, RejectsDuplicates) {
+  EXPECT_THROW(induced_subgraph(path_graph(4), {0, 0}), precondition_error);
+}
+
+TEST(UnionAndJoin, DisjointUnionKeepsBothSides) {
+  const Graph left = path_graph(3);
+  const Graph right = complete_graph(3);
+  const Graph both = disjoint_union(left, right);
+  EXPECT_EQ(both.n(), 6);
+  EXPECT_EQ(both.m(), 2 + 3);
+  EXPECT_FALSE(is_connected(both));
+}
+
+TEST(UnionAndJoin, JoinAddsAllCrossEdges) {
+  const Graph joined = join(Graph(2), Graph(3));
+  EXPECT_EQ(joined.m(), 6);
+  EXPECT_TRUE(joined == complete_bipartite(2, 3));
+}
+
+TEST(UnionAndJoin, JoinOfCompletesIsComplete) {
+  EXPECT_TRUE(join(complete_graph(2), complete_graph(3)) == complete_graph(5));
+}
+
+TEST(UniversalVertex, MakesDiameterAtMostTwo) {
+  const Graph graph = add_universal_vertex(path_graph(8));
+  EXPECT_EQ(graph.n(), 9);
+  EXPECT_EQ(graph.degree(8), 8);
+  EXPECT_LE(diameter(graph), 2);
+}
+
+TEST(Relabel, PreservesDegreeMultiset) {
+  Rng rng(11);
+  const Graph graph = erdos_renyi(10, 0.4, rng);
+  const auto perm = rng.permutation(10);
+  const Graph renamed = relabel(graph, perm);
+  std::vector<int> degrees_before;
+  std::vector<int> degrees_after;
+  for (int v = 0; v < 10; ++v) {
+    degrees_before.push_back(graph.degree(v));
+    degrees_after.push_back(renamed.degree(v));
+  }
+  std::sort(degrees_before.begin(), degrees_before.end());
+  std::sort(degrees_after.begin(), degrees_after.end());
+  EXPECT_EQ(degrees_before, degrees_after);
+  EXPECT_EQ(graph.m(), renamed.m());
+}
+
+TEST(Relabel, MapsEdgesThroughPermutation) {
+  const Graph graph = Graph::from_edges(3, {{0, 1}});
+  const Graph renamed = relabel(graph, {2, 0, 1});
+  EXPECT_TRUE(renamed.has_edge(2, 0));
+  EXPECT_FALSE(renamed.has_edge(0, 1));
+}
+
+TEST(Relabel, RejectsNonPermutation) {
+  EXPECT_THROW(relabel(path_graph(3), {0, 0, 1}), precondition_error);
+  EXPECT_THROW(relabel(path_graph(3), {0, 1}), precondition_error);
+}
+
+}  // namespace
+}  // namespace lptsp

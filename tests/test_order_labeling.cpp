@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/order_labeling.hpp"
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "tsp/held_karp.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(Claim1, PrefixSumsOnKnownExample) {
+  const Graph graph = path_graph(3);
+  const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+  // Order (0, 2, 1): w(0,2) = 1 (distance 2), w(2,1) = 2 (adjacent).
+  const Labeling labeling = labeling_from_order(reduced.instance, {0, 2, 1});
+  EXPECT_EQ(labeling.labels[0], 0);
+  EXPECT_EQ(labeling.labels[2], 1);
+  EXPECT_EQ(labeling.labels[1], 3);
+  EXPECT_EQ(labeling.span(), path_length(reduced.instance, {0, 2, 1}));
+}
+
+TEST(Claim1, RequiresPermutation) {
+  const MetricInstance instance(3);
+  EXPECT_THROW(labeling_from_order(instance, {0, 1}), precondition_error);
+}
+
+class Claim1Property : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 601 + 2)};
+};
+
+TEST_P(Claim1Property, PrefixLabelingIsValidAndSpanEqualsPathLength) {
+  // Core of Claim 1: for ANY order, the prefix labeling is a valid
+  // L(p)-labeling whose span is the Hamiltonian path length.
+  const std::vector<PVec> ps{PVec::L21(), PVec({1, 1}), PVec({2, 2}), PVec::Lpq(3, 2),
+                             PVec({4, 3})};
+  const Graph graph = random_with_diameter_at_most(9, 2, 0.3, rng_);
+  const auto dist = all_pairs_distances(graph);
+  for (const PVec& p : ps) {
+    const auto reduced = reduce_to_path_tsp(graph, p);
+    for (int trial = 0; trial < 5; ++trial) {
+      const Order order = rng_.permutation(graph.n());
+      const Labeling labeling = labeling_from_order(reduced.instance, order);
+      EXPECT_TRUE(is_valid_labeling(graph, dist, p, labeling)) << "p = " << p.to_string();
+      EXPECT_EQ(labeling.span(), path_length(reduced.instance, order));
+    }
+  }
+}
+
+TEST_P(Claim1Property, PrefixMatchesGeneralDpUnderCondition) {
+  // Under pmax <= 2*pmin the general per-order DP and the Claim-1 prefix
+  // labeling agree exactly.
+  const Graph graph = random_with_diameter_at_most(8, 3, 0.25, rng_);
+  const PVec p({2, 2, 1});
+  const auto reduced = reduce_to_path_tsp(graph, p);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Order order = rng_.permutation(graph.n());
+    const Labeling prefix = labeling_from_order(reduced.instance, order);
+    const Labeling general = minimal_labeling_for_order(reduced.dist, p, order);
+    EXPECT_EQ(prefix.labels, general.labels);
+  }
+}
+
+TEST_P(Claim1Property, GeneralDpNeverBelowPathLengthAndCanExceedIt) {
+  // Ablation seed: the per-order minimal span always dominates the path
+  // length (l_i >= l_{i-1} + w_{i-1,i} by the DP recurrence). Without the
+  // pmax <= 2*pmin condition the inequality can be strict — the precise
+  // reason the naive reduction UNDER-reports lambda_p (measured in E10).
+  const Graph graph = random_with_diameter_at_most(7, 2, 0.35, rng_);
+  const PVec p({5, 1});
+  const auto reduced = reduce_to_path_tsp_unchecked(graph, p);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Order order = rng_.permutation(graph.n());
+    const Labeling general = minimal_labeling_for_order(reduced.dist, p, order);
+    EXPECT_GE(general.span(), path_length(reduced.instance, order));
+    EXPECT_TRUE(is_valid_labeling(graph, reduced.dist, p, general));
+  }
+}
+
+TEST_P(Claim1Property, MinOverOrdersEqualsHeldKarpUnderCondition) {
+  // Independent oracle: exhaustive min over orders of the general DP must
+  // equal the TSP optimum of the reduced instance (Theorem 2).
+  const Graph graph = random_with_diameter_at_most(7, 2, 0.3, rng_);
+  const PVec p = PVec::L21();
+  const auto reduced = reduce_to_path_tsp(graph, p);
+  EXPECT_EQ(min_span_over_all_orders(graph, p), held_karp_path(reduced.instance).cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Claim1Property, ::testing::Range(0, 8));
+
+TEST(GeneralDp, UnconstrainedPairsShareLabels) {
+  // Path 0-1-2-3 with k = 2: ends are unconstrained (distance 3).
+  const Graph graph = path_graph(4);
+  const auto dist = all_pairs_distances(graph);
+  const Labeling labeling = minimal_labeling_for_order(dist, PVec::L21(), {0, 3, 1, 2});
+  // 0 and 3 can share label 0.
+  EXPECT_EQ(labeling.labels[0], 0);
+  EXPECT_EQ(labeling.labels[3], 0);
+}
+
+TEST(OrderEnumeration, SizeCap) {
+  EXPECT_THROW(min_span_over_all_orders(complete_graph(10), PVec::L21()), precondition_error);
+}
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/partition_paths.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "graph/operations.hpp"
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(PathPartitionWitness, ValidityChecker) {
+  const Graph graph = path_graph(4);
+  EXPECT_TRUE(is_valid_path_partition(graph, {{{0, 1, 2, 3}}}));
+  EXPECT_TRUE(is_valid_path_partition(graph, {{{0, 1}, {2, 3}}}));
+  EXPECT_FALSE(is_valid_path_partition(graph, {{{0, 2}, {1, 3}}}));  // non-edges
+  EXPECT_FALSE(is_valid_path_partition(graph, {{{0, 1}}}));          // misses vertices
+  EXPECT_FALSE(is_valid_path_partition(graph, {{{0, 1}, {1, 2, 3}}}));  // reuse
+}
+
+TEST(PathPartitionWitness, ExactOnKnownGraphs) {
+  EXPECT_EQ(path_partition_exact(path_graph(6)).size(), 1);
+  EXPECT_EQ(path_partition_exact(star_graph(6)).size(), 4);
+  EXPECT_EQ(path_partition_exact(Graph(3)).size(), 3);
+  EXPECT_EQ(path_partition_exact(Graph(1)).size(), 1);
+}
+
+class PartitionSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 431 + 3)};
+};
+
+TEST_P(PartitionSweep, WitnessesAreValid) {
+  const Graph graph = erdos_renyi(11, 0.2 + 0.04 * (GetParam() % 6), rng_);
+  const PathPartition exact = path_partition_exact(graph);
+  const PathPartition greedy = path_partition_greedy(graph);
+  EXPECT_TRUE(is_valid_path_partition(graph, exact));
+  EXPECT_TRUE(is_valid_path_partition(graph, greedy));
+  EXPECT_LE(exact.size(), greedy.size());
+}
+
+TEST_P(PartitionSweep, Corollary2MatchesTspPipeline) {
+  // The heart of Corollary 2: the path-partition formula must equal the
+  // Theorem-2 + Held-Karp span on diameter-2 graphs, for both p <= q and
+  // p > q (complement case).
+  const Graph graph = random_with_diameter_at_most(9, 2, 0.3, rng_);
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  for (const auto& [p, q] : std::vector<std::pair<int, int>>{
+           {2, 1}, {1, 1}, {1, 2}, {3, 2}, {2, 3}, {2, 2}, {4, 3}, {3, 4}}) {
+    const Weight via_tsp = solve_labeling(graph, PVec::Lpq(p, q), options).span;
+    const Diameter2Result via_partition = lpq_span_diameter2(graph, p, q);
+    EXPECT_EQ(via_partition.span, via_tsp) << "p=" << p << " q=" << q;
+    EXPECT_EQ(via_partition.used_complement, p > q);
+    if (!via_partition.labeling.labels.empty()) {
+      EXPECT_TRUE(is_valid_labeling(graph, PVec::Lpq(p, q), via_partition.labeling));
+      EXPECT_EQ(via_partition.labeling.span(), via_partition.span);
+    }
+  }
+}
+
+TEST_P(PartitionSweep, GreedySolverUpperBounds) {
+  const Graph graph = random_with_diameter_at_most(10, 2, 0.3, rng_);
+  const Diameter2Result exact = lpq_span_diameter2(graph, 2, 1, PartitionSolver::Exact);
+  const Diameter2Result greedy = lpq_span_diameter2(graph, 2, 1, PartitionSolver::Greedy);
+  EXPECT_GE(greedy.span, exact.span);
+  EXPECT_GE(greedy.partition_size, exact.partition_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweep, ::testing::Range(0, 8));
+
+TEST(Corollary2, CompleteGraph) {
+  // K_5 with p=2 > q=1: the partition runs on the complement (empty
+  // graph), s* = 5, and lambda = 4*1 + (2-1)*4 = 8 = 2(n-1).
+  const Diameter2Result result = lpq_span_diameter2(complete_graph(5), 2, 1);
+  EXPECT_TRUE(result.used_complement);
+  EXPECT_EQ(result.partition_size, 5);
+  EXPECT_EQ(result.span, 8);
+}
+
+TEST(Corollary2, StarGraphL21) {
+  // K_{1,5} with p=2 > q=1: complement = K_5 on the leaves + isolated hub,
+  // so s* = 2 and lambda_{2,1} = 5*1 + 1*1 = 6 (the known m+1 value).
+  const Diameter2Result result = lpq_span_diameter2(star_graph(6), 2, 1);
+  EXPECT_TRUE(result.used_complement);
+  EXPECT_EQ(result.span, 6);
+  EXPECT_EQ(result.partition_size, 2);
+}
+
+TEST(Corollary2, ComplementCaseUsesComplementPartition) {
+  // Star with p > q: cheap edges are the distance-2 pairs = leaf pairs,
+  // which form K_{m} on the leaves plus an isolated hub.
+  const Graph star = star_graph(5);
+  const Diameter2Result result = lpq_span_diameter2(star, 3, 2);
+  EXPECT_TRUE(result.used_complement);
+  // Complement of K_{1,4} = K_4 + isolated hub: 2 paths.
+  EXPECT_EQ(result.partition_size, 2);
+  EXPECT_EQ(result.span, 4 * 2 + (3 - 2) * 1);
+}
+
+TEST(Corollary2, SingleVertex) {
+  EXPECT_EQ(lpq_span_diameter2(Graph(1), 2, 1).span, 0);
+}
+
+TEST(Corollary2, Preconditions) {
+  EXPECT_THROW(lpq_span_diameter2(path_graph(4), 2, 1), precondition_error);  // diameter 3
+  EXPECT_THROW(lpq_span_diameter2(star_graph(4), 3, 1), precondition_error);  // 3 > 2*1
+  Graph disconnected(3);
+  EXPECT_THROW(lpq_span_diameter2(disconnected, 2, 1), precondition_error);
+}
+
+TEST(Fig2, OrderSplitsIntoPaths) {
+  // Reproduce the Figure-2 mechanics: an order whose consecutive pairs
+  // alternate between edges (A_pi) and non-edges (B_pi) splits into
+  // |B_pi| + 1 paths.
+  Graph graph(9);
+  // Build paths {0,1,2}, {3}, {4,5}, {6,7}, {8} and make the graph their
+  // disjoint union plus extra edges so it stays the witness structure.
+  graph.add_edge(0, 1);
+  graph.add_edge(1, 2);
+  graph.add_edge(4, 5);
+  graph.add_edge(6, 7);
+  const Order order{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  // Count boundary (non-edge) steps: (2,3), (3,4), (5,6), (7,8) -> 4.
+  int heavy = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (!graph.has_edge(order[i], order[i + 1])) ++heavy;
+  }
+  EXPECT_EQ(heavy, 4);
+  const PathPartition greedy = path_partition_greedy(graph);
+  EXPECT_EQ(greedy.size(), 5);  // |B_pi| + 1
+}
+
+}  // namespace
+}  // namespace lptsp

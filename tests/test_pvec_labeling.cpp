@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/labeling.hpp"
+#include "core/pvec.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(PVec, BasicAccessors) {
+  const PVec p({2, 1});
+  EXPECT_EQ(p.k(), 2);
+  EXPECT_EQ(p.at(1), 2);
+  EXPECT_EQ(p.at(2), 1);
+  EXPECT_EQ(p.pmin(), 1);
+  EXPECT_EQ(p.pmax(), 2);
+}
+
+TEST(PVec, FactoryHelpers) {
+  EXPECT_EQ(PVec::L21(), PVec({2, 1}));
+  EXPECT_EQ(PVec::Lpq(3, 2), PVec({3, 2}));
+  EXPECT_EQ(PVec::ones(3), PVec({1, 1, 1}));
+}
+
+TEST(PVec, ReductionCondition) {
+  EXPECT_TRUE(PVec({2, 1}).satisfies_reduction_condition());
+  EXPECT_TRUE(PVec({2, 2, 1}).satisfies_reduction_condition());
+  EXPECT_TRUE(PVec({1, 1}).satisfies_reduction_condition());
+  EXPECT_FALSE(PVec({3, 1}).satisfies_reduction_condition());
+  EXPECT_FALSE(PVec({5, 2, 2}).satisfies_reduction_condition());
+}
+
+TEST(PVec, Scaling) {
+  const PVec scaled = PVec({2, 1}).scaled(3);
+  EXPECT_EQ(scaled, PVec({6, 3}));
+}
+
+TEST(PVec, Validation) {
+  EXPECT_THROW(PVec({}), precondition_error);
+  EXPECT_THROW(PVec({1, -1}), precondition_error);
+  EXPECT_THROW(static_cast<void>(PVec({1}).at(2)), precondition_error);
+  EXPECT_THROW(static_cast<void>(PVec({1}).at(0)), precondition_error);
+}
+
+TEST(PVec, ToString) {
+  EXPECT_EQ(PVec({2, 1}).to_string(), "(2,1)");
+  EXPECT_EQ(PVec({7}).to_string(), "(7)");
+}
+
+TEST(Labeling, SpanIsMaxLabel) {
+  const Labeling labeling{{0, 4, 2}};
+  EXPECT_EQ(labeling.span(), 4);
+  EXPECT_THROW(static_cast<void>(Labeling{}.span()), precondition_error);
+}
+
+TEST(Verifier, AcceptsValidL21OnPath) {
+  // Path 0-1-2 with L(2,1): labels 0, 2, 4 work.
+  const Graph graph = path_graph(3);
+  EXPECT_TRUE(is_valid_labeling(graph, PVec::L21(), Labeling{{0, 2, 4}}));
+}
+
+TEST(Verifier, RejectsAdjacentGapViolation) {
+  const Graph graph = path_graph(3);
+  // Labels 0,1 on adjacent vertices violate p1 = 2.
+  const Labeling bad{{0, 1, 3}};
+  const auto violation = find_violation(graph, all_pairs_distances(graph), PVec::L21(), bad);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->distance, 1);
+  EXPECT_EQ(violation->required, 2);
+  EXPECT_EQ(violation->actual_gap, 1);
+  EXPECT_FALSE(violation->to_string().empty());
+}
+
+TEST(Verifier, RejectsDistanceTwoViolation) {
+  const Graph graph = path_graph(3);
+  // Vertices 0 and 2 are at distance 2 and must differ (p2 = 1).
+  EXPECT_FALSE(is_valid_labeling(graph, PVec::L21(), Labeling{{0, 2, 0}}));
+}
+
+TEST(Verifier, PairsBeyondKAreUnconstrained) {
+  // Path 0-1-2-3: distance(0,3) = 3 > k = 2, equal labels allowed there.
+  const Graph graph = path_graph(4);
+  EXPECT_TRUE(is_valid_labeling(graph, PVec::L21(), Labeling{{0, 2, 4, 0}}));
+}
+
+TEST(Verifier, RejectsNegativeLabels) {
+  const Graph graph = path_graph(2);
+  EXPECT_THROW(
+      is_valid_labeling(graph, PVec::L21(), Labeling{{0, -2}}),
+      precondition_error);
+}
+
+TEST(Verifier, RejectsSizeMismatch) {
+  const Graph graph = path_graph(3);
+  EXPECT_THROW(is_valid_labeling(graph, PVec::L21(), Labeling{{0, 2}}), precondition_error);
+}
+
+TEST(Verifier, ZeroVectorAcceptsAnything) {
+  const Graph graph = complete_graph(4);
+  EXPECT_TRUE(is_valid_labeling(graph, PVec({0, 0}), Labeling{{0, 0, 0, 0}}));
+}
+
+TEST(Verifier, HandlesDisconnectedGraphs) {
+  Graph graph(4);
+  graph.add_edge(0, 1);
+  graph.add_edge(2, 3);
+  // Unreachable pairs are unconstrained.
+  EXPECT_TRUE(is_valid_labeling(graph, PVec::L21(), Labeling{{0, 2, 0, 2}}));
+}
+
+TEST(Verifier, FigureOneOptimalLabeling) {
+  // lambda_{2,1,1} of the Figure-1 graph equals the optimal Hamiltonian
+  // path weight; a manual optimum is easy to verify: the triangle needs
+  // pairwise gaps >= 2 (distance 1) and d,e cascade.
+  const Graph graph = fig1_graph();
+  const PVec p({2, 1, 1});
+  // a=0,b=2,c=4 (triangle), d=1? d adj c (|1-4|=3 ok), d-b dist2 (|1-2|=1 ok),
+  // d-a dist3 (|1-0|=1 ok), e adj d (|x-1|>=2), e-c dist2, e-a/b dist3.
+  const Labeling manual{{0, 2, 4, 1, 3}};
+  EXPECT_TRUE(is_valid_labeling(graph, p, manual));
+  EXPECT_EQ(manual.span(), 4);
+}
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/reduction.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(Reduction, FigureOneWeights) {
+  // Theorem 2 on the paper's Figure-1 example: weights p1 x5, p2 x3, p3 x2.
+  const Graph graph = fig1_graph();
+  const PVec p({4, 3, 2});  // pmax=4 <= 2*pmin=4
+  const auto reduced = reduce_to_path_tsp(graph, p);
+  std::map<Weight, int> histogram;
+  for (int u = 0; u < 5; ++u) {
+    for (int v = u + 1; v < 5; ++v) ++histogram[reduced.instance.weight(u, v)];
+  }
+  EXPECT_EQ(histogram[4], 5);
+  EXPECT_EQ(histogram[3], 3);
+  EXPECT_EQ(histogram[2], 2);
+}
+
+TEST(Reduction, ProducesMetricInstance) {
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph graph = random_with_diameter_at_most(10, 3, 0.2, rng);
+    const auto reduced = reduce_to_path_tsp(graph, PVec({2, 2, 1}));
+    EXPECT_TRUE(reduced.instance.is_metric());
+  }
+}
+
+TEST(Reduction, WeightsStayWithinPminBand) {
+  Rng rng(5);
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng);
+  const PVec p = PVec::Lpq(3, 2);
+  const auto reduced = reduce_to_path_tsp(graph, p);
+  EXPECT_GE(reduced.instance.min_weight(), p.pmin());
+  EXPECT_LE(reduced.instance.max_weight(), 2 * p.pmin());
+}
+
+TEST(Reduction, DistanceMatrixIsReturned) {
+  const Graph graph = path_graph(3);
+  const auto reduced = reduce_to_path_tsp(graph, PVec::L21());
+  EXPECT_EQ(reduced.dist.at(0, 2), 2);
+  EXPECT_EQ(reduced.instance.weight(0, 2), 1);
+  EXPECT_EQ(reduced.instance.weight(0, 1), 2);
+}
+
+TEST(Reduction, RejectsDisconnectedGraphs) {
+  Graph graph(4);
+  graph.add_edge(0, 1);
+  EXPECT_THROW(reduce_to_path_tsp(graph, PVec::L21()), precondition_error);
+}
+
+TEST(Reduction, RejectsDiameterLargerThanK) {
+  const Graph graph = path_graph(5);  // diameter 4
+  EXPECT_THROW(reduce_to_path_tsp(graph, PVec::L21()), precondition_error);
+}
+
+TEST(Reduction, RejectsConditionViolatingP) {
+  const Graph graph = star_graph(5);  // diameter 2
+  EXPECT_THROW(reduce_to_path_tsp(graph, PVec({3, 1})), precondition_error);
+}
+
+TEST(Reduction, UncheckedAllowsConditionViolation) {
+  const Graph graph = star_graph(5);
+  const auto reduced = reduce_to_path_tsp_unchecked(graph, PVec({3, 1}));
+  EXPECT_EQ(reduced.instance.weight(0, 1), 3);  // hub-leaf at distance 1
+  EXPECT_EQ(reduced.instance.weight(1, 2), 1);  // leaves at distance 2
+}
+
+TEST(Reduction, UncheckedStillRequiresDiameterFit) {
+  const Graph graph = path_graph(6);
+  EXPECT_THROW(reduce_to_path_tsp_unchecked(graph, PVec({3, 1})), precondition_error);
+}
+
+TEST(Reduction, ParallelDistancesMatchSerial) {
+  Rng rng(7);
+  const Graph graph = random_with_diameter_at_most(20, 3, 0.15, rng);
+  const PVec p({2, 2, 1});
+  const auto serial = reduce_to_path_tsp(graph, p, 1);
+  const auto parallel = reduce_to_path_tsp(graph, p, 0);
+  for (int u = 0; u < graph.n(); ++u) {
+    for (int v = 0; v < graph.n(); ++v) {
+      EXPECT_EQ(serial.instance.weight(u, v), parallel.instance.weight(u, v));
+    }
+  }
+}
+
+TEST(Reduction, SingleVertexGraph) {
+  const auto reduced = reduce_to_path_tsp(Graph(1), PVec::L21());
+  EXPECT_EQ(reduced.instance.n(), 1);
+}
+
+TEST(Reduction, CompleteGraphAllWeightsP1) {
+  const auto reduced = reduce_to_path_tsp(complete_graph(6), PVec::L21());
+  EXPECT_EQ(reduced.instance.min_weight(), 2);
+  EXPECT_EQ(reduced.instance.max_weight(), 2);
+}
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+const std::vector<Engine> kAllEngines{
+    Engine::BruteForce,        Engine::HeldKarp,    Engine::Christofides,
+    Engine::DoubleMst,         Engine::NearestNeighbor, Engine::NearestNeighbor2Opt,
+    Engine::GreedyEdge,        Engine::LinKernighanStyle, Engine::ChainedLK,
+    Engine::SimulatedAnnealing, Engine::BranchBound,
+};
+
+TEST(EngineNames, AllDistinctAndNonEmpty) {
+  std::set<std::string> names;
+  for (const Engine engine : kAllEngines) {
+    const std::string name = engine_name(engine);
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kAllEngines.size());
+}
+
+class EngineSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 137 + 41)};
+};
+
+TEST_P(EngineSweep, AllEnginesProduceValidLabelings) {
+  const Graph graph = random_with_diameter_at_most(10, 2, 0.3, rng_);
+  const PVec p = PVec::L21();
+  SolveOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam() + 1);
+
+  Weight exact_span = -1;
+  for (const Engine engine : kAllEngines) {
+    options.engine = engine;
+    const SolveResult result = solve_labeling(graph, p, options);
+    // solve_labeling verifies internally; double-check here regardless.
+    EXPECT_TRUE(is_valid_labeling(graph, p, result.labeling)) << engine_name(engine);
+    EXPECT_EQ(result.labeling.span(), result.span) << engine_name(engine);
+    EXPECT_TRUE(is_valid_order(result.order, graph.n()));
+    EXPECT_GE(result.seconds, 0.0);
+    if (engine == Engine::HeldKarp || engine == Engine::BruteForce ||
+        engine == Engine::BranchBound) {
+      EXPECT_TRUE(result.optimal);
+      if (exact_span >= 0) {
+        EXPECT_EQ(result.span, exact_span);
+      }
+      exact_span = result.span;
+    }
+  }
+
+  // Every heuristic is lower-bounded by the exact span.
+  for (const Engine engine : kAllEngines) {
+    options.engine = engine;
+    EXPECT_GE(solve_labeling(graph, p, options).span, exact_span) << engine_name(engine);
+  }
+}
+
+TEST_P(EngineSweep, HigherDimensionP) {
+  const Graph graph = random_with_diameter_at_most(9, 3, 0.25, rng_);
+  const PVec p({2, 2, 1});
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  const SolveResult exact = solve_labeling(graph, p, options);
+  options.engine = Engine::ChainedLK;
+  const SolveResult heuristic = solve_labeling(graph, p, options);
+  EXPECT_GE(heuristic.span, exact.span);
+  EXPECT_TRUE(is_valid_labeling(graph, p, heuristic.labeling));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineSweep, ::testing::Range(0, 6));
+
+TEST(SolveLabeling, SingleVertex) {
+  const SolveResult result = solve_labeling(Graph(1), PVec::L21());
+  EXPECT_EQ(result.span, 0);
+  EXPECT_TRUE(result.optimal);
+  EXPECT_EQ(result.labeling.labels, (std::vector<Weight>{0}));
+}
+
+TEST(SolveLabeling, PropagatesReductionPreconditions) {
+  EXPECT_THROW(solve_labeling(path_graph(6), PVec::L21()), precondition_error);
+  EXPECT_THROW(solve_labeling(star_graph(5), PVec({3, 1})), precondition_error);
+}
+
+TEST(SolveLabeling, SeedChangesAreDeterministic) {
+  Rng rng(9);
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng);
+  SolveOptions options;
+  options.engine = Engine::ChainedLK;
+  options.seed = 5;
+  const Weight first = solve_labeling(graph, PVec::L21(), options).span;
+  const Weight second = solve_labeling(graph, PVec::L21(), options).span;
+  EXPECT_EQ(first, second);
+}
+
+TEST(SolveLabeling, LabelsArePermutationConsistent) {
+  // Labels sorted by the returned order must be non-decreasing (Claim 1).
+  Rng rng(11);
+  const Graph graph = random_with_diameter_at_most(9, 2, 0.35, rng);
+  SolveOptions options;
+  options.engine = Engine::LinKernighanStyle;
+  const SolveResult result = solve_labeling(graph, PVec::L21(), options);
+  for (std::size_t i = 1; i < result.order.size(); ++i) {
+    EXPECT_LE(result.labeling.labels[static_cast<std::size_t>(result.order[i - 1])],
+              result.labeling.labels[static_cast<std::size_t>(result.order[i])]);
+  }
+  EXPECT_EQ(result.labeling.labels[static_cast<std::size_t>(result.order.front())], 0);
+}
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/exact_bb.hpp"
+#include "core/known_classes.hpp"
+#include "core/tree_labeling.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(TreeL21, SingleVertexAndEdge) {
+  EXPECT_EQ(l21_tree(Graph(1)).span, 0);
+  const TreeL21Result edge = l21_tree(path_graph(2));
+  EXPECT_EQ(edge.span, 2);
+  EXPECT_TRUE(edge.is_delta_plus_one);
+}
+
+TEST(TreeL21, PathsMatchClosedForm) {
+  for (int n = 2; n <= 12; ++n) {
+    const TreeL21Result result = l21_tree(path_graph(n));
+    EXPECT_EQ(result.span, l21_span_path(n)) << "n = " << n;
+    EXPECT_TRUE(is_valid_labeling(path_graph(n), PVec::L21(), result.labeling));
+  }
+}
+
+TEST(TreeL21, PathDichotomySwitchesAtFive) {
+  // P_3, P_4 achieve Delta+1 = 3; P_5 onward needs Delta+2 = 4.
+  EXPECT_TRUE(l21_tree(path_graph(4)).is_delta_plus_one);
+  EXPECT_FALSE(l21_tree(path_graph(5)).is_delta_plus_one);
+}
+
+TEST(TreeL21, StarsAreDeltaPlusOne) {
+  for (int n = 3; n <= 10; ++n) {
+    const TreeL21Result result = l21_tree(star_graph(n));
+    EXPECT_EQ(result.span, n);  // Delta + 1 = (n-1) + 1
+    EXPECT_TRUE(result.is_delta_plus_one);
+  }
+}
+
+TEST(TreeL21, DoubleStarMatchesOracle) {
+  // Two adjacent centres each with 3 leaves. (Perhaps surprisingly this is
+  // a Delta+1 tree: label the centres 0 and Delta+1 and the leaf sets fit
+  // in between — verified here against the direct exact oracle.)
+  Graph tree(8);
+  tree.add_edge(0, 1);
+  for (int leaf = 2; leaf <= 4; ++leaf) tree.add_edge(0, leaf);
+  for (int leaf = 5; leaf <= 7; ++leaf) tree.add_edge(1, leaf);
+  const TreeL21Result result = l21_tree(tree);
+  EXPECT_EQ(max_degree(tree), 4);
+  EXPECT_EQ(result.span, exact_labeling_branch_and_bound(tree, PVec::L21()).span);
+  EXPECT_EQ(result.span, 5);  // Delta + 1
+  EXPECT_TRUE(result.is_delta_plus_one);
+}
+
+TEST(TreeL21, RejectsNonTrees) {
+  EXPECT_THROW(l21_tree(cycle_graph(5)), precondition_error);
+  Graph forest(4);
+  forest.add_edge(0, 1);
+  forest.add_edge(2, 3);
+  EXPECT_THROW(l21_tree(forest), precondition_error);
+}
+
+class TreeSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam() * 2027 + 9)};
+};
+
+TEST_P(TreeSweep, MatchesDirectExactOracle) {
+  // Chang–Kuo DP vs the reduction-independent branch-and-bound labeler.
+  for (int n = 2; n <= 9; ++n) {
+    const Graph tree = random_tree(n, rng_);
+    const TreeL21Result chang_kuo = l21_tree(tree);
+    const ExactBBResult direct = exact_labeling_branch_and_bound(tree, PVec::L21());
+    EXPECT_EQ(chang_kuo.span, direct.span) << "n = " << n;
+  }
+}
+
+TEST_P(TreeSweep, DichotomyAndValidityAtScale) {
+  const Graph tree = random_tree(60, rng_);
+  const TreeL21Result result = l21_tree(tree);
+  const int delta = max_degree(tree);
+  EXPECT_TRUE(result.span == delta + 1 || result.span == delta + 2);
+  EXPECT_TRUE(is_valid_labeling(tree, PVec::L21(), result.labeling));
+  EXPECT_EQ(result.labeling.span(), result.span);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace lptsp
