@@ -21,6 +21,21 @@ inline Graph workload_graph(int n, int diam, std::uint64_t seed, double edge_pro
   return random_with_diameter_at_most(n, diam, edge_prob, rng);
 }
 
-inline std::string pvec_name(const PVec& p) { return "L" + p.to_string(); }
+// These helpers build strings with += instead of operator+ chains to keep
+// GCC 12's -Wrestrict false positive (PR105651) out of every bench TU this
+// header is inlined into.
+inline std::string pvec_name(const PVec& p) {
+  std::string name = "L";
+  name += p.to_string();
+  return name;
+}
+
+/// "numer/denom" counter cells ("12/12 matches").
+inline std::string fraction(long long numer, long long denom) {
+  std::string text = std::to_string(numer);
+  text += "/";
+  text += std::to_string(denom);
+  return text;
+}
 
 }  // namespace lptsp::bench

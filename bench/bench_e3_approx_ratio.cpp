@@ -50,7 +50,7 @@ int main() {
       table.add_row({std::to_string(n), lptsp::bench::pvec_name(p), std::to_string(seeds),
                      format_ratio(chr_sum / seeds), format_ratio(chr_max),
                      format_ratio(mst_sum / seeds), format_ratio(mst_max),
-                     std::to_string(certified) + "/" + std::to_string(seeds)});
+                     lptsp::bench::fraction(certified, seeds)});
     }
   }
 

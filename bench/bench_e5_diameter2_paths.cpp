@@ -52,9 +52,15 @@ int main() {
         if (via_partition.span == via_tsp) ++matches;
         partition_sum += via_partition.partition_size;
       }
-      formula.add_row({dense_family ? "dense(co-ER)" : "diam2-random", std::to_string(n),
-                       "(" + std::to_string(p) + "," + std::to_string(q) + ")",
-                       std::to_string(cases), std::to_string(matches) + "/" + std::to_string(cases),
+      // += concatenation sidesteps GCC 12's -Wrestrict false positive
+      // (PR105651) on operator+ chains over temporaries.
+      std::string pq = "(";
+      pq += std::to_string(p);
+      pq += ",";
+      pq += std::to_string(q);
+      pq += ")";
+      formula.add_row({dense_family ? "dense(co-ER)" : "diam2-random", std::to_string(n), pq,
+                       std::to_string(cases), lptsp::bench::fraction(matches, cases),
                        format_double(partition_sum / cases, 2), format_double(timer.seconds(), 2)});
     }
   }
@@ -79,7 +85,7 @@ int main() {
       if (via_cotree == via_exact) ++agreements;
     }
     cotree.add_row({std::to_string(n), std::to_string(graphs),
-                    std::to_string(agreements) + "/" + std::to_string(graphs),
+                    lptsp::bench::fraction(agreements, graphs),
                     format_double(cotree_time, 3), format_double(exact_time, 3)});
   }
   cotree.print("E5b — cotree DP (mw<=2 FPT route) vs exact 2^n DP");

@@ -9,6 +9,18 @@ namespace lptsp {
 
 namespace {
 
+/// The O(n^2) matrix fill with no precondition scans — callers have
+/// already validated connectivity and diameter.
+MetricInstance fill_instance(const DistanceMatrix& dist, const PVec& p) {
+  MetricInstance instance(dist.n());
+  for (int u = 0; u < dist.n(); ++u) {
+    for (int v = u + 1; v < dist.n(); ++v) {
+      instance.set_weight(u, v, p.at(dist.at(u, v)));
+    }
+  }
+  return instance;
+}
+
 ReducedInstance build(const Graph& graph, const PVec& p, unsigned threads) {
   LPTSP_REQUIRE(graph.n() >= 1, "graph must be non-empty");
   DistanceMatrix dist = all_pairs_distances(graph, threads);
@@ -16,16 +28,18 @@ ReducedInstance build(const Graph& graph, const PVec& p, unsigned threads) {
   const int diam = dist.max_finite();
   LPTSP_REQUIRE(diam <= p.k(), "Theorem 2 requires diam(G) <= k; got diameter " +
                                    std::to_string(diam) + " with k = " + std::to_string(p.k()));
-  MetricInstance instance(graph.n());
-  for (int u = 0; u < graph.n(); ++u) {
-    for (int v = u + 1; v < graph.n(); ++v) {
-      instance.set_weight(u, v, p.at(dist.at(u, v)));
-    }
-  }
+  MetricInstance instance = fill_instance(dist, p);
   return {std::move(instance), std::move(dist)};
 }
 
 }  // namespace
+
+MetricInstance instance_from_distances(const DistanceMatrix& dist, const PVec& p) {
+  LPTSP_REQUIRE(dist.all_finite(), "instance_from_distances requires all pairs reachable");
+  LPTSP_REQUIRE(dist.max_finite() <= p.k(),
+                "instance_from_distances requires max distance <= k");
+  return fill_instance(dist, p);
+}
 
 ReducedInstance reduce_to_path_tsp(const Graph& graph, const PVec& p, unsigned threads) {
   LPTSP_REQUIRE(p.satisfies_reduction_condition(),

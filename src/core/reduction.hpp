@@ -30,4 +30,11 @@ ReducedInstance reduce_to_path_tsp(const Graph& graph, const PVec& p, unsigned t
 ReducedInstance reduce_to_path_tsp_unchecked(const Graph& graph, const PVec& p,
                                              unsigned threads = 1);
 
+/// The O(n^2) matrix-fill half of the reduction on an already-computed
+/// distance matrix: w(u, v) = p_{dist(u, v)}. Callers that cache distance
+/// matrices (the solve cache) use this to skip the O(nm) all-pairs BFS,
+/// the dominant reduction cost on dense small-diameter graphs. Requires
+/// all pairs finite and max distance <= k.
+MetricInstance instance_from_distances(const DistanceMatrix& dist, const PVec& p);
+
 }  // namespace lptsp

@@ -88,10 +88,10 @@ PathSolution run_engine(const MetricInstance& instance, const SolveOptions& opti
 
 }  // namespace
 
-SolveResult solve_labeling(const Graph& graph, const PVec& p, const SolveOptions& options) {
+SolveResult solve_labeling_injected(const Graph& graph, const PVec& p,
+                                    const MetricInstance& instance, const DistanceMatrix& dist,
+                                    const SolveOptions& options) {
   const Timer timer;
-  const ReducedInstance reduced = reduce_to_path_tsp(graph, p, options.threads);
-
   SolveResult result;
   if (graph.n() == 1) {
     result.labeling.labels = {0};
@@ -102,17 +102,95 @@ SolveResult solve_labeling(const Graph& graph, const PVec& p, const SolveOptions
   }
 
   bool optimal = false;
-  PathSolution solution = run_engine(reduced.instance, options, optimal);
+  PathSolution solution = run_engine(instance, options, optimal);
   result.order = std::move(solution.order);
   result.span = solution.cost;
   result.optimal = optimal;
-  result.labeling = labeling_from_order(reduced.instance, result.order);
+  result.labeling = labeling_from_order(instance, result.order);
   LPTSP_ENSURE(result.labeling.span() == result.span,
                "Claim 1 prefix labeling must have span equal to the path length");
-  LPTSP_ENSURE(is_valid_labeling(graph, reduced.dist, p, result.labeling),
+  LPTSP_ENSURE(is_valid_labeling(graph, dist, p, result.labeling),
                "pipeline produced an invalid labeling — reduction bug");
   result.seconds = timer.seconds();
   return result;
+}
+
+SolveResult solve_labeling_reduced(const Graph& graph, const PVec& p,
+                                   const ReducedInstance& reduced, const SolveOptions& options) {
+  return solve_labeling_injected(graph, p, reduced.instance, reduced.dist, options);
+}
+
+SolveResult solve_labeling(const Graph& graph, const PVec& p, const SolveOptions& options) {
+  const Timer timer;
+  const ReducedInstance reduced = reduce_to_path_tsp(graph, p, options.threads);
+  SolveResult result = solve_labeling_reduced(graph, p, reduced, options);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+std::string status_name(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::Ok: return "ok";
+    case SolveStatus::EmptyGraph: return "empty-graph";
+    case SolveStatus::Disconnected: return "disconnected";
+    case SolveStatus::DiameterExceedsK: return "diameter-exceeds-k";
+    case SolveStatus::MetricConditionViolated: return "metric-condition-violated";
+    case SolveStatus::EngineFailure: return "engine-failure";
+  }
+  return "unknown";
+}
+
+std::string status_message(SolveStatus status, int diameter, const PVec& p) {
+  switch (status) {
+    case SolveStatus::EmptyGraph:
+      return "graph must be non-empty";
+    case SolveStatus::Disconnected:
+      return "Theorem 2 requires a connected graph";
+    case SolveStatus::DiameterExceedsK:
+      return "Theorem 2 requires diam(G) <= k; got diameter " + std::to_string(diameter) +
+             " with k = " + std::to_string(p.k());
+    case SolveStatus::MetricConditionViolated:
+      return "Theorem 2 requires pmax <= 2*pmin; p = " + p.to_string();
+    case SolveStatus::EngineFailure:
+      return "engine failed";
+    case SolveStatus::Ok:
+      break;
+  }
+  return "";
+}
+
+SolveStatus classify_labeling_request(const Graph& graph, const PVec& p,
+                                      const DistanceMatrix& dist) {
+  if (graph.n() == 0) return SolveStatus::EmptyGraph;
+  if (!dist.all_finite()) return SolveStatus::Disconnected;
+  if (dist.max_finite() > p.k()) return SolveStatus::DiameterExceedsK;
+  if (!p.satisfies_reduction_condition()) return SolveStatus::MetricConditionViolated;
+  return SolveStatus::Ok;
+}
+
+SolveOutcome try_solve_labeling(const Graph& graph, const PVec& p, const SolveOptions& options) {
+  SolveOutcome outcome;
+  if (graph.n() == 0) {
+    outcome.status = SolveStatus::EmptyGraph;
+    outcome.message = status_message(outcome.status, 0, p);
+    return outcome;
+  }
+  DistanceMatrix dist = all_pairs_distances(graph, options.threads);
+  outcome.status = classify_labeling_request(graph, p, dist);
+  if (outcome.status != SolveStatus::Ok) {
+    outcome.message = status_message(outcome.status, dist.max_finite(), p);
+    return outcome;
+  }
+  ReducedInstance reduced{instance_from_distances(dist, p), std::move(dist)};
+  try {
+    outcome.result = solve_labeling_reduced(graph, p, reduced, options);
+  } catch (const precondition_error& e) {
+    // Engine resource caps (Held-Karp max_n, BranchBound node limit) are
+    // caller-tunable limits, not library bugs: report them as data.
+    outcome.status = SolveStatus::EngineFailure;
+    outcome.message = e.what();
+  }
+  return outcome;
 }
 
 }  // namespace lptsp

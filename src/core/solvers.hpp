@@ -4,6 +4,7 @@
 
 #include "core/labeling.hpp"
 #include "core/pvec.hpp"
+#include "core/reduction.hpp"
 #include "graph/graph.hpp"
 #include "tsp/chained_lk.hpp"
 #include "tsp/held_karp.hpp"
@@ -55,5 +56,61 @@ struct SolveResult {
 /// Claim 1. The produced labeling is verified against the original graph
 /// before returning (an invariant failure would indicate a library bug).
 SolveResult solve_labeling(const Graph& graph, const PVec& p, const SolveOptions& options = {});
+
+/// Run the engine + relabel half of the pipeline on a precomputed
+/// reduction, skipping the all-pairs BFS. `reduced` must have been built
+/// from `graph` and `p` (the result is verified against them). This is the
+/// injection point the solve cache uses to amortize reductions across
+/// repeated requests.
+SolveResult solve_labeling_reduced(const Graph& graph, const PVec& p,
+                                   const ReducedInstance& reduced,
+                                   const SolveOptions& options = {});
+
+/// As above, borrowing the instance and distance matrix separately —
+/// callers holding a cached DistanceMatrix avoid copying it into a
+/// ReducedInstance (O(n^2) per request on hot cache paths).
+SolveResult solve_labeling_injected(const Graph& graph, const PVec& p,
+                                    const MetricInstance& instance, const DistanceMatrix& dist,
+                                    const SolveOptions& options = {});
+
+/// Why a labeling request cannot be served, as data instead of exceptions —
+/// the service layer rejects bad requests gracefully instead of unwinding.
+enum class SolveStatus {
+  Ok,                        ///< preconditions hold; result is valid
+  EmptyGraph,                ///< n == 0
+  Disconnected,              ///< Theorem 2 requires a connected graph
+  DiameterExceedsK,          ///< diam(G) > k, so some pair is unconstrained
+  MetricConditionViolated,   ///< pmax > 2*pmin, reduction not exact
+  EngineFailure,             ///< engine gave up (size/node caps) or crashed
+};
+
+std::string status_name(SolveStatus status);
+
+/// Human-readable rejection detail for a non-Ok classification, shared by
+/// every front-end (throwing, try_, service) so diagnostics cannot drift.
+/// `diameter` is only consulted for DiameterExceedsK.
+std::string status_message(SolveStatus status, int diameter, const PVec& p);
+
+/// Status + result pair returned by the non-throwing front-end.
+struct SolveOutcome {
+  SolveStatus status = SolveStatus::EngineFailure;
+  std::string message;   ///< human-readable detail when !ok()
+  SolveResult result;    ///< meaningful only when ok()
+
+  [[nodiscard]] bool ok() const noexcept { return status == SolveStatus::Ok; }
+};
+
+/// Classify a (graph, p) request against Theorem 2's preconditions using an
+/// already-computed distance matrix (callers that have one avoid a second
+/// all-pairs BFS). Never throws.
+SolveStatus classify_labeling_request(const Graph& graph, const PVec& p,
+                                      const DistanceMatrix& dist);
+
+/// Non-throwing counterpart of solve_labeling: validates preconditions up
+/// front and reports them as a typed status; engine resource-cap failures
+/// (e.g. the BranchBound node limit) surface as EngineFailure rather than
+/// an exception.
+SolveOutcome try_solve_labeling(const Graph& graph, const PVec& p,
+                                const SolveOptions& options = {});
 
 }  // namespace lptsp

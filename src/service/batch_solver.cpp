@@ -1,0 +1,374 @@
+#include "service/batch_solver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/order_labeling.hpp"
+#include "core/reduction.hpp"
+#include "graph/operations.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Requests pinning an engine live in their own cache/coalescing
+/// namespace: "run Held-Karp" must not be answered with a cached
+/// ChainedLK labeling (or vice versa), even though both label the same
+/// instance. Portfolio requests (no pin) share the '\0' namespace.
+void append_engine_tag(std::string& key, const std::optional<Engine>& engine) {
+  key.push_back('E');
+  key.push_back(engine.has_value() ? static_cast<char>(1 + static_cast<int>(*engine)) : '\0');
+}
+
+/// Join every future before letting the first exception escape: the tasks
+/// write into the caller's frame, so abandoning one on unwind would leave
+/// it racing a destroyed stack.
+void join_all(std::vector<std::future<void>>& tasks) {
+  std::exception_ptr first_error;
+  for (auto& task : tasks) {
+    try {
+      task.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+BatchSolver::BatchSolver(const Options& options)
+    : options_(options),
+      cache_(options.cache),
+      engine_pool_(options.engine_workers),
+      portfolio_(engine_pool_, options.portfolio),
+      request_pool_(options.request_workers) {}
+
+BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
+                                                           const CanonicalForm& form,
+                                                           const PVec& p,
+                                                           const std::optional<Engine>& engine,
+                                                           std::chrono::milliseconds deadline) {
+  CanonicalOutcome out;
+  if (graph.n() == 0) {
+    out.status = SolveStatus::EmptyGraph;
+    out.message = status_message(out.status, 0, p);
+    return out;
+  }
+
+  // Inexact canonical forms (individualization budget exhausted) are valid
+  // relabelings of THIS graph but not cross-request invariants, so they
+  // must never touch the shared cache.
+  const bool cacheable = options_.use_cache && form.exact;
+  // This request's race budget in ms; 0 = unlimited. Pinned engines run to
+  // completion regardless of deadline, so they always count as unlimited.
+  const std::int64_t budget_ms =
+      engine.has_value() ? 0
+                         : (deadline.count() > 0 ? deadline.count()
+                                                 : options_.portfolio.deadline.count());
+  std::string rkey;
+  if (cacheable) {
+    rkey = result_key(form, p);
+    append_engine_tag(rkey, engine);
+  }
+  // A deadline-truncated non-optimal hit is kept as `floor` rather than
+  // served when this request brings strictly more budget: the re-solve may
+  // upgrade it, but the cached result remains the fallback and the
+  // quality floor — an unluckier re-race can never degrade the cache.
+  std::shared_ptr<const ResultEntry> floor;
+  if (cacheable) {
+    if (auto entry = cache_.find_result(rkey)) {
+      const bool upgradeable = !entry->optimal && entry->deadline_ms != 0 &&
+                               (budget_ms == 0 || budget_ms > entry->deadline_ms);
+      if (!upgradeable) {
+        out.status = SolveStatus::Ok;
+        out.entry = std::move(entry);
+        out.result_cached = true;
+        return out;
+      }
+      floor = std::move(entry);
+    }
+  }
+
+  const Graph canon = relabel(graph, form.to_canonical);
+  std::shared_ptr<const ReductionEntry> reduction;
+  if (cacheable) {
+    reduction = cache_.find_reduction(graph_key(form));
+    out.reduction_cached = reduction != nullptr;
+  }
+  if (!reduction) {
+    DistanceMatrix dist = all_pairs_distances(canon, 1);
+    const bool connected = dist.all_finite();
+    const int diameter = connected ? dist.max_finite() : 0;
+    reduction = std::make_shared<const ReductionEntry>(
+        ReductionEntry{std::move(dist), diameter, connected});
+    if (cacheable) cache_.put_reduction(graph_key(form), reduction);
+  }
+
+  // Classify off the entry's cached connected/diameter fields: a reduction
+  // hit must not pay classify_labeling_request's O(n^2) matrix re-scans.
+  out.status = !reduction->connected          ? SolveStatus::Disconnected
+               : reduction->diameter > p.k()  ? SolveStatus::DiameterExceedsK
+               : !p.satisfies_reduction_condition() ? SolveStatus::MetricConditionViolated
+                                                    : SolveStatus::Ok;
+  if (out.status != SolveStatus::Ok) {
+    out.message = status_message(out.status, reduction->diameter, p);
+    return out;
+  }
+
+  MetricInstance instance = instance_from_distances(reduction->dist, p);
+  engine_solves_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<const ResultEntry> entry;
+  if (engine.has_value()) {
+    // Pinned engine: run the classic single-engine pipeline on the cached
+    // reduction (borrowed, not copied).
+    SolveOptions solve_options;
+    solve_options.engine = *engine;
+    solve_options.seed = options_.seed;
+    try {
+      SolveResult result = solve_labeling_injected(canon, p, instance, reduction->dist,
+                                                   solve_options);
+      entry = std::make_shared<const ResultEntry>(ResultEntry{
+          std::move(result.labeling.labels), result.span, result.optimal, *engine, 0});
+    } catch (const precondition_error& e) {
+      out.status = SolveStatus::EngineFailure;
+      out.message = e.what();
+      return out;
+    }
+  } else {
+    const std::optional<std::chrono::milliseconds> race_deadline =
+        deadline.count() > 0 ? std::optional(deadline) : std::nullopt;
+    PortfolioOutcome raced = portfolio_.race(instance, race_deadline);
+    if (raced.solution.cost < 0) {
+      if (floor) {
+        out.status = SolveStatus::Ok;
+        out.entry = std::move(floor);
+        out.result_cached = true;
+        return out;
+      }
+      out.status = SolveStatus::EngineFailure;
+      out.message = "no portfolio engine produced a verified solution";
+      return out;
+    }
+    Labeling labeling = labeling_from_order(instance, raced.solution.order);
+    if (labeling.span() != raced.solution.cost ||
+        !is_valid_labeling(canon, reduction->dist, p, labeling)) {
+      if (floor) {
+        out.status = SolveStatus::Ok;
+        out.entry = std::move(floor);
+        out.result_cached = true;
+        return out;
+      }
+      out.status = SolveStatus::EngineFailure;
+      out.message = "portfolio result failed verification";
+      return out;
+    }
+    if (floor && floor->span < raced.solution.cost) {
+      // The bigger budget lost the race to the cached incumbent; keep the
+      // cached labeling, but record the larger budget so identical
+      // requests stop retrying a hopeless upgrade.
+      entry = std::make_shared<const ResultEntry>(
+          ResultEntry{floor->labels, floor->span, floor->optimal, floor->engine, budget_ms});
+    } else {
+      entry = std::make_shared<const ResultEntry>(ResultEntry{std::move(labeling.labels),
+                                                              raced.solution.cost, raced.optimal,
+                                                              raced.winner, budget_ms});
+    }
+  }
+
+  out.status = SolveStatus::Ok;
+  out.entry = entry;
+  if (cacheable) cache_.put_result(rkey, std::move(entry));
+  return out;
+}
+
+BatchSolver::CanonicalOutcome BatchSolver::solve_canonical_coalesced(
+    const Graph& graph, const CanonicalForm& form, const PVec& p,
+    const std::optional<Engine>& engine, std::chrono::milliseconds deadline) {
+  const bool cacheable = options_.use_cache && form.exact;
+  if (!cacheable) return solve_canonical(graph, form, p, engine, deadline);
+
+  // Pinned-engine requests only coalesce with requests pinning the same
+  // engine (a portfolio answer is not a substitute for "run Held-Karp"),
+  // and requests only coalesce within the same race budget — a 50ms
+  // request must not block on an in-flight unlimited solve.
+  std::string key = result_key(form, p);
+  append_engine_tag(key, engine);
+  key.push_back('D');
+  key += std::to_string(engine.has_value()
+                            ? 0
+                            : (deadline.count() > 0 ? deadline.count()
+                                                    : options_.portfolio.deadline.count()));
+
+  std::promise<CanonicalOutcome> promise;
+  std::shared_future<CanonicalOutcome> shared;
+  bool leader = false;
+  {
+    const std::lock_guard lock(inflight_mutex_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      shared = it->second;
+    } else {
+      shared = promise.get_future().share();
+      inflight_.emplace(key, shared);
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    // The registrant is currently running on some worker and never blocks
+    // on this pool, so waiting here cannot deadlock.
+    CanonicalOutcome out = shared.get();
+    out.coalesced = true;
+    return out;
+  }
+
+  CanonicalOutcome out;
+  try {
+    out = solve_canonical(graph, form, p, engine, deadline);
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    const std::lock_guard lock(inflight_mutex_);
+    inflight_.erase(key);
+    throw;
+  }
+  promise.set_value(out);
+  {
+    const std::lock_guard lock(inflight_mutex_);
+    inflight_.erase(key);
+  }
+  return out;
+}
+
+SolveResponse BatchSolver::respond(const SolveRequest& request, const CanonicalForm& form,
+                                   const CanonicalOutcome& outcome,
+                                   ResponseSource fallback_source, double seconds) const {
+  SolveResponse response;
+  response.id = request.id;
+  response.status = outcome.status;
+  response.message = outcome.message;
+  response.reduction_cached = outcome.reduction_cached;
+  response.seconds = seconds;
+  if (outcome.result_cached) {
+    response.source = ResponseSource::ResultCache;
+  } else if (outcome.coalesced) {
+    response.source = ResponseSource::Coalesced;
+  } else {
+    response.source = fallback_source;
+  }
+  if (outcome.status == SolveStatus::Ok) {
+    response.labeling.labels = map_labels_from_canonical(form, outcome.entry->labels);
+    response.span = outcome.entry->span;
+    response.optimal = outcome.entry->optimal;
+    response.engine = outcome.entry->engine;
+  }
+  return response;
+}
+
+SolveResponse BatchSolver::solve_one(const SolveRequest& request) {
+  const Timer timer;
+  const CanonicalForm form = canonical_form(request.graph, options_.canonical);
+  const CanonicalOutcome outcome =
+      solve_canonical_coalesced(request.graph, form, request.p, request.engine, request.deadline);
+  return respond(request, form, outcome, ResponseSource::Solved, timer.seconds());
+}
+
+std::future<SolveResponse> BatchSolver::submit(SolveRequest request) {
+  return request_pool_.submit(
+      [this, request = std::move(request)]() -> SolveResponse { return solve_one(request); });
+}
+
+std::vector<SolveResponse> BatchSolver::solve_batch(const std::vector<SolveRequest>& requests) {
+  const std::size_t count = requests.size();
+  std::vector<SolveResponse> responses(count);
+  if (count == 0) return responses;
+
+  // Stage 1: canonicalize every request in parallel — this is the
+  // order-insensitive identity the dedupe below groups on.
+  std::vector<CanonicalForm> forms(count);
+  {
+    std::vector<std::future<void>> canonical_tasks;
+    canonical_tasks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      canonical_tasks.push_back(request_pool_.submit([this, &requests, &forms, i] {
+        forms[i] = canonical_form(requests[i].graph, options_.canonical);
+      }));
+    }
+    join_all(canonical_tasks);
+  }
+
+  // Stage 2: group identical (canonical graph, p, pinned engine) requests.
+  // Inexact forms get a per-request key, i.e. no grouping.
+  struct Group {
+    std::vector<std::size_t> members;
+    int max_priority = 0;
+  };
+  std::unordered_map<std::string, std::size_t> group_of;
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string key;
+    if (forms[i].exact) {
+      key = result_key(forms[i], requests[i].p);
+      append_engine_tag(key, requests[i].engine);
+    } else {
+      key = "U";
+      key += std::to_string(i);
+    }
+    const auto [it, inserted] = group_of.emplace(std::move(key), groups.size());
+    if (inserted) groups.push_back({});
+    Group& group = groups[it->second];
+    group.members.push_back(i);
+    group.max_priority = group.members.size() == 1
+                             ? requests[i].priority
+                             : std::max(group.max_priority, requests[i].priority);
+  }
+
+  // Stage 3: schedule one solve per group, highest priority first (the
+  // request pool is FIFO, so submission order is start order).
+  std::vector<std::size_t> schedule(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) schedule[g] = g;
+  std::stable_sort(schedule.begin(), schedule.end(), [&](std::size_t a, std::size_t b) {
+    return groups[a].max_priority > groups[b].max_priority;
+  });
+
+  std::vector<std::future<void>> solve_tasks;
+  solve_tasks.reserve(groups.size());
+  for (const std::size_t g : schedule) {
+    solve_tasks.push_back(request_pool_.submit([this, &requests, &forms, &responses, &groups, g] {
+      const Timer timer;
+      const Group& group = groups[g];
+      const std::size_t leader = group.members.front();
+      // The group shares one solve; give it the most generous budget any
+      // member asked for. A member on the service default counts as the
+      // default's budget (or unlimited when that is 0), never less than an
+      // explicit long deadline another member brought.
+      std::chrono::milliseconds deadline{0};
+      bool any_default = false;
+      for (const std::size_t m : group.members) {
+        if (requests[m].deadline.count() <= 0) any_default = true;
+        deadline = std::max(deadline, requests[m].deadline);
+      }
+      if (any_default) {
+        const std::chrono::milliseconds service_default = options_.portfolio.deadline;
+        deadline = service_default.count() == 0 ? std::chrono::milliseconds{0}
+                                                : std::max(deadline, service_default);
+      }
+      const CanonicalOutcome outcome = solve_canonical_coalesced(
+          requests[leader].graph, forms[leader], requests[leader].p, requests[leader].engine,
+          deadline);
+      const double seconds = timer.seconds();
+      for (const std::size_t m : group.members) {
+        responses[m] = respond(requests[m], forms[m], outcome,
+                               m == leader ? ResponseSource::Solved : ResponseSource::Coalesced,
+                               seconds);
+      }
+    }));
+  }
+  join_all(solve_tasks);
+  return responses;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/canonical_key.hpp"
+#include "service/portfolio.hpp"
+#include "service/request.hpp"
+#include "service/solve_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lptsp {
+
+/// The batch labeling service: the library's single-shot
+/// `solve_labeling` grown into a serving layer.
+///
+/// Pipeline per request:
+///   1. canonicalize the graph (WL refinement) — order-insensitive, so
+///      isomorphic relabelings of the same instance share one identity;
+///   2. result cache probe — a hit skips reduction AND engine, only a
+///      label permutation remains;
+///   3. reduction cache probe — a hit skips the O(nm) all-pairs BFS;
+///   4. precondition classification — bad requests get a typed status,
+///      they never throw across the service boundary;
+///   5. engine portfolio race (or the request's pinned engine) under the
+///      request deadline;
+///   6. verified result is cached in canonical space and mapped back to
+///      the caller's vertex numbering.
+///
+/// Batches are deduplicated up front (N isomorphic requests -> 1 solve);
+/// single requests submitted through submit() coalesce against identical
+/// in-flight work. Two pools keep the pipeline deadlock-free: request
+/// tasks run on one, engine races on another, and neither ever blocks on
+/// its own pool.
+class BatchSolver {
+ public:
+  struct Options {
+    SolveCache::Config cache;
+    PortfolioOptions portfolio;
+    CanonicalFormOptions canonical;
+    unsigned request_workers = 0;  ///< 0 = hardware concurrency
+    unsigned engine_workers = 0;   ///< 0 = hardware concurrency
+    bool use_cache = true;         ///< false = every request solves fresh
+    std::uint64_t seed = 1;        ///< seed for pinned-engine solves
+  };
+
+  BatchSolver() : BatchSolver(Options{}) {}
+  explicit BatchSolver(const Options& options);
+
+  BatchSolver(const BatchSolver&) = delete;
+  BatchSolver& operator=(const BatchSolver&) = delete;
+
+  /// Solve a batch: dedupe by canonical key, schedule unique instances
+  /// across the request pool (higher max-priority groups first), fan the
+  /// shared results back out. responses[i] answers requests[i].
+  std::vector<SolveResponse> solve_batch(const std::vector<SolveRequest>& requests);
+
+  /// Async front-end for streaming traffic: returns immediately; the
+  /// future resolves when the request is served. Identical requests that
+  /// are already in flight are coalesced onto the same solve.
+  std::future<SolveResponse> submit(SolveRequest request);
+
+  /// Convenience synchronous single-request entry point.
+  SolveResponse solve_one(const SolveRequest& request);
+
+  [[nodiscard]] const SolveCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] EnginePortfolio& portfolio() noexcept { return portfolio_; }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+
+  /// Number of actual engine runs performed (excludes cache hits and
+  /// coalesced/deduplicated requests) — the denominator of every
+  /// amortization claim, and what the dedupe tests assert on.
+  [[nodiscard]] std::uint64_t engine_solves() const noexcept {
+    return engine_solves_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Result of solving one canonical instance, shareable across all
+  /// requests that mapped to it.
+  struct CanonicalOutcome {
+    SolveStatus status = SolveStatus::EngineFailure;
+    std::string message;
+    std::shared_ptr<const ResultEntry> entry;  ///< set when status == Ok
+    bool reduction_cached = false;
+    bool result_cached = false;
+    bool coalesced = false;  ///< joined an identical in-flight solve
+  };
+
+  CanonicalOutcome solve_canonical(const Graph& graph, const CanonicalForm& form, const PVec& p,
+                                   const std::optional<Engine>& engine,
+                                   std::chrono::milliseconds deadline);
+  CanonicalOutcome solve_canonical_coalesced(const Graph& graph, const CanonicalForm& form,
+                                             const PVec& p, const std::optional<Engine>& engine,
+                                             std::chrono::milliseconds deadline);
+  SolveResponse respond(const SolveRequest& request, const CanonicalForm& form,
+                        const CanonicalOutcome& outcome, ResponseSource fallback_source,
+                        double seconds) const;
+
+  // Declaration order doubles as teardown order (reversed): request_pool_
+  // is declared LAST so its destructor — which drains still-queued request
+  // tasks — runs first, while the engine pool, portfolio, cache, and
+  // coalescing state those tasks use are all still alive.
+  Options options_;
+  SolveCache cache_;
+  TaskPool engine_pool_;
+  EnginePortfolio portfolio_;
+  std::atomic<std::uint64_t> engine_solves_{0};
+
+  // In-flight coalescing for submit(): maps a result key to the shared
+  // outcome of the request currently computing it.
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_future<CanonicalOutcome>> inflight_;
+
+  TaskPool request_pool_;
+};
+
+}  // namespace lptsp

@@ -1,0 +1,268 @@
+#include "service/canonical_key.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// color[v] in [0, classes); class ids are canonical ranks, so any two
+/// isomorphic graphs produce matching colorings up to the isomorphism.
+using Coloring = std::vector<int>;
+
+/// One-dimensional Weisfeiler–Leman refinement: repeatedly re-color every
+/// vertex by (own color, sorted multiset of neighbor colors) until the
+/// partition stops splitting. Signatures start with the old color, so new
+/// classes only ever split old ones and rank order stays canonical.
+int refine(const Graph& graph, Coloring& color, int classes) {
+  const int n = graph.n();
+  while (classes < n) {
+    std::vector<std::vector<int>> sig(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      auto& s = sig[static_cast<std::size_t>(v)];
+      s.reserve(static_cast<std::size_t>(graph.degree(v)) + 1);
+      s.push_back(color[static_cast<std::size_t>(v)]);
+      for (const int u : graph.neighbors(v)) s.push_back(color[static_cast<std::size_t>(u)]);
+      std::sort(s.begin() + 1, s.end());
+    }
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return sig[static_cast<std::size_t>(a)] < sig[static_cast<std::size_t>(b)];
+    });
+    Coloring next(static_cast<std::size_t>(n));
+    int next_classes = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0 && sig[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] !=
+                       sig[static_cast<std::size_t>(order[static_cast<std::size_t>(i - 1)])]) {
+        ++next_classes;
+      }
+      next[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = next_classes;
+    }
+    ++next_classes;
+    if (next_classes == classes) break;  // stable partition
+    color = std::move(next);
+    classes = next_classes;
+  }
+  return classes;
+}
+
+std::vector<std::pair<int, int>> relabeled_edges(const Graph& graph, const Coloring& color) {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(graph.m()));
+  for (const auto& [u, v] : graph.edges()) {
+    int a = color[static_cast<std::size_t>(u)];
+    int b = color[static_cast<std::size_t>(v)];
+    if (a > b) std::swap(a, b);
+    edges.emplace_back(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// True when the vertices in `members` are pairwise interchangeable by an
+/// automorphism: uniformly adjacent (clique) or non-adjacent (independent
+/// set) among themselves, with identical neighborhoods outside the set.
+/// Swapping any two such vertices fixes the rest of the graph, so
+/// individualizing ONE member explores the whole orbit — this is what
+/// keeps complete graphs, stars, and complete multipartite inputs linear
+/// instead of factorial.
+bool interchangeable_class(const Graph& graph, const std::vector<int>& members) {
+  std::vector<bool> in_class(static_cast<std::size_t>(graph.n()), false);
+  for (const int v : members) in_class[static_cast<std::size_t>(v)] = true;
+  const bool uniform_adjacent = graph.has_edge(members[0], members[1]);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (std::size_t j = i + 1; j < members.size(); ++j) {
+      if (graph.has_edge(members[i], members[j]) != uniform_adjacent) return false;
+    }
+  }
+  std::vector<int> reference;
+  for (const int u : graph.neighbors(members[0])) {
+    if (!in_class[static_cast<std::size_t>(u)]) reference.push_back(u);
+  }
+  std::sort(reference.begin(), reference.end());
+  std::vector<int> outside;
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    outside.clear();
+    for (const int u : graph.neighbors(members[i])) {
+      if (!in_class[static_cast<std::size_t>(u)]) outside.push_back(u);
+    }
+    std::sort(outside.begin(), outside.end());
+    if (outside != reference) return false;
+  }
+  return true;
+}
+
+/// Individualization-and-refinement over the WL-stable partition: pick the
+/// first non-singleton class (class ids are invariant, so the choice is
+/// too), individualize each member in turn, refine, recurse, and keep the
+/// lexicographically smallest leaf edge list. Exhausting `budget` flips
+/// `exact` off instead of exploring an exponential tree.
+struct Searcher {
+  const Graph& graph;
+  int budget;
+  bool exact = true;
+  bool have_best = false;
+  std::vector<std::pair<int, int>> best_edges;
+  Coloring best_color;
+
+  void descend(Coloring color, int classes) {
+    const int n = graph.n();
+    if (classes == n) {
+      auto edges = relabeled_edges(graph, color);
+      if (!have_best || edges < best_edges) {
+        best_edges = std::move(edges);
+        best_color = std::move(color);
+        have_best = true;
+      }
+      return;
+    }
+    std::vector<int> count(static_cast<std::size_t>(classes), 0);
+    for (const int c : color) ++count[static_cast<std::size_t>(c)];
+    int target = 0;
+    while (count[static_cast<std::size_t>(target)] <= 1) ++target;
+    std::vector<int> members;
+    for (int v = 0; v < n; ++v) {
+      if (color[static_cast<std::size_t>(v)] == target) members.push_back(v);
+    }
+    const bool orbit = interchangeable_class(graph, members);
+    for (const int v : members) {
+      if (!exact) return;
+      if (--budget < 0) {
+        exact = false;
+        return;
+      }
+      Coloring child = color;
+      for (int u = 0; u < n; ++u) {
+        if (u != v && child[static_cast<std::size_t>(u)] >= target) {
+          ++child[static_cast<std::size_t>(u)];
+        }
+      }
+      const int child_classes = refine(graph, child, classes + 1);
+      descend(std::move(child), child_classes);
+      // All members lead to isomorphic leaves when the class is a single
+      // automorphism orbit; one branch is exhaustive.
+      if (orbit) break;
+    }
+  }
+};
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (v ^ (v >> 31)) ^ (h << 13) ^ (h >> 7);
+}
+
+void append_i32(std::string& out, int value) {
+  const auto u = static_cast<std::uint32_t>(value);
+  out.push_back(static_cast<char>(u & 0xff));
+  out.push_back(static_cast<char>((u >> 8) & 0xff));
+  out.push_back(static_cast<char>((u >> 16) & 0xff));
+  out.push_back(static_cast<char>((u >> 24) & 0xff));
+}
+
+}  // namespace
+
+CanonicalForm canonical_form(const Graph& graph, const CanonicalFormOptions& options) {
+  CanonicalForm form;
+  const int n = graph.n();
+  form.n = n;
+  if (n == 0) {
+    form.hash = mix(0, 0);
+    return form;
+  }
+
+  Coloring color(static_cast<std::size_t>(n));
+  {
+    // Seed colors with degree ranks (the degree sequence is the zeroth WL
+    // round and already splits most random graphs substantially).
+    std::vector<int> degrees(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) degrees[static_cast<std::size_t>(v)] = graph.degree(v);
+    std::vector<int> distinct = degrees;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+    for (int v = 0; v < n; ++v) {
+      color[static_cast<std::size_t>(v)] = static_cast<int>(
+          std::lower_bound(distinct.begin(), distinct.end(),
+                           degrees[static_cast<std::size_t>(v)]) -
+          distinct.begin());
+    }
+  }
+  const int classes = refine(graph, color, static_cast<int>([&] {
+                               std::vector<int> c = color;
+                               std::sort(c.begin(), c.end());
+                               return std::unique(c.begin(), c.end()) - c.begin();
+                             }()));
+
+  Searcher searcher{graph, options.branch_budget, true, false, {}, {}};
+  if (classes == n) {
+    searcher.best_color = color;
+    searcher.best_edges = relabeled_edges(graph, color);
+    searcher.have_best = true;
+  } else {
+    searcher.descend(color, classes);
+  }
+
+  form.exact = searcher.exact && searcher.have_best;
+  if (!form.exact) {
+    // Budget exhausted: fall back to an arbitrary (vertex-id tie-broken)
+    // discrete refinement. Still a valid relabeling of THIS graph, so the
+    // caller can solve in "canonical" space and map back — it just must
+    // not be used as a cross-request cache key.
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return color[static_cast<std::size_t>(a)] < color[static_cast<std::size_t>(b)];
+    });
+    Coloring fallback(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) fallback[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+    searcher.best_color = std::move(fallback);
+    searcher.best_edges = relabeled_edges(graph, searcher.best_color);
+  }
+
+  form.to_canonical = std::move(searcher.best_color);
+  form.edges = std::move(searcher.best_edges);
+  std::uint64_t h = mix(0x6c7f1a5d3b2e9c41ULL, static_cast<std::uint64_t>(n));
+  for (const auto& [u, v] : form.edges) {
+    h = mix(h, (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v));
+  }
+  form.hash = h;
+  return form;
+}
+
+std::string graph_key(const CanonicalForm& form) {
+  std::string key;
+  key.reserve(2 + 4 + form.edges.size() * 8);
+  key.push_back('G');
+  append_i32(key, form.n);
+  for (const auto& [u, v] : form.edges) {
+    append_i32(key, u);
+    append_i32(key, v);
+  }
+  return key;
+}
+
+std::string result_key(const CanonicalForm& form, const PVec& p) {
+  std::string key = graph_key(form);
+  key.push_back('P');
+  append_i32(key, p.k());
+  for (const int entry : p.entries()) append_i32(key, entry);
+  return key;
+}
+
+std::vector<Weight> map_labels_from_canonical(const CanonicalForm& form,
+                                              const std::vector<Weight>& canonical_labels) {
+  LPTSP_REQUIRE(form.to_canonical.size() == canonical_labels.size(),
+                "canonical form / label size mismatch");
+  std::vector<Weight> labels(canonical_labels.size());
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    labels[v] = canonical_labels[static_cast<std::size_t>(form.to_canonical[v])];
+  }
+  return labels;
+}
+
+}  // namespace lptsp

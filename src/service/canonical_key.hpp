@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pvec.hpp"
+#include "graph/graph.hpp"
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// Canonical form of a graph under vertex relabeling, used as the solve
+/// cache key. Two graphs receive identical `edges` if and only if they are
+/// isomorphic (when `exact`), so a cache keyed on the canonical edge list
+/// can never serve a wrong answer, and `to_canonical` lets the service map
+/// a labeling solved in canonical space back onto the caller's vertex ids.
+struct CanonicalForm {
+  /// to_canonical[v] = canonical index of original vertex v.
+  std::vector<int> to_canonical;
+  /// Edge list of the canonically relabeled graph, (u, v) with u < v,
+  /// sorted lexicographically.
+  std::vector<std::pair<int, int>> edges;
+  int n = 0;
+  /// Order-insensitive fingerprint of (n, edges) for logging and quick
+  /// isomorphism-identity checks; cache lookups always compare the full
+  /// edge-list key, never this hash alone.
+  std::uint64_t hash = 0;
+  /// True when the individualization search ran to completion, which makes
+  /// the form a genuine canonical invariant. False means the search budget
+  /// was exhausted (pathologically symmetric inputs); such forms are valid
+  /// relabelings but NOT canonical, and must bypass the cache.
+  bool exact = true;
+};
+
+struct CanonicalFormOptions {
+  /// Budget on individualization branches explored. Weisfeiler–Leman color
+  /// refinement is discrete (no branching at all) for almost all graphs;
+  /// vertex-transitive inputs like Petersen need a handful of branches.
+  /// Exhausting the budget flips `exact` off rather than spending
+  /// super-polynomial time on adversarial symmetric graphs.
+  int branch_budget = 512;
+};
+
+/// Compute a canonical form by degree-seeded Weisfeiler–Leman color
+/// refinement with individualization-and-refinement tie-breaking (the
+/// textbook nauty scheme, minus automorphism pruning). Cost is
+/// O(rounds * (n + m) log n) on WL-discrete graphs — far below the O(nm)
+/// all-pairs BFS it lets the cache skip.
+CanonicalForm canonical_form(const Graph& graph, const CanonicalFormOptions& options = {});
+
+/// Byte-string cache key for the canonical graph alone (reduction cache).
+std::string graph_key(const CanonicalForm& form);
+
+/// Byte-string cache key for (canonical graph, p) (result cache).
+std::string result_key(const CanonicalForm& form, const PVec& p);
+
+/// Map labels solved in canonical space back to the original vertex ids of
+/// the graph `form` was computed from: result[v] = canonical_labels[
+/// form.to_canonical[v]]. Valid because isomorphisms preserve distances,
+/// hence the L(p) constraints.
+std::vector<Weight> map_labels_from_canonical(const CanonicalForm& form,
+                                              const std::vector<Weight>& canonical_labels);
+
+}  // namespace lptsp

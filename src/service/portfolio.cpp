@@ -1,0 +1,227 @@
+#include "service/portfolio.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <future>
+#include <utility>
+
+#include "tsp/branch_bound.hpp"
+#include "tsp/brute_force.hpp"
+#include "tsp/chained_lk.hpp"
+#include "tsp/held_karp.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace lptsp {
+
+namespace {
+
+/// Once the exact engine has lost this many consecutive decided races at a
+/// size bucket without ever winning, the portfolio stops launching it.
+constexpr std::uint64_t kExactSkipThreshold = 8;
+
+struct Run {
+  EngineAttempt attempt;
+  PathSolution solution;
+};
+
+}  // namespace
+
+EnginePortfolio::EnginePortfolio(TaskPool& pool, const PortfolioOptions& options)
+    : pool_(pool), options_(options) {}
+
+int EnginePortfolio::bucket_of(int n) noexcept {
+  const int width = std::bit_width(static_cast<unsigned>(std::max(1, n)));
+  return std::min(width, kBuckets - 1);
+}
+
+int EnginePortfolio::slot_of(Engine engine) noexcept {
+  switch (engine) {
+    case Engine::HeldKarp: return 0;
+    case Engine::BranchBound: return 1;
+    default: return 2;  // every heuristic maps to the ChainedLK slot
+  }
+}
+
+std::uint64_t EnginePortfolio::wins(int n, Engine engine) const {
+  return wins_[static_cast<std::size_t>(bucket_of(n))][static_cast<std::size_t>(slot_of(engine))]
+      .load(std::memory_order_relaxed);
+}
+
+Engine EnginePortfolio::preferred_engine(int n) const {
+  const auto& bucket = wins_[static_cast<std::size_t>(bucket_of(n))];
+  const std::uint64_t hk = bucket[0].load(std::memory_order_relaxed);
+  const std::uint64_t bb = bucket[1].load(std::memory_order_relaxed);
+  const std::uint64_t lk = bucket[2].load(std::memory_order_relaxed);
+  if (hk == 0 && bb == 0 && lk == 0) {
+    return n <= std::min(options_.exact_max_n, 22) ? Engine::HeldKarp : Engine::ChainedLK;
+  }
+  if (hk >= bb && hk >= lk) return Engine::HeldKarp;
+  if (bb >= lk) return Engine::BranchBound;
+  return Engine::ChainedLK;
+}
+
+PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
+                                       std::optional<std::chrono::milliseconds> deadline_override) {
+  const Timer timer;
+  const int n = instance.n();
+  LPTSP_REQUIRE(n >= 1, "portfolio requires a non-empty instance");
+  const std::chrono::milliseconds deadline = deadline_override.value_or(options_.deadline);
+
+  PortfolioOutcome outcome;
+  if (n <= 3) {
+    // Too small to be worth a race (or a thread hop): enumerate exactly.
+    outcome.solution = brute_force_path(instance);
+    outcome.optimal = true;
+    outcome.winner = Engine::BruteForce;
+    outcome.attempts.push_back(
+        {Engine::BruteForce, true, true, true, outcome.solution.cost, timer.seconds()});
+    outcome.seconds = timer.seconds();
+    return outcome;
+  }
+
+  // Pick the exact contender. Held–Karp cannot be cancelled mid-DP, so it
+  // only races when its predicted runtime (~2^n n^2 simple ops) fits the
+  // deadline; otherwise the cancellable BranchBound takes the slot.
+  bool use_hk = n <= std::min(options_.exact_max_n, 22);
+  if (use_hk && deadline.count() > 0) {
+    const double predicted_ms = std::ldexp(1.0, n) * n * n / 1e6;
+    if (predicted_ms > static_cast<double>(deadline.count())) use_hk = false;
+  }
+  const Engine exact_engine = use_hk ? Engine::HeldKarp : Engine::BranchBound;
+
+  bool run_exact = true;
+  if (options_.learn) {
+    const auto& bucket = wins_[static_cast<std::size_t>(bucket_of(n))];
+    const std::uint64_t exact_wins = bucket[0].load(std::memory_order_relaxed) +
+                                     bucket[1].load(std::memory_order_relaxed);
+    const std::uint64_t heuristic_wins = bucket[2].load(std::memory_order_relaxed);
+    if (exact_wins == 0 && heuristic_wins >= kExactSkipThreshold) run_exact = false;
+  }
+
+  std::atomic<bool> cancel{false};
+  std::vector<std::future<Run>> futures;
+
+  if (run_exact) {
+    futures.push_back(pool_.submit([this, &instance, &cancel, exact_engine]() -> Run {
+      const Timer attempt_timer;
+      Run run;
+      run.attempt.engine = exact_engine;
+      run.solution.cost = -1;
+      try {
+        if (exact_engine == Engine::HeldKarp) {
+          run.solution = held_karp_path(instance);
+          run.attempt.finished = true;
+        } else {
+          BranchBoundOptions bb;
+          bb.node_limit = options_.bb_node_limit;
+          bb.cancel = &cancel;
+          BranchBoundRun result = branch_bound_path_run(instance, bb);
+          run.solution = std::move(result.solution);
+          run.attempt.finished = result.completed;
+        }
+      } catch (const precondition_error&) {
+        // Node limit exceeded: the search forfeits this race.
+        run.solution.cost = -1;
+      }
+      run.attempt.seconds = attempt_timer.seconds();
+      return run;
+    }));
+  }
+
+  futures.push_back(pool_.submit([this, &instance, &cancel, n]() -> Run {
+    const Timer attempt_timer;
+    Run run;
+    run.attempt.engine = Engine::ChainedLK;
+    ChainedLkOptions lk;
+    lk.seed = options_.seed;
+    lk.cancel = &cancel;
+    // Scale kick effort down as n grows so one kick round stays well under
+    // typical deadlines and the cancel flag is polled often.
+    lk.restarts = 3;
+    lk.kicks = std::max(8, 200 / std::max(1, n / 16));
+    ChainedLkRun result = chained_lk_path_run(instance, lk);
+    run.solution = std::move(result.solution);
+    run.attempt.finished = result.completed;
+    run.attempt.seconds = attempt_timer.seconds();
+    return run;
+  }));
+
+  // Join phase. Every future must be joined even when one throws
+  // (invariant errors, bad_alloc): the tasks reference this frame's
+  // `cancel` and the caller's instance, so abandoning one on unwind would
+  // be a use-after-free.
+  std::vector<Run> runs;
+  runs.reserve(futures.size());
+  std::exception_ptr first_error;
+  const auto join_one = [&](std::future<Run>& future) -> Run* {
+    try {
+      runs.push_back(future.get());
+      return &runs.back();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+      cancel.store(true, std::memory_order_relaxed);
+      return nullptr;
+    }
+  };
+  const auto until = deadline.count() > 0
+                         ? std::chrono::steady_clock::now() + deadline
+                         : std::chrono::steady_clock::time_point::max();
+
+  // If the exact engine certifies an optimum before the deadline, the
+  // heuristic provably cannot win (ties go to the optimal attempt), so
+  // stop it immediately instead of letting it kick until the deadline.
+  if (run_exact && futures[0].wait_until(until) == std::future_status::ready) {
+    Run* exact_run = join_one(futures[0]);
+    if (exact_run != nullptr && exact_run->attempt.finished && exact_run->solution.cost >= 0) {
+      cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  for (auto& future : futures) {
+    if (future.valid()) future.wait_until(until);
+  }
+  cancel.store(true, std::memory_order_relaxed);
+  for (auto& future : futures) {
+    if (future.valid()) join_one(future);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  int best = -1;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    Run& run = runs[i];
+    EngineAttempt& attempt = run.attempt;
+    attempt.cost = run.solution.cost;
+    attempt.verified = run.solution.cost >= 0 && is_valid_order(run.solution.order, n) &&
+                       path_length(instance, run.solution.order) == run.solution.cost;
+    const bool exact = attempt.engine == Engine::HeldKarp || attempt.engine == Engine::BranchBound;
+    attempt.optimal = attempt.verified && attempt.finished && exact;
+    if (attempt.verified &&
+        (best < 0 || run.solution.cost < runs[static_cast<std::size_t>(best)].solution.cost ||
+         (run.solution.cost == runs[static_cast<std::size_t>(best)].solution.cost &&
+          attempt.optimal && !runs[static_cast<std::size_t>(best)].attempt.optimal))) {
+      best = static_cast<int>(i);
+    }
+  }
+  for (const Run& run : runs) outcome.attempts.push_back(run.attempt);
+
+  if (best >= 0) {
+    Run& winner = runs[static_cast<std::size_t>(best)];
+    outcome.solution = std::move(winner.solution);
+    outcome.optimal = winner.attempt.optimal;
+    outcome.winner = winner.attempt.engine;
+    if (runs.size() >= 2) {
+      // Only contested races teach the scheduler anything; recording
+      // walkovers would make an exact-engine skip self-reinforcing.
+      wins_[static_cast<std::size_t>(bucket_of(n))]
+           [static_cast<std::size_t>(slot_of(outcome.winner))]
+               .fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    outcome.solution.cost = -1;  // no engine verified — caller reports EngineFailure
+  }
+  outcome.seconds = timer.seconds();
+  return outcome;
+}
+
+}  // namespace lptsp

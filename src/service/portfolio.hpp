@@ -1,0 +1,89 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/solvers.hpp"
+#include "tsp/instance.hpp"
+#include "tsp/path.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lptsp {
+
+struct PortfolioOptions {
+  /// Default per-race wall-clock budget; 0 = run every engine to
+  /// completion. Cancellable engines (BranchBound, ChainedLK) are stopped
+  /// at the deadline and contribute their incumbent.
+  std::chrono::milliseconds deadline{250};
+  /// Held–Karp is raced only up to this n (it cannot be cancelled, so it
+  /// must be predictably fast); larger exact attempts go to BranchBound.
+  int exact_max_n = 20;
+  /// BranchBound search cap per race, independent of the deadline.
+  long long bb_node_limit = 20'000'000;
+  std::uint64_t seed = 1;
+  /// Record race winners per instance-size bucket and skip the exact
+  /// engine once it has demonstrably never won at that size.
+  bool learn = true;
+};
+
+/// One engine's run inside a race, for provenance and tests.
+struct EngineAttempt {
+  Engine engine = Engine::ChainedLK;
+  bool finished = false;   ///< ran to completion (not cancelled / no cap hit)
+  bool verified = false;   ///< order is a permutation and cost re-checks
+  bool optimal = false;    ///< exact engine AND finished
+  Weight cost = -1;
+  double seconds = 0;
+};
+
+struct PortfolioOutcome {
+  PathSolution solution;
+  bool optimal = false;
+  Engine winner = Engine::ChainedLK;
+  std::vector<EngineAttempt> attempts;
+  double seconds = 0;
+};
+
+/// Deadline-aware engine racing. Each race launches an exact engine
+/// (Held–Karp for small n, BranchBound above) and the strongest heuristic
+/// (ChainedLK) concurrently on a TaskPool, cancels stragglers at the
+/// deadline, and returns the best result among those that verify
+/// (permutation check + independent cost recomputation). Race winners are
+/// recorded per size bucket, so over time the portfolio learns which
+/// engine to trust for which instance sizes.
+class EnginePortfolio {
+ public:
+  explicit EnginePortfolio(TaskPool& pool, const PortfolioOptions& options = {});
+
+  /// Race engines on one reduced instance. `deadline_override`, when set,
+  /// replaces options.deadline for this race (per-request deadlines).
+  PortfolioOutcome race(const MetricInstance& instance,
+                        std::optional<std::chrono::milliseconds> deadline_override = {});
+
+  /// The engine that has won most races for instances of size n (falls
+  /// back to a size-based static choice before any race has been run).
+  [[nodiscard]] Engine preferred_engine(int n) const;
+
+  /// Total races recorded per (size bucket, engine slot); exposed for
+  /// tests and monitoring.
+  [[nodiscard]] std::uint64_t wins(int n, Engine engine) const;
+
+  [[nodiscard]] const PortfolioOptions& options() const noexcept { return options_; }
+
+ private:
+  static constexpr int kBuckets = 32;           // bucket = bit_width(n)
+  static constexpr int kSlots = 3;              // HeldKarp / BranchBound / ChainedLK
+
+  static int bucket_of(int n) noexcept;
+  static int slot_of(Engine engine) noexcept;
+
+  TaskPool& pool_;
+  PortfolioOptions options_;
+  std::array<std::array<std::atomic<std::uint64_t>, kSlots>, kBuckets> wins_{};
+};
+
+}  // namespace lptsp

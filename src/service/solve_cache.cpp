@@ -1,0 +1,123 @@
+#include "service/solve_cache.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+SolveCache::SolveCache(const Config& config) : config_(config) {
+  LPTSP_REQUIRE(config.shards >= 1, "cache needs at least one shard");
+  LPTSP_REQUIRE(config.capacity >= config.shards,
+                "cache capacity must cover at least one entry per shard");
+  // Ceiling division: the configured total must be reachable even when it
+  // does not divide evenly across shards.
+  per_shard_capacity_ =
+      std::max<std::size_t>(1, (config.capacity + config.shards - 1) / config.shards);
+  shards_.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SolveCache::Shard& SolveCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const void> SolveCache::find(const std::string& key,
+                                             std::atomic<std::uint64_t>& hits,
+                                             std::atomic<std::uint64_t>& misses) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Move-to-front keeps the LRU order without invalidating map iterators.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void SolveCache::put(const std::string& key, std::shared_ptr<const void> value,
+                     bool (*keep_existing)(const void*, const void*)) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh in place (e.g. a better labeling for the same instance),
+    // unless the policy says the resident entry is strictly better.
+    if (keep_existing == nullptr || !keep_existing(it->second->second.get(), value.get())) {
+      it->second->second = std::move(value);
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index.emplace(key, shard.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const ReductionEntry> SolveCache::find_reduction(const std::string& key) {
+  return std::static_pointer_cast<const ReductionEntry>(
+      find(key, reduction_hits_, reduction_misses_));
+}
+
+void SolveCache::put_reduction(const std::string& key,
+                               std::shared_ptr<const ReductionEntry> entry) {
+  put(key, std::move(entry));
+}
+
+std::shared_ptr<const ResultEntry> SolveCache::find_result(const std::string& key) {
+  return std::static_pointer_cast<const ResultEntry>(find(key, result_hits_, result_misses_));
+}
+
+void SolveCache::put_result(const std::string& key, std::shared_ptr<const ResultEntry> entry) {
+  // Concurrent solves of the same instance race to publish (coalescing
+  // keys include the deadline budget, so different-budget requests solve
+  // independently); keep whichever labeling is strictly better.
+  put(key, std::move(entry), [](const void* existing_ptr, const void* incoming_ptr) {
+    const auto* existing = static_cast<const ResultEntry*>(existing_ptr);
+    const auto* incoming = static_cast<const ResultEntry*>(incoming_ptr);
+    return existing->span < incoming->span ||
+           (existing->span == incoming->span && existing->optimal && !incoming->optimal);
+  });
+}
+
+std::size_t SolveCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats stats;
+  stats.result_hits = result_hits_.load(std::memory_order_relaxed);
+  stats.result_misses = result_misses_.load(std::memory_order_relaxed);
+  stats.reduction_hits = reduction_hits_.load(std::memory_order_relaxed);
+  stats.reduction_misses = reduction_misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void SolveCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::lock_guard lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace lptsp

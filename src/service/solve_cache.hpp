@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/solvers.hpp"
+#include "graph/bfs.hpp"
+
+namespace lptsp {
+
+/// Cached per canonical graph (p-independent): the all-pairs distance
+/// matrix in canonical vertex numbering. A hit here skips the O(nm) BFS,
+/// the dominant reduction cost on dense small-diameter graphs; only the
+/// O(n^2) matrix fill with the request's p remains.
+struct ReductionEntry {
+  DistanceMatrix dist;
+  int diameter = 0;
+  bool connected = true;
+};
+
+/// Cached per (canonical graph, p): a verified labeling in canonical
+/// vertex numbering. A hit skips reduction AND engine entirely; the
+/// service only has to permute labels onto the requester's vertex ids.
+struct ResultEntry {
+  std::vector<Weight> labels;
+  Weight span = 0;
+  bool optimal = false;
+  Engine engine = Engine::ChainedLK;
+  /// The wall-clock budget (ms) the producing race ran under; 0 means
+  /// unlimited. A non-optimal entry produced under a finite budget is
+  /// "upgradeable": a later request with more budget re-solves and
+  /// refreshes the entry instead of being served the truncated result
+  /// forever.
+  std::int64_t deadline_ms = 0;
+};
+
+struct CacheStats {
+  std::uint64_t result_hits = 0;
+  std::uint64_t result_misses = 0;
+  std::uint64_t reduction_hits = 0;
+  std::uint64_t reduction_misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Sharded, mutex-striped LRU cache for solve results and reductions.
+///
+/// Keys are the exact byte strings from service/canonical_key.hpp: the
+/// canonical edge list is part of the key, so a lookup hit proves the
+/// graphs isomorphic — a hash collision can cost a shard probe, never a
+/// wrong answer. Striping: a key's shard is fixed by its hash, each shard
+/// holds an independent LRU list + map under its own mutex, so concurrent
+/// requests only contend when they land on the same shard.
+class SolveCache {
+ public:
+  struct Config {
+    /// Target max entries across all shards. Rounded UP to a multiple of
+    /// shards (each shard gets ceil(capacity/shards)), so actual residency
+    /// can exceed this by up to shards-1 entries.
+    std::size_t capacity = 4096;
+    std::size_t shards = 8;  ///< mutex stripes (>= 1)
+  };
+
+  SolveCache() : SolveCache(Config{}) {}
+  explicit SolveCache(const Config& config);
+
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  std::shared_ptr<const ReductionEntry> find_reduction(const std::string& key);
+  void put_reduction(const std::string& key, std::shared_ptr<const ReductionEntry> entry);
+
+  std::shared_ptr<const ResultEntry> find_result(const std::string& key);
+  void put_result(const std::string& key, std::shared_ptr<const ResultEntry> entry);
+
+  /// Entries currently resident (sums shard sizes; racy but monotonic
+  /// enough for monitoring).
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] CacheStats stats() const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Drop every entry (stats are kept).
+  void clear();
+
+ private:
+  // Values are type-erased so result and reduction entries share the LRU
+  // machinery; the key namespace ('G' vs 'G...P' suffix from
+  // canonical_key.hpp) pins each key to exactly one entry type, so the
+  // typed accessors can cast back safely.
+  struct Shard {
+    std::mutex mutex;
+    std::list<std::pair<std::string, std::shared_ptr<const void>>> lru;  // front = hottest
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+  };
+
+  Shard& shard_for(const std::string& key);
+  std::shared_ptr<const void> find(const std::string& key, std::atomic<std::uint64_t>& hits,
+                                   std::atomic<std::uint64_t>& misses);
+  /// `keep_existing(existing, incoming)` returning true suppresses a
+  /// refresh-in-place — the compare runs under the shard lock, which is
+  /// what makes "a worse concurrent solve can never degrade a better
+  /// cached entry" hold under races.
+  void put(const std::string& key, std::shared_ptr<const void> value,
+           bool (*keep_existing)(const void* existing, const void* incoming) = nullptr);
+
+  Config config_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> result_hits_{0};
+  std::atomic<std::uint64_t> result_misses_{0};
+  std::atomic<std::uint64_t> reduction_hits_{0};
+  std::atomic<std::uint64_t> reduction_misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace lptsp

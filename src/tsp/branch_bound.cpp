@@ -38,15 +38,18 @@ Weight subset_mst(const MetricInstance& instance, const std::vector<int>& member
 struct Search {
   const MetricInstance& instance;
   const long long node_limit;
+  const std::atomic<bool>* cancel;
   long long nodes = 0;
+  bool cancelled = false;
   Weight incumbent_cost;
   Order incumbent;
   Order partial;
   std::vector<bool> used;
 
-  Search(const MetricInstance& inst, long long limit, PathSolution warm_start)
+  Search(const MetricInstance& inst, const BranchBoundOptions& options, PathSolution warm_start)
       : instance(inst),
-        node_limit(limit),
+        node_limit(options.node_limit),
+        cancel(options.cancel),
         incumbent_cost(warm_start.cost),
         incumbent(std::move(warm_start.order)),
         used(static_cast<std::size_t>(inst.n()), false) {
@@ -70,9 +73,17 @@ struct Search {
   }
 
   void dfs(Weight cost) {
+    if (cancelled) return;
     ++nodes;
     LPTSP_REQUIRE(node_limit == 0 || nodes <= node_limit,
                   "branch-and-bound node limit exceeded — use Held-Karp or a heuristic engine");
+    // Poll the cancel flag sparsely: an atomic load per node would be
+    // measurable on the millions-of-nodes searches this engine exists for.
+    if (cancel != nullptr && (nodes & 1023) == 0 &&
+        cancel->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      return;
+    }
     if (static_cast<int>(partial.size()) == instance.n()) {
       if (cost < incumbent_cost) {
         incumbent_cost = cost;
@@ -92,6 +103,7 @@ struct Search {
     }
     std::sort(candidates.begin(), candidates.end());
     for (const auto& [step, v] : candidates) {
+      if (cancelled) return;
       partial.push_back(v);
       used[static_cast<std::size_t>(v)] = true;
       dfs(cost + step);
@@ -103,10 +115,11 @@ struct Search {
 
 }  // namespace
 
-PathSolution branch_bound_path(const MetricInstance& instance, const BranchBoundOptions& options) {
+BranchBoundRun branch_bound_path_run(const MetricInstance& instance,
+                                     const BranchBoundOptions& options) {
   const int n = instance.n();
   LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
-  if (n == 1) return {{0}, 0};
+  if (n == 1) return {{{0}, 0}, true, 0};
 
   // Warm start: NN + VND gives a strong incumbent so pruning bites from
   // the first branch.
@@ -115,10 +128,14 @@ PathSolution branch_bound_path(const MetricInstance& instance, const BranchBound
   vnd(instance, warm.order);
   warm.cost = path_length(instance, warm.order);
 
-  Search search(instance, options.node_limit, std::move(warm));
+  Search search(instance, options, std::move(warm));
   search.dfs(0);
   LPTSP_ENSURE(is_valid_order(search.incumbent, n), "branch and bound lost its incumbent");
-  return {search.incumbent, search.incumbent_cost};
+  return {{search.incumbent, search.incumbent_cost}, !search.cancelled, search.nodes};
+}
+
+PathSolution branch_bound_path(const MetricInstance& instance, const BranchBoundOptions& options) {
+  return branch_bound_path_run(instance, options).solution;
 }
 
 }  // namespace lptsp

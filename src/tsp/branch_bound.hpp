@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+
 #include "tsp/path.hpp"
 
 namespace lptsp {
@@ -11,6 +13,12 @@ struct BranchBoundOptions {
   /// silently hanging: callers choose between HK (memory-bound) and B&B
   /// (time-bound).
   long long node_limit = 50'000'000;
+  /// Cooperative cancellation for deadline-racing callers (the engine
+  /// portfolio): when non-null and set, the search stops at the next
+  /// check and returns the incumbent found so far. A cancelled run's
+  /// result is feasible but NOT certified optimal — see BranchBoundRun /
+  /// branch_bound_path_run for the completed flag.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Exact Path TSP by depth-first branch and bound.
@@ -25,5 +33,17 @@ struct BranchBoundOptions {
 /// because any completion is a spanning connected subgraph of the rest).
 PathSolution branch_bound_path(const MetricInstance& instance,
                                const BranchBoundOptions& options = {});
+
+/// branch_bound_path plus metadata racing callers need: whether the search
+/// ran to completion (result certified optimal) or was cancelled early
+/// (result is the best incumbent, still a feasible path).
+struct BranchBoundRun {
+  PathSolution solution;
+  bool completed = true;       ///< false when options.cancel fired first
+  long long nodes = 0;         ///< search nodes expanded
+};
+
+BranchBoundRun branch_bound_path_run(const MetricInstance& instance,
+                                     const BranchBoundOptions& options = {});
 
 }  // namespace lptsp

@@ -28,35 +28,54 @@ Order double_bridge_kick(const Order& order, Rng& rng) {
   return kicked;
 }
 
-PathSolution chained_lk_path(const MetricInstance& instance, const ChainedLkOptions& options) {
+ChainedLkRun chained_lk_path_run(const MetricInstance& instance, const ChainedLkOptions& options) {
   LPTSP_REQUIRE(instance.n() >= 1, "instance must be non-empty");
   LPTSP_REQUIRE(options.restarts >= 1, "need at least one restart");
   LPTSP_REQUIRE(options.kicks >= 0, "kick count must be non-negative");
   if (instance.n() <= 3) {
     Rng rng(options.seed);
-    return lin_kernighan_style_path(instance, rng);
+    return {lin_kernighan_style_path(instance, rng), true};
   }
 
   PathSolution global_best;
   global_best.cost = -1;
   std::mutex best_mutex;
+  std::atomic<bool> truncated{false};
+
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
+  };
 
   const auto run_restart = [&](std::size_t restart) {
+    // Restart 0 always runs to completion so a cancelled call still yields
+    // a feasible solution; later restarts are pure improvement and skip
+    // their (expensive) initial optimization once the flag is up.
+    if (restart > 0 && cancelled()) {
+      truncated.store(true, std::memory_order_relaxed);
+      return;
+    }
     Rng rng(options.seed + 0x9e3779b97f4a7c15ULL * (restart + 1));
     PathSolution current = lin_kernighan_style_path(instance, rng);
     PathSolution best = current;
-    for (int kick = 0; kick < options.kicks; ++kick) {
+    int kick = 0;
+    for (; kick < options.kicks; ++kick) {
+      if (cancelled()) break;
       Order perturbed = double_bridge_kick(best.order, rng);
       PathSolution candidate = lin_kernighan_style_path_from(instance, std::move(perturbed));
       if (candidate.cost < best.cost) best = std::move(candidate);
     }
+    if (kick < options.kicks) truncated.store(true, std::memory_order_relaxed);
     const std::lock_guard lock(best_mutex);
     if (global_best.cost < 0 || best.cost < global_best.cost) global_best = std::move(best);
   };
 
   parallel_for(static_cast<std::size_t>(options.restarts), run_restart, options.threads);
   LPTSP_ENSURE(global_best.cost >= 0, "chained LK produced no solution");
-  return global_best;
+  return {std::move(global_best), !truncated.load(std::memory_order_relaxed)};
+}
+
+PathSolution chained_lk_path(const MetricInstance& instance, const ChainedLkOptions& options) {
+  return chained_lk_path_run(instance, options).solution;
 }
 
 }  // namespace lptsp

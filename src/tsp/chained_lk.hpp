@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+
 #include "tsp/path.hpp"
 #include "util/rng.hpp"
 
@@ -11,6 +13,11 @@ struct ChainedLkOptions {
   int kicks = 40;         ///< double-bridge perturbations per restart
   std::uint64_t seed = 1; ///< master seed; restarts derive child streams
   unsigned threads = 1;   ///< 0 = shared pool, 1 = serial
+  /// Cooperative cancellation for deadline-racing callers: when non-null
+  /// and set, each restart stops kicking and the best tour found so far is
+  /// returned. The first local optimization of each restart always runs,
+  /// so a cancelled call still yields a feasible solution.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Chained LK in the sense of Applegate–Cook–Rohe: local-optimize, then
@@ -19,6 +26,17 @@ struct ChainedLkOptions {
 /// heuristic engine in the library and the practical counterpart of the
 /// paper's "use Concorde/LKH as engines" pitch.
 PathSolution chained_lk_path(const MetricInstance& instance, const ChainedLkOptions& options = {});
+
+/// chained_lk_path plus the metadata racing callers need: whether every
+/// restart ran its full kick schedule (completed) or the cancel flag cut
+/// at least one short. Mirrors BranchBoundRun.
+struct ChainedLkRun {
+  PathSolution solution;
+  bool completed = true;
+};
+
+ChainedLkRun chained_lk_path_run(const MetricInstance& instance,
+                                 const ChainedLkOptions& options = {});
 
 /// A double-bridge 4-opt kick for open paths: cut into four non-empty
 /// segments A B C D and rearrange to A C B D.

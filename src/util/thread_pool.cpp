@@ -93,4 +93,58 @@ void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
   ThreadPool::shared().parallel_for(count, fn);
 }
 
+TaskPool::TaskPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t TaskPool::pending() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
+void TaskPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  ready_.notify_one();
+}
+
+void TaskPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();  // packaged_task captures exceptions into the future
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+    }
+  }
+}
+
+TaskPool& TaskPool::shared() {
+  static TaskPool pool;
+  return pool;
+}
+
 }  // namespace lptsp

@@ -2,10 +2,15 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace lptsp {
@@ -67,5 +72,54 @@ class ThreadPool {
 /// benchmarking serial baselines with identical code paths).
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   unsigned threads = 0);
+
+/// Queue-based companion to ThreadPool for heterogeneous tasks with
+/// results: submit() hands back a std::future, tasks run FIFO across a
+/// fixed worker set. ThreadPool's region model (one homogeneous loop at a
+/// time, caller blocks) fits data-parallel kernels; the batch labeling
+/// service instead needs many independent solves in flight at once, which
+/// is exactly this shape. Exceptions propagate through the future.
+class TaskPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit TaskPool(unsigned threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Number of worker threads (>= 1).
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Tasks submitted but not yet finished (approximate, for monitoring).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Enqueue `fn` and return a future for its result. Safe to call from
+  /// any thread, including from inside a running task (the queue is
+  /// unbounded, so no deadlock — but a task blocking on a future of
+  /// another queued task can still starve; the service layer never does).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// The process-wide shared task pool (lazily constructed, hardware size).
+  static TaskPool& shared();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
 
 }  // namespace lptsp

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/operations.hpp"
+#include "service/canonical_key.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(CanonicalForm, IsomorphicRelabelingsCollide) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph graph = random_with_diameter_at_most(14, 2, 0.3, rng);
+    const CanonicalForm base = canonical_form(graph);
+    ASSERT_TRUE(base.exact);
+    for (int shuffle = 0; shuffle < 4; ++shuffle) {
+      const std::vector<int> perm = rng.permutation(graph.n());
+      const CanonicalForm relabeled = canonical_form(relabel(graph, perm));
+      EXPECT_TRUE(relabeled.exact);
+      EXPECT_EQ(base.edges, relabeled.edges);
+      EXPECT_EQ(base.hash, relabeled.hash);
+      EXPECT_EQ(graph_key(base), graph_key(relabeled));
+    }
+  }
+}
+
+TEST(CanonicalForm, DifferentGraphsMiss) {
+  // Same n and m, different structure: P4 vs the star K_{1,3}.
+  const CanonicalForm path = canonical_form(path_graph(4));
+  const CanonicalForm star = canonical_form(star_graph(4));
+  EXPECT_NE(path.edges, star.edges);
+  EXPECT_NE(graph_key(path), graph_key(star));
+}
+
+TEST(CanonicalForm, IndividualizationSeparatesWlEquivalentGraphs) {
+  // C6 and 2xC3 are both 2-regular on 6 vertices, so plain WL refinement
+  // cannot tell them apart; individualization must.
+  const Graph c6 = cycle_graph(6);
+  Graph two_triangles(6);
+  two_triangles.add_edge(0, 1);
+  two_triangles.add_edge(1, 2);
+  two_triangles.add_edge(2, 0);
+  two_triangles.add_edge(3, 4);
+  two_triangles.add_edge(4, 5);
+  two_triangles.add_edge(5, 3);
+  const CanonicalForm a = canonical_form(c6);
+  const CanonicalForm b = canonical_form(two_triangles);
+  ASSERT_TRUE(a.exact);
+  ASSERT_TRUE(b.exact);
+  EXPECT_NE(a.edges, b.edges);
+}
+
+TEST(CanonicalForm, VertexTransitiveGraphsStayExact) {
+  // Petersen is vertex-transitive (WL sees one class) yet small orbit
+  // stabilizers keep the individualization tree tiny.
+  Rng rng(3);
+  const Graph petersen = petersen_graph();
+  const CanonicalForm base = canonical_form(petersen);
+  EXPECT_TRUE(base.exact);
+  for (int shuffle = 0; shuffle < 5; ++shuffle) {
+    const CanonicalForm relabeled =
+        canonical_form(relabel(petersen, rng.permutation(petersen.n())));
+    EXPECT_TRUE(relabeled.exact);
+    EXPECT_EQ(base.edges, relabeled.edges);
+  }
+}
+
+TEST(CanonicalForm, OrbitPruningKeepsSymmetricFamiliesExact) {
+  // Complete graphs, stars, and complete bipartite graphs have factorial
+  // automorphism groups; without orbit pruning the branch budget would
+  // blow immediately.
+  for (const Graph& graph :
+       {complete_graph(30), star_graph(30), complete_bipartite(12, 17), complete_graph(1)}) {
+    const CanonicalForm form = canonical_form(graph);
+    EXPECT_TRUE(form.exact) << "n=" << graph.n() << " m=" << graph.m();
+  }
+  Rng rng(11);
+  const Graph k9 = complete_graph(9);
+  const CanonicalForm base = canonical_form(k9);
+  const CanonicalForm relabeled = canonical_form(relabel(k9, rng.permutation(9)));
+  EXPECT_EQ(base.edges, relabeled.edges);
+}
+
+TEST(CanonicalForm, ToCanonicalIsAPermutation) {
+  Rng rng(19);
+  const Graph graph = random_with_diameter_at_most(12, 3, 0.2, rng);
+  const CanonicalForm form = canonical_form(graph);
+  std::set<int> seen(form.to_canonical.begin(), form.to_canonical.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), graph.n());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), graph.n() - 1);
+  // The relabeled graph's edge list must be exactly the canonical edges.
+  const Graph canon = relabel(graph, form.to_canonical);
+  EXPECT_EQ(canon.edges(), form.edges);
+}
+
+TEST(CanonicalForm, BudgetExhaustionIsReportedNotWrong) {
+  // A disjoint union of many triangles has orbit structure the cheap
+  // interchangeability test cannot fully collapse (classes are unions of
+  // several orbits), so a tiny budget must surface exact=false while the
+  // relabeling stays a valid permutation.
+  Graph many_triangles(18);
+  for (int t = 0; t < 6; ++t) {
+    many_triangles.add_edge(3 * t, 3 * t + 1);
+    many_triangles.add_edge(3 * t + 1, 3 * t + 2);
+    many_triangles.add_edge(3 * t + 2, 3 * t);
+  }
+  CanonicalFormOptions options;
+  options.branch_budget = 2;
+  const CanonicalForm form = canonical_form(many_triangles, options);
+  EXPECT_FALSE(form.exact);
+  std::set<int> seen(form.to_canonical.begin(), form.to_canonical.end());
+  EXPECT_EQ(seen.size(), form.to_canonical.size());
+  const Graph canon = relabel(many_triangles, form.to_canonical);
+  EXPECT_EQ(canon.edges(), form.edges);
+}
+
+TEST(CanonicalKey, ResultKeySeparatesPVectors) {
+  const Graph graph = petersen_graph();
+  const CanonicalForm form = canonical_form(graph);
+  EXPECT_NE(result_key(form, PVec::L21()), result_key(form, PVec({1, 1})));
+  EXPECT_NE(result_key(form, PVec::L21()), result_key(form, PVec({2, 1, 1})));
+  EXPECT_EQ(result_key(form, PVec::L21()), result_key(form, PVec({2, 1})));
+}
+
+TEST(CanonicalKey, MapLabelsRoundTrip) {
+  Rng rng(23);
+  const Graph graph = random_with_diameter_at_most(10, 2, 0.35, rng);
+  const CanonicalForm form = canonical_form(graph);
+  // Distinct labels in canonical space: vertex c gets label 10*c.
+  std::vector<Weight> canonical_labels(static_cast<std::size_t>(graph.n()));
+  for (int c = 0; c < graph.n(); ++c) canonical_labels[static_cast<std::size_t>(c)] = 10 * c;
+  const std::vector<Weight> mapped = map_labels_from_canonical(form, canonical_labels);
+  for (int v = 0; v < graph.n(); ++v) {
+    EXPECT_EQ(mapped[static_cast<std::size_t>(v)],
+              10 * form.to_canonical[static_cast<std::size_t>(v)]);
+  }
+}
+
+}  // namespace
+}  // namespace lptsp

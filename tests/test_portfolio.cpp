@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/reduction.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "service/portfolio.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+MetricInstance reduced_instance(const Graph& graph, const PVec& p) {
+  return reduce_to_path_tsp(graph, p, 1).instance;
+}
+
+TEST(Portfolio, ReturnsOptimalOnSmallInstancesWithoutDeadline) {
+  TaskPool pool(4);
+  PortfolioOptions options;
+  options.deadline = std::chrono::milliseconds{0};  // run everything out
+  EnginePortfolio portfolio(pool, options);
+  Rng rng(5);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng);
+    const MetricInstance instance = reduced_instance(graph, PVec::L21());
+
+    SolveOptions exact;
+    exact.engine = Engine::HeldKarp;
+    const Weight optimal_span = solve_labeling(graph, PVec::L21(), exact).span;
+
+    const PortfolioOutcome outcome = portfolio.race(instance);
+    EXPECT_TRUE(outcome.optimal);
+    EXPECT_EQ(outcome.solution.cost, optimal_span);
+    EXPECT_TRUE(is_valid_order(outcome.solution.order, graph.n()));
+    EXPECT_EQ(path_length(instance, outcome.solution.order), outcome.solution.cost);
+    EXPECT_GE(outcome.attempts.size(), 2u);
+    for (const EngineAttempt& attempt : outcome.attempts) {
+      if (attempt.finished) {
+        EXPECT_TRUE(attempt.verified);
+      }
+    }
+  }
+}
+
+TEST(Portfolio, NeverWorseThanSingleHeuristicEngine) {
+  TaskPool pool(4);
+  PortfolioOptions options;
+  options.deadline = std::chrono::milliseconds{0};
+  EnginePortfolio portfolio(pool, options);
+  Rng rng(17);
+  // n = 16 keeps Held-Karp in the race (and fast), so the portfolio's
+  // answer is provably <= the standalone heuristic's.
+  const Graph graph = random_with_diameter_at_most(16, 2, 0.25, rng);
+  const MetricInstance instance = reduced_instance(graph, PVec::L21());
+
+  ChainedLkOptions lk;
+  lk.seed = options.seed;
+  const Weight heuristic_cost = chained_lk_path(instance, lk).cost;
+
+  const PortfolioOutcome outcome = portfolio.race(instance);
+  EXPECT_LE(outcome.solution.cost, heuristic_cost);
+}
+
+TEST(Portfolio, TightDeadlineStillYieldsVerifiedResult) {
+  TaskPool pool(4);
+  PortfolioOptions options;
+  options.deadline = std::chrono::milliseconds{5};
+  EnginePortfolio portfolio(pool, options);
+  Rng rng(29);
+  const Graph graph = random_with_diameter_at_most(80, 2, 0.15, rng);
+  const MetricInstance instance = reduced_instance(graph, PVec::L21());
+  const PortfolioOutcome outcome = portfolio.race(instance);
+  ASSERT_GE(outcome.solution.cost, 0);
+  EXPECT_TRUE(is_valid_order(outcome.solution.order, graph.n()));
+  EXPECT_EQ(path_length(instance, outcome.solution.order), outcome.solution.cost);
+  bool winner_verified = false;
+  for (const EngineAttempt& attempt : outcome.attempts) {
+    if (attempt.engine == outcome.winner && attempt.verified) winner_verified = true;
+  }
+  EXPECT_TRUE(winner_verified);
+}
+
+TEST(Portfolio, RecordsWinnersPerSizeBucket) {
+  TaskPool pool(4);
+  PortfolioOptions options;
+  options.deadline = std::chrono::milliseconds{0};
+  EnginePortfolio portfolio(pool, options);
+  Rng rng(31);
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng);
+  const MetricInstance instance = reduced_instance(graph, PVec::L21());
+  const PortfolioOutcome outcome = portfolio.race(instance);
+  EXPECT_GE(portfolio.wins(instance.n(), outcome.winner), 1u);
+}
+
+TEST(Portfolio, PreferredEngineFallsBackToSizeHeuristic) {
+  TaskPool pool(2);
+  EnginePortfolio portfolio(pool);
+  EXPECT_EQ(portfolio.preferred_engine(10), Engine::HeldKarp);
+  EXPECT_EQ(portfolio.preferred_engine(200), Engine::ChainedLK);
+}
+
+TEST(Portfolio, TrivialInstancesAreExactInline) {
+  TaskPool pool(2);
+  EnginePortfolio portfolio(pool);
+  const MetricInstance instance = reduced_instance(path_graph(2), PVec({2}));
+  const PortfolioOutcome outcome = portfolio.race(instance);
+  EXPECT_TRUE(outcome.optimal);
+  EXPECT_EQ(outcome.solution.cost, 2);
+}
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/solve_cache.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+std::shared_ptr<const ResultEntry> entry_with_span(Weight span) {
+  return std::make_shared<const ResultEntry>(ResultEntry{{}, span, false, Engine::ChainedLK});
+}
+
+TEST(SolveCache, FindReturnsWhatWasPut) {
+  SolveCache cache;
+  EXPECT_EQ(cache.find_result("a"), nullptr);
+  cache.put_result("a", entry_with_span(42));
+  const auto hit = cache.find_result("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->span, 42);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.result_hits, 1u);
+  EXPECT_EQ(stats.result_misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(SolveCache, LruEvictsColdestFirst) {
+  SolveCache::Config config;
+  config.capacity = 4;
+  config.shards = 1;  // single shard makes the LRU order fully observable
+  SolveCache cache(config);
+  for (int i = 0; i < 4; ++i) {
+    cache.put_result(std::to_string(i), entry_with_span(i));
+  }
+  // Touch "0" so "1" becomes the coldest entry.
+  EXPECT_NE(cache.find_result("0"), nullptr);
+  cache.put_result("4", entry_with_span(4));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.find_result("1"), nullptr);  // evicted
+  EXPECT_NE(cache.find_result("0"), nullptr);  // kept: recently used
+  EXPECT_NE(cache.find_result("4"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SolveCache, PutExistingResultKeepsTheBetterLabeling) {
+  SolveCache::Config config;
+  config.capacity = 2;
+  config.shards = 1;
+  SolveCache cache(config);
+  cache.put_result("k", entry_with_span(5));
+  // A worse concurrent solve must not degrade the resident entry...
+  cache.put_result("k", entry_with_span(7));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find_result("k")->span, 5);
+  // ...but a better one refreshes it in place.
+  cache.put_result("k", entry_with_span(3));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find_result("k")->span, 3);
+  // Equal span with an optimality certificate also wins.
+  cache.put_result("k", std::make_shared<const ResultEntry>(
+                            ResultEntry{{}, 3, true, Engine::HeldKarp, 0}));
+  EXPECT_TRUE(cache.find_result("k")->optimal);
+  cache.put_result("k", entry_with_span(3));  // non-optimal same span loses
+  EXPECT_TRUE(cache.find_result("k")->optimal);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(SolveCache, ReductionAndResultNamespacesAreIndependent) {
+  SolveCache cache;
+  DistanceMatrix dist(2);
+  dist.set(0, 1, 1);
+  dist.set(1, 0, 1);
+  cache.put_reduction("Gk", std::make_shared<const ReductionEntry>(ReductionEntry{dist, 1, true}));
+  cache.put_result("GkP", entry_with_span(7));
+  ASSERT_NE(cache.find_reduction("Gk"), nullptr);
+  EXPECT_EQ(cache.find_reduction("Gk")->diameter, 1);
+  ASSERT_NE(cache.find_result("GkP"), nullptr);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.reduction_hits, 2u);
+  EXPECT_EQ(stats.result_hits, 1u);
+}
+
+TEST(SolveCache, CapacityIsRespectedAcrossShards) {
+  SolveCache::Config config;
+  config.capacity = 64;
+  config.shards = 8;
+  SolveCache cache(config);
+  for (int i = 0; i < 1000; ++i) {
+    cache.put_result("key-" + std::to_string(i), entry_with_span(i));
+  }
+  EXPECT_LE(cache.size(), 64u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SolveCache, ConcurrentMixedTrafficSmoke) {
+  SolveCache::Config config;
+  config.capacity = 128;
+  config.shards = 4;
+  SolveCache cache(config);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 977 + 5);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const std::string key = "key-" + std::to_string(rng.uniform_int(0, 200));
+        if (rng.bernoulli(0.5)) {
+          cache.put_result(key, entry_with_span(op));
+        } else {
+          const auto hit = cache.find_result(key);
+          if (hit != nullptr) {
+            EXPECT_GE(hit->span, 0);  // entries stay alive while referenced
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_LE(cache.size(), 128u);
+  const CacheStats stats = cache.stats();
+  // Every op was either a put (counted as insertion or refresh) or a find
+  // (counted as hit or miss); the totals must stay within the op budget.
+  EXPECT_GT(stats.result_hits + stats.result_misses, 0u);
+  EXPECT_LE(stats.result_hits + stats.result_misses,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace lptsp

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/reduction.hpp"
+#include "core/solvers.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+TEST(SolveStatus, NamesAreDistinct) {
+  const std::set<std::string> names{
+      status_name(SolveStatus::Ok),
+      status_name(SolveStatus::EmptyGraph),
+      status_name(SolveStatus::Disconnected),
+      status_name(SolveStatus::DiameterExceedsK),
+      status_name(SolveStatus::MetricConditionViolated),
+      status_name(SolveStatus::EngineFailure),
+  };
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(TrySolveLabeling, OkMatchesThrowingFrontEnd) {
+  Rng rng(3);
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng);
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  const SolveOutcome outcome = try_solve_labeling(graph, PVec::L21(), options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.message.empty());
+  EXPECT_EQ(outcome.result.span, solve_labeling(graph, PVec::L21(), options).span);
+  EXPECT_TRUE(outcome.result.optimal);
+}
+
+TEST(TrySolveLabeling, TypedStatusesInsteadOfExceptions) {
+  EXPECT_EQ(try_solve_labeling(Graph(0), PVec::L21()).status, SolveStatus::EmptyGraph);
+
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_EQ(try_solve_labeling(disconnected, PVec::L21()).status, SolveStatus::Disconnected);
+
+  EXPECT_EQ(try_solve_labeling(path_graph(6), PVec::L21()).status,
+            SolveStatus::DiameterExceedsK);
+
+  EXPECT_EQ(try_solve_labeling(star_graph(5), PVec({3, 1})).status,
+            SolveStatus::MetricConditionViolated);
+
+  // Every failure carries a human-readable message.
+  EXPECT_FALSE(try_solve_labeling(path_graph(6), PVec::L21()).message.empty());
+}
+
+TEST(TrySolveLabeling, EngineResourceCapsSurfaceAsEngineFailure) {
+  Rng rng(9);
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng);
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  options.held_karp.max_n = 4;  // deterministic size cap trip on n = 12
+  const SolveOutcome outcome = try_solve_labeling(graph, PVec::L21(), options);
+  EXPECT_EQ(outcome.status, SolveStatus::EngineFailure);
+  EXPECT_FALSE(outcome.message.empty());
+}
+
+TEST(ClassifyLabelingRequest, AgreesWithDistanceMatrix) {
+  Rng rng(13);
+  const Graph graph = random_with_diameter_at_most(10, 2, 0.3, rng);
+  const DistanceMatrix dist = all_pairs_distances(graph, 1);
+  EXPECT_EQ(classify_labeling_request(graph, PVec::L21(), dist), SolveStatus::Ok);
+  EXPECT_EQ(classify_labeling_request(graph, PVec({3, 1}), dist),
+            SolveStatus::MetricConditionViolated);
+  EXPECT_EQ(classify_labeling_request(graph, PVec({2}), dist),
+            graph.n() > 1 && dist.max_finite() > 1 ? SolveStatus::DiameterExceedsK
+                                                   : SolveStatus::Ok);
+}
+
+TEST(SolveLabelingReduced, InjectedReductionMatchesFullPipeline) {
+  Rng rng(21);
+  const Graph graph = random_with_diameter_at_most(11, 2, 0.35, rng);
+  const PVec p = PVec::L21();
+  const ReducedInstance reduced = reduce_to_path_tsp(graph, p, 1);
+
+  SolveOptions options;
+  options.engine = Engine::HeldKarp;
+  const SolveResult full = solve_labeling(graph, p, options);
+  const SolveResult injected = solve_labeling_reduced(graph, p, reduced, options);
+  EXPECT_EQ(injected.span, full.span);
+  EXPECT_TRUE(injected.optimal);
+  EXPECT_TRUE(is_valid_labeling(graph, p, injected.labeling));
+
+  // instance_from_distances must agree with the full reduction's instance.
+  const MetricInstance rebuilt = instance_from_distances(reduced.dist, p);
+  for (int u = 0; u < graph.n(); ++u) {
+    for (int v = u + 1; v < graph.n(); ++v) {
+      EXPECT_EQ(rebuilt.weight(u, v), reduced.instance.weight(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lptsp
