@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/reduction.hpp"
 #include "graph/operations.hpp"
 #include "tsp/chained_lk.hpp"
@@ -20,6 +21,7 @@ using namespace lptsp;
 
 int main() {
   std::printf("A2: local-search component ablation (hard dense diameter-2 family)\n");
+  lptsp::bench::BenchJson json("a2_localsearch_ablation");
   Table table({"n", "variant", "span", "improvement vs NN", "time[s]"});
 
   for (const int n : {100, 200, 400}) {
@@ -57,22 +59,38 @@ int main() {
       variants.push_back({"nn + vnd", path_length(reduced.instance, order), timer.seconds()});
     }
     {
+      // The candidate-list optimizer (2-opt + Or-opt over k-nearest lists
+      // with don't-look bits) against the full-matrix legacy passes above.
+      Order order = nn.order;
+      const Timer timer;
+      PathOptimizer optimizer(reduced.instance);
+      optimizer.optimize(order);
+      variants.push_back({"nn + cand-vnd", path_length(reduced.instance, order), timer.seconds()});
+    }
+    {
       ChainedLkOptions options;
       options.restarts = 1;
       options.kicks = 25;
       options.seed = 3;
       const Timer timer;
       const PathSolution chained = chained_lk_path(reduced.instance, options);
-      variants.push_back({"vnd + kicks", chained.cost, timer.seconds()});
+      variants.push_back({"cand-vnd + kicks", chained.cost, timer.seconds()});
     }
 
     for (const auto& variant : variants) {
       table.add_row({std::to_string(n), variant.name, std::to_string(variant.cost),
                      std::to_string(nn.cost - variant.cost),
                      format_double(variant.seconds, 3)});
+      std::string key = "a2_";
+      for (const char* c = variant.name; *c != '\0'; ++c) {
+        key += (*c == ' ' || *c == '+') ? '_' : *c;
+      }
+      json.record(key, n, variant.seconds * 1e9);
+      json.record_ratio(key + "_improvement", n, static_cast<double>(nn.cost - variant.cost));
     }
   }
 
-  table.print("A2 — local-search ablation (expect vnd+kicks best, 2opt > oropt alone)");
+  table.print("A2 — local-search ablation (legacy full-matrix vs candidate-list fast path)");
+  std::printf("wrote %s\n", json.write().c_str());
   return 0;
 }

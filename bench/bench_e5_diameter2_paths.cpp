@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/cograph_paths.hpp"
 #include "core/partition_paths.hpp"
 #include "core/solvers.hpp"
@@ -20,6 +21,8 @@ using namespace lptsp;
 
 int main() {
   std::printf("E5: Corollary 2 — diameter-2 labeling via path partition\n");
+  lptsp::bench::BenchJson json("e5_diameter2_paths");
+  const Timer wall;
 
   Table formula({"family", "n", "(p,q)", "cases", "formula==TSP", "mean s*", "time[s]"});
   const std::vector<std::pair<int, int>> pqs{{2, 1}, {1, 2}, {3, 2}, {2, 3}, {1, 1}, {4, 3}};
@@ -62,6 +65,11 @@ int main() {
       formula.add_row({dense_family ? "dense(co-ER)" : "diam2-random", std::to_string(n), pq,
                        std::to_string(cases), lptsp::bench::fraction(matches, cases),
                        format_double(partition_sum / cases, 2), format_double(timer.seconds(), 2)});
+      // Per-case pipeline cost (solve_labeling + partition formula), the
+      // HK-dominated hot path this experiment stresses.
+      json.record((dense_family ? std::string("e5a_dense_pq") : std::string("e5a_random_pq")) +
+                      pq,
+                  n, timer.seconds() * 1e9 / cases);
     }
   }
   }
@@ -87,6 +95,7 @@ int main() {
     cotree.add_row({std::to_string(n), std::to_string(graphs),
                     lptsp::bench::fraction(agreements, graphs),
                     format_double(cotree_time, 3), format_double(exact_time, 3)});
+    json.record("e5b_exact_partition_per_graph", n, exact_time * 1e9 / graphs);
   }
   cotree.print("E5b — cotree DP (mw<=2 FPT route) vs exact 2^n DP");
 
@@ -100,7 +109,11 @@ int main() {
     const Timer timer;
     const int cover = cograph_min_path_cover(graph);
     scale.add_row({std::to_string(n), std::to_string(cover), format_double(timer.seconds(), 3)});
+    json.record("e5c_cotree_cover", n, timer.seconds() * 1e9);
   }
   scale.print("E5c — cotree DP scales far beyond the 2^n exact solver");
+
+  json.record("e5_total_wall", 0, wall.seconds() * 1e9);
+  std::printf("wrote %s\n", json.write().c_str());
   return 0;
 }

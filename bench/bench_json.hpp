@@ -1,0 +1,91 @@
+#pragma once
+
+/// Machine-readable benchmark output. Each experiment binary collects its
+/// headline measurements into a BenchJson and writes BENCH_<name>.json next
+/// to its working directory, so CI (and any perf-trajectory tooling) can
+/// diff runs without scraping ASCII tables. The schema is deliberately
+/// flat:
+///
+///   {
+///     "bench": "e9_reduction_parallel",
+///     "results": [
+///       {"name": "reduce_diam3", "n": 800, "median_ns": 1.05e7},
+///       {"name": "diam2_apsp_speedup_vs_reference", "n": 512, "ratio": 6.1}
+///     ]
+///   }
+///
+/// `median_ns` entries are wall time per operation (median over the reps
+/// the bench chose); `ratio` entries are dimensionless comparisons
+/// (speedups, hit rates).
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace lptsp::bench {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  /// One timed case: name, problem size, median wall nanoseconds.
+  void record(const std::string& name, long long n, double median_ns) {
+    entries_.push_back({name, n, median_ns, false, 0.0});
+  }
+
+  /// One dimensionless comparison (speedup, ratio, rate).
+  void record_ratio(const std::string& name, long long n, double ratio) {
+    entries_.push_back({name, n, 0.0, true, ratio});
+  }
+
+  /// Writes BENCH_<bench>.json in the working directory; returns the path.
+  std::string write() const {
+    const std::string path = "BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << bench_ << "\",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& entry = entries_[i];
+      out << "    {\"name\": \"" << entry.name << "\", \"n\": " << entry.n;
+      if (entry.is_ratio) {
+        out << ", \"ratio\": " << entry.ratio;
+      } else {
+        out << ", \"median_ns\": " << entry.median_ns;
+      }
+      out << '}' << (i + 1 < entries_.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
+    return path;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    long long n;
+    double median_ns;
+    bool is_ratio;
+    double ratio;
+  };
+
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
+
+/// Median wall-nanoseconds over `reps` invocations of fn.
+template <typename F>
+double median_ns(int reps, F&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int rep = 0; rep < reps; ++rep) {
+    const Timer timer;
+    fn();
+    samples.push_back(timer.seconds() * 1e9);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace lptsp::bench

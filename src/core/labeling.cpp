@@ -27,8 +27,9 @@ std::optional<LabelingViolation> find_violation(const Graph& graph, const Distan
     LPTSP_REQUIRE(label >= 0, "labels must be non-negative");
   }
   for (int u = 0; u < graph.n(); ++u) {
+    const int* drow = dist.row(u);
     for (int v = u + 1; v < graph.n(); ++v) {
-      const int d = dist.at(u, v);
+      const int d = drow[v];
       if (d == kUnreachable || d > p.k()) continue;
       const Weight gap = std::abs(labeling.labels[static_cast<std::size_t>(u)] -
                                   labeling.labels[static_cast<std::size_t>(v)]);

@@ -34,7 +34,9 @@ ReducedInstance reduce_to_path_tsp_unchecked(const Graph& graph, const PVec& p,
 /// distance matrix: w(u, v) = p_{dist(u, v)}. Callers that cache distance
 /// matrices (the solve cache) use this to skip the O(nm) all-pairs BFS,
 /// the dominant reduction cost on dense small-diameter graphs. Requires
-/// all pairs finite and max distance <= k.
-MetricInstance instance_from_distances(const DistanceMatrix& dist, const PVec& p);
+/// all pairs finite and max distance <= k. The fill parallelizes over
+/// sources like the full reduction (`threads` = 0 shared pool, 1 serial).
+MetricInstance instance_from_distances(const DistanceMatrix& dist, const PVec& p,
+                                       unsigned threads = 1);
 
 }  // namespace lptsp

@@ -181,7 +181,7 @@ SolveOutcome try_solve_labeling(const Graph& graph, const PVec& p, const SolveOp
     outcome.message = status_message(outcome.status, dist.max_finite(), p);
     return outcome;
   }
-  ReducedInstance reduced{instance_from_distances(dist, p), std::move(dist)};
+  ReducedInstance reduced{instance_from_distances(dist, p, options.threads), std::move(dist)};
   try {
     outcome.result = solve_labeling_reduced(graph, p, reduced, options);
   } catch (const precondition_error& e) {

@@ -1,6 +1,8 @@
 #include "graph/bfs.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
@@ -52,15 +54,124 @@ std::vector<int> bfs_distances(const Graph& graph, int src) {
   return dist;
 }
 
+namespace {
+
+/// Try the diameter-<=2 fast path for one source: dist 1 straight off the
+/// adjacency row, dist 2 from a word-wise intersection of the two rows
+/// (early exit on the first common word, so dense rows resolve in one or
+/// two ANDs). Returns false — without touching the unresolved suffix — as
+/// soon as some vertex is at distance >= 3 or unreachable.
+bool try_diameter2_row(const std::uint64_t* bits, int words, int n, int src, int* out) {
+  const std::uint64_t* srow = bits + static_cast<std::size_t>(src) * words;
+  for (int v = 0; v < n; ++v) {
+    if ((srow[v >> 6] >> (v & 63)) & 1u) {
+      out[v] = 1;
+      continue;
+    }
+    if (v == src) {
+      out[v] = 0;
+      continue;
+    }
+    const std::uint64_t* vrow = bits + static_cast<std::size_t>(v) * words;
+    bool meets = false;
+    for (int w = 0; w < words; ++w) {
+      if ((srow[w] & vrow[w]) != 0) {
+        meets = true;
+        break;
+      }
+    }
+    if (!meets) return false;
+    out[v] = 2;
+  }
+  return true;
+}
+
+/// Frontier-bitset BFS writing into out[0..n). The three scratch bitsets
+/// (visited / frontier / next) are caller-provided so all-pairs sweeps
+/// reuse them across sources instead of allocating per source.
+void frontier_bfs_row(const std::uint64_t* bits, int words, int n, int src, int* out,
+                      std::uint64_t* visited, std::uint64_t* frontier, std::uint64_t* next) {
+  std::fill(out, out + n, kUnreachable);
+  std::fill(visited, visited + words, 0);
+  std::fill(frontier, frontier + words, 0);
+  out[src] = 0;
+  visited[src >> 6] |= std::uint64_t{1} << (src & 63);
+  frontier[src >> 6] |= std::uint64_t{1} << (src & 63);
+  int depth = 0;
+  bool grew = true;
+  while (grew) {
+    ++depth;
+    std::fill(next, next + words, 0);
+    for (int w = 0; w < words; ++w) {
+      std::uint64_t pending = frontier[w];
+      while (pending != 0) {
+        const int u = (w << 6) + std::countr_zero(pending);
+        pending &= pending - 1;
+        const std::uint64_t* urow = bits + static_cast<std::size_t>(u) * words;
+        for (int x = 0; x < words; ++x) next[x] |= urow[x];
+      }
+    }
+    grew = false;
+    for (int w = 0; w < words; ++w) {
+      std::uint64_t fresh = next[w] & ~visited[w];
+      next[w] = fresh;
+      visited[w] |= fresh;
+      if (fresh != 0) {
+        grew = true;
+        while (fresh != 0) {
+          out[(w << 6) + std::countr_zero(fresh)] = depth;
+          fresh &= fresh - 1;
+        }
+      }
+    }
+    std::swap(frontier, next);
+  }
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances_frontier(const Graph& graph, int src) {
+  LPTSP_REQUIRE(src >= 0 && src < graph.n(), "BFS source out of range");
+  const int n = graph.n();
+  const int words = graph.words_per_row();
+  std::vector<int> dist(static_cast<std::size_t>(n), kUnreachable);
+  std::vector<std::uint64_t> scratch(static_cast<std::size_t>(words) * 3, 0);
+  frontier_bfs_row(graph.adjacency_bits(), words, n, src, dist.data(), scratch.data(),
+                   scratch.data() + words, scratch.data() + 2 * words);
+  return dist;
+}
+
 DistanceMatrix all_pairs_distances(const Graph& graph, unsigned threads) {
+  const int n = graph.n();
+  DistanceMatrix matrix(n);
+  if (n == 0) return matrix;
+  const std::uint64_t* bits = graph.adjacency_bits();
+  const int words = graph.words_per_row();
+  parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t src) {
+        int* out = matrix.row(static_cast<int>(src));
+        if (try_diameter2_row(bits, words, n, static_cast<int>(src), out)) return;
+        // Per-worker scratch: the vector persists across sources handled by
+        // the same thread, so the fallback allocates once per thread, not
+        // once per source.
+        thread_local std::vector<std::uint64_t> scratch;
+        scratch.assign(static_cast<std::size_t>(words) * 3, 0);
+        frontier_bfs_row(bits, words, n, static_cast<int>(src), out, scratch.data(),
+                         scratch.data() + words, scratch.data() + 2 * words);
+      },
+      threads);
+  return matrix;
+}
+
+DistanceMatrix all_pairs_distances_reference(const Graph& graph, unsigned threads) {
   DistanceMatrix matrix(graph.n());
   parallel_for(
       static_cast<std::size_t>(graph.n()),
       [&](std::size_t src) {
         const auto dist = bfs_distances(graph, static_cast<int>(src));
-        for (int v = 0; v < graph.n(); ++v) {
-          matrix.set(static_cast<int>(src), v, dist[static_cast<std::size_t>(v)]);
-        }
+        int* row = matrix.row(static_cast<int>(src));
+        std::copy(dist.begin(), dist.end(), row);
       },
       threads);
   return matrix;

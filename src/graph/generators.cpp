@@ -178,15 +178,26 @@ namespace {
 /// Adds edges between currently-farthest pairs until diam(G) <= cap.
 /// Each added edge strictly shrinks the distance of the chosen pair, and in
 /// the worst case the loop ends at the complete graph, so it terminates.
+///
+/// The all-pairs matrix is computed once and then maintained incrementally:
+/// adding the unweighted edge {a, b} can only shorten a path by routing it
+/// through the new edge exactly once, so
+///   d'(x, y) = min(d(x, y), d(x, a) + 1 + d(b, y), d(x, b) + 1 + d(a, y)),
+/// an O(n^2) row sweep instead of a fresh O(nm) BFS sweep per added edge.
+/// The chosen-edge sequence (and hence the output distribution) is
+/// identical to the recompute-from-scratch version.
 void enforce_diameter_cap(Graph& graph, int cap, Rng& rng) {
   LPTSP_REQUIRE(cap >= 1, "diameter cap must be >= 1");
+  DistanceMatrix dist = all_pairs_distances(graph);
+  LPTSP_REQUIRE(dist.all_finite(), "diameter cap requires a connected graph");
+  std::vector<std::pair<int, int>> farthest;
   while (true) {
-    const auto dist = all_pairs_distances(graph);
-    std::vector<std::pair<int, int>> farthest;
+    farthest.clear();
     int worst = 0;
     for (int u = 0; u < graph.n(); ++u) {
+      const int* drow = dist.row(u);
       for (int v = u + 1; v < graph.n(); ++v) {
-        const int d = dist.at(u, v);
+        const int d = drow[v];
         if (d > worst) {
           worst = d;
           farthest.clear();
@@ -195,8 +206,19 @@ void enforce_diameter_cap(Graph& graph, int cap, Rng& rng) {
       }
     }
     if (worst <= cap) return;
-    const auto [u, v] = farthest[rng.uniform_index(farthest.size())];
-    graph.add_edge(u, v);
+    const auto [a, b] = farthest[rng.uniform_index(farthest.size())];
+    graph.add_edge(a, b);
+    const int* da = dist.row(a);
+    const int* db = dist.row(b);
+    for (int x = 0; x < graph.n(); ++x) {
+      const int via_a = da[x] + 1;  // x -> a, cross to b
+      const int via_b = db[x] + 1;  // x -> b, cross to a
+      int* drow = dist.row(x);
+      for (int y = 0; y < graph.n(); ++y) {
+        const int through = std::min(via_a + db[y], via_b + da[y]);
+        if (through < drow[y]) drow[y] = through;
+      }
+    }
   }
 }
 

@@ -41,6 +41,11 @@ class Graph {
   [[nodiscard]] const std::uint64_t* adjacency_row(int v) const;
   [[nodiscard]] int words_per_row() const noexcept { return words_; }
 
+  /// Base of the packed adjacency bit-matrix: row v starts at
+  /// adjacency_bits() + v * words_per_row(). Hot kernels index this
+  /// directly instead of paying a checked adjacency_row() call per row.
+  [[nodiscard]] const std::uint64_t* adjacency_bits() const noexcept { return bits_.data(); }
+
   /// Structural equality (same n and same edge set).
   [[nodiscard]] bool operator==(const Graph& other) const;
 

@@ -81,13 +81,18 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     return outcome;
   }
 
-  // Pick the exact contender. Held–Karp cannot be cancelled mid-DP, so it
-  // only races when its predicted runtime (~2^n n^2 simple ops) fits the
-  // deadline; otherwise the cancellable BranchBound takes the slot.
+  // Pick the exact contender. Held–Karp polls the race's cancel flag at
+  // its layer boundaries, so it may race well beyond the sizes whose
+  // predicted runtime (~2^n n^2 simple ops) fits the deadline — a 4x
+  // overrun prediction is tolerated because a cancelled HK now forfeits
+  // cleanly instead of blowing the deadline. Only when HK is predicted
+  // hopeless (or exceeds its memory cap) does the O(n)-memory BranchBound
+  // take the slot: unlike HK, a cancelled BranchBound still contributes
+  // its anytime incumbent, which matters on deadline-bound traffic.
   bool use_hk = n <= std::min(options_.exact_max_n, 22);
   if (use_hk && deadline.count() > 0) {
     const double predicted_ms = std::ldexp(1.0, n) * n * n / 1e6;
-    if (predicted_ms > static_cast<double>(deadline.count())) use_hk = false;
+    if (predicted_ms > 4.0 * static_cast<double>(deadline.count())) use_hk = false;
   }
   const Engine exact_engine = use_hk ? Engine::HeldKarp : Engine::BranchBound;
 
@@ -111,8 +116,11 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
       run.solution.cost = -1;
       try {
         if (exact_engine == Engine::HeldKarp) {
-          run.solution = held_karp_path(instance);
-          run.attempt.finished = true;
+          HeldKarpOptions hk;
+          hk.cancel = &cancel;
+          HeldKarpRun result = held_karp_path_run(instance, hk);
+          run.solution = std::move(result.solution);
+          run.attempt.finished = result.completed;
         } else {
           BranchBoundOptions bb;
           bb.node_limit = options_.bb_node_limit;
@@ -205,14 +213,19 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
   }
   for (const Run& run : runs) outcome.attempts.push_back(run.attempt);
 
+  int verified_attempts = 0;
+  for (const Run& run : runs) {
+    if (run.attempt.verified) ++verified_attempts;
+  }
   if (best >= 0) {
     Run& winner = runs[static_cast<std::size_t>(best)];
     outcome.solution = std::move(winner.solution);
     outcome.optimal = winner.attempt.optimal;
     outcome.winner = winner.attempt.engine;
-    if (runs.size() >= 2) {
-      // Only contested races teach the scheduler anything; recording
-      // walkovers would make an exact-engine skip self-reinforcing.
+    if (verified_attempts >= 2) {
+      // Only contested races teach the scheduler anything. Walkovers —
+      // including races where a cancelled Held–Karp forfeited without a
+      // solution — would make an exact-engine skip self-reinforcing.
       wins_[static_cast<std::size_t>(bucket_of(n))]
            [static_cast<std::size_t>(slot_of(outcome.winner))]
                .fetch_add(1, std::memory_order_relaxed);

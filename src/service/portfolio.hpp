@@ -19,8 +19,11 @@ struct PortfolioOptions {
   /// completion. Cancellable engines (BranchBound, ChainedLK) are stopped
   /// at the deadline and contribute their incumbent.
   std::chrono::milliseconds deadline{250};
-  /// Held–Karp is raced only up to this n (it cannot be cancelled, so it
-  /// must be predictably fast); larger exact attempts go to BranchBound.
+  /// Held–Karp takes the exact slot up to this n (its 2^n * n memory cap).
+  /// The DP polls the race's cancel flag at layer boundaries, so it races
+  /// even when its predicted runtime overruns the deadline by up to 4x;
+  /// beyond that — or beyond this cap — the O(n)-memory BranchBound takes
+  /// the slot, whose cancellation still yields an anytime incumbent.
   int exact_max_n = 20;
   /// BranchBound search cap per race, independent of the deadline.
   long long bb_node_limit = 20'000'000;

@@ -28,8 +28,9 @@ Weight subset_mst(const MetricInstance& instance, const std::vector<int>& member
     }
     done[pick] = true;
     total += best[pick];
+    const Weight* wrow = instance.row(members[pick]);
     for (std::size_t i = 0; i < members.size(); ++i) {
-      if (!done[i]) best[i] = std::min(best[i], instance.weight(members[pick], members[i]));
+      if (!done[i]) best[i] = std::min(best[i], wrow[members[i]]);
     }
   }
   return total;
@@ -67,7 +68,8 @@ struct Search {
     Weight link = 0;
     if (!partial.empty()) {
       link = std::numeric_limits<Weight>::max();
-      for (const int v : remaining) link = std::min(link, instance.weight(partial.back(), v));
+      const Weight* wrow = instance.row(partial.back());
+      for (const int v : remaining) link = std::min(link, wrow[v]);
     }
     return link + subset_mst(instance, remaining);
   }
@@ -96,9 +98,10 @@ struct Search {
     // Branch on nearest candidates first: good incumbents early tighten
     // every later bound.
     std::vector<std::pair<Weight, int>> candidates;
+    const Weight* tail_row = partial.empty() ? nullptr : instance.row(partial.back());
     for (int v = 0; v < instance.n(); ++v) {
       if (used[static_cast<std::size_t>(v)]) continue;
-      const Weight step = partial.empty() ? 0 : instance.weight(partial.back(), v);
+      const Weight step = tail_row == nullptr ? 0 : tail_row[v];
       candidates.emplace_back(step, v);
     }
     std::sort(candidates.begin(), candidates.end());

@@ -1,0 +1,34 @@
+#include "tsp/candidates.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace lptsp {
+
+CandidateLists::CandidateLists(const MetricInstance& instance, int k) : n_(instance.n()) {
+  LPTSP_REQUIRE(k >= 1, "candidate list length must be positive");
+  k_ = std::min(k, n_ - 1);
+  if (k_ <= 0) {
+    k_ = 0;
+    return;
+  }
+  flat_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
+  std::vector<int> others;
+  others.reserve(static_cast<std::size_t>(n_) - 1);
+  for (int v = 0; v < n_; ++v) {
+    others.clear();
+    for (int u = 0; u < n_; ++u) {
+      if (u != v) others.push_back(u);
+    }
+    const Weight* wrow = instance.row(v);
+    const auto cheaper = [wrow](int a, int b) {
+      return wrow[a] != wrow[b] ? wrow[a] < wrow[b] : a < b;
+    };
+    std::partial_sort(others.begin(), others.begin() + k_, others.end(), cheaper);
+    std::copy(others.begin(), others.begin() + k_,
+              flat_.begin() + static_cast<std::size_t>(v) * static_cast<std::size_t>(k_));
+  }
+}
+
+}  // namespace lptsp

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "tsp/instance.hpp"
+
+namespace lptsp {
+
+/// Per-vertex k-nearest-neighbor candidate lists.
+///
+/// Local search on a complete graph does not need to look at all n-1
+/// potential new edges per vertex: an improving 2-opt move always creates
+/// at least one edge that is cheaper than an edge it removes, so scanning
+/// each vertex's few cheapest partners finds it. The lists are computed
+/// once per instance (O(n^2 + n k log k)) and shared read-only by every
+/// local-search run on that instance — ChainedLK builds one set and reuses
+/// it across all restarts and kicks.
+class CandidateLists {
+ public:
+  /// Default list length. Small enough that a wake-up scan is ~constant
+  /// work, large enough that the {pmin, 2pmin} metrics of reduced labeling
+  /// instances keep plenty of cheap-tier partners per vertex.
+  static constexpr int kDefaultK = 10;
+
+  CandidateLists() = default;
+
+  /// Build lists of length min(k, n-1), each sorted by ascending
+  /// weight(v, .) (ties by vertex id, so construction is deterministic).
+  explicit CandidateLists(const MetricInstance& instance, int k = kDefaultK);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  /// True when every vertex lists all n-1 others: candidate search is then
+  /// exhaustive and its 2-opt fixpoints are full 2-opt local optima.
+  [[nodiscard]] bool complete() const noexcept { return k_ >= n_ - 1; }
+
+  /// The k nearest partners of v, ascending by weight.
+  [[nodiscard]] const int* of(int v) const noexcept {
+    return flat_.data() + static_cast<std::size_t>(v) * static_cast<std::size_t>(k_);
+  }
+
+ private:
+  int n_ = 0;
+  int k_ = 0;
+  std::vector<int> flat_;
+};
+
+}  // namespace lptsp

@@ -2,6 +2,7 @@
 
 #include <mutex>
 
+#include "tsp/candidates.hpp"
 #include "tsp/construct.hpp"
 #include "tsp/lin_kernighan.hpp"
 #include "tsp/local_search.hpp"
@@ -10,9 +11,12 @@
 
 namespace lptsp {
 
-Order double_bridge_kick(const Order& order, Rng& rng) {
+Order double_bridge_kick(const Order& order, Rng& rng, std::vector<int>* changed) {
   const std::size_t n = order.size();
-  if (n < 4) return order;
+  if (n < 4) {
+    if (changed != nullptr) changed->clear();
+    return order;
+  }
   // Choose 1 <= a < b < c < n so all four segments are non-empty.
   std::size_t a = 1 + rng.uniform_index(n - 3);
   std::size_t b = a + 1 + rng.uniform_index(n - a - 2);
@@ -25,6 +29,18 @@ Order double_bridge_kick(const Order& order, Rng& rng) {
   kicked.insert(kicked.end(), order.begin() + static_cast<std::ptrdiff_t>(a),
                 order.begin() + static_cast<std::ptrdiff_t>(b));
   kicked.insert(kicked.end(), order.begin() + static_cast<std::ptrdiff_t>(c), order.end());
+  if (changed != nullptr) {
+    // New segment boundaries in kicked coordinates: A|C at a, C|B at
+    // a + (c - b), B|D at c. Each boundary contributes the two vertices of
+    // the spliced edge.
+    changed->clear();
+    // All three boundaries satisfy 1 <= at <= n-1 by the segment draws.
+    const std::size_t boundaries[3] = {a, a + (c - b), c};
+    for (const std::size_t at : boundaries) {
+      changed->push_back(kicked[at - 1]);
+      changed->push_back(kicked[at]);
+    }
+  }
   return kicked;
 }
 
@@ -36,6 +52,11 @@ ChainedLkRun chained_lk_path_run(const MetricInstance& instance, const ChainedLk
     Rng rng(options.seed);
     return {lin_kernighan_style_path(instance, rng), true};
   }
+
+  // One candidate set per run, shared read-only across every restart and
+  // every kick; each restart owns its optimizer (position array, don't-look
+  // queue) so restarts stay independent and parallel-safe.
+  const CandidateLists candidates(instance);
 
   PathSolution global_best;
   global_best.cost = -1;
@@ -55,14 +76,24 @@ ChainedLkRun chained_lk_path_run(const MetricInstance& instance, const ChainedLk
       return;
     }
     Rng rng(options.seed + 0x9e3779b97f4a7c15ULL * (restart + 1));
-    PathSolution current = lin_kernighan_style_path(instance, rng);
-    PathSolution best = current;
+    PathOptimizer optimizer(instance, candidates);
+    PathSolution best = nearest_neighbor_path(instance, rng.uniform_int(0, instance.n() - 1));
+    optimizer.optimize(best.order);
+    best.cost = path_length(instance, best.order);
+    std::vector<int> wake;
     int kick = 0;
     for (; kick < options.kicks; ++kick) {
       if (cancelled()) break;
-      Order perturbed = double_bridge_kick(best.order, rng);
-      PathSolution candidate = lin_kernighan_style_path_from(instance, std::move(perturbed));
-      if (candidate.cost < best.cost) best = std::move(candidate);
+      Order perturbed = double_bridge_kick(best.order, rng, &wake);
+      // The kick changed exactly three edges, so waking their endpoints is
+      // enough — the optimizer re-examines further vertices only when an
+      // applied move reaches them.
+      optimizer.optimize(perturbed, wake);
+      const Weight cost = path_length(instance, perturbed);
+      if (cost < best.cost) {
+        best.order = std::move(perturbed);
+        best.cost = cost;
+      }
     }
     if (kick < options.kicks) truncated.store(true, std::memory_order_relaxed);
     const std::lock_guard lock(best_mutex);

@@ -39,7 +39,10 @@ ChainedLkRun chained_lk_path_run(const MetricInstance& instance,
                                  const ChainedLkOptions& options = {});
 
 /// A double-bridge 4-opt kick for open paths: cut into four non-empty
-/// segments A B C D and rearrange to A C B D.
-Order double_bridge_kick(const Order& order, Rng& rng);
+/// segments A B C D and rearrange to A C B D. When `changed` is non-null
+/// it receives the six vertices incident to the three spliced edges — the
+/// wake set a candidate-list optimizer needs to repair the kick locally
+/// instead of rescanning the whole path.
+Order double_bridge_kick(const Order& order, Rng& rng, std::vector<int>* changed = nullptr);
 
 }  // namespace lptsp

@@ -20,11 +20,12 @@ PathSolution nearest_neighbor_path(const MetricInstance& instance, int start) {
   Weight cost = 0;
   for (int step = 1; step < n; ++step) {
     const int tail = order.back();
+    const Weight* wrow = instance.row(tail);
     int pick = -1;
     Weight best = std::numeric_limits<Weight>::max();
     for (int v = 0; v < n; ++v) {
       if (visited[static_cast<std::size_t>(v)]) continue;
-      const Weight w = instance.weight(tail, v);
+      const Weight w = wrow[v];
       if (w < best) {
         best = w;
         pick = v;
@@ -62,7 +63,8 @@ PathSolution greedy_edge_path(const MetricInstance& instance) {
   std::vector<Edge> edges;
   edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
   for (int u = 0; u < n; ++u) {
-    for (int v = u + 1; v < n; ++v) edges.push_back({instance.weight(u, v), u, v});
+    const Weight* wrow = instance.row(u);
+    for (int v = u + 1; v < n; ++v) edges.push_back({wrow[v], u, v});
   }
   std::stable_sort(edges.begin(), edges.end(),
                    [](const Edge& a, const Edge& b) { return a.w < b.w; });
@@ -125,11 +127,14 @@ PathSolution cheapest_insertion_path(const MetricInstance& instance) {
 
   int seed_u = 0;
   int seed_v = 1;
+  Weight seed_w = instance.weight_unchecked(0, 1);
   for (int u = 0; u < n; ++u) {
+    const Weight* wrow = instance.row(u);
     for (int v = u + 1; v < n; ++v) {
-      if (instance.weight(u, v) < instance.weight(seed_u, seed_v)) {
+      if (wrow[v] < seed_w) {
         seed_u = u;
         seed_v = v;
+        seed_w = wrow[v];
       }
     }
   }
@@ -143,14 +148,15 @@ PathSolution cheapest_insertion_path(const MetricInstance& instance) {
     Weight best_delta = std::numeric_limits<Weight>::max();
     for (int v = 0; v < n; ++v) {
       if (placed[static_cast<std::size_t>(v)]) continue;
+      const Weight* vrow = instance.row(v);
       // Prepend / append.
-      const Weight front_delta = instance.weight(v, order.front());
+      const Weight front_delta = vrow[order.front()];
       if (front_delta < best_delta) {
         best_delta = front_delta;
         best_vertex = v;
         best_position = 0;
       }
-      const Weight back_delta = instance.weight(order.back(), v);
+      const Weight back_delta = vrow[order.back()];
       if (back_delta < best_delta) {
         best_delta = back_delta;
         best_vertex = v;
@@ -158,8 +164,8 @@ PathSolution cheapest_insertion_path(const MetricInstance& instance) {
       }
       // Between consecutive path vertices.
       for (std::size_t i = 0; i + 1 < order.size(); ++i) {
-        const Weight delta = instance.weight(order[i], v) + instance.weight(v, order[i + 1]) -
-                             instance.weight(order[i], order[i + 1]);
+        const Weight delta = vrow[order[i]] + vrow[order[i + 1]] -
+                             instance.weight_unchecked(order[i], order[i + 1]);
         if (delta < best_delta) {
           best_delta = delta;
           best_vertex = v;

@@ -48,18 +48,20 @@ void MetricInstance::set_weight(int i, int j, Weight w) {
 
 Weight MetricInstance::min_weight() const {
   LPTSP_REQUIRE(n_ >= 2, "min_weight needs at least 2 vertices");
-  Weight best = weight(0, 1);
+  Weight best = weight_unchecked(0, 1);
   for (int i = 0; i < n_; ++i) {
-    for (int j = i + 1; j < n_; ++j) best = std::min(best, weight(i, j));
+    const Weight* wrow = row(i);
+    for (int j = i + 1; j < n_; ++j) best = std::min(best, wrow[j]);
   }
   return best;
 }
 
 Weight MetricInstance::max_weight() const {
   LPTSP_REQUIRE(n_ >= 2, "max_weight needs at least 2 vertices");
-  Weight best = weight(0, 1);
+  Weight best = weight_unchecked(0, 1);
   for (int i = 0; i < n_; ++i) {
-    for (int j = i + 1; j < n_; ++j) best = std::max(best, weight(i, j));
+    const Weight* wrow = row(i);
+    for (int j = i + 1; j < n_; ++j) best = std::max(best, wrow[j]);
   }
   return best;
 }
@@ -67,18 +69,22 @@ Weight MetricInstance::max_weight() const {
 std::vector<Weight> MetricInstance::distinct_weights() const {
   std::set<Weight> values;
   for (int i = 0; i < n_; ++i) {
-    for (int j = i + 1; j < n_; ++j) values.insert(weight(i, j));
+    const Weight* wrow = row(i);
+    for (int j = i + 1; j < n_; ++j) values.insert(wrow[j]);
   }
   return {values.begin(), values.end()};
 }
 
 bool MetricInstance::is_metric() const {
   for (int i = 0; i < n_; ++i) {
+    const Weight* wi = row(i);
     for (int j = 0; j < n_; ++j) {
       if (j == i) continue;
+      const Weight* wj = row(j);
+      const Weight wij = wi[j];
       for (int k = 0; k < n_; ++k) {
         if (k == i || k == j) continue;
-        if (weight(i, k) > weight(i, j) + weight(j, k)) return false;
+        if (wi[k] > wij + wj[k]) return false;
       }
     }
   }

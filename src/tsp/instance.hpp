@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -30,6 +31,37 @@ class MetricInstance {
 
   [[nodiscard]] Weight weight(int i, int j) const;
   void set_weight(int i, int j, Weight w);
+
+  // Unchecked hot-path accessors. The checked weight()/set_weight() remain
+  // the public API for untrusted indices; these inline variants are for
+  // inner loops that have already validated their ranges (TSP engines,
+  // the reduction fill) and compile down to a single load/store under
+  // NDEBUG. Debug builds keep the range asserts.
+
+  [[nodiscard]] Weight weight_unchecked(int i, int j) const noexcept {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_);
+    return w_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(j)];
+  }
+
+  /// Row i of the weight matrix (n contiguous entries; symmetric, so
+  /// row(i)[j] == weight(i, j) == weight(j, i)). Engines hoist the row
+  /// pointer of a fixed endpoint out of their inner loops.
+  [[nodiscard]] const Weight* row(int i) const noexcept {
+    assert(i >= 0 && i < n_);
+    return w_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
+  }
+
+  /// Write both triangles without range/positivity checks. The caller owns
+  /// the invariants (i != j, w >= 0); bulk fills like the Theorem-2
+  /// reduction use this to keep the O(n^2) pass store-bound.
+  void set_weight_unchecked(int i, int j, Weight w) noexcept {
+    assert(i >= 0 && i < n_ && j >= 0 && j < n_ && i != j && w >= 0);
+    w_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+       static_cast<std::size_t>(j)] = w;
+    w_[static_cast<std::size_t>(j) * static_cast<std::size_t>(n_) +
+       static_cast<std::size_t>(i)] = w;
+  }
 
   /// Smallest / largest off-diagonal weight (requires n >= 2).
   [[nodiscard]] Weight min_weight() const;

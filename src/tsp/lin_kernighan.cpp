@@ -14,7 +14,11 @@ PathSolution lin_kernighan_style_path(const MetricInstance& instance, Rng& rng) 
 
 PathSolution lin_kernighan_style_path_from(const MetricInstance& instance, Order start) {
   LPTSP_REQUIRE(is_valid_order(start, instance.n()), "start must be a permutation");
-  vnd(instance, start);
+  // Candidate-list descent (2-opt + Or-opt over k-nearest lists with
+  // don't-look bits) — the same inner optimizer ChainedLK drives, built
+  // fresh here since one-shot callers have no lists to share.
+  PathOptimizer optimizer(instance);
+  optimizer.optimize(start);
   const Weight cost = path_length(instance, start);
   return {std::move(start), cost};
 }

@@ -62,9 +62,10 @@ Weight held_karp_ascent_lower_bound(const MetricInstance& instance, int iteratio
         ++degree[static_cast<std::size_t>(v)];
         ++degree[static_cast<std::size_t>(from[static_cast<std::size_t>(v)])];
       }
+      const Weight* wrow = instance.row(v);
       for (int u = 0; u < n; ++u) {
         if (in_tree[static_cast<std::size_t>(u)]) continue;
-        const double modified = static_cast<double>(instance.weight(v, u)) +
+        const double modified = static_cast<double>(wrow[u]) +
                                 pi[static_cast<std::size_t>(v)] + pi[static_cast<std::size_t>(u)];
         if (modified < best_key[static_cast<std::size_t>(u)]) {
           best_key[static_cast<std::size_t>(u)] = modified;

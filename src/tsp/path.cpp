@@ -18,9 +18,11 @@ bool is_valid_order(const Order& order, int n) {
 
 Weight path_length(const MetricInstance& instance, const Order& order) {
   LPTSP_REQUIRE(is_valid_order(order, instance.n()), "order must be a permutation of vertices");
+  // The permutation check above validates every index, so the summation
+  // itself can use the unchecked accessor.
   Weight total = 0;
   for (std::size_t i = 0; i + 1 < order.size(); ++i) {
-    total += instance.weight(order[i], order[i + 1]);
+    total += instance.weight_unchecked(order[i], order[i + 1]);
   }
   return total;
 }

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "graph/operations.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+/// Oracle comparison: the bit-parallel/fallback dispatcher and the
+/// frontier-bitset BFS must agree with the adjacency-list reference on
+/// every vertex pair, including unreachable ones.
+void expect_all_kernels_agree(const Graph& graph, const char* label) {
+  const DistanceMatrix fast = all_pairs_distances(graph, 1);
+  const DistanceMatrix reference = all_pairs_distances_reference(graph, 1);
+  ASSERT_EQ(fast.n(), graph.n()) << label;
+  for (int src = 0; src < graph.n(); ++src) {
+    const auto list_bfs = bfs_distances(graph, src);
+    const auto frontier = bfs_distances_frontier(graph, src);
+    for (int v = 0; v < graph.n(); ++v) {
+      EXPECT_EQ(fast.at(src, v), list_bfs[static_cast<std::size_t>(v)])
+          << label << " src=" << src << " v=" << v;
+      EXPECT_EQ(frontier[static_cast<std::size_t>(v)], list_bfs[static_cast<std::size_t>(v)])
+          << label << " src=" << src << " v=" << v;
+      EXPECT_EQ(reference.at(src, v), list_bfs[static_cast<std::size_t>(v)])
+          << label << " src=" << src << " v=" << v;
+    }
+  }
+}
+
+TEST(DistanceKernels, ErdosRenyiRandomized) {
+  Rng rng(7);
+  // Sweep density from empty-ish (all-fallback, unreachable pairs) through
+  // dense (pure diameter-2 fast path). Sizes straddle the 64-bit word
+  // boundary so multi-word intersections are exercised.
+  for (const int n : {1, 2, 5, 17, 33, 63, 64, 65, 70, 129}) {
+    for (const double p : {0.02, 0.1, 0.3, 0.7}) {
+      for (int trial = 0; trial < 3; ++trial) {
+        const Graph graph = erdos_renyi(n, p, rng);
+        expect_all_kernels_agree(graph, "erdos-renyi");
+      }
+    }
+  }
+}
+
+TEST(DistanceKernels, GeneratorFamilies) {
+  Rng rng(11);
+  expect_all_kernels_agree(petersen_graph(), "petersen");
+  expect_all_kernels_agree(grid_graph(5, 7), "grid");  // diameter 10: fallback only
+  expect_all_kernels_agree(path_graph(130), "path");   // deep BFS, 3 words
+  expect_all_kernels_agree(star_graph(70), "star");
+  expect_all_kernels_agree(complete_graph(40), "complete");
+  expect_all_kernels_agree(wheel_graph(20), "wheel");
+  expect_all_kernels_agree(complete_bipartite(60, 70), "bipartite");  // diam 2, 3 words
+  expect_all_kernels_agree(fig1_graph(), "fig1");
+  expect_all_kernels_agree(random_tree(80, rng), "tree");
+  expect_all_kernels_agree(random_cograph(50, rng), "cograph");
+  expect_all_kernels_agree(random_split_graph(60, 0.4, 0.2, rng), "split");
+  for (const int diam : {2, 3}) {
+    for (const int n : {30, 65, 100}) {
+      expect_all_kernels_agree(random_with_diameter_at_most(n, diam, 0.08, rng), "diam-capped");
+    }
+  }
+}
+
+TEST(DistanceKernels, DisconnectedGraphs) {
+  Rng rng(23);
+  // Unions force unreachable pairs through both the fast-path bailout and
+  // the frontier fallback.
+  const Graph two_cliques = disjoint_union(complete_graph(30), complete_graph(40));
+  expect_all_kernels_agree(two_cliques, "two-cliques");
+  const Graph sparse_islands = disjoint_union(erdos_renyi(40, 0.05, rng), path_graph(30));
+  expect_all_kernels_agree(sparse_islands, "sparse-islands");
+  expect_all_kernels_agree(Graph(66), "edgeless");
+}
+
+TEST(DistanceKernels, ThreadCountsAgree) {
+  Rng rng(31);
+  const Graph graph = random_with_diameter_at_most(90, 3, 0.05, rng);
+  const DistanceMatrix serial = all_pairs_distances(graph, 1);
+  for (const unsigned threads : {0u, 2u, 4u}) {
+    const DistanceMatrix parallel = all_pairs_distances(graph, threads);
+    for (int u = 0; u < graph.n(); ++u) {
+      for (int v = 0; v < graph.n(); ++v) {
+        ASSERT_EQ(serial.at(u, v), parallel.at(u, v)) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(DistanceMatrixAccessors, RowAndUncheckedMatchCheckedApi) {
+  Rng rng(41);
+  const Graph graph = random_connected(25, 0.2, rng);
+  const DistanceMatrix dist = all_pairs_distances(graph);
+  for (int u = 0; u < graph.n(); ++u) {
+    const int* row = dist.row(u);
+    for (int v = 0; v < graph.n(); ++v) {
+      EXPECT_EQ(row[v], dist.at(u, v));
+      EXPECT_EQ(dist.at_unchecked(u, v), dist.at(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lptsp
