@@ -24,6 +24,9 @@ int main() {
   lptsp::bench::BenchJson json("a2_localsearch_ablation");
   Table table({"n", "variant", "span", "improvement vs NN", "time[s]"});
 
+  Weight vnd_total = 0;
+  Weight fixed_k_total = 0;
+  Weight tie_aware_total = 0;
   for (const int n : {100, 200, 400}) {
     Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
     const Graph graph = complement(erdos_renyi(n, 1.4 / n, rng));
@@ -56,16 +59,36 @@ int main() {
       Order order = nn.order;
       const Timer timer;
       vnd(reduced.instance, order);
-      variants.push_back({"nn + vnd", path_length(reduced.instance, order), timer.seconds()});
+      const Weight cost = path_length(reduced.instance, order);
+      vnd_total += cost;
+      variants.push_back({"nn + vnd", cost, timer.seconds()});
     }
     {
       // The candidate-list optimizer (2-opt + Or-opt over k-nearest lists
-      // with don't-look bits) against the full-matrix legacy passes above.
+      // with don't-look bits) with FIXED-length lists: the pre-tie-aware
+      // baseline, kept as the ablation control.
+      Order order = nn.order;
+      const Timer timer;
+      const CandidateLists fixed(reduced.instance, CandidateLists::kDefaultK,
+                                 /*tie_aware=*/false);
+      PathOptimizer optimizer(reduced.instance, fixed);
+      optimizer.optimize(order);
+      const Weight cost = path_length(reduced.instance, order);
+      fixed_k_total += cost;
+      variants.push_back({"nn + cand-vnd k10", cost, timer.seconds()});
+    }
+    {
+      // Tie-aware lists (the default): on this two-valued reduced metric
+      // every vertex keeps its whole cheapest weight tier (capped), so
+      // the candidate search stops truncating the cheap tier at an
+      // arbitrary vertex-id boundary.
       Order order = nn.order;
       const Timer timer;
       PathOptimizer optimizer(reduced.instance);
       optimizer.optimize(order);
-      variants.push_back({"nn + cand-vnd", path_length(reduced.instance, order), timer.seconds()});
+      const Weight cost = path_length(reduced.instance, order);
+      tie_aware_total += cost;
+      variants.push_back({"nn + cand-vnd ties", cost, timer.seconds()});
     }
     {
       ChainedLkOptions options;
@@ -91,6 +114,30 @@ int main() {
   }
 
   table.print("A2 — local-search ablation (legacy full-matrix vs candidate-list fast path)");
+
+  // Ablation acceptance. Local search is not monotone in neighborhood
+  // size (a bigger list can steer the descent to a different fixpoint),
+  // so the honest claims, aggregated over sizes from identical NN starts,
+  // are: tie-aware stays within 1% of BOTH the fixed-k lists it replaces
+  // AND the O(n^2)-per-pass full-matrix VND it approximates — i.e. the
+  // cheap-tier expansion keeps candidate search at reference quality on
+  // the two-valued metrics it was built for, never meaningfully worse.
+  json.record_ratio("a2_tie_aware_vs_fixed_k_span", 0,
+                    static_cast<double>(fixed_k_total) / static_cast<double>(tie_aware_total));
+  json.record_ratio("a2_tie_aware_vs_vnd_span", 0,
+                    static_cast<double>(vnd_total) / static_cast<double>(tie_aware_total));
+  const auto within_1pct = [](Weight lhs, Weight rhs) { return 100 * lhs <= 101 * rhs; };
+  if (!within_1pct(tie_aware_total, fixed_k_total) ||
+      !within_1pct(tie_aware_total, vnd_total)) {
+    std::printf("ABLATION FAILED: tie-aware span total %lld vs fixed-k %lld, full-vnd %lld\n",
+                static_cast<long long>(tie_aware_total), static_cast<long long>(fixed_k_total),
+                static_cast<long long>(vnd_total));
+    return 1;
+  }
+  std::printf("ablation: tie-aware span total %lld within 1%% of fixed-k %lld and "
+              "full-vnd %lld — PASS\n",
+              static_cast<long long>(tie_aware_total), static_cast<long long>(fixed_k_total),
+              static_cast<long long>(vnd_total));
   std::printf("wrote %s\n", json.write().c_str());
   return 0;
 }

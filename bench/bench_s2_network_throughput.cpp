@@ -1,0 +1,130 @@
+/// S2 — socket front-end overhead: loopback round-trips vs direct submit.
+///
+/// The serving claim behind lptspd: putting the batch labeling service
+/// behind its binary wire protocol costs little enough that the socket
+/// lane sustains at least half the throughput of calling
+/// BatchSolver::submit in-process on the same 90%-repeat workload (the
+/// frequency-assignment pattern S1 established). Both lanes use identical
+/// solver options and identically generated request streams; the network
+/// lane additionally pays encode + TCP loopback + decode per request and
+/// response, pipelined through one connection.
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "graph/operations.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/batch_solver.hpp"
+
+using namespace lptsp;
+
+namespace {
+
+std::vector<SolveRequest> make_workload(int count, double repeat_ratio, int base_pool,
+                                        std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+  std::vector<Graph> bases;
+  bases.reserve(static_cast<std::size_t>(base_pool));
+  for (int b = 0; b < base_pool; ++b) {
+    bases.push_back(random_with_diameter_at_most(60, 2, 0.15, rng));
+  }
+  std::vector<SolveRequest> requests;
+  requests.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SolveRequest request;
+    if (rng.bernoulli(repeat_ratio)) {
+      const Graph& base = bases[rng.uniform_index(bases.size())];
+      request.graph = relabel(base, rng.permutation(base.n()));
+    } else {
+      request.graph = random_with_diameter_at_most(60, 2, 0.15, rng);
+    }
+    request.p = PVec::L21();
+    request.deadline = std::chrono::milliseconds{40};
+    request.id = static_cast<std::uint64_t>(i) + 1;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+BatchSolver::Options service_options() {
+  BatchSolver::Options options;
+  options.request_workers = 4;
+  options.engine_workers = 4;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("S2: lptspd loopback throughput vs direct submit (n=60, 90%% repeats, L(2,1))\n");
+  lptsp::bench::BenchJson json("s2_network_throughput");
+
+  constexpr int kRequests = 150;
+  constexpr int kBasePool = 5;
+  const std::vector<SolveRequest> requests = make_workload(kRequests, 0.9, kBasePool, 93);
+
+  // Lane 1: direct in-process submit (futures pipeline).
+  double direct_rps = 0;
+  {
+    BatchSolver solver(service_options());
+    const Timer timer;
+    std::vector<std::future<SolveResponse>> futures;
+    futures.reserve(requests.size());
+    for (const SolveRequest& request : requests) futures.push_back(solver.submit(request));
+    int ok = 0;
+    for (auto& future : futures) ok += future.get().ok() ? 1 : 0;
+    const double seconds = timer.seconds();
+    direct_rps = kRequests / seconds;
+    std::printf("  direct:   %3d ok, %.3fs, %.1f req/s (engine solves: %llu)\n", ok, seconds,
+                direct_rps, static_cast<unsigned long long>(solver.engine_solves()));
+    json.record("direct_submit_req_ns_at_90pct", kRequests, seconds * 1e9 / kRequests);
+  }
+
+  // Lane 2: the same stream through a real TCP loopback connection,
+  // fully pipelined (submit everything, then drain out of order).
+  double loopback_rps = 0;
+  {
+    BatchSolver solver(service_options());
+    LabelingServer::Options server_options;
+    server_options.max_inflight_per_connection = 512;  // bench pipelines all 150
+    LabelingServer server(solver, server_options);
+    server.start();
+    LabelingClient client;
+    client.connect("127.0.0.1", server.port());
+
+    const Timer timer;
+    for (const SolveRequest& request : requests) client.submit(request);
+    int ok = 0;
+    for (int i = 0; i < kRequests; ++i) ok += client.next().ok() ? 1 : 0;
+    const double seconds = timer.seconds();
+    loopback_rps = kRequests / seconds;
+    std::printf("  loopback: %3d ok, %.3fs, %.1f req/s (engine solves: %llu)\n", ok, seconds,
+                loopback_rps, static_cast<unsigned long long>(solver.engine_solves()));
+    json.record("loopback_req_ns_at_90pct", kRequests, seconds * 1e9 / kRequests);
+
+    // Warm-cache single-request latency: the wire cost with the solve
+    // amortized away (every request below is a cache hit).
+    const SolveRequest& warm = requests.front();
+    const double rtt_ns = lptsp::bench::median_ns(21, [&] { (void)client.solve(warm); });
+    std::printf("  warm round-trip latency: %.0f us (solve cached; pure wire + dispatch)\n",
+                rtt_ns / 1000.0);
+    json.record("warm_roundtrip_ns", warm.graph.n(), rtt_ns);
+
+    client.shutdown();
+    server.stop();
+  }
+
+  const double ratio = loopback_rps / direct_rps;
+  json.record_ratio("loopback_vs_direct_throughput_at_90pct", kRequests, ratio);
+  std::printf("loopback/direct throughput: %.2fx (acceptance: >= 0.5x)\n", ratio);
+  std::printf("wrote %s\n", json.write().c_str());
+  if (ratio < 0.5) {
+    std::printf("ACCEPTANCE FAILED: socket front-end costs more than half the throughput\n");
+    return 1;
+  }
+  return 0;
+}

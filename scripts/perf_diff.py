@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json records and flag regressions.
+
+The benches emit flat machine-readable records (see bench/bench_json.hpp):
+
+    {"bench": "...", "results": [
+        {"name": "...", "n": 123, "median_ns": 1.0e6},
+        {"name": "...", "n": 123, "ratio": 6.1}]}
+
+This differ is the missing half of the perf-trajectory loop: CI downloads
+the previous successful run's bench-json artifact, runs the current
+benches, and renders a markdown verdict into the job summary. Entries are
+matched on (bench, name, n). A `median_ns` entry regresses when it got
+slower by more than the noise threshold; a `ratio` entry (speedups, hit
+rates — bigger is better) regresses when it dropped by more than the
+threshold. Shared-runner numbers are noisy, so the default threshold is
+generous and the exit code stays 0 unless --strict is passed: the summary
+flags trends, it does not gate merges.
+
+Usage:
+    perf_diff.py --baseline prev-bench/ --current build/ [--threshold 0.30]
+                 [--strict]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_records(directory):
+    """(bench, name, n) -> {"median_ns": x} or {"ratio": x}."""
+    records = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"warning: skipping {path}: {error}", file=sys.stderr)
+            continue
+        bench = data.get("bench", os.path.basename(path))
+        for entry in data.get("results", []):
+            key = (bench, entry.get("name", "?"), entry.get("n", 0))
+            if "median_ns" in entry:
+                records[key] = ("median_ns", float(entry["median_ns"]))
+            elif "ratio" in entry:
+                records[key] = ("ratio", float(entry["ratio"]))
+    return records
+
+
+def fmt_value(kind, value):
+    if kind == "ratio":
+        return f"{value:.2f}x"
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}us"
+    return f"{value:.0f}ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="dir with previous BENCH_*.json")
+    parser.add_argument("--current", required=True, help="dir with this run's BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="relative noise threshold (default 0.30 = 30%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when regressions are found")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    if not baseline:
+        print("### Perf diff\n\nNo baseline bench records found — nothing to compare "
+              "(first run, or the previous artifact expired).")
+        return 0
+    if not current:
+        print("### Perf diff\n\nNo current bench records found — did the benches run?")
+        return 0
+
+    regressions, improvements, steady = [], [], []
+    for key, (kind, now) in sorted(current.items()):
+        if key not in baseline:
+            continue
+        base_kind, before = baseline[key]
+        if base_kind != kind or before <= 0:
+            continue
+        # Normalize so "bigger change = worse" for both kinds.
+        change = (now / before - 1.0) if kind == "median_ns" else (before / now - 1.0)
+        row = (key, kind, before, now, change)
+        if change > args.threshold:
+            regressions.append(row)
+        elif change < -args.threshold:
+            improvements.append(row)
+        else:
+            steady.append(row)
+
+    compared = len(regressions) + len(improvements) + len(steady)
+    print("### Perf diff vs previous run")
+    print()
+    print(f"Compared **{compared}** records at a ±{args.threshold:.0%} noise threshold: "
+          f"**{len(regressions)} regressed**, {len(improvements)} improved, "
+          f"{len(steady)} steady.")
+
+    def table(title, rows):
+        print(f"\n#### {title}\n")
+        print("| bench | metric | n | before | after | change |")
+        print("|---|---|---|---|---|---|")
+        for (bench, name, n), kind, before, now, change in rows:
+            # change > 0 is always "worse" after normalization above.
+            if kind == "median_ns":
+                direction = "slower" if change > 0 else "faster"
+            else:
+                direction = "lower" if change > 0 else "higher"
+            print(f"| {bench} | {name} | {n} | {fmt_value(kind, before)} | "
+                  f"{fmt_value(kind, now)} | {abs(change):.0%} {direction} |")
+
+    if regressions:
+        table("Regressions (beyond noise)", regressions)
+    if improvements:
+        table("Improvements", improvements)
+
+    new_keys = [key for key in current if key not in baseline]
+    gone_keys = [key for key in baseline if key not in current]
+    if new_keys:
+        print(f"\nNew records (no baseline): {len(new_keys)}")
+    if gone_keys:
+        print(f"\nRecords that disappeared: "
+              f"{', '.join('/'.join(map(str, key)) for key in sorted(gone_keys))}")
+
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,22 +16,7 @@
 
 namespace lptsp {
 
-std::string engine_name(Engine engine) {
-  switch (engine) {
-    case Engine::BruteForce: return "brute-force";
-    case Engine::HeldKarp: return "held-karp";
-    case Engine::Christofides: return "christofides";
-    case Engine::DoubleMst: return "double-mst";
-    case Engine::NearestNeighbor: return "nearest-neighbor";
-    case Engine::NearestNeighbor2Opt: return "nn+2opt";
-    case Engine::GreedyEdge: return "greedy-edge";
-    case Engine::LinKernighanStyle: return "lk-style";
-    case Engine::ChainedLK: return "chained-lk";
-    case Engine::SimulatedAnnealing: return "annealing";
-    case Engine::BranchBound: return "branch-bound";
-  }
-  return "unknown";
-}
+std::string engine_name(Engine engine) { return engine_name_cstr(engine); }
 
 namespace {
 
@@ -128,17 +113,7 @@ SolveResult solve_labeling(const Graph& graph, const PVec& p, const SolveOptions
   return result;
 }
 
-std::string status_name(SolveStatus status) {
-  switch (status) {
-    case SolveStatus::Ok: return "ok";
-    case SolveStatus::EmptyGraph: return "empty-graph";
-    case SolveStatus::Disconnected: return "disconnected";
-    case SolveStatus::DiameterExceedsK: return "diameter-exceeds-k";
-    case SolveStatus::MetricConditionViolated: return "metric-condition-violated";
-    case SolveStatus::EngineFailure: return "engine-failure";
-  }
-  return "unknown";
-}
+std::string status_name(SolveStatus status) { return status_name_cstr(status); }
 
 std::string status_message(SolveStatus status, int diameter, const PVec& p) {
   switch (status) {
@@ -153,6 +128,8 @@ std::string status_message(SolveStatus status, int diameter, const PVec& p) {
       return "Theorem 2 requires pmax <= 2*pmin; p = " + p.to_string();
     case SolveStatus::EngineFailure:
       return "engine failed";
+    case SolveStatus::RejectedOverload:
+      return "service overloaded: request admission limit reached, retry later";
     case SolveStatus::Ok:
       break;
   }

@@ -28,6 +28,26 @@ enum class Engine {
   BranchBound,        ///< exact DFS + MST bound (O(n) memory), exact
 };
 
+/// Compile-checked engine names. The switch has no default and the project
+/// builds with -Werror=switch, so adding an Engine value without a name
+/// here is a build failure, not an "unknown" in a log line.
+constexpr const char* engine_name_cstr(Engine engine) noexcept {
+  switch (engine) {
+    case Engine::BruteForce: return "brute-force";
+    case Engine::HeldKarp: return "held-karp";
+    case Engine::Christofides: return "christofides";
+    case Engine::DoubleMst: return "double-mst";
+    case Engine::NearestNeighbor: return "nearest-neighbor";
+    case Engine::NearestNeighbor2Opt: return "nn+2opt";
+    case Engine::GreedyEdge: return "greedy-edge";
+    case Engine::LinKernighanStyle: return "lk-style";
+    case Engine::ChainedLK: return "chained-lk";
+    case Engine::SimulatedAnnealing: return "annealing";
+    case Engine::BranchBound: return "branch-bound";
+  }
+  return "unknown";  // out-of-range cast, not a missing enumerator
+}
+
 std::string engine_name(Engine engine);
 
 /// Options for solve_labeling.
@@ -82,7 +102,23 @@ enum class SolveStatus {
   DiameterExceedsK,          ///< diam(G) > k, so some pair is unconstrained
   MetricConditionViolated,   ///< pmax > 2*pmin, reduction not exact
   EngineFailure,             ///< engine gave up (size/node caps) or crashed
+  RejectedOverload,          ///< admission control turned the request away
 };
+
+/// Compile-checked status names (no default + -Werror=switch: an unnamed
+/// new enumerator fails the build).
+constexpr const char* status_name_cstr(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::Ok: return "ok";
+    case SolveStatus::EmptyGraph: return "empty-graph";
+    case SolveStatus::Disconnected: return "disconnected";
+    case SolveStatus::DiameterExceedsK: return "diameter-exceeds-k";
+    case SolveStatus::MetricConditionViolated: return "metric-condition-violated";
+    case SolveStatus::EngineFailure: return "engine-failure";
+    case SolveStatus::RejectedOverload: return "rejected-overload";
+  }
+  return "unknown";  // out-of-range cast, not a missing enumerator
+}
 
 std::string status_name(SolveStatus status);
 

@@ -1,10 +1,12 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "util/check.hpp"
+#include "util/endian.hpp"
 
 namespace lptsp {
 
@@ -58,6 +60,93 @@ void write_edge_list_file(const std::string& path, const Graph& graph) {
   std::ofstream out(path);
   LPTSP_REQUIRE(out.good(), "cannot open output file: " + path);
   write_edge_list(out, graph);
+}
+
+namespace {
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  endian::put_u32(out, value);
+}
+
+bool read_u32(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+              std::uint32_t& value) {
+  if (size - offset < 4) return false;
+  value = endian::get_u32(data + offset);
+  offset += 4;
+  return true;
+}
+
+}  // namespace
+
+std::size_t graph_binary_size(const Graph& graph) noexcept {
+  // n, one degree word per vertex, one word per edge (forward lists hold
+  // each edge exactly once).
+  return 4 * (1 + static_cast<std::size_t>(graph.n()) + static_cast<std::size_t>(graph.m()));
+}
+
+void append_graph_binary(std::vector<std::uint8_t>& out, const Graph& graph) {
+  const int n = graph.n();
+  out.reserve(out.size() + graph_binary_size(graph));
+  append_u32(out, static_cast<std::uint32_t>(n));
+  std::vector<int> forward;
+  for (int v = 0; v < n; ++v) {
+    forward.clear();
+    for (const int u : graph.neighbors(v)) {
+      if (u > v) forward.push_back(u);
+    }
+    std::sort(forward.begin(), forward.end());
+    append_u32(out, static_cast<std::uint32_t>(forward.size()));
+    for (const int u : forward) append_u32(out, static_cast<std::uint32_t>(u));
+  }
+}
+
+bool decode_graph_binary(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                         Graph& graph, std::string& error, int max_vertices) {
+  std::uint32_t n = 0;
+  if (!read_u32(data, size, offset, n)) {
+    error = "graph: truncated vertex count";
+    return false;
+  }
+  if (n > static_cast<std::uint32_t>(max_vertices)) {
+    error = "graph: vertex count " + std::to_string(n) + " exceeds limit " +
+            std::to_string(max_vertices);
+    return false;
+  }
+  Graph decoded(static_cast<int>(n));
+  for (std::uint32_t v = 0; v < n; ++v) {
+    std::uint32_t degree = 0;
+    if (!read_u32(data, size, offset, degree)) {
+      error = "graph: truncated degree of vertex " + std::to_string(v);
+      return false;
+    }
+    // Forward degree is at most n - 1 - v; checking before the neighbor
+    // loop bounds the work a hostile length prefix can cause.
+    if (degree > n - 1 - v) {
+      error = "graph: forward degree " + std::to_string(degree) + " of vertex " +
+              std::to_string(v) + " out of range";
+      return false;
+    }
+    std::uint32_t previous = v;
+    for (std::uint32_t i = 0; i < degree; ++i) {
+      std::uint32_t u = 0;
+      if (!read_u32(data, size, offset, u)) {
+        error = "graph: truncated adjacency of vertex " + std::to_string(v);
+        return false;
+      }
+      // Strictly ascending and > v: rules out self-loops, duplicates, and
+      // backward edges in one comparison, and makes the encoding unique.
+      if (u <= previous || u >= n) {
+        error = "graph: invalid neighbor " + std::to_string(u) + " of vertex " +
+                std::to_string(v);
+        return false;
+      }
+      decoded.add_edge(static_cast<int>(v), static_cast<int>(u));
+      previous = u;
+    }
+  }
+  graph = std::move(decoded);
+  error.clear();
+  return true;
 }
 
 }  // namespace lptsp

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -18,5 +21,34 @@ Graph read_edge_list_file(const std::string& path);
 /// Serialize in the same edge-list format (with a comment header).
 void write_edge_list(std::ostream& out, const Graph& graph);
 void write_edge_list_file(const std::string& path, const Graph& graph);
+
+// ---------------------------------------------------------------------------
+// Canonical binary graph encoding (degree-prefixed forward adjacency).
+//
+// All integers little-endian u32:
+//   n | for v in 0..n-1: deg⁺(v), then the deg⁺(v) neighbors u of v with
+//   u > v, strictly ascending.
+// Each edge appears exactly once (under its smaller endpoint), the layout
+// is unique per graph, and decoding is a single validated forward pass.
+// This is the graph payload of the lptspd wire protocol; keeping it next
+// to the text codec makes it the library-wide binary interchange format
+// rather than a wire-private one.
+// ---------------------------------------------------------------------------
+
+/// Append the binary encoding of `graph` to `out`.
+void append_graph_binary(std::vector<std::uint8_t>& out, const Graph& graph);
+
+/// Upper bound on the encoded size (exact, for reserve()).
+[[nodiscard]] std::size_t graph_binary_size(const Graph& graph) noexcept;
+
+/// Decode a graph starting at `data[offset]`. On success returns true,
+/// stores the graph in `graph`, and advances `offset` past the encoding.
+/// On failure returns false with a diagnostic in `error` and leaves
+/// `offset` unspecified; never throws — the input is untrusted wire bytes.
+/// `max_vertices` bounds n before any allocation happens, so a hostile
+/// header cannot force an oversized allocation.
+[[nodiscard]] bool decode_graph_binary(const std::uint8_t* data, std::size_t size,
+                                       std::size_t& offset, Graph& graph, std::string& error,
+                                       int max_vertices = 1 << 20);
 
 }  // namespace lptsp

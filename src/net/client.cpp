@@ -1,0 +1,189 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace lptsp {
+
+namespace {
+
+[[noreturn]] void transport_error(const std::string& what) {
+  throw std::runtime_error("lptspd client: " + what);
+}
+
+}  // namespace
+
+LabelingClient::LabelingClient(const WireLimits& limits) : limits_(limits), reader_(limits) {}
+
+LabelingClient::~LabelingClient() { close(); }
+
+void LabelingClient::connect(const std::string& host, std::uint16_t port) {
+  if (connected()) transport_error("already connected");
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    // Not a literal address: resolve it (the daemon's --host flag takes
+    // names like "localhost").
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* found = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &found) != 0 || found == nullptr) {
+      transport_error("cannot resolve host " + host);
+    }
+    address.sin_addr = reinterpret_cast<sockaddr_in*>(found->ai_addr)->sin_addr;
+    ::freeaddrinfo(found);
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) transport_error("socket() failed");
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    const std::string detail = std::strerror(errno);
+    close();
+    transport_error("connect to " + host + ":" + std::to_string(port) + " failed: " + detail);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::vector<std::uint8_t> hello;
+  encode_hello(hello);
+  write_all(hello.data(), hello.size());
+  const WireMessage ack = read_message();
+  if (ack.type != MessageType::HelloAck) {
+    close();
+    transport_error(std::string("handshake expected hello-ack, got ") +
+                    message_type_name(ack.type));
+  }
+}
+
+void LabelingClient::submit(const SolveRequest& request) {
+  if (!connected()) transport_error("not connected");
+  std::vector<std::uint8_t> frame;
+  encode_request(frame, request);
+  write_all(frame.data(), frame.size());
+}
+
+SolveResponse LabelingClient::next() {
+  if (!buffered_.empty()) {
+    SolveResponse response = std::move(buffered_.front());
+    buffered_.pop_front();
+    return response;
+  }
+  return read_response();
+}
+
+SolveResponse LabelingClient::wait(std::uint64_t id) {
+  for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+    if (it->id == id) {
+      SolveResponse response = std::move(*it);
+      buffered_.erase(it);
+      return response;
+    }
+  }
+  while (true) {
+    SolveResponse response = read_response();
+    if (response.id == id) return response;
+    buffered_.push_back(std::move(response));
+  }
+}
+
+SolveResponse LabelingClient::solve(const SolveRequest& request) {
+  submit(request);
+  return wait(request.id);
+}
+
+void LabelingClient::shutdown() {
+  if (!connected()) return;
+  std::vector<std::uint8_t> frame;
+  encode_shutdown(frame);
+  try {
+    write_all(frame.data(), frame.size());
+  } catch (const std::runtime_error&) {
+    // Goodbye is best-effort; the close below is what matters.
+  }
+  close();
+}
+
+void LabelingClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffered_.clear();
+  reader_ = FrameReader(limits_);
+}
+
+void LabelingClient::write_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a peer reset must surface as the documented
+    // runtime_error, not a process-killing SIGPIPE.
+    const ssize_t wrote = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      close();  // half-dead fd must not survive for a retry to trip over
+      transport_error("write failed: " + detail);
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+}
+
+WireMessage LabelingClient::read_message() {
+  DecodeResult result;
+  while (!reader_.next(result)) {
+    std::uint8_t buffer[64 * 1024];
+    const ssize_t got = ::read(fd_, buffer, sizeof(buffer));
+    if (got > 0) {
+      reader_.feed(buffer, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    close();
+    transport_error(got == 0 ? "server closed the connection"
+                             : std::string("read failed: ") + std::strerror(errno));
+  }
+  if (!result.ok()) {
+    const std::string detail = result.detail;
+    close();
+    transport_error(std::string("protocol fault from server bytes: ") +
+                    wire_fault_name(result.fault) + " (" + detail + ")");
+  }
+  return std::move(result.message);
+}
+
+SolveResponse LabelingClient::read_response() {
+  while (true) {
+    WireMessage message = read_message();
+    switch (message.type) {
+      case MessageType::Response:
+        return std::move(message.response);
+      case MessageType::Error: {
+        const std::string detail = message.error_message;
+        const WireFault fault = message.error_fault;
+        close();
+        transport_error(std::string("server reported ") + wire_fault_name(fault) + ": " +
+                        detail);
+      }
+      case MessageType::Hello:
+      case MessageType::HelloAck:
+      case MessageType::Request:
+      case MessageType::Shutdown:
+        close();
+        transport_error(std::string("unexpected ") + message_type_name(message.type) +
+                        " frame from server");
+    }
+  }
+}
+
+}  // namespace lptsp

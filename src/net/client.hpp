@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "net/wire.hpp"
+
+namespace lptsp {
+
+/// Blocking lptspd client with a pipelined submit/wait split.
+///
+/// submit() writes a Request frame and returns immediately; the server
+/// answers out of order, so wait(id) reads frames — buffering responses to
+/// other ids — until the requested one arrives. solve() is the synchronous
+/// convenience for one-at-a-time callers; a throughput-minded caller keeps
+/// a window of submits outstanding and drains with next().
+///
+/// Service-level outcomes (including RejectedOverload backpressure) are
+/// ordinary SolveResponse values. Transport and protocol failures — broken
+/// connection, handshake mismatch, an Error frame from the server — throw
+/// std::runtime_error: once framing is in doubt there is no response
+/// stream left to return typed values on.
+class LabelingClient {
+ public:
+  explicit LabelingClient(const WireLimits& limits = {});
+  ~LabelingClient();
+
+  LabelingClient(const LabelingClient&) = delete;
+  LabelingClient& operator=(const LabelingClient&) = delete;
+
+  /// Connect and run the Hello/HelloAck handshake.
+  void connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Write one Request frame (blocking until the kernel accepts it).
+  void submit(const SolveRequest& request);
+
+  /// Next response in arrival order (responses already buffered by an
+  /// id-specific wait() are served first, oldest first).
+  SolveResponse next();
+
+  /// The response to a specific request id, buffering any others that
+  /// arrive before it.
+  SolveResponse wait(std::uint64_t id);
+
+  /// submit + wait in one call.
+  SolveResponse solve(const SolveRequest& request);
+
+  /// Send a Shutdown frame (server flushes pending responses, then closes)
+  /// and close this side. Safe to call with responses still unread —
+  /// they are discarded.
+  void shutdown();
+
+  /// Close without the protocol goodbye.
+  void close();
+
+ private:
+  void write_all(const std::uint8_t* data, std::size_t size);
+  /// Read until one decoded message is available; throws on EOF/fault.
+  WireMessage read_message();
+  /// Read until a Response frame arrives; Error frames throw.
+  SolveResponse read_response();
+
+  WireLimits limits_;
+  int fd_ = -1;
+  FrameReader reader_;
+  /// Responses read while waiting for a different id, oldest first. Scans
+  /// are linear; the deque is bounded by the caller's pipeline window.
+  std::deque<SolveResponse> buffered_;
+};
+
+}  // namespace lptsp

@@ -276,9 +276,56 @@ SolveResponse BatchSolver::solve_one(const SolveRequest& request) {
   return respond(request, form, outcome, ResponseSource::Solved, timer.seconds());
 }
 
+bool BatchSolver::admit() {
+  if (options_.max_pending_requests != 0 &&
+      request_pool_.pending() >= options_.max_pending_requests) {
+    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+SolveResponse overload_response(const SolveRequest& request) {
+  SolveResponse response;
+  response.id = request.id;
+  response.status = SolveStatus::RejectedOverload;
+  response.message = status_message(response.status, 0, request.p);
+  return response;
+}
+
+}  // namespace
+
 std::future<SolveResponse> BatchSolver::submit(SolveRequest request) {
+  if (!admit()) {
+    std::promise<SolveResponse> rejected;
+    rejected.set_value(overload_response(request));
+    return rejected.get_future();
+  }
   return request_pool_.submit(
       [this, request = std::move(request)]() -> SolveResponse { return solve_one(request); });
+}
+
+void BatchSolver::submit_async(SolveRequest request, std::function<void(SolveResponse)> done) {
+  if (!admit()) {
+    done(overload_response(request));
+    return;
+  }
+  request_pool_.submit([this, request = std::move(request), done = std::move(done)] {
+    // The callback must fire exactly once even if the pipeline throws —
+    // an event-loop front-end that never hears back would leak an
+    // in-flight slot forever.
+    SolveResponse response;
+    try {
+      response = solve_one(request);
+    } catch (const std::exception& e) {
+      response.id = request.id;
+      response.status = SolveStatus::EngineFailure;
+      response.message = e.what();
+    }
+    done(std::move(response));
+  });
 }
 
 std::vector<SolveResponse> BatchSolver::solve_batch(const std::vector<SolveRequest>& requests) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -48,6 +49,13 @@ class BatchSolver {
     unsigned engine_workers = 0;   ///< 0 = hardware concurrency
     bool use_cache = true;         ///< false = every request solves fresh
     std::uint64_t seed = 1;        ///< seed for pinned-engine solves
+    /// Admission control for the streaming front-ends (submit /
+    /// submit_async): when this many requests are already queued or
+    /// running on the request pool, new submissions are answered
+    /// immediately with SolveStatus::RejectedOverload instead of growing
+    /// the backlog without bound. 0 = unlimited (solve_batch is never
+    /// gated: its caller already bounded the batch).
+    std::size_t max_pending_requests = 0;
   };
 
   BatchSolver() : BatchSolver(Options{}) {}
@@ -63,8 +71,17 @@ class BatchSolver {
 
   /// Async front-end for streaming traffic: returns immediately; the
   /// future resolves when the request is served. Identical requests that
-  /// are already in flight are coalesced onto the same solve.
+  /// are already in flight are coalesced onto the same solve. Subject to
+  /// max_pending_requests admission control (a rejected request's future
+  /// resolves immediately with RejectedOverload).
   std::future<SolveResponse> submit(SolveRequest request);
+
+  /// Callback flavor of submit() for event-loop front-ends (the socket
+  /// server) that cannot block on a future: `done` is invoked exactly once
+  /// with the response, on a request-pool worker — or inline, before
+  /// submit_async returns, when admission control rejects the request.
+  /// `done` must not block on this BatchSolver's own request pool.
+  void submit_async(SolveRequest request, std::function<void(SolveResponse)> done);
 
   /// Convenience synchronous single-request entry point.
   SolveResponse solve_one(const SolveRequest& request);
@@ -78,6 +95,15 @@ class BatchSolver {
   /// amortization claim, and what the dedupe tests assert on.
   [[nodiscard]] std::uint64_t engine_solves() const noexcept {
     return engine_solves_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests queued or running on the request pool right now — the
+  /// queue-depth gauge admission control reads, exported for monitoring.
+  [[nodiscard]] std::size_t pending_requests() const { return request_pool_.pending(); }
+
+  /// Submissions turned away by admission control since construction.
+  [[nodiscard]] std::uint64_t rejected_overload() const noexcept {
+    return rejected_overload_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -102,6 +128,12 @@ class BatchSolver {
                         const CanonicalOutcome& outcome, ResponseSource fallback_source,
                         double seconds) const;
 
+  /// True when the request pool has admission headroom; false increments
+  /// the rejection counter. The check is racy by design (two concurrent
+  /// submits may both pass at the boundary) — the bound is a backpressure
+  /// valve, not an exact semaphore.
+  bool admit();
+
   // Declaration order doubles as teardown order (reversed): request_pool_
   // is declared LAST so its destructor — which drains still-queued request
   // tasks — runs first, while the engine pool, portfolio, cache, and
@@ -111,6 +143,7 @@ class BatchSolver {
   TaskPool engine_pool_;
   EnginePortfolio portfolio_;
   std::atomic<std::uint64_t> engine_solves_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
 
   // In-flight coalescing for submit(): maps a result key to the shared
   // outcome of the request currently computing it.

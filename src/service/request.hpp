@@ -37,6 +37,17 @@ enum class ResponseSource {
   Coalesced,    ///< deduplicated onto another in-flight identical request
 };
 
+/// Compile-checked source names (no default + -Werror=switch: an unnamed
+/// new enumerator fails the build, not the log line).
+constexpr const char* response_source_name_cstr(ResponseSource source) noexcept {
+  switch (source) {
+    case ResponseSource::Solved: return "solved";
+    case ResponseSource::ResultCache: return "result-cache";
+    case ResponseSource::Coalesced: return "coalesced";
+  }
+  return "unknown";  // out-of-range cast, not a missing enumerator
+}
+
 std::string response_source_name(ResponseSource source);
 
 /// Outcome of one SolveRequest. Invalid requests come back with a typed
@@ -58,12 +69,7 @@ struct SolveResponse {
 };
 
 inline std::string response_source_name(ResponseSource source) {
-  switch (source) {
-    case ResponseSource::Solved: return "solved";
-    case ResponseSource::ResultCache: return "result-cache";
-    case ResponseSource::Coalesced: return "coalesced";
-  }
-  return "unknown";
+  return response_source_name_cstr(source);
 }
 
 }  // namespace lptsp

@@ -6,14 +6,18 @@
 
 namespace lptsp {
 
-CandidateLists::CandidateLists(const MetricInstance& instance, int k) : n_(instance.n()) {
+CandidateLists::CandidateLists(const MetricInstance& instance, int k, bool tie_aware)
+    : n_(instance.n()) {
   LPTSP_REQUIRE(k >= 1, "candidate list length must be positive");
   k_ = std::min(k, n_ - 1);
+  offsets_.assign(static_cast<std::size_t>(std::max(n_, 0)) + 1, 0);
   if (k_ <= 0) {
     k_ = 0;
+    complete_ = true;  // n <= 1: the empty list trivially covers everyone
     return;
   }
-  flat_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
+  flat_.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
+  complete_ = true;
   std::vector<int> others;
   others.reserve(static_cast<std::size_t>(n_) - 1);
   for (int v = 0; v < n_; ++v) {
@@ -22,12 +26,26 @@ CandidateLists::CandidateLists(const MetricInstance& instance, int k) : n_(insta
       if (u != v) others.push_back(u);
     }
     const Weight* wrow = instance.row(v);
+
+    int limit = k_;
+    if (tie_aware && limit < n_ - 1) {
+      // Cheapest-tier census: if more than k partners sit at the minimum
+      // weight, keep the whole tier (capped) — cutting inside a tier is
+      // an arbitrary vertex-id decision, not a quality one.
+      Weight cheapest = wrow[others.front()];
+      for (const int u : others) cheapest = std::min(cheapest, wrow[u]);
+      int tier = 0;
+      for (const int u : others) tier += wrow[u] == cheapest ? 1 : 0;
+      limit = std::min(std::max(k_, std::min(tier, kTieCap)), n_ - 1);
+    }
+
     const auto cheaper = [wrow](int a, int b) {
       return wrow[a] != wrow[b] ? wrow[a] < wrow[b] : a < b;
     };
-    std::partial_sort(others.begin(), others.begin() + k_, others.end(), cheaper);
-    std::copy(others.begin(), others.begin() + k_,
-              flat_.begin() + static_cast<std::size_t>(v) * static_cast<std::size_t>(k_));
+    std::partial_sort(others.begin(), others.begin() + limit, others.end(), cheaper);
+    flat_.insert(flat_.end(), others.begin(), others.begin() + limit);
+    offsets_[static_cast<std::size_t>(v) + 1] = static_cast<std::int64_t>(flat_.size());
+    if (limit < n_ - 1) complete_ = false;
   }
 }
 

@@ -219,7 +219,7 @@ bool PathOptimizer::try_two_opt(Order& order, int x) {
   if (n < 3 || cand_->k() == 0) return false;
   const Weight* wx = instance_.row(x);
   const int* cands = cand_->of(x);
-  const int k = cand_->k();
+  const int k = cand_->count(x);
 
   // Successor form: both removed edges leave their position rightwards
   // ((o[i], o[i+1]) and (o[j], o[j+1])); reversing [i+1..j] replaces them
@@ -334,7 +334,7 @@ bool PathOptimizer::try_or_opt(Order& order, int x) {
   if (n < 3 || cand_->k() == 0) return false;
   const Weight* wx = instance_.row(x);
   const int* cands = cand_->of(x);
-  const int k = cand_->k();
+  const int k = cand_->count(x);
   for (int len = 1; len <= max_segment_; ++len) {
     if (static_cast<std::size_t>(len) >= n) break;
     // Segments with x at the front, and (for len > 1) with x at the back.

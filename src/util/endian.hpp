@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// Little-endian integer primitives shared by every binary codec in the
+/// library (the graph payload in graph/io.cpp and the lptspd frame codec
+/// in net/wire.cpp). One definition keeps the two byte-compatible by
+/// construction instead of by hand.
+namespace lptsp::endian {
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t value) {
+  out.push_back(static_cast<std::uint8_t>(value & 0xff));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((value >> shift) & 0xff));
+  }
+}
+
+/// Unchecked reads: the caller has verified `width` bytes are available.
+inline std::uint16_t get_u16(const std::uint8_t* data) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(data[0]) |
+                                    (static_cast<std::uint16_t>(data[1]) << 8));
+}
+
+inline std::uint32_t get_u32(const std::uint8_t* data) {
+  std::uint32_t value = 0;
+  for (int b = 3; b >= 0; --b) value = (value << 8) | data[b];
+  return value;
+}
+
+inline std::uint64_t get_u64(const std::uint8_t* data) {
+  std::uint64_t value = 0;
+  for (int b = 7; b >= 0; --b) value = (value << 8) | data[b];
+  return value;
+}
+
+}  // namespace lptsp::endian

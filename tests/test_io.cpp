@@ -68,5 +68,82 @@ TEST(EdgeListIo, MissingFileThrows) {
   EXPECT_THROW(read_edge_list_file("/nonexistent/dir/file.graph"), precondition_error);
 }
 
+// ---------------------------------------------------------------------------
+// Binary graph codec (the lptspd wire graph payload).
+// ---------------------------------------------------------------------------
+
+TEST(BinaryGraphIo, RoundTripsRandomAndDegenerateGraphs) {
+  Rng rng(5);
+  std::vector<Graph> cases = {Graph(0), Graph(1), Graph(5), complete_graph(9), path_graph(12),
+                              star_graph(7)};
+  for (int trial = 0; trial < 30; ++trial) {
+    cases.push_back(erdos_renyi(rng.uniform_int(2, 40), rng.uniform01(), rng));
+  }
+  for (const Graph& graph : cases) {
+    std::vector<std::uint8_t> bytes;
+    append_graph_binary(bytes, graph);
+    EXPECT_EQ(bytes.size(), graph_binary_size(graph));
+    Graph decoded(0);
+    std::string error;
+    std::size_t offset = 0;
+    ASSERT_TRUE(decode_graph_binary(bytes.data(), bytes.size(), offset, decoded, error))
+        << error;
+    EXPECT_EQ(offset, bytes.size());
+    EXPECT_EQ(decoded, graph);
+  }
+}
+
+TEST(BinaryGraphIo, DecodeAdvancesOffsetPastTheEncodingOnly) {
+  std::vector<std::uint8_t> bytes;
+  append_graph_binary(bytes, complete_graph(4));
+  const std::size_t first_size = bytes.size();
+  append_graph_binary(bytes, path_graph(3));
+  std::size_t offset = 0;
+  Graph decoded(0);
+  std::string error;
+  ASSERT_TRUE(decode_graph_binary(bytes.data(), bytes.size(), offset, decoded, error));
+  EXPECT_EQ(offset, first_size);
+  EXPECT_EQ(decoded, complete_graph(4));
+  ASSERT_TRUE(decode_graph_binary(bytes.data(), bytes.size(), offset, decoded, error));
+  EXPECT_EQ(offset, bytes.size());
+  EXPECT_EQ(decoded, path_graph(3));
+}
+
+TEST(BinaryGraphIo, RejectsMalformedEncodingsWithoutThrowing) {
+  std::vector<std::uint8_t> valid;
+  append_graph_binary(valid, complete_graph(5));
+
+  // Every strict prefix is a typed truncation error.
+  for (std::size_t cut = 0; cut < valid.size(); ++cut) {
+    Graph decoded(0);
+    std::string error;
+    std::size_t offset = 0;
+    EXPECT_FALSE(decode_graph_binary(valid.data(), cut, offset, decoded, error));
+    EXPECT_FALSE(error.empty());
+  }
+
+  const auto expect_reject = [](std::vector<std::uint8_t> bytes, int max_vertices = 1 << 20) {
+    Graph decoded(0);
+    std::string error;
+    std::size_t offset = 0;
+    EXPECT_FALSE(
+        decode_graph_binary(bytes.data(), bytes.size(), offset, decoded, error, max_vertices));
+    EXPECT_FALSE(error.empty());
+  };
+
+  // Vertex count beyond the limit is refused before any allocation.
+  expect_reject({0xff, 0xff, 0xff, 0xff}, 1000);
+  // Forward degree larger than the remaining vertex range.
+  expect_reject({2, 0, 0, 0, /*deg(0)=*/5, 0, 0, 0});
+  // Neighbor <= self (backward edge / self-loop).
+  expect_reject({3, 0, 0, 0, /*deg(0)=*/1, 0, 0, 0, /*u=*/0, 0, 0, 0,
+                 /*deg(1)=*/0, 0, 0, 0, /*deg(2)=*/0, 0, 0, 0});
+  // Neighbors not strictly ascending (duplicate edge).
+  expect_reject({3, 0, 0, 0, /*deg(0)=*/2, 0, 0, 0, /*u=*/2, 0, 0, 0, /*u=*/2, 0, 0, 0,
+                 /*deg(1)=*/0, 0, 0, 0, /*deg(2)=*/0, 0, 0, 0});
+  // Neighbor index out of range.
+  expect_reject({2, 0, 0, 0, /*deg(0)=*/1, 0, 0, 0, /*u=*/7, 0, 0, 0, /*deg(1)=*/0, 0, 0, 0});
+}
+
 }  // namespace
 }  // namespace lptsp

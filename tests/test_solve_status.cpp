@@ -19,8 +19,29 @@ TEST(SolveStatus, NamesAreDistinct) {
       status_name(SolveStatus::DiameterExceedsK),
       status_name(SolveStatus::MetricConditionViolated),
       status_name(SolveStatus::EngineFailure),
+      status_name(SolveStatus::RejectedOverload),
   };
-  EXPECT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(SolveStatus, EveryStatusHasANameAndEveryFailureAMessage) {
+  // The name helpers are constexpr switches with no default compiled under
+  // -Werror=switch, so an unnamed enumerator cannot build; this guards the
+  // runtime side (nothing maps to the out-of-range fallback).
+  for (int raw = 0; raw <= static_cast<int>(SolveStatus::RejectedOverload); ++raw) {
+    const auto status = static_cast<SolveStatus>(raw);
+    EXPECT_NE(status_name(status), "unknown");
+    if (status != SolveStatus::Ok) {
+      EXPECT_FALSE(status_message(status, 3, PVec::L21()).empty()) << status_name(status);
+    }
+  }
+}
+
+TEST(SolveStatus, RejectedOverloadIsAFailure) {
+  SolveOutcome outcome;
+  outcome.status = SolveStatus::RejectedOverload;
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(status_name(SolveStatus::RejectedOverload), "rejected-overload");
 }
 
 TEST(TrySolveLabeling, OkMatchesThrowingFrontEnd) {

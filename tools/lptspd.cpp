@@ -1,0 +1,115 @@
+/// lptspd — the L(p)-labeling service daemon.
+///
+/// Binds the batch labeling service (canonical solve cache, engine
+/// portfolio, admission control) to a TCP port speaking the lptspd binary
+/// wire protocol (src/net/wire.hpp). Clients are LabelingClient or
+/// anything that writes the documented frames.
+///
+/// Usage:
+///   lptspd [--bind=127.0.0.1] [--port=4780]
+///          [--deadline-ms=250] [--cache-capacity=4096] [--no-cache]
+///          [--request-workers=0] [--engine-workers=0]
+///          [--max-pending=256] [--max-connections=64]
+///          [--max-inflight=64] [--seed=1] [--stats-every=10]
+///
+/// Worker counts of 0 mean hardware concurrency. --max-pending is the
+/// service-wide admission bound (RejectedOverload beyond it); 0 disables
+/// it. --stats-every=N prints counters every N seconds (0 = quiet).
+/// SIGINT/SIGTERM shut down cleanly.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "net/server.hpp"
+#include "util/cli.hpp"
+
+using namespace lptsp;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+
+  BatchSolver::Options solver_options;
+  solver_options.portfolio.deadline =
+      std::chrono::milliseconds{args.get_int("deadline-ms", 250)};
+  solver_options.cache.capacity = static_cast<std::size_t>(args.get_int("cache-capacity", 4096));
+  solver_options.use_cache = !args.has("no-cache");
+  solver_options.request_workers = static_cast<unsigned>(args.get_int("request-workers", 0));
+  solver_options.engine_workers = static_cast<unsigned>(args.get_int("engine-workers", 0));
+  solver_options.max_pending_requests = static_cast<std::size_t>(args.get_int("max-pending", 256));
+  solver_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  LabelingServer::Options server_options;
+  server_options.bind_address = args.get("bind", "127.0.0.1");
+  server_options.port = static_cast<std::uint16_t>(args.get_int("port", 4780));
+  server_options.max_connections = args.get_int("max-connections", 64);
+  server_options.max_inflight_per_connection =
+      static_cast<std::size_t>(args.get_int("max-inflight", 64));
+
+  const int stats_every = args.get_int("stats-every", 10);
+
+  const std::vector<std::string> unknown = args.unused_keys();
+  if (!unknown.empty()) {
+    for (const std::string& key : unknown) {
+      std::fprintf(stderr, "lptspd: unknown flag --%s\n", key.c_str());
+    }
+    return 2;
+  }
+
+  BatchSolver solver(solver_options);
+  LabelingServer server(solver, server_options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lptspd: %s\n", e.what());
+    return 1;
+  }
+  std::printf("lptspd listening on %s:%u (deadline=%lldms cache=%s workers=%u/%u "
+              "max-pending=%zu)\n",
+              server_options.bind_address.c_str(), server.port(),
+              static_cast<long long>(solver_options.portfolio.deadline.count()),
+              solver_options.use_cache ? "on" : "off", solver_options.request_workers,
+              solver_options.engine_workers, solver_options.max_pending_requests);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  auto last_stats = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{200});
+    if (stats_every > 0 &&
+        std::chrono::steady_clock::now() - last_stats >= std::chrono::seconds{stats_every}) {
+      last_stats = std::chrono::steady_clock::now();
+      const LabelingServer::Counters counters = server.counters();
+      const CacheStats cache = solver.cache().stats();
+      std::printf("[lptspd] conns=%zu frames=%llu submitted=%llu responses=%llu "
+                  "rejected=%llu+%llu pending=%zu solves=%llu cache-hits=%llu/%llu\n",
+                  server.open_connections(),
+                  static_cast<unsigned long long>(counters.frames_received),
+                  static_cast<unsigned long long>(counters.requests_submitted),
+                  static_cast<unsigned long long>(counters.responses_sent),
+                  static_cast<unsigned long long>(counters.rejected_inflight),
+                  static_cast<unsigned long long>(counters.rejected_backlog),
+                  solver.pending_requests(),
+                  static_cast<unsigned long long>(solver.engine_solves()),
+                  static_cast<unsigned long long>(cache.result_hits),
+                  static_cast<unsigned long long>(cache.result_hits + cache.result_misses));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("lptspd: shutting down\n");
+  server.stop();
+  return 0;
+}
