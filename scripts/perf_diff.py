@@ -30,7 +30,14 @@ import sys
 
 
 def load_records(directory):
-    """(bench, name, n) -> {"median_ns": x} or {"ratio": x}."""
+    """(bench, name, n) -> ("median_ns"|"ratio", value).
+
+    Defensive by design: this runs as a best-effort CI summary step, so a
+    malformed artifact, a renamed bench, or a half-written JSON must come
+    back as "fewer records" (with a stderr note), never a stack trace.
+    Keys are coerced to (str, str, int) so tuple sorting cannot raise
+    TypeError on mixed-type fields.
+    """
     records = {}
     for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
         try:
@@ -39,13 +46,29 @@ def load_records(directory):
         except (OSError, json.JSONDecodeError) as error:
             print(f"warning: skipping {path}: {error}", file=sys.stderr)
             continue
-        bench = data.get("bench", os.path.basename(path))
-        for entry in data.get("results", []):
-            key = (bench, entry.get("name", "?"), entry.get("n", 0))
-            if "median_ns" in entry:
-                records[key] = ("median_ns", float(entry["median_ns"]))
-            elif "ratio" in entry:
-                records[key] = ("ratio", float(entry["ratio"]))
+        if not isinstance(data, dict):
+            print(f"warning: skipping {path}: not a JSON object", file=sys.stderr)
+            continue
+        bench = str(data.get("bench", os.path.basename(path)))
+        results = data.get("results", [])
+        if not isinstance(results, list):
+            print(f"warning: skipping {path}: 'results' is not a list", file=sys.stderr)
+            continue
+        for entry in results:
+            if not isinstance(entry, dict):
+                continue
+            try:
+                n = int(entry.get("n", 0))
+            except (TypeError, ValueError):
+                n = 0
+            key = (bench, str(entry.get("name", "?")), n)
+            try:
+                if "median_ns" in entry:
+                    records[key] = ("median_ns", float(entry["median_ns"]))
+                elif "ratio" in entry:
+                    records[key] = ("ratio", float(entry["ratio"]))
+            except (TypeError, ValueError):
+                print(f"warning: {path}: non-numeric value for {key}", file=sys.stderr)
     return records
 
 
@@ -71,6 +94,12 @@ def main():
                         help="exit 1 when regressions are found")
     args = parser.parse_args()
 
+    if not os.path.isdir(args.baseline):
+        print("### Perf diff\n\nNo baseline directory — nothing to compare "
+              "(first run on this branch, or the previous run's bench artifact "
+              "was not downloadable).")
+        return 0
+
     baseline = load_records(args.baseline)
     current = load_records(args.current)
 
@@ -87,7 +116,7 @@ def main():
         if key not in baseline:
             continue
         base_kind, before = baseline[key]
-        if base_kind != kind or before <= 0:
+        if base_kind != kind or before <= 0 or now <= 0:
             continue
         # Normalize so "bigger change = worse" for both kinds.
         change = (now / before - 1.0) if kind == "median_ns" else (before / now - 1.0)
@@ -127,9 +156,11 @@ def main():
     new_keys = [key for key in current if key not in baseline]
     gone_keys = [key for key in baseline if key not in current]
     if new_keys:
-        print(f"\nNew records (no baseline): {len(new_keys)}")
+        print(f"\nNew records without a baseline (a bench was added or renamed — "
+              f"expected on the run introducing it): {len(new_keys)}")
     if gone_keys:
-        print(f"\nRecords that disappeared: "
+        print(f"\nBaseline records with no current counterpart (a bench was removed "
+              f"or renamed): "
               f"{', '.join('/'.join(map(str, key)) for key in sorted(gone_keys))}")
 
     if regressions and args.strict:

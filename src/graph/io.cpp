@@ -68,14 +68,6 @@ void append_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
   endian::put_u32(out, value);
 }
 
-bool read_u32(const std::uint8_t* data, std::size_t size, std::size_t& offset,
-              std::uint32_t& value) {
-  if (size - offset < 4) return false;
-  value = endian::get_u32(data + offset);
-  offset += 4;
-  return true;
-}
-
 }  // namespace
 
 std::size_t graph_binary_size(const Graph& graph) noexcept {
@@ -103,7 +95,7 @@ void append_graph_binary(std::vector<std::uint8_t>& out, const Graph& graph) {
 bool decode_graph_binary(const std::uint8_t* data, std::size_t size, std::size_t& offset,
                          Graph& graph, std::string& error, int max_vertices) {
   std::uint32_t n = 0;
-  if (!read_u32(data, size, offset, n)) {
+  if (!endian::try_get_u32(data, size, offset, n)) {
     error = "graph: truncated vertex count";
     return false;
   }
@@ -115,7 +107,7 @@ bool decode_graph_binary(const std::uint8_t* data, std::size_t size, std::size_t
   Graph decoded(static_cast<int>(n));
   for (std::uint32_t v = 0; v < n; ++v) {
     std::uint32_t degree = 0;
-    if (!read_u32(data, size, offset, degree)) {
+    if (!endian::try_get_u32(data, size, offset, degree)) {
       error = "graph: truncated degree of vertex " + std::to_string(v);
       return false;
     }
@@ -129,7 +121,7 @@ bool decode_graph_binary(const std::uint8_t* data, std::size_t size, std::size_t
     std::uint32_t previous = v;
     for (std::uint32_t i = 0; i < degree; ++i) {
       std::uint32_t u = 0;
-      if (!read_u32(data, size, offset, u)) {
+      if (!endian::try_get_u32(data, size, offset, u)) {
         error = "graph: truncated adjacency of vertex " + std::to_string(v);
         return false;
       }

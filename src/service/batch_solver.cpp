@@ -6,6 +6,7 @@
 #include "core/order_labeling.hpp"
 #include "core/reduction.hpp"
 #include "graph/operations.hpp"
+#include "store/backend.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -44,7 +45,48 @@ BatchSolver::BatchSolver(const Options& options)
       cache_(options.cache),
       engine_pool_(options.engine_workers),
       portfolio_(engine_pool_, options.portfolio),
-      request_pool_(options.request_workers) {}
+      request_pool_(options.request_workers) {
+  if (options_.store_path.empty()) return;
+  PersistentBackend::Options store_options;
+  store_options.path = options_.store_path;
+  store_options.sync_every_put = options_.store_sync_every_put;
+  std::string error;
+  backend_ = PersistentBackend::open(store_options, error);
+  LPTSP_REQUIRE(backend_ != nullptr, "cannot open durable store: " + error);
+  // With the cache disabled, results are neither written through nor
+  // served, so skip attaching and the per-record re-verification of a
+  // warm load — the store still carries the win table (engine-choice
+  // learning is independent of result caching).
+  if (options_.use_cache) {
+    cache_.attach_backend(backend_);
+    warm_stats_ = cache_.warm_from_disk();
+  }
+  if (const auto table = backend_->load_win_table()) {
+    if (table->buckets == EnginePortfolio::kBuckets && table->slots == EnginePortfolio::kSlots) {
+      portfolio_.merge_win_table(table->counts);
+    }
+  }
+}
+
+BatchSolver::~BatchSolver() {
+  // Drain in-flight requests BEFORE checkpointing: a race finishing during
+  // shutdown still records its win, and with the pool quiesced the
+  // checkpoint captures every count. (Member destruction then re-drains a
+  // by-now-empty pool — request_pool_ is declared last for that reason.)
+  if (backend_ != nullptr) {
+    request_pool_.drain();
+    checkpoint_win_table();
+  }
+}
+
+void BatchSolver::checkpoint_win_table() {
+  if (backend_ == nullptr) return;
+  WinTableRecord record;
+  record.buckets = EnginePortfolio::kBuckets;
+  record.slots = EnginePortfolio::kSlots;
+  record.counts = portfolio_.win_table();
+  backend_->put_win_table(record);
+}
 
 BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
                                                            const CanonicalForm& form,
@@ -181,7 +223,10 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
 
   out.status = SolveStatus::Ok;
   out.entry = entry;
-  if (cacheable) cache_.put_result(rkey, std::move(entry));
+  // The durable overload writes the entry through to the store (when one
+  // is attached) with its canonical graph and p, making the persisted
+  // record self-verifying on the next start.
+  if (cacheable) cache_.put_result(rkey, canon, p, std::move(entry));
   return out;
 }
 

@@ -56,10 +56,27 @@ class BatchSolver {
     /// the backlog without bound. 0 = unlimited (solve_batch is never
     /// gated: its caller already bounded the batch).
     std::size_t max_pending_requests = 0;
+    /// Durable store file (see src/store/): when non-empty, verified solve
+    /// results are written through to this append-only log, reloaded and
+    /// re-verified on the next start (a restart keeps its hit ratio), and
+    /// the portfolio win table is checkpointed across runs. Created if
+    /// absent; opening an existing file with a corrupt header throws
+    /// precondition_error (torn tails and bad records are repaired/skipped
+    /// silently — they are expected crash debris). With use_cache false
+    /// only the win table is persisted (results would never be served).
+    std::string store_path;
+    /// fsync the store after every persisted result. Off by default:
+    /// results are re-derivable, so the OS page-cache durability window is
+    /// an acceptable trade against paying an fsync per solve.
+    bool store_sync_every_put = false;
   };
 
   BatchSolver() : BatchSolver(Options{}) {}
   explicit BatchSolver(const Options& options);
+
+  /// Checkpoints the portfolio win table to the durable store (when one is
+  /// configured) before tearing the pipeline down.
+  ~BatchSolver();
 
   BatchSolver(const BatchSolver&) = delete;
   BatchSolver& operator=(const BatchSolver&) = delete;
@@ -106,6 +123,19 @@ class BatchSolver {
     return rejected_overload_.load(std::memory_order_relaxed);
   }
 
+  /// Outcome of the startup warm load from the durable store (all zeros
+  /// when no store is configured).
+  [[nodiscard]] const SolveCache::WarmStats& warm_stats() const noexcept { return warm_stats_; }
+
+  /// The durable store backend, or nullptr when persistence is off.
+  [[nodiscard]] const std::shared_ptr<PersistentBackend>& store() const noexcept {
+    return backend_;
+  }
+
+  /// Persist the portfolio win table now (also done on destruction). Safe
+  /// to call while traffic is in flight; no-op without a store.
+  void checkpoint_win_table();
+
  private:
   /// Result of solving one canonical instance, shareable across all
   /// requests that mapped to it.
@@ -140,6 +170,8 @@ class BatchSolver {
   // coalescing state those tasks use are all still alive.
   Options options_;
   SolveCache cache_;
+  std::shared_ptr<PersistentBackend> backend_;  ///< shared with cache_
+  SolveCache::WarmStats warm_stats_;
   TaskPool engine_pool_;
   EnginePortfolio portfolio_;
   std::atomic<std::uint64_t> engine_solves_{0};

@@ -49,6 +49,23 @@ std::uint64_t EnginePortfolio::wins(int n, Engine engine) const {
       .load(std::memory_order_relaxed);
 }
 
+std::vector<std::uint64_t> EnginePortfolio::win_table() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(static_cast<std::size_t>(kBuckets) * kSlots);
+  for (const auto& bucket : wins_) {
+    for (const auto& slot : bucket) counts.push_back(slot.load(std::memory_order_relaxed));
+  }
+  return counts;
+}
+
+void EnginePortfolio::merge_win_table(const std::vector<std::uint64_t>& counts) {
+  if (counts.size() != static_cast<std::size_t>(kBuckets) * kSlots) return;
+  std::size_t i = 0;
+  for (auto& bucket : wins_) {
+    for (auto& slot : bucket) slot.fetch_add(counts[i++], std::memory_order_relaxed);
+  }
+}
+
 Engine EnginePortfolio::preferred_engine(int n) const {
   const auto& bucket = wins_[static_cast<std::size_t>(bucket_of(n))];
   const std::uint64_t hk = bucket[0].load(std::memory_order_relaxed);

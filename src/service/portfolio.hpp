@@ -77,10 +77,22 @@ class EnginePortfolio {
 
   [[nodiscard]] const PortfolioOptions& options() const noexcept { return options_; }
 
- private:
+  /// Win-table dimensions, public so the durable store can persist the
+  /// table with its shape and refuse records from a build that changed it.
   static constexpr int kBuckets = 32;           // bucket = bit_width(n)
   static constexpr int kSlots = 3;              // HeldKarp / BranchBound / ChainedLK
 
+  /// Flat snapshot of the win table (kBuckets * kSlots counters,
+  /// bucket-major) — what BatchSolver checkpoints to the durable store.
+  [[nodiscard]] std::vector<std::uint64_t> win_table() const;
+
+  /// Add persisted counters into the live table (element-wise). Merging
+  /// rather than overwriting means a restart resumes learning where the
+  /// previous process stopped, and racing in-flight wins are never lost.
+  /// Inputs of the wrong length are ignored.
+  void merge_win_table(const std::vector<std::uint64_t>& counts);
+
+ private:
   static int bucket_of(int n) noexcept;
   static int slot_of(Engine engine) noexcept;
 

@@ -4,7 +4,10 @@
 #include <functional>
 #include <utility>
 
+#include "core/labeling.hpp"
+#include "store/backend.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace lptsp {
 
@@ -13,9 +16,14 @@ SolveCache::SolveCache(const Config& config) : config_(config) {
   LPTSP_REQUIRE(config.capacity >= config.shards,
                 "cache capacity must cover at least one entry per shard");
   // Ceiling division: the configured total must be reachable even when it
-  // does not divide evenly across shards.
-  per_shard_capacity_ =
+  // does not divide evenly across shards. Each namespace gets its own
+  // per-shard budget so neither can squeeze the other.
+  const std::size_t reduction_capacity =
+      config.reduction_capacity == 0 ? config.capacity : config.reduction_capacity;
+  per_shard_capacity_[kResultSpace] =
       std::max<std::size_t>(1, (config.capacity + config.shards - 1) / config.shards);
+  per_shard_capacity_[kReductionSpace] =
+      std::max<std::size_t>(1, (reduction_capacity + config.shards - 1) / config.shards);
   shards_.reserve(config.shards);
   for (std::size_t i = 0; i < config.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -26,80 +34,158 @@ SolveCache::Shard& SolveCache::shard_for(const std::string& key) {
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
-std::shared_ptr<const void> SolveCache::find(const std::string& key,
+std::shared_ptr<const void> SolveCache::find(const std::string& key, Space space,
                                              std::atomic<std::uint64_t>& hits,
                                              std::atomic<std::uint64_t>& misses) {
   Shard& shard = shard_for(key);
   const std::lock_guard lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
+  Lru& lru = shard.spaces[space];
+  const auto it = lru.index.find(key);
+  if (it == lru.index.end()) {
     misses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   // Move-to-front keeps the LRU order without invalidating map iterators.
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  lru.order.splice(lru.order.begin(), lru.order, it->second);
   hits.fetch_add(1, std::memory_order_relaxed);
   return it->second->second;
 }
 
-void SolveCache::put(const std::string& key, std::shared_ptr<const void> value,
+bool SolveCache::put(const std::string& key, Space space, std::shared_ptr<const void> value,
                      bool (*keep_existing)(const void*, const void*)) {
   Shard& shard = shard_for(key);
   const std::lock_guard lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
+  Lru& lru = shard.spaces[space];
+  const auto it = lru.index.find(key);
+  if (it != lru.index.end()) {
     // Refresh in place (e.g. a better labeling for the same instance),
     // unless the policy says the resident entry is strictly better.
-    if (keep_existing == nullptr || !keep_existing(it->second->second.get(), value.get())) {
-      it->second->second = std::move(value);
-    }
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+    const bool keep = keep_existing != nullptr && keep_existing(it->second->second.get(), value.get());
+    if (!keep) it->second->second = std::move(value);
+    lru.order.splice(lru.order.begin(), lru.order, it->second);
+    return !keep;
   }
-  shard.lru.emplace_front(key, std::move(value));
-  shard.index.emplace(key, shard.lru.begin());
+  lru.order.emplace_front(key, std::move(value));
+  lru.index.emplace(key, lru.order.begin());
   insertions_.fetch_add(1, std::memory_order_relaxed);
-  while (shard.lru.size() > per_shard_capacity_) {
-    shard.index.erase(shard.lru.back().first);
-    shard.lru.pop_back();
+  while (lru.order.size() > per_shard_capacity_[space]) {
+    lru.index.erase(lru.order.back().first);
+    lru.order.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+  return true;
 }
 
 std::shared_ptr<const ReductionEntry> SolveCache::find_reduction(const std::string& key) {
   return std::static_pointer_cast<const ReductionEntry>(
-      find(key, reduction_hits_, reduction_misses_));
+      find(key, kReductionSpace, reduction_hits_, reduction_misses_));
 }
 
 void SolveCache::put_reduction(const std::string& key,
                                std::shared_ptr<const ReductionEntry> entry) {
-  put(key, std::move(entry));
+  put(key, kReductionSpace, std::move(entry));
 }
 
 std::shared_ptr<const ResultEntry> SolveCache::find_result(const std::string& key) {
-  return std::static_pointer_cast<const ResultEntry>(find(key, result_hits_, result_misses_));
+  auto entry = std::static_pointer_cast<const ResultEntry>(
+      find(key, kResultSpace, result_hits_, result_misses_));
+  if (entry != nullptr && entry->from_disk) {
+    persisted_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return entry;
 }
 
-void SolveCache::put_result(const std::string& key, std::shared_ptr<const ResultEntry> entry) {
+bool SolveCache::keep_better_result(const void* existing_ptr, const void* incoming_ptr) {
   // Concurrent solves of the same instance race to publish (coalescing
   // keys include the deadline budget, so different-budget requests solve
   // independently); keep whichever labeling is strictly better.
-  put(key, std::move(entry), [](const void* existing_ptr, const void* incoming_ptr) {
-    const auto* existing = static_cast<const ResultEntry*>(existing_ptr);
-    const auto* incoming = static_cast<const ResultEntry*>(incoming_ptr);
-    return existing->span < incoming->span ||
-           (existing->span == incoming->span && existing->optimal && !incoming->optimal);
-  });
+  const auto* existing = static_cast<const ResultEntry*>(existing_ptr);
+  const auto* incoming = static_cast<const ResultEntry*>(incoming_ptr);
+  return existing->span < incoming->span ||
+         (existing->span == incoming->span && existing->optimal && !incoming->optimal);
 }
 
-std::size_t SolveCache::size() const {
+void SolveCache::put_result(const std::string& key, std::shared_ptr<const ResultEntry> entry) {
+  put(key, kResultSpace, std::move(entry), &SolveCache::keep_better_result);
+}
+
+void SolveCache::put_result(const std::string& key, const Graph& canon, const PVec& p,
+                            std::shared_ptr<const ResultEntry> entry) {
+  const bool accepted = put(key, kResultSpace, entry, &SolveCache::keep_better_result);
+  // Write-through happens outside the shard lock; the store serializes
+  // appends internally. Gating on `accepted` filters entries the resident
+  // in-memory entry already beats; the backend then re-checks against the
+  // record on DISK (which may be better than anything in memory after an
+  // eviction), so the store itself is monotone-improving per key.
+  if (accepted && backend_ != nullptr) backend_->put_result(key, canon, p, *entry);
+}
+
+void SolveCache::attach_backend(std::shared_ptr<PersistentBackend> backend) {
+  backend_ = std::move(backend);
+}
+
+SolveCache::WarmStats SolveCache::warm_from_disk() {
+  WarmStats stats;
+  if (backend_ == nullptr) return stats;
+  const Timer timer;
+  stats.rejected += backend_->for_each_result(
+      [&](const std::string& key, PersistedResult&& record) {
+        // Trust nothing but the record's own bytes: rebuild the distance
+        // matrix from the persisted canonical graph and re-check the
+        // labeling against it. This catches corruption the CRC cannot
+        // (records written by a buggy/foreign producer) at the cost of one
+        // O(n^2/64 * n) BFS per record — microseconds at service sizes.
+        try {
+          Labeling labeling{std::move(record.entry.labels)};
+          if (record.canon.n() == 0 ||
+              labeling.labels.size() != static_cast<std::size_t>(record.canon.n())) {
+            ++stats.rejected;
+            return;
+          }
+          const PVec p(record.p_entries);
+          const DistanceMatrix dist = all_pairs_distances(record.canon, 1);
+          if (!dist.all_finite() || labeling.span() != record.entry.span ||
+              !is_valid_labeling(record.canon, dist, p, labeling)) {
+            ++stats.rejected;
+            return;
+          }
+          auto entry = std::make_shared<ResultEntry>(std::move(record.entry));
+          entry->labels = std::move(labeling.labels);
+          entry->from_disk = true;
+          // Plain in-memory insert: these records are already on disk, so
+          // no write-through; the better-entry policy still applies.
+          put(key, kResultSpace, std::shared_ptr<const ResultEntry>(std::move(entry)),
+              &SolveCache::keep_better_result);
+          ++stats.loaded;
+        } catch (const std::exception&) {
+          // Structurally valid bytes the library still chokes on — a
+          // precondition violation (empty p vector), an allocation the
+          // verification matrix cannot satisfy — get the same treatment as
+          // any bad record: counted, skipped, never fatal. A store file
+          // must not be able to stop the service from starting.
+          ++stats.rejected;
+        }
+      });
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+std::size_t SolveCache::space_entries(Space space) const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
     const std::lock_guard lock(shard->mutex);
-    total += shard->lru.size();
+    total += shard->spaces[space].order.size();
   }
   return total;
 }
+
+std::size_t SolveCache::size() const {
+  return space_entries(kResultSpace) + space_entries(kReductionSpace);
+}
+
+std::size_t SolveCache::result_entries() const { return space_entries(kResultSpace); }
+
+std::size_t SolveCache::reduction_entries() const { return space_entries(kReductionSpace); }
 
 CacheStats SolveCache::stats() const {
   CacheStats stats;
@@ -109,14 +195,17 @@ CacheStats SolveCache::stats() const {
   stats.reduction_misses = reduction_misses_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.persisted_hits = persisted_hits_.load(std::memory_order_relaxed);
   return stats;
 }
 
 void SolveCache::clear() {
   for (const auto& shard : shards_) {
     const std::lock_guard lock(shard->mutex);
-    shard->lru.clear();
-    shard->index.clear();
+    for (Lru& lru : shard->spaces) {
+      lru.order.clear();
+      lru.index.clear();
+    }
   }
 }
 

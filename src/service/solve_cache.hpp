@@ -9,10 +9,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/pvec.hpp"
 #include "core/solvers.hpp"
 #include "graph/bfs.hpp"
 
 namespace lptsp {
+
+class PersistentBackend;  // store/backend.hpp — optional durability sink
 
 /// Cached per canonical graph (p-independent): the all-pairs distance
 /// matrix in canonical vertex numbering. A hit here skips the O(nm) BFS,
@@ -38,6 +41,10 @@ struct ResultEntry {
   /// refreshes the entry instead of being served the truncated result
   /// forever.
   std::int64_t deadline_ms = 0;
+  /// True when this entry was reloaded (and re-verified) from the durable
+  /// store rather than produced by an engine in this process — the basis
+  /// of the persisted-hit observability counter.
+  bool from_disk = false;
 };
 
 struct CacheStats {
@@ -47,6 +54,9 @@ struct CacheStats {
   std::uint64_t reduction_misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Result hits served by entries that warm_from_disk() loaded — the
+  /// restart-survival payoff, separated from ordinary warm-process hits.
+  std::uint64_t persisted_hits = 0;
 };
 
 /// Sharded, mutex-striped LRU cache for solve results and reductions.
@@ -55,16 +65,31 @@ struct CacheStats {
 /// canonical edge list is part of the key, so a lookup hit proves the
 /// graphs isomorphic — a hash collision can cost a shard probe, never a
 /// wrong answer. Striping: a key's shard is fixed by its hash, each shard
-/// holds an independent LRU list + map under its own mutex, so concurrent
+/// holds independent LRU lists + maps under its own mutex, so concurrent
 /// requests only contend when they land on the same shard.
+///
+/// Results and reductions live in separate LRU namespaces with separate
+/// budgets: a flood of one-off reductions can never evict hot results past
+/// the result budget (and vice versa), so the two workloads cannot starve
+/// each other however traffic is mixed.
 class SolveCache {
  public:
   struct Config {
-    /// Target max entries across all shards. Rounded UP to a multiple of
-    /// shards (each shard gets ceil(capacity/shards)), so actual residency
-    /// can exceed this by up to shards-1 entries.
+    /// Target max RESULT entries across all shards. Rounded UP to a
+    /// multiple of shards (each shard gets ceil(capacity/shards)), so
+    /// actual residency can exceed this by up to shards-1 entries.
     std::size_t capacity = 4096;
     std::size_t shards = 8;  ///< mutex stripes (>= 1)
+    /// Target max REDUCTION entries across all shards; 0 = same as
+    /// `capacity`. Total residency is bounded by the two budgets summed.
+    std::size_t reduction_capacity = 0;
+  };
+
+  /// Outcome of warm_from_disk(), for logs and the restart bench.
+  struct WarmStats {
+    std::uint64_t loaded = 0;    ///< records verified and inserted
+    std::uint64_t rejected = 0;  ///< undecodable or failed re-verification
+    double seconds = 0;          ///< wall time of the load (decode + verify)
   };
 
   SolveCache() : SolveCache(Config{}) {}
@@ -79,47 +104,87 @@ class SolveCache {
   std::shared_ptr<const ResultEntry> find_result(const std::string& key);
   void put_result(const std::string& key, std::shared_ptr<const ResultEntry> entry);
 
+  /// Durable write-through: inserts like put_result and, when a backend is
+  /// attached AND the in-memory cache accepted the entry (it was new or
+  /// strictly better than the resident one), appends it to the store. The
+  /// canonical graph and p make the persisted record self-verifying on
+  /// reload; they are not retained in memory.
+  void put_result(const std::string& key, const Graph& canon, const PVec& p,
+                  std::shared_ptr<const ResultEntry> entry);
+
+  /// Attach the durability sink used by the write-through overload and
+  /// warm_from_disk(). Call before traffic starts; not thread-safe against
+  /// concurrent puts.
+  void attach_backend(std::shared_ptr<PersistentBackend> backend);
+
+  [[nodiscard]] const std::shared_ptr<PersistentBackend>& backend() const noexcept {
+    return backend_;
+  }
+
+  /// Reload every persisted result from the attached backend. Each record
+  /// is re-verified from its own bytes (decode the canonical graph, redo
+  /// the distance BFS, check the labeling and span) before insertion; bad
+  /// records — bit rot the CRC missed, tampering, stale formats — are
+  /// counted and skipped, never served and never fatal. No-op without a
+  /// backend.
+  WarmStats warm_from_disk();
+
   /// Entries currently resident (sums shard sizes; racy but monotonic
   /// enough for monitoring).
   [[nodiscard]] std::size_t size() const;
+  /// Per-namespace residency, for the budget-isolation guarantees.
+  [[nodiscard]] std::size_t result_entries() const;
+  [[nodiscard]] std::size_t reduction_entries() const;
 
   [[nodiscard]] CacheStats stats() const;
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
-  /// Drop every entry (stats are kept).
+  /// Drop every entry (stats are kept; the durable store is untouched).
   void clear();
 
  private:
-  // Values are type-erased so result and reduction entries share the LRU
-  // machinery; the key namespace ('G' vs 'G...P' suffix from
-  // canonical_key.hpp) pins each key to exactly one entry type, so the
-  // typed accessors can cast back safely.
+  /// LRU namespace index. Values are type-erased so both entry types share
+  /// the LRU machinery; the space pins each key to exactly one entry type,
+  /// so the typed accessors can cast back safely.
+  enum Space : std::size_t { kResultSpace = 0, kReductionSpace = 1, kSpaces = 2 };
+
+  struct Lru {
+    std::list<std::pair<std::string, std::shared_ptr<const void>>> order;  // front = hottest
+    std::unordered_map<std::string, decltype(order)::iterator> index;
+  };
+
   struct Shard {
     std::mutex mutex;
-    std::list<std::pair<std::string, std::shared_ptr<const void>>> lru;  // front = hottest
-    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    Lru spaces[kSpaces];
   };
 
   Shard& shard_for(const std::string& key);
-  std::shared_ptr<const void> find(const std::string& key, std::atomic<std::uint64_t>& hits,
+  std::shared_ptr<const void> find(const std::string& key, Space space,
+                                   std::atomic<std::uint64_t>& hits,
                                    std::atomic<std::uint64_t>& misses);
   /// `keep_existing(existing, incoming)` returning true suppresses a
   /// refresh-in-place — the compare runs under the shard lock, which is
   /// what makes "a worse concurrent solve can never degrade a better
-  /// cached entry" hold under races.
-  void put(const std::string& key, std::shared_ptr<const void> value,
+  /// cached entry" hold under races. Returns true when the incoming entry
+  /// was inserted or refreshed (false = resident entry kept), which gates
+  /// the durable write-through.
+  bool put(const std::string& key, Space space, std::shared_ptr<const void> value,
            bool (*keep_existing)(const void* existing, const void* incoming) = nullptr);
+  std::size_t space_entries(Space space) const;
+  static bool keep_better_result(const void* existing, const void* incoming);
 
   Config config_;
-  std::size_t per_shard_capacity_;
+  std::size_t per_shard_capacity_[kSpaces] = {0, 0};
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::shared_ptr<PersistentBackend> backend_;
   std::atomic<std::uint64_t> result_hits_{0};
   std::atomic<std::uint64_t> result_misses_{0};
   std::atomic<std::uint64_t> reduction_hits_{0};
   std::atomic<std::uint64_t> reduction_misses_{0};
   std::atomic<std::uint64_t> insertions_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> persisted_hits_{0};
 };
 
 }  // namespace lptsp

@@ -1,0 +1,93 @@
+#include "store/backend.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace lptsp {
+
+namespace {
+
+constexpr char kWinTableKey[] = "win-table";
+
+}  // namespace
+
+std::unique_ptr<PersistentBackend> PersistentBackend::open(const Options& options,
+                                                           std::string& error) {
+  KvStore::Options kv_options;
+  kv_options.path = options.path;
+  kv_options.sync_every_put = options.sync_every_put;
+  kv_options.compact_garbage_ratio = options.compact_garbage_ratio;
+  kv_options.compact_min_records = options.compact_min_records;
+  std::unique_ptr<KvStore> kv = KvStore::open(kv_options, error);
+  if (kv == nullptr) return nullptr;
+  return std::unique_ptr<PersistentBackend>(new PersistentBackend(std::move(kv)));
+}
+
+void PersistentBackend::put_result(const std::string& key, const Graph& canon, const PVec& p,
+                                   const ResultEntry& entry) {
+  // A record this size could never be re-verified on reload (the O(n^2)
+  // verification matrix is bounded by the same constant), so writing it
+  // would only burn disk.
+  if (canon.n() > kMaxPersistedGraphVertices) return;
+  const std::lock_guard lock(result_put_mutex_);
+  // Monotone-improving per key: the in-memory cache's better-entry policy
+  // cannot vouch for an entry it has already evicted, so the comparison
+  // against the resident DISK record happens here, atomically — via the
+  // O(1) trailer peek, not a full graph decode under the lock.
+  if (const std::optional<std::string> existing_value = kv_->get(kResultsNamespace, key)) {
+    Weight existing_span = 0;
+    bool existing_optimal = false;
+    if (peek_persisted_result_quality(
+            reinterpret_cast<const std::uint8_t*>(existing_value->data()),
+            existing_value->size(), existing_span, existing_optimal) &&
+        (existing_span < entry.span ||
+         (existing_span == entry.span && existing_optimal && !entry.optimal))) {
+      return;  // the record on disk is strictly better; keep it
+    }
+  }
+  std::vector<std::uint8_t> value;
+  encode_persisted_result(value, canon, p.entries(), entry);
+  if (!kv_->put(kResultsNamespace, key,
+                std::string(reinterpret_cast<const char*>(value.data()), value.size()))) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t PersistentBackend::for_each_result(
+    const std::function<void(const std::string&, PersistedResult&&)>& fn) const {
+  std::uint64_t undecodable = 0;
+  kv_->for_each(kResultsNamespace, [&](const std::string& key, const std::string& value) {
+    PersistedResult record;
+    std::string error;
+    if (decode_persisted_result(reinterpret_cast<const std::uint8_t*>(value.data()),
+                                value.size(), record, error)) {
+      fn(key, std::move(record));
+    } else {
+      ++undecodable;
+    }
+  });
+  return undecodable;
+}
+
+void PersistentBackend::put_win_table(const WinTableRecord& table) {
+  std::vector<std::uint8_t> value;
+  encode_win_table(value, table);
+  if (!kv_->put(kMetaNamespace, kWinTableKey,
+                std::string(reinterpret_cast<const char*>(value.data()), value.size()))) {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<WinTableRecord> PersistentBackend::load_win_table() const {
+  const std::optional<std::string> value = kv_->get(kMetaNamespace, kWinTableKey);
+  if (!value.has_value()) return std::nullopt;
+  WinTableRecord table;
+  std::string error;
+  if (!decode_win_table(reinterpret_cast<const std::uint8_t*>(value->data()), value->size(),
+                        table, error)) {
+    return std::nullopt;
+  }
+  return table;
+}
+
+}  // namespace lptsp

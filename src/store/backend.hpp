@@ -1,0 +1,83 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/pvec.hpp"
+#include "store/codec.hpp"
+#include "store/kv.hpp"
+
+namespace lptsp {
+
+/// The durable face of the serving layer: one KvStore file holding the
+/// solve cache's verified results (namespace 0, keyed by the exact
+/// canonical result keys the in-memory cache uses) and the engine
+/// portfolio's win table (namespace 1). SolveCache writes results through
+/// here and warms itself back up via for_each_result; BatchSolver
+/// checkpoints the win table on shutdown.
+///
+/// Persistence is best-effort by design: an IO failure flips writes into
+/// counted no-ops instead of failing solves — the store is a cache of
+/// re-derivable results, never the source of truth.
+class PersistentBackend {
+ public:
+  static constexpr std::uint8_t kResultsNamespace = 0;
+  static constexpr std::uint8_t kMetaNamespace = 1;
+
+  struct Options {
+    std::string path;
+    bool sync_every_put = false;
+    double compact_garbage_ratio = 0.5;
+    std::uint64_t compact_min_records = 256;
+  };
+
+  /// Open or create the store file. nullptr + `error` on failure (corrupt
+  /// header, unwritable path); torn tails and bad records inside a valid
+  /// log are repaired/skipped by the layers below, never open failures.
+  static std::unique_ptr<PersistentBackend> open(const Options& options, std::string& error);
+
+  /// Persist one verified result under its canonical cache key. The
+  /// canonical graph and p are stored alongside the labels so the record
+  /// re-verifies on load without trusting the key bytes. The store is
+  /// monotone-improving per key: an incoming entry strictly worse than the
+  /// resident record is dropped (compared under an internal lock, so
+  /// racing writers cannot LWW-overwrite a better record — the in-memory
+  /// cache's "accepted" gate alone cannot guarantee this once the better
+  /// entry has been LRU-evicted from memory). Graphs above
+  /// kMaxPersistedGraphVertices are not persisted (they could never be
+  /// re-verified on reload).
+  void put_result(const std::string& key, const Graph& canon, const PVec& p,
+                  const ResultEntry& entry);
+
+  /// Decode every live result record into `fn`; undecodable values are
+  /// counted (returned) and skipped. Runs under the store lock.
+  std::uint64_t for_each_result(
+      const std::function<void(const std::string& key, PersistedResult&& record)>& fn) const;
+
+  void put_win_table(const WinTableRecord& table);
+  [[nodiscard]] std::optional<WinTableRecord> load_win_table() const;
+
+  /// Writes that failed at the KV/log layer since open (observability).
+  [[nodiscard]] std::uint64_t write_failures() const noexcept {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] KvStore& kv() noexcept { return *kv_; }
+  [[nodiscard]] const KvStore& kv() const noexcept { return *kv_; }
+
+ private:
+  explicit PersistentBackend(std::unique_ptr<KvStore> kv) : kv_(std::move(kv)) {}
+
+  std::unique_ptr<KvStore> kv_;
+  /// Serializes put_result's read-compare-write so the monotonicity check
+  /// is atomic across racing result writers (win-table puts don't need it).
+  std::mutex result_put_mutex_;
+  std::atomic<std::uint64_t> write_failures_{0};
+};
+
+}  // namespace lptsp

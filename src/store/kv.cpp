@@ -1,0 +1,217 @@
+#include "store/kv.hpp"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "util/endian.hpp"
+
+namespace lptsp {
+
+namespace {
+
+constexpr std::uint8_t kOpPut = 1;
+constexpr std::uint8_t kOpErase = 2;
+
+void append_bytes(std::vector<std::uint8_t>& out, const std::string& bytes) {
+  endian::put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+bool read_bytes(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                std::string& out) {
+  std::uint32_t len = 0;
+  if (!endian::try_get_u32(data, size, offset, len) || len > size - offset) return false;
+  out.assign(reinterpret_cast<const char*>(data + offset), len);
+  offset += len;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_put(std::uint8_t ns, const std::string& key,
+                                     const std::string& value) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(2 + 8 + key.size() + value.size());
+  payload.push_back(kOpPut);
+  payload.push_back(ns);
+  append_bytes(payload, key);
+  append_bytes(payload, value);
+  return payload;
+}
+
+std::vector<std::uint8_t> encode_erase(std::uint8_t ns, const std::string& key) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(2 + 4 + key.size());
+  payload.push_back(kOpErase);
+  payload.push_back(ns);
+  append_bytes(payload, key);
+  return payload;
+}
+
+}  // namespace
+
+std::unique_ptr<KvStore> KvStore::open(const Options& options, std::string& error) {
+  // A leftover sibling from a compaction that crashed before its rename is
+  // dead weight (the main log is still the valid one); reclaim it.
+  std::remove((options.path + ".compact").c_str());
+  std::unique_ptr<KvStore> store(new KvStore(options));
+  RecordLog::Options log_options;
+  log_options.path = options.path;
+  log_options.max_record_bytes = options.max_record_bytes;
+  RecordLog::OpenStats log_stats;
+  store->log_ = RecordLog::open(
+      log_options,
+      [&store](const std::uint8_t* payload, std::size_t size) {
+        // One KV operation per record. Unknown ops/namespaces (a newer
+        // format writing into an old reader) and malformed payloads are
+        // data loss already contained to one record: count and move on.
+        if (size < 2) {
+          ++store->dropped_records_;
+          return;
+        }
+        const std::uint8_t op = payload[0];
+        const std::uint8_t ns = payload[1];
+        std::size_t offset = 2;
+        std::string key;
+        if (ns >= kNamespaces || !read_bytes(payload, size, offset, key)) {
+          ++store->dropped_records_;
+          return;
+        }
+        if (op == kOpPut) {
+          std::string value;
+          if (!read_bytes(payload, size, offset, value) || offset != size) {
+            ++store->dropped_records_;
+            return;
+          }
+          store->maps_[ns][std::move(key)] = std::move(value);
+        } else if (op == kOpErase && offset == size) {
+          store->maps_[ns].erase(key);
+        } else {
+          ++store->dropped_records_;
+          return;
+        }
+        ++store->total_records_;
+      },
+      log_stats, error);
+  if (store->log_ == nullptr) return nullptr;
+  store->dropped_records_ += log_stats.dropped_records;
+  store->truncated_bytes_ = log_stats.truncated_bytes;
+  store->created_ = log_stats.created;
+  return store;
+}
+
+bool KvStore::append_locked(std::vector<std::uint8_t>&& payload) {
+  if (!log_->append(payload)) return false;
+  ++total_records_;
+  if (options_.sync_every_put && !log_->sync()) return false;
+  maybe_compact_locked();
+  return true;
+}
+
+bool KvStore::put(std::uint8_t ns, const std::string& key, const std::string& value) {
+  if (ns >= kNamespaces) return false;
+  const std::lock_guard lock(mutex_);
+  maps_[ns][key] = value;
+  return append_locked(encode_put(ns, key, value));
+}
+
+bool KvStore::erase(std::uint8_t ns, const std::string& key) {
+  if (ns >= kNamespaces) return false;
+  const std::lock_guard lock(mutex_);
+  if (maps_[ns].erase(key) == 0) return true;  // nothing to tombstone
+  return append_locked(encode_erase(ns, key));
+}
+
+std::optional<std::string> KvStore::get(std::uint8_t ns, const std::string& key) const {
+  if (ns >= kNamespaces) return std::nullopt;
+  const std::lock_guard lock(mutex_);
+  const auto it = maps_[ns].find(key);
+  if (it == maps_[ns].end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::for_each(
+    std::uint8_t ns,
+    const std::function<void(const std::string&, const std::string&)>& fn) const {
+  if (ns >= kNamespaces) return;
+  const std::lock_guard lock(mutex_);
+  for (const auto& [key, value] : maps_[ns]) fn(key, value);
+}
+
+std::size_t KvStore::size(std::uint8_t ns) const {
+  if (ns >= kNamespaces) return 0;
+  const std::lock_guard lock(mutex_);
+  return maps_[ns].size();
+}
+
+std::uint64_t KvStore::live_locked() const {
+  std::uint64_t live = 0;
+  for (const auto& map : maps_) live += map.size();
+  return live;
+}
+
+KvStore::Stats KvStore::stats() const {
+  const std::lock_guard lock(mutex_);
+  Stats stats;
+  stats.live_records = live_locked();
+  stats.total_records = total_records_;
+  stats.dropped_records = dropped_records_;
+  stats.truncated_bytes = truncated_bytes_;
+  stats.compactions = compactions_;
+  stats.file_bytes = log_->bytes();
+  stats.created = created_;
+  return stats;
+}
+
+bool KvStore::sync() {
+  const std::lock_guard lock(mutex_);
+  return log_->sync();
+}
+
+void KvStore::maybe_compact_locked() {
+  if (total_records_ < options_.compact_min_records) return;
+  const std::uint64_t live = live_locked();
+  const double garbage =
+      1.0 - static_cast<double>(live) / static_cast<double>(total_records_);
+  if (garbage > options_.compact_garbage_ratio) compact_locked();
+}
+
+bool KvStore::compact() {
+  const std::lock_guard lock(mutex_);
+  return compact_locked();
+}
+
+bool KvStore::compact_locked() {
+  // Rewrite-and-rename: write the live set to a sibling file, fsync it,
+  // then atomically rename over the log. The fresh RecordLog's fd follows
+  // the inode across the rename, so appends continue seamlessly. A crash
+  // before the rename leaves the old log; after, the new one — both valid.
+  RecordLog::Options log_options;
+  log_options.path = options_.path + ".compact";
+  log_options.max_record_bytes = options_.max_record_bytes;
+  std::string error;
+  std::unique_ptr<RecordLog> fresh = RecordLog::create(log_options, error);
+  if (fresh == nullptr) return false;
+  // Any failure before the rename must not leave a full-size orphan
+  // sitting next to the log (painful exactly when the disk is full).
+  const auto abandon = [&fresh, &log_options] {
+    fresh.reset();  // close the fd before unlinking
+    std::remove(log_options.path.c_str());
+    return false;
+  };
+  for (std::uint8_t ns = 0; ns < kNamespaces; ++ns) {
+    for (const auto& [key, value] : maps_[ns]) {
+      if (!fresh->append(encode_put(ns, key, value))) return abandon();
+    }
+  }
+  if (!fresh->sync()) return abandon();
+  if (std::rename(log_options.path.c_str(), options_.path.c_str()) != 0) {
+    return abandon();
+  }
+  sync_parent_directory(options_.path);
+  log_ = std::move(fresh);
+  total_records_ = live_locked();
+  ++compactions_;
+  return true;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "store/log.hpp"
+
+namespace lptsp {
+
+/// Typed key-value layer over the append-only RecordLog: last-writer-wins
+/// maps in a handful of small integer namespaces (the service uses one for
+/// solve results and one for portfolio metadata).
+///
+/// Record payload (inside the log's CRC framing):
+///
+///   put:    u8 op (=1) | u8 namespace | u32 key_len | key | u32 val_len | value
+///   erase:  u8 op (=2) | u8 namespace | u32 key_len | key
+///
+/// The in-memory index (which holds the live values — entries here are
+/// small: a labeling plus a small graph) is rebuilt by the single
+/// sequential scan RecordLog::open performs; malformed or unknown-namespace
+/// payloads are counted and skipped, never fatal. Overwrites and erases
+/// leave dead records behind; when the dead fraction exceeds
+/// `compact_garbage_ratio` the store compacts itself in-line (no background
+/// thread) by rewriting the live set to `<path>.compact` and renaming it
+/// over the log — rename(2) is atomic, so a crash at any point leaves
+/// either the old or the new file, both valid.
+///
+/// Thread safety: every public method locks one internal mutex; disk
+/// appends are tiny and the store sits behind caches, so a single lock is
+/// not a throughput concern. Single-process use only (no file locking).
+class KvStore {
+ public:
+  static constexpr std::uint8_t kNamespaces = 4;
+
+  struct Options {
+    std::string path;
+    /// fsync after every put/erase. Off by default: the service's cached
+    /// results are re-derivable, so the durability window of the OS page
+    /// cache is an acceptable trade for not paying an fsync per solve.
+    bool sync_every_put = false;
+    /// Compact when dead_records / total_records exceeds this...
+    double compact_garbage_ratio = 0.5;
+    /// ...but never before this many total records (tiny stores churn).
+    std::uint64_t compact_min_records = 256;
+    std::size_t max_record_bytes = 64u << 20;
+  };
+
+  struct Stats {
+    std::uint64_t live_records = 0;      ///< keys currently resident
+    std::uint64_t total_records = 0;     ///< log records incl. dead ones
+    std::uint64_t dropped_records = 0;   ///< CRC/decode failures on open
+    std::uint64_t truncated_bytes = 0;   ///< damaged tail removed on open
+    std::uint64_t compactions = 0;
+    std::uint64_t file_bytes = 0;
+    bool created = false;                ///< the store file was new
+  };
+
+  /// Open or create the store at options.path and rebuild the index.
+  /// Returns nullptr with `error` set on IO failure or corrupt header.
+  static std::unique_ptr<KvStore> open(const Options& options, std::string& error);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Insert or overwrite; false on IO error (the store keeps serving reads
+  /// but further writes fail — callers treat persistence as best-effort).
+  bool put(std::uint8_t ns, const std::string& key, const std::string& value);
+  bool erase(std::uint8_t ns, const std::string& key);
+
+  [[nodiscard]] std::optional<std::string> get(std::uint8_t ns, const std::string& key) const;
+
+  /// Visit every live (key, value) in `ns`. The callback runs under the
+  /// store lock: do not call back into this store from inside it.
+  void for_each(std::uint8_t ns,
+                const std::function<void(const std::string& key, const std::string& value)>& fn)
+      const;
+
+  [[nodiscard]] std::size_t size(std::uint8_t ns) const;
+  [[nodiscard]] Stats stats() const;
+
+  /// fsync the log now (for callers that batch their durability points).
+  bool sync();
+
+  /// Force a compaction regardless of the garbage ratio (tests, shutdown).
+  bool compact();
+
+ private:
+  explicit KvStore(Options options) : options_(std::move(options)) {}
+
+  bool append_locked(std::vector<std::uint8_t>&& payload);
+  bool compact_locked();
+  void maybe_compact_locked();
+  [[nodiscard]] std::uint64_t live_locked() const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::unique_ptr<RecordLog> log_;
+  std::unordered_map<std::string, std::string> maps_[kNamespaces];
+  std::uint64_t total_records_ = 0;
+  std::uint64_t dropped_records_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t compactions_ = 0;
+  bool created_ = false;
+};
+
+}  // namespace lptsp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-record
+/// checksum of the durable store's log framing (store/log.cpp). Kept next
+/// to util/endian.hpp so any future binary codec that wants integrity
+/// bytes uses the same polynomial by construction.
+namespace lptsp::crc32 {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace detail
+
+/// One-shot checksum of a byte range. `seed` chains incremental updates:
+/// crc32::of(b, n1+n2) == of(b+n1, n2, of(b, n1)).
+inline std::uint32_t of(const std::uint8_t* data, std::size_t size, std::uint32_t seed = 0) {
+  const auto& table = detail::table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace lptsp::crc32

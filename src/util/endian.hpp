@@ -45,4 +45,36 @@ inline std::uint64_t get_u64(const std::uint8_t* data) {
   return value;
 }
 
+// ---------------------------------------------------------------------------
+// Bounds-checked reads for untrusted buffers: verify the bytes are there,
+// read, advance `offset`. One definition shared by every binary decoder
+// (graph/io, net/wire-adjacent codecs, store/kv, store/codec) so the
+// validate-then-advance pattern cannot drift between them. Callers keep
+// the invariant offset <= size.
+// ---------------------------------------------------------------------------
+
+inline bool try_get_u8(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                       std::uint8_t& value) {
+  if (size - offset < 1) return false;
+  value = data[offset];
+  offset += 1;
+  return true;
+}
+
+inline bool try_get_u32(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                        std::uint32_t& value) {
+  if (size - offset < 4) return false;
+  value = get_u32(data + offset);
+  offset += 4;
+  return true;
+}
+
+inline bool try_get_u64(const std::uint8_t* data, std::size_t size, std::size_t& offset,
+                        std::uint64_t& value) {
+  if (size - offset < 8) return false;
+  value = get_u64(data + offset);
+  offset += 8;
+  return true;
+}
+
 }  // namespace lptsp::endian

@@ -115,6 +115,11 @@ std::size_t TaskPool::pending() const {
   return queue_.size() + in_flight_;
 }
 
+void TaskPool::drain() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
 void TaskPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard lock(mutex_);
@@ -138,6 +143,7 @@ void TaskPool::worker_loop() {
     {
       std::lock_guard lock(mutex_);
       --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
     }
   }
 }

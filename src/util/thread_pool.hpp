@@ -94,6 +94,11 @@ class TaskPool {
   /// Tasks submitted but not yet finished (approximate, for monitoring).
   [[nodiscard]] std::size_t pending() const;
 
+  /// Block until every task submitted so far has finished (queue empty and
+  /// nothing in flight). Tasks submitted while draining extend the wait.
+  /// Must not be called from inside a task of this pool.
+  void drain();
+
   /// Enqueue `fn` and return a future for its result. Safe to call from
   /// any thread, including from inside a running task (the queue is
   /// unbounded, so no deadlock — but a task blocking on a future of
@@ -117,6 +122,7 @@ class TaskPool {
   std::vector<std::thread> workers_;
   mutable std::mutex mutex_;
   std::condition_variable ready_;
+  std::condition_variable idle_;  ///< signaled when the pool goes idle
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/solve_cache.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+/// The namespace-isolation contract of the sharded LRU: results and
+/// reductions have separate budgets, so arbitrarily heavy traffic in one
+/// namespace can never evict the other past its own budget.
+
+std::shared_ptr<const ResultEntry> result_entry(Weight span) {
+  return std::make_shared<const ResultEntry>(ResultEntry{{}, span, false, Engine::ChainedLK});
+}
+
+std::shared_ptr<const ReductionEntry> reduction_entry() {
+  DistanceMatrix dist(2);
+  dist.set(0, 1, 1);
+  dist.set(1, 0, 1);
+  return std::make_shared<const ReductionEntry>(ReductionEntry{dist, 1, true});
+}
+
+TEST(SolveCacheNamespaces, ReductionFloodCannotEvictResults) {
+  SolveCache::Config config;
+  config.capacity = 8;
+  config.shards = 1;  // single shard: budgets are exact, order observable
+  SolveCache cache(config);
+  for (int i = 0; i < 8; ++i) {
+    cache.put_result("result-" + std::to_string(i), result_entry(i));
+  }
+  for (int i = 0; i < 500; ++i) {
+    cache.put_reduction("reduction-" + std::to_string(i), reduction_entry());
+  }
+  EXPECT_EQ(cache.result_entries(), 8u);
+  EXPECT_LE(cache.reduction_entries(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(cache.find_result("result-" + std::to_string(i)), nullptr) << i;
+  }
+}
+
+TEST(SolveCacheNamespaces, ResultFloodCannotEvictReductions) {
+  SolveCache::Config config;
+  config.capacity = 8;
+  config.shards = 1;
+  SolveCache cache(config);
+  for (int i = 0; i < 8; ++i) {
+    cache.put_reduction("reduction-" + std::to_string(i), reduction_entry());
+  }
+  for (int i = 0; i < 500; ++i) {
+    cache.put_result("result-" + std::to_string(i), result_entry(i));
+  }
+  EXPECT_EQ(cache.reduction_entries(), 8u);
+  EXPECT_LE(cache.result_entries(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(cache.find_reduction("reduction-" + std::to_string(i)), nullptr) << i;
+  }
+}
+
+TEST(SolveCacheNamespaces, AsymmetricBudgetsAreHonored) {
+  SolveCache::Config config;
+  config.capacity = 4;             // results
+  config.reduction_capacity = 16;  // reductions get their own, larger budget
+  config.shards = 1;
+  SolveCache cache(config);
+  for (int i = 0; i < 100; ++i) {
+    cache.put_result("result-" + std::to_string(i), result_entry(i));
+    cache.put_reduction("reduction-" + std::to_string(i), reduction_entry());
+  }
+  EXPECT_EQ(cache.result_entries(), 4u);
+  EXPECT_EQ(cache.reduction_entries(), 16u);
+}
+
+TEST(SolveCacheNamespaces, ConcurrentCrossNamespaceStormKeepsBudgets) {
+  SolveCache::Config config;
+  config.capacity = 16;
+  config.reduction_capacity = 8;
+  config.shards = 4;
+  SolveCache cache(config);
+  // Pin one namespace's working set, then storm the OTHER namespace from
+  // many threads: under any interleaving the pinned set must survive,
+  // because eviction pressure is confined to the storming namespace. Four
+  // pinned keys fit a single shard's result budget (ceil(16/4) = 4), so
+  // they survive any hash placement.
+  for (int i = 0; i < 4; ++i) {
+    cache.put_result("pinned-" + std::to_string(i), result_entry(i));
+  }
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      Rng rng(static_cast<std::uint64_t>(t) * 131 + 17);
+      for (int op = 0; op < 2000; ++op) {
+        cache.put_reduction("storm-" + std::to_string(rng.uniform_int(0, 5000)),
+                            reduction_entry());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Per-shard budgets bound each namespace independently of the other.
+  EXPECT_LE(cache.reduction_entries(), 8u);
+  EXPECT_EQ(cache.result_entries(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(cache.find_result("pinned-" + std::to_string(i)), nullptr) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lptsp

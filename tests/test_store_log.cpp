@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/log.hpp"
+
+namespace lptsp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "lptsp_" + name + ".log";
+}
+
+std::vector<std::uint8_t> bytes(const std::string& text) {
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+/// Open and collect every record as a string.
+std::vector<std::string> scan(const std::string& path, RecordLog::OpenStats& stats) {
+  std::vector<std::string> records;
+  std::string error;
+  RecordLog::Options options;
+  options.path = path;
+  auto log = RecordLog::open(
+      options,
+      [&records](const std::uint8_t* payload, std::size_t size) {
+        records.emplace_back(reinterpret_cast<const char*>(payload), size);
+      },
+      stats, error);
+  EXPECT_NE(log, nullptr) << error;
+  return records;
+}
+
+std::vector<char> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<char>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kFrameSize = 8;
+
+TEST(RecordLog, AppendThenScanRoundTrips) {
+  const std::string path = temp_path("roundtrip");
+  std::remove(path.c_str());
+  {
+    RecordLog::OpenStats stats;
+    std::string error;
+    RecordLog::Options options;
+    options.path = path;
+    auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) { FAIL(); },
+                               stats, error);
+    ASSERT_NE(log, nullptr) << error;
+    EXPECT_TRUE(stats.created);
+    EXPECT_TRUE(log->append(bytes("alpha")));
+    EXPECT_TRUE(log->append(bytes("")));  // empty payloads are legal records
+    EXPECT_TRUE(log->append(bytes("gamma-gamma")));
+    EXPECT_TRUE(log->sync());
+  }
+  RecordLog::OpenStats stats;
+  const std::vector<std::string> records = scan(path, stats);
+  EXPECT_FALSE(stats.created);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.dropped_records, 0u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "alpha");
+  EXPECT_EQ(records[1], "");
+  EXPECT_EQ(records[2], "gamma-gamma");
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, ReopenAppendsAfterExistingRecords) {
+  const std::string path = temp_path("reopen");
+  std::remove(path.c_str());
+  for (int round = 0; round < 3; ++round) {
+    RecordLog::OpenStats stats;
+    std::string error;
+    RecordLog::Options options;
+    options.path = path;
+    auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) {}, stats, error);
+    ASSERT_NE(log, nullptr) << error;
+    EXPECT_EQ(stats.records, static_cast<std::uint64_t>(round));
+    EXPECT_TRUE(log->append(bytes("round-" + std::to_string(round))));
+  }
+  RecordLog::OpenStats stats;
+  const std::vector<std::string> records = scan(path, stats);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2], "round-2");
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, TornTailIsTruncatedAndLogStaysAppendable) {
+  const std::string path = temp_path("torn");
+  std::remove(path.c_str());
+  {
+    RecordLog::OpenStats stats;
+    std::string error;
+    RecordLog::Options options;
+    options.path = path;
+    auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) {}, stats, error);
+    ASSERT_NE(log, nullptr);
+    log->append(bytes("one"));
+    log->append(bytes("two"));
+  }
+  // Simulate a crash mid-append: 5 bytes of a frame that never completed.
+  std::vector<char> file = read_file(path);
+  const std::size_t intact = file.size();
+  file.insert(file.end(), {'\x09', '\x00', '\x00', '\x00', '\x7f'});
+  write_file(path, file);
+
+  RecordLog::OpenStats stats;
+  const std::vector<std::string> records = scan(path, stats);
+  EXPECT_EQ(records.size(), 2u);
+  EXPECT_EQ(stats.truncated_bytes, 5u);
+  EXPECT_EQ(read_file(path).size(), intact);  // tail physically removed
+
+  // The repaired log accepts appends and they survive another reopen.
+  {
+    RecordLog::OpenStats reopen_stats;
+    std::string error;
+    RecordLog::Options options;
+    options.path = path;
+    auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) {}, reopen_stats,
+                               error);
+    ASSERT_NE(log, nullptr);
+    EXPECT_TRUE(log->append(bytes("three")));
+  }
+  RecordLog::OpenStats final_stats;
+  const std::vector<std::string> final_records = scan(path, final_stats);
+  ASSERT_EQ(final_records.size(), 3u);
+  EXPECT_EQ(final_records[2], "three");
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, TruncatedMidPayloadDropsOnlyTheTail) {
+  const std::string path = temp_path("midpayload");
+  std::remove(path.c_str());
+  {
+    RecordLog::OpenStats stats;
+    std::string error;
+    RecordLog::Options options;
+    options.path = path;
+    auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) {}, stats, error);
+    ASSERT_NE(log, nullptr);
+    log->append(bytes("first-record"));
+    log->append(bytes("second-record"));
+  }
+  std::vector<char> file = read_file(path);
+  file.resize(file.size() - 4);  // lose the last 4 payload bytes
+  write_file(path, file);
+
+  RecordLog::OpenStats stats;
+  const std::vector<std::string> records = scan(path, stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "first-record");
+  EXPECT_GT(stats.truncated_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, BitFlippedRecordIsSkippedButLaterRecordsSurvive) {
+  const std::string path = temp_path("bitflip");
+  std::remove(path.c_str());
+  {
+    RecordLog::OpenStats stats;
+    std::string error;
+    RecordLog::Options options;
+    options.path = path;
+    auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) {}, stats, error);
+    ASSERT_NE(log, nullptr);
+    log->append(bytes("aaaaaaaa"));
+    log->append(bytes("bbbbbbbb"));
+    log->append(bytes("cccccccc"));
+  }
+  // Flip one payload byte of the SECOND record. Layout after the header:
+  // [frame|8 bytes payload] x 3.
+  std::vector<char> file = read_file(path);
+  const std::size_t record_bytes = kFrameSize + 8;
+  file[kHeaderSize + record_bytes + kFrameSize + 3] ^= 0x40;
+  write_file(path, file);
+
+  RecordLog::OpenStats stats;
+  const std::vector<std::string> records = scan(path, stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "aaaaaaaa");
+  EXPECT_EQ(records[1], "cccccccc");  // only the damaged record is lost
+  EXPECT_EQ(stats.dropped_records, 1u);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, ImplausibleLengthFieldTruncatesTheRest) {
+  const std::string path = temp_path("badlen");
+  std::remove(path.c_str());
+  {
+    RecordLog::OpenStats stats;
+    std::string error;
+    RecordLog::Options options;
+    options.path = path;
+    auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) {}, stats, error);
+    ASSERT_NE(log, nullptr);
+    log->append(bytes("keepme"));
+    log->append(bytes("corrupt-my-length"));
+    log->append(bytes("unreachable"));
+  }
+  std::vector<char> file = read_file(path);
+  const std::size_t second_frame = kHeaderSize + kFrameSize + 6;
+  file[second_frame + 3] = '\x7f';  // length becomes ~2GB: cannot resync past it
+  write_file(path, file);
+
+  RecordLog::OpenStats stats;
+  const std::vector<std::string> records = scan(path, stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "keepme");
+  EXPECT_GT(stats.truncated_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, ForeignFileFailsOpenInsteadOfBeingTruncated) {
+  const std::string path = temp_path("foreign");
+  write_file(path, {'n', 'o', 't', ' ', 'a', ' ', 'l', 'o', 'g', ' ', 'f', 'i', 'l', 'e', '!',
+                    '!', '!', '!'});
+  RecordLog::OpenStats stats;
+  std::string error;
+  RecordLog::Options options;
+  options.path = path;
+  auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) {}, stats, error);
+  EXPECT_EQ(log, nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(read_file(path).size(), 18u);  // the foreign file was not touched
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, OversizedAppendIsRefusedWithoutPoisoningTheLog) {
+  const std::string path = temp_path("oversize");
+  std::remove(path.c_str());
+  RecordLog::OpenStats stats;
+  std::string error;
+  RecordLog::Options options;
+  options.path = path;
+  options.max_record_bytes = 16;
+  auto log = RecordLog::open(options, [](const std::uint8_t*, std::size_t) {}, stats, error);
+  ASSERT_NE(log, nullptr);
+  EXPECT_TRUE(log->append(bytes("fits")));
+  // The oversized payload is refused, but nothing was written — the log
+  // stays healthy and later records keep persisting (one huge record must
+  // not silently kill durability for the rest of the process).
+  EXPECT_FALSE(log->append(bytes("this payload is larger than sixteen bytes")));
+  EXPECT_FALSE(log->failed());
+  EXPECT_TRUE(log->append(bytes("tiny")));
+  RecordLog::OpenStats reopen_stats;
+  log.reset();
+  const std::vector<std::string> records = scan(path, reopen_stats);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "fits");
+  EXPECT_EQ(records[1], "tiny");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lptsp

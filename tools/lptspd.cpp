@@ -8,22 +8,38 @@
 /// Usage:
 ///   lptspd [--bind=127.0.0.1] [--port=4780]
 ///          [--deadline-ms=250] [--cache-capacity=4096] [--no-cache]
+///          [--cache-file=PATH | --state-dir=DIR] [--cache-sync]
 ///          [--request-workers=0] [--engine-workers=0]
 ///          [--max-pending=256] [--max-connections=64]
 ///          [--max-inflight=64] [--seed=1] [--stats-every=10]
 ///
 /// Worker counts of 0 mean hardware concurrency. --max-pending is the
 /// service-wide admission bound (RejectedOverload beyond it); 0 disables
-/// it. --stats-every=N prints counters every N seconds (0 = quiet).
-/// SIGINT/SIGTERM shut down cleanly.
+/// it. --cache-capacity bounds EACH of the two cache namespaces (solve
+/// results and reductions) separately, so peak residency is up to twice
+/// the flag's value. --stats-every=N prints counters every N seconds
+/// (0 = quiet). SIGINT/SIGTERM shut down cleanly.
+///
+/// Persistence: --cache-file points at the durable store (created if
+/// absent); --state-dir is the directory flavor (uses DIR/lptspd.store,
+/// creating DIR). A restarted daemon reloads, re-verifies, and serves its
+/// previously solved results without re-running an engine, and resumes the
+/// portfolio's engine-choice learning where it stopped. --cache-sync adds
+/// an fsync per persisted result (default: OS page-cache durability).
+
+#include <sys/stat.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <thread>
 
 #include "net/server.hpp"
+#include "store/backend.hpp"
 #include "util/cli.hpp"
 
 using namespace lptsp;
@@ -49,6 +65,19 @@ int main(int argc, char** argv) {
   solver_options.max_pending_requests = static_cast<std::size_t>(args.get_int("max-pending", 256));
   solver_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
+  std::string store_path = args.get("cache-file", "");
+  const std::string state_dir = args.get("state-dir", "");
+  solver_options.store_sync_every_put = args.has("cache-sync");
+  if (store_path.empty() && !state_dir.empty()) {
+    if (::mkdir(state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "lptspd: cannot create --state-dir %s: %s\n", state_dir.c_str(),
+                   std::strerror(errno));
+      return 1;
+    }
+    store_path = state_dir + "/lptspd.store";
+  }
+  solver_options.store_path = store_path;
+
   LabelingServer::Options server_options;
   server_options.bind_address = args.get("bind", "127.0.0.1");
   server_options.port = static_cast<std::uint16_t>(args.get_int("port", 4780));
@@ -66,7 +95,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  BatchSolver solver(solver_options);
+  std::unique_ptr<BatchSolver> solver_holder;
+  try {
+    solver_holder = std::make_unique<BatchSolver>(solver_options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lptspd: %s\n", e.what());
+    return 1;
+  }
+  BatchSolver& solver = *solver_holder;
+  if (!store_path.empty()) {
+    const SolveCache::WarmStats warm = solver.warm_stats();
+    std::printf("lptspd: durable store %s — %llu results loaded, %llu rejected in %.3fs\n",
+                store_path.c_str(), static_cast<unsigned long long>(warm.loaded),
+                static_cast<unsigned long long>(warm.rejected), warm.seconds);
+  }
   LabelingServer server(solver, server_options);
   try {
     server.start();
@@ -94,7 +136,7 @@ int main(int argc, char** argv) {
       const LabelingServer::Counters counters = server.counters();
       const CacheStats cache = solver.cache().stats();
       std::printf("[lptspd] conns=%zu frames=%llu submitted=%llu responses=%llu "
-                  "rejected=%llu+%llu pending=%zu solves=%llu cache-hits=%llu/%llu\n",
+                  "rejected=%llu+%llu pending=%zu solves=%llu cache-hits=%llu/%llu",
                   server.open_connections(),
                   static_cast<unsigned long long>(counters.frames_received),
                   static_cast<unsigned long long>(counters.requests_submitted),
@@ -105,7 +147,21 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(solver.engine_solves()),
                   static_cast<unsigned long long>(cache.result_hits),
                   static_cast<unsigned long long>(cache.result_hits + cache.result_misses));
+      if (solver.store() != nullptr) {
+        const KvStore::Stats store = solver.store()->kv().stats();
+        std::printf(" persisted-hits=%llu store-records=%llu/%llu store-bytes=%llu "
+                    "write-failures=%llu",
+                    static_cast<unsigned long long>(cache.persisted_hits),
+                    static_cast<unsigned long long>(store.live_records),
+                    static_cast<unsigned long long>(store.total_records),
+                    static_cast<unsigned long long>(store.file_bytes),
+                    static_cast<unsigned long long>(solver.store()->write_failures()));
+      }
+      std::printf("\n");
       std::fflush(stdout);
+      // Piggyback a win-table checkpoint on the stats tick so a crash
+      // loses at most one interval of engine-choice learning.
+      solver.checkpoint_win_table();
     }
   }
 
