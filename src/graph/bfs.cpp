@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "kernels/kernels.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -55,36 +56,6 @@ std::vector<int> bfs_distances(const Graph& graph, int src) {
 }
 
 namespace {
-
-/// Try the diameter-<=2 fast path for one source: dist 1 straight off the
-/// adjacency row, dist 2 from a word-wise intersection of the two rows
-/// (early exit on the first common word, so dense rows resolve in one or
-/// two ANDs). Returns false — without touching the unresolved suffix — as
-/// soon as some vertex is at distance >= 3 or unreachable.
-bool try_diameter2_row(const std::uint64_t* bits, int words, int n, int src, int* out) {
-  const std::uint64_t* srow = bits + static_cast<std::size_t>(src) * words;
-  for (int v = 0; v < n; ++v) {
-    if ((srow[v >> 6] >> (v & 63)) & 1u) {
-      out[v] = 1;
-      continue;
-    }
-    if (v == src) {
-      out[v] = 0;
-      continue;
-    }
-    const std::uint64_t* vrow = bits + static_cast<std::size_t>(v) * words;
-    bool meets = false;
-    for (int w = 0; w < words; ++w) {
-      if ((srow[w] & vrow[w]) != 0) {
-        meets = true;
-        break;
-      }
-    }
-    if (!meets) return false;
-    out[v] = 2;
-  }
-  return true;
-}
 
 /// Frontier-bitset BFS writing into out[0..n). The three scratch bitsets
 /// (visited / frontier / next) are caller-provided so all-pairs sweeps
@@ -147,11 +118,15 @@ DistanceMatrix all_pairs_distances(const Graph& graph, unsigned threads) {
   if (n == 0) return matrix;
   const std::uint64_t* bits = graph.adjacency_bits();
   const int words = graph.words_per_row();
+  // Hoist the dispatch table once per sweep: the diameter-<=2 fast path
+  // (word intersection of adjacency rows) is ISA-dispatched — scalar /
+  // AVX2 / AVX-512 per the running CPU and LPTSP_FORCE_ISA.
+  const kernels::KernelTable& kt = kernels::kernels();
   parallel_for(
       static_cast<std::size_t>(n),
       [&](std::size_t src) {
         int* out = matrix.row(static_cast<int>(src));
-        if (try_diameter2_row(bits, words, n, static_cast<int>(src), out)) return;
+        if (kt.diam2_row(bits, words, n, static_cast<int>(src), out)) return;
         // Per-worker scratch: the vector persists across sources handled by
         // the same thread, so the fallback allocates once per thread, not
         // once per source.

@@ -1,0 +1,86 @@
+/// Kernel dispatch resolution: clamp hardware detection to the tiers this
+/// binary carries, apply the LPTSP_FORCE_ISA override, and hand out
+/// per-tier tables for differential tests and per-ISA benchmarks.
+
+#include <atomic>
+
+#include "kernels/kernels.hpp"
+
+namespace lptsp::kernels {
+
+namespace {
+
+const KernelTable* table_if_built(IsaTier tier) noexcept {
+  switch (tier) {
+    case IsaTier::Scalar: return scalar_kernel_table();
+    case IsaTier::Avx2: return avx2_kernel_table();
+    case IsaTier::Avx512: return avx512_kernel_table();
+  }
+  return nullptr;  // unreachable
+}
+
+/// Widest tier <= `ceiling` that is actually compiled into this binary.
+/// (The scalar table is always built, so this never returns nullptr.)
+const KernelTable* widest_built_at_most(IsaTier ceiling) noexcept {
+  for (int t = static_cast<int>(ceiling); t > 0; --t) {
+    const KernelTable* table = table_if_built(static_cast<IsaTier>(t));
+    if (table != nullptr) return table;
+  }
+  return scalar_kernel_table();
+}
+
+/// The active table pointer. Null until first use; resolved lazily so the
+/// env override is honored no matter how early a static initializer pulls
+/// in a kernel, and swappable afterwards for in-process tier comparisons.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* resolve_initial() noexcept {
+  IsaTier ceiling = detected_isa_tier();
+  const std::optional<IsaTier> forced = forced_isa_tier_from_env();
+  if (forced.has_value() && *forced < ceiling) ceiling = *forced;
+  return widest_built_at_most(ceiling);
+}
+
+}  // namespace
+
+IsaTier detected_isa_tier() noexcept {
+  static const IsaTier tier = widest_built_at_most(hw_isa_tier())->tier;
+  return tier;
+}
+
+std::vector<IsaTier> supported_tiers() {
+  std::vector<IsaTier> tiers{IsaTier::Scalar};
+  for (const IsaTier tier : {IsaTier::Avx2, IsaTier::Avx512}) {
+    if (kernel_table_for(tier).tier == tier) tiers.push_back(tier);
+  }
+  return tiers;
+}
+
+const KernelTable& kernel_table_for(IsaTier tier) noexcept {
+  const IsaTier ceiling = detected_isa_tier();
+  return *widest_built_at_most(tier < ceiling ? tier : ceiling);
+}
+
+const KernelTable& kernels() noexcept {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // CAS only the null -> resolved transition: racing first users agree
+    // on the same table, and a concurrent set_isa_tier() that has already
+    // published an explicit choice must not be overwritten by the default
+    // resolution (the CAS failure hands its table back instead).
+    const KernelTable* resolved = resolve_initial();
+    if (g_active.compare_exchange_strong(table, resolved, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      table = resolved;
+    }
+  }
+  return *table;
+}
+
+IsaTier active_isa_tier() noexcept { return kernels().tier; }
+
+void set_isa_tier(IsaTier tier) noexcept {
+  g_active.store(&kernel_table_for(tier), std::memory_order_release);
+}
+
+}  // namespace lptsp::kernels

@@ -1,0 +1,206 @@
+/// AVX2 kernel tier. This translation unit is compiled with -mavx2 (set
+/// per-source in CMakeLists.txt, independent of LPTSP_NATIVE_ARCH); when
+/// the target or compiler cannot do that, the guard below reduces it to a
+/// stub returning nullptr and dispatch treats the tier as absent.
+///
+/// Execution safety: nothing outside this TU calls these functions
+/// directly — they are reachable only through kernel_table_for()/
+/// kernels(), which clamp to the cpuid-detected tier.
+
+#include "kernels/kernels.hpp"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace lptsp::kernels {
+
+namespace {
+
+constexpr std::int16_t kInf16 = std::numeric_limits<std::int16_t>::max() / 2;
+constexpr std::int32_t kInf32 = std::numeric_limits<std::int32_t>::max() / 2;
+
+inline __m256i load256(const void* p) {
+  return _mm256_loadu_si256(static_cast<const __m256i*>(p));
+}
+
+bool diam2_row_avx2(const std::uint64_t* bits, int words, int n, int src, int* out) {
+  const std::uint64_t* srow = bits + static_cast<std::size_t>(src) * words;
+  for (int v = 0; v < n; ++v) {
+    if ((srow[v >> 6] >> (v & 63)) & 1u) {
+      out[v] = 1;
+      continue;
+    }
+    if (v == src) {
+      out[v] = 0;
+      continue;
+    }
+    const std::uint64_t* vrow = bits + static_cast<std::size_t>(v) * words;
+    // Word intersection 4 words (256 adjacency bits) per test; early exit
+    // at vector granularity keeps the dense-graph fast case fast. The
+    // scalar tail avoids reading past the final row of the bit matrix.
+    bool meets = false;
+    int w = 0;
+    for (; w + 4 <= words; w += 4) {
+      if (!_mm256_testz_si256(load256(srow + w), load256(vrow + w))) {
+        meets = true;
+        break;
+      }
+    }
+    if (!meets) {
+      for (; w < words; ++w) {
+        if ((srow[w] & vrow[w]) != 0) {
+          meets = true;
+          break;
+        }
+      }
+    }
+    if (!meets) return false;
+    out[v] = 2;
+  }
+  return true;
+}
+
+inline std::int16_t hmin_epi16(__m128i x) {
+  x = _mm_min_epi16(x, _mm_srli_si128(x, 8));
+  x = _mm_min_epi16(x, _mm_srli_si128(x, 4));
+  x = _mm_min_epi16(x, _mm_srli_si128(x, 2));
+  return static_cast<std::int16_t>(_mm_cvtsi128_si32(x));
+}
+
+inline __m128i load128(const void* p) {
+  return _mm_loadu_si128(static_cast<const __m128i*>(p));
+}
+
+std::int16_t hk_min_i16_avx2(const std::int16_t* dp_rest, const std::int16_t* wrow, int n) {
+  // Accumulators start at kInf, the same identity the scalar loop uses, so
+  // the result is min(kInf, min_j(dp+w)) regardless of how many lanes ran.
+  // dp <= kInf and w < kInf (pre-checked by the DP), so the plain epi16
+  // add cannot wrap. Ragged tails re-read a full vector ending exactly at
+  // element n-1: min-reduction is insensitive to the duplicated elements,
+  // and a whole overlapped block beats a serial scalar tail — at the DP's
+  // real row width (n <= 22) the tail IS most of the row.
+  if (n >= 16) {
+    __m256i best = _mm256_set1_epi16(kInf16);
+    int j = 0;
+    for (; j + 16 <= n; j += 16) {
+      best = _mm256_min_epi16(best, _mm256_add_epi16(load256(dp_rest + j), load256(wrow + j)));
+    }
+    if (j < n) {
+      best = _mm256_min_epi16(
+          best, _mm256_add_epi16(load256(dp_rest + n - 16), load256(wrow + n - 16)));
+    }
+    return hmin_epi16(
+        _mm_min_epi16(_mm256_castsi256_si128(best), _mm256_extracti128_si256(best, 1)));
+  }
+  if (n >= 8) {
+    __m128i best = _mm_min_epi16(_mm_set1_epi16(kInf16),
+                                 _mm_add_epi16(load128(dp_rest), load128(wrow)));
+    if (n > 8) {
+      best = _mm_min_epi16(best,
+                           _mm_add_epi16(load128(dp_rest + n - 8), load128(wrow + n - 8)));
+    }
+    return hmin_epi16(best);
+  }
+  std::int16_t result = kInf16;
+  for (int j = 0; j < n; ++j) {
+    const std::int16_t candidate = static_cast<std::int16_t>(dp_rest[j] + wrow[j]);
+    if (candidate < result) result = candidate;
+  }
+  return result;
+}
+
+inline std::int32_t hmin_epi32(__m128i x) {
+  x = _mm_min_epi32(x, _mm_srli_si128(x, 8));
+  x = _mm_min_epi32(x, _mm_srli_si128(x, 4));
+  return _mm_cvtsi128_si32(x);
+}
+
+std::int32_t hk_min_i32_avx2(const std::int32_t* dp_rest, const std::int32_t* wrow, int n) {
+  if (n >= 8) {
+    __m256i best = _mm256_set1_epi32(kInf32);
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      best = _mm256_min_epi32(best, _mm256_add_epi32(load256(dp_rest + j), load256(wrow + j)));
+    }
+    if (j < n) {
+      best = _mm256_min_epi32(
+          best, _mm256_add_epi32(load256(dp_rest + n - 8), load256(wrow + n - 8)));
+    }
+    return hmin_epi32(
+        _mm_min_epi32(_mm256_castsi256_si128(best), _mm256_extracti128_si256(best, 1)));
+  }
+  if (n >= 4) {
+    __m128i best = _mm_min_epi32(_mm_set1_epi32(kInf32),
+                                 _mm_add_epi32(load128(dp_rest), load128(wrow)));
+    if (n > 4) {
+      best = _mm_min_epi32(best,
+                           _mm_add_epi32(load128(dp_rest + n - 4), load128(wrow + n - 4)));
+    }
+    return hmin_epi32(best);
+  }
+  std::int32_t result = kInf32;
+  for (int j = 0; j < n; ++j) {
+    const std::int32_t candidate = dp_rest[j] + wrow[j];
+    if (candidate < result) result = candidate;
+  }
+  return result;
+}
+
+std::int64_t weight_range_min_avx2(const std::int64_t* w, int count) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  int i = 0;
+  if (count >= 4) {
+    // AVX2 has no epi64 min; build one from the signed compare + a
+    // per-byte blend (the compare mask is lane-uniform, so byte blending
+    // is exact).
+    __m256i vbest = _mm256_set1_epi64x(best);
+    for (; i + 4 <= count; i += 4) {
+      const __m256i cur = load256(w + i);
+      vbest = _mm256_blendv_epi8(vbest, cur, _mm256_cmpgt_epi64(vbest, cur));
+    }
+    alignas(32) std::int64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vbest);
+    for (const std::int64_t lane : lanes) {
+      if (lane < best) best = lane;
+    }
+  }
+  for (; i < count; ++i) {
+    if (w[i] < best) best = w[i];
+  }
+  return best;
+}
+
+int weight_range_count_eq_avx2(const std::int64_t* w, int count, std::int64_t value) {
+  int matches = 0;
+  const __m256i needle = _mm256_set1_epi64x(value);
+  int i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i eq = _mm256_cmpeq_epi64(load256(w + i), needle);
+    matches += __builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(eq))));
+  }
+  for (; i < count; ++i) matches += w[i] == value ? 1 : 0;
+  return matches;
+}
+
+}  // namespace
+
+const KernelTable* avx2_kernel_table() noexcept {
+  static const KernelTable table{IsaTier::Avx2,        diam2_row_avx2,
+                                 hk_min_i16_avx2,      hk_min_i32_avx2,
+                                 weight_range_min_avx2, weight_range_count_eq_avx2};
+  return &table;
+}
+
+}  // namespace lptsp::kernels
+
+#else  // tier not compiled in on this target/compiler
+
+namespace lptsp::kernels {
+const KernelTable* avx2_kernel_table() noexcept { return nullptr; }
+}  // namespace lptsp::kernels
+
+#endif

@@ -1,0 +1,89 @@
+/// Scalar (portable C++) kernel tier — the correctness reference every
+/// wider tier is differentially tested against, and the only tier on
+/// non-x86 targets. Compiled with the project's baseline flags; the loops
+/// are written branch-light so -O3 autovectorization still helps where
+/// the compiler can prove it safe.
+
+#include <limits>
+
+#include "kernels/kernels.hpp"
+
+namespace lptsp::kernels {
+
+namespace {
+
+/// Try the diameter-<=2 fast path for one source: dist 1 straight off the
+/// adjacency row, dist 2 from a word-wise intersection of the two rows
+/// (early exit on the first common word, so dense rows resolve in one or
+/// two ANDs). Returns false — without touching the unresolved suffix — as
+/// soon as some vertex is at distance >= 3 or unreachable.
+bool diam2_row_scalar(const std::uint64_t* bits, int words, int n, int src, int* out) {
+  const std::uint64_t* srow = bits + static_cast<std::size_t>(src) * words;
+  for (int v = 0; v < n; ++v) {
+    if ((srow[v >> 6] >> (v & 63)) & 1u) {
+      out[v] = 1;
+      continue;
+    }
+    if (v == src) {
+      out[v] = 0;
+      continue;
+    }
+    const std::uint64_t* vrow = bits + static_cast<std::size_t>(v) * words;
+    bool meets = false;
+    for (int w = 0; w < words; ++w) {
+      if ((srow[w] & vrow[w]) != 0) {
+        meets = true;
+        break;
+      }
+    }
+    if (!meets) return false;
+    out[v] = 2;
+  }
+  return true;
+}
+
+/// min(kInf, min_j(dp[j] + w[j])): the sum never overflows Cost because
+/// the DP pre-checks worst-case path cost < kInf and dp entries are
+/// <= kInf, so kInf + weight <= 2*kInf <= numeric_limits<Cost>::max().
+template <typename Cost>
+Cost hk_min_scalar(const Cost* dp_rest, const Cost* wrow, int n) {
+  Cost best = std::numeric_limits<Cost>::max() / 2;
+  for (int j = 0; j < n; ++j) {
+    const Cost candidate = static_cast<Cost>(dp_rest[j] + wrow[j]);
+    if (candidate < best) best = candidate;
+  }
+  return best;
+}
+
+std::int16_t hk_min_i16_scalar(const std::int16_t* dp_rest, const std::int16_t* wrow, int n) {
+  return hk_min_scalar<std::int16_t>(dp_rest, wrow, n);
+}
+
+std::int32_t hk_min_i32_scalar(const std::int32_t* dp_rest, const std::int32_t* wrow, int n) {
+  return hk_min_scalar<std::int32_t>(dp_rest, wrow, n);
+}
+
+std::int64_t weight_range_min_scalar(const std::int64_t* w, int count) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < count; ++i) {
+    if (w[i] < best) best = w[i];
+  }
+  return best;
+}
+
+int weight_range_count_eq_scalar(const std::int64_t* w, int count, std::int64_t value) {
+  int matches = 0;
+  for (int i = 0; i < count; ++i) matches += w[i] == value ? 1 : 0;
+  return matches;
+}
+
+}  // namespace
+
+const KernelTable* scalar_kernel_table() noexcept {
+  static const KernelTable table{IsaTier::Scalar,       diam2_row_scalar,
+                                 hk_min_i16_scalar,     hk_min_i32_scalar,
+                                 weight_range_min_scalar, weight_range_count_eq_scalar};
+  return &table;
+}
+
+}  // namespace lptsp::kernels

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/cpu.hpp"
+
+namespace lptsp::kernels {
+
+/// Runtime-dispatched SIMD kernels for the library's dense inner loops.
+///
+/// Each kernel has one scalar implementation (the portable correctness
+/// reference, always built) plus explicit AVX2 / AVX-512 implementations
+/// compiled in their own translation units with the matching -m flags, so
+/// a portable binary still carries every tier and picks one per CPU at
+/// startup. Dispatch is a function-pointer table resolved once on first
+/// use; hot callers hoist `kernels()` (one atomic load) out of their
+/// loops, so steady state costs one predictable indirect call per row /
+/// subset — nothing per element.
+///
+/// Tier selection: hardware detection (util/cpu.hpp) clamped to the tiers
+/// this binary was built with, further clamped by the LPTSP_FORCE_ISA
+/// environment override (scalar|avx2|avx512). Forcing a tier the machine
+/// or binary lacks falls back to the widest available one — the override
+/// can only narrow, never SIGILL.
+
+/// Diameter-<=2 APSP row kernel: the bit-matrix word-intersection fast
+/// path of all_pairs_distances. Writes out[v] in {0,1,2} for all v and
+/// returns true, or returns false as soon as some vertex is at distance
+/// >= 3 / unreachable (the unresolved suffix of out is untouched).
+/// `bits` is the packed adjacency matrix (row v at bits + v*words).
+using Diam2RowFn = bool (*)(const std::uint64_t* bits, int words, int n, int src, int* out);
+
+/// Held-Karp layer min-reduction: min(kInf, min_j(dp_rest[j] + wrow[j]))
+/// over j in [0, n), where kInf is numeric_limits<Cost>::max() / 2 (the
+/// DP's masked-source sentinel; dp entries are <= kInf and weights are
+/// pre-checked so the sum cannot overflow). Both operand rows may be
+/// unaligned; n is the instance size (<= 24 in the DP, arbitrary in
+/// tests/benches).
+using HkMinI16Fn = std::int16_t (*)(const std::int16_t* dp_rest, const std::int16_t* wrow, int n);
+using HkMinI32Fn = std::int32_t (*)(const std::int32_t* dp_rest, const std::int32_t* wrow, int n);
+
+/// Weight-row scan primitives behind the candidate-list build's
+/// cheapest-tier census (tsp/candidates.cpp). Weights are the TSP layer's
+/// int64 Weight. min over an empty range is the +inf identity
+/// (numeric_limits<int64_t>::max()); count_eq over an empty range is 0,
+/// so callers split a row around the diagonal without special-casing the
+/// endpoints.
+using WeightRangeMinFn = std::int64_t (*)(const std::int64_t* w, int count);
+using WeightRangeCountEqFn = int (*)(const std::int64_t* w, int count, std::int64_t value);
+
+struct KernelTable {
+  IsaTier tier = IsaTier::Scalar;
+  Diam2RowFn diam2_row = nullptr;
+  HkMinI16Fn hk_min_i16 = nullptr;
+  HkMinI32Fn hk_min_i32 = nullptr;
+  WeightRangeMinFn weight_range_min = nullptr;
+  WeightRangeCountEqFn weight_range_count_eq = nullptr;
+};
+
+/// The widest tier that is BOTH executable on this CPU and compiled into
+/// this binary (a non-x86 build or a compiler without -mavx2 support
+/// drops the upper tiers at build time).
+IsaTier detected_isa_tier() noexcept;
+
+/// Every tier runnable on this machine, narrowest (Scalar) first. The
+/// enumeration the differential tests and per-ISA benchmarks iterate;
+/// always contains Scalar.
+std::vector<IsaTier> supported_tiers();
+
+/// The tier-specific table, clamped to detected_isa_tier(). This is the
+/// differential-testing and per-ISA-benchmark entry point: it hands out
+/// any supported tier regardless of the active dispatch choice.
+const KernelTable& kernel_table_for(IsaTier tier) noexcept;
+
+/// The active dispatch table. Resolved once on first use:
+/// min(detected_isa_tier(), LPTSP_FORCE_ISA if set). Hot paths hoist the
+/// returned reference out of their loops.
+const KernelTable& kernels() noexcept;
+
+/// The active tier (kernels().tier), for startup/stats lines.
+IsaTier active_isa_tier() noexcept;
+
+/// Re-point dispatch at a specific tier (clamped to detected). Intended
+/// for tests and tools that compare tiers within one process; production
+/// binaries pick a tier once at startup and leave it. Thread-safe (atomic
+/// pointer swap), but callers racing kernel work against a tier switch
+/// get whichever table their hoisted load saw — fine for its users, all
+/// of which switch tiers between solves.
+void set_isa_tier(IsaTier tier) noexcept;
+
+/// Per-ISA table factories, defined in their own -m-flagged translation
+/// units. Return nullptr when the tier was not compiled in (non-x86
+/// target or compiler without the flag); dispatch.cpp treats that as
+/// "tier absent".
+const KernelTable* scalar_kernel_table() noexcept;
+const KernelTable* avx2_kernel_table() noexcept;
+const KernelTable* avx512_kernel_table() noexcept;
+
+}  // namespace lptsp::kernels

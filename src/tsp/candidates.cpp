@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kernels/kernels.hpp"
 #include "util/check.hpp"
 
 namespace lptsp {
@@ -18,6 +19,11 @@ CandidateLists::CandidateLists(const MetricInstance& instance, int k, bool tie_a
   }
   flat_.reserve(static_cast<std::size_t>(n_) * static_cast<std::size_t>(k_));
   complete_ = true;
+  // The cheapest-tier census below is a dense min + count-equal scan of
+  // each weight row; both primitives come from the ISA dispatch table
+  // (scalar / AVX2 / AVX-512), split around the diagonal so the zero
+  // self-weight never wins the min.
+  const kernels::KernelTable& kt = kernels::kernels();
   std::vector<int> others;
   others.reserve(static_cast<std::size_t>(n_) - 1);
   for (int v = 0; v < n_; ++v) {
@@ -32,10 +38,10 @@ CandidateLists::CandidateLists(const MetricInstance& instance, int k, bool tie_a
       // Cheapest-tier census: if more than k partners sit at the minimum
       // weight, keep the whole tier (capped) — cutting inside a tier is
       // an arbitrary vertex-id decision, not a quality one.
-      Weight cheapest = wrow[others.front()];
-      for (const int u : others) cheapest = std::min(cheapest, wrow[u]);
-      int tier = 0;
-      for (const int u : others) tier += wrow[u] == cheapest ? 1 : 0;
+      const Weight cheapest = std::min(kt.weight_range_min(wrow, v),
+                                       kt.weight_range_min(wrow + v + 1, n_ - v - 1));
+      const int tier = kt.weight_range_count_eq(wrow, v, cheapest) +
+                       kt.weight_range_count_eq(wrow + v + 1, n_ - v - 1, cheapest);
       limit = std::min(std::max(k_, std::min(tier, kTieCap)), n_ - 1);
     }
 

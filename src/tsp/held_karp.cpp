@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "kernels/kernels.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
@@ -13,6 +14,16 @@ namespace lptsp {
 namespace {
 
 constexpr std::int32_t kInf32 = std::numeric_limits<std::int32_t>::max() / 2;
+
+/// The ISA-dispatched layer min-reduction for this table width.
+template <typename Cost>
+auto hk_min_kernel(const kernels::KernelTable& kt) {
+  if constexpr (sizeof(Cost) == sizeof(std::int16_t)) {
+    return kt.hk_min_i16;
+  } else {
+    return kt.hk_min_i32;
+  }
+}
 
 /// Serial cancel-poll stride: cheap enough to be unmeasurable, fine enough
 /// that a 250 ms portfolio deadline stops the DP within a few ms.
@@ -80,23 +91,19 @@ HeldKarpRun held_karp_dp(const MetricInstance& instance, const HeldKarpOptions& 
   // The source minimization runs dense over all j instead of iterating the
   // bits of `rest`: dp[rest][j] is kInf for every j outside rest (including
   // i itself), and kInf + any weight still fits in the cost type, so the
-  // masked terms lose the min automatically. That turns the innermost loop
-  // into a branch-free add+min reduction the compiler vectorizes.
+  // masked terms lose the min automatically. That branch-free add+min
+  // reduction is the ISA-dispatched kernel (scalar / AVX2 / AVX-512); it
+  // returns exactly kInf when every source is masked (possible under
+  // fixed_start), since a kInf source plus a non-negative weight can never
+  // win the min against the kInf identity.
+  const auto hk_min = hk_min_kernel<Cost>(kernels::kernels());
   const auto process_subset = [&](std::uint32_t set) {
     for (std::uint32_t ends = set; ends != 0; ends &= ends - 1) {
       const int i = std::countr_zero(ends);
       const std::uint32_t rest = set ^ (1u << i);
       const Cost* wrow = w.data() + static_cast<std::size_t>(i) * n;
       const Cost* dp_rest = dp.data() + cell(rest, 0);
-      // best stays exactly kInf when every source is masked (possible
-      // under fixed_start): a kInf source plus a non-negative weight can
-      // never pass the strict comparison.
-      Cost best = kInf;
-      for (int j = 0; j < n; ++j) {
-        const Cost candidate = static_cast<Cost>(dp_rest[j] + wrow[j]);
-        if (candidate < best) best = candidate;
-      }
-      dp[cell(set, i)] = best;
+      dp[cell(set, i)] = hk_min(dp_rest, wrow, n);
     }
   };
 

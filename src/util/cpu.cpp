@@ -1,0 +1,71 @@
+#include "util/cpu.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lptsp {
+
+namespace {
+
+IsaTier probe_hw_tier() noexcept {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  // __builtin_cpu_supports folds in the XGETBV OS-state check, so "avx2"
+  // is false when the kernel did not enable YMM state even if cpuid
+  // advertises the instruction set. The AVX-512 tier needs all four of
+  // F/BW/DQ/VL: BW for 16-bit masked ops (the int16 Held-Karp table),
+  // DQ/VL for the 64-bit compares the weight-scan kernels use.
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl")) {
+    return IsaTier::Avx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return IsaTier::Avx2;
+  return IsaTier::Scalar;
+#else
+  return IsaTier::Scalar;
+#endif
+}
+
+constexpr char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+IsaTier hw_isa_tier() noexcept {
+  static const IsaTier tier = probe_hw_tier();
+  return tier;
+}
+
+std::optional<IsaTier> parse_isa_tier(std::string_view name) noexcept {
+  for (const IsaTier tier : {IsaTier::Scalar, IsaTier::Avx2, IsaTier::Avx512}) {
+    if (iequals(name, isa_tier_name(tier))) return tier;
+  }
+  return std::nullopt;
+}
+
+std::optional<IsaTier> forced_isa_tier_from_env() noexcept {
+  const char* value = std::getenv("LPTSP_FORCE_ISA");
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  const std::optional<IsaTier> tier = parse_isa_tier(value);
+  if (!tier.has_value()) {
+    // Report once: a typo'd override silently running the wrong tier is
+    // exactly the failure mode the env var exists to prevent.
+    static const bool warned = [value] {
+      std::fprintf(stderr,
+                   "lptsp: ignoring LPTSP_FORCE_ISA=%s (expected scalar|avx2|avx512)\n", value);
+      return true;
+    }();
+    (void)warned;
+  }
+  return tier;
+}
+
+}  // namespace lptsp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace lptsp {
+
+/// Instruction-set tiers the kernel layer ships explicit implementations
+/// for. Ordered: a higher tier strictly extends the capabilities of the
+/// lower ones, so "clamp to what the hardware supports" is a min().
+enum class IsaTier {
+  Scalar = 0,  ///< portable C++; the correctness reference on every platform
+  Avx2 = 1,    ///< x86-64 AVX2 (256-bit integer SIMD)
+  Avx512 = 2,  ///< x86-64 AVX-512 F+BW+DQ+VL (512-bit SIMD + mask registers)
+};
+
+/// Exhaustive enum-to-string; no default case so -Werror=switch turns an
+/// unnamed new tier into a compile error (same contract as engine_name).
+constexpr const char* isa_tier_name(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::Scalar: return "scalar";
+    case IsaTier::Avx2: return "avx2";
+    case IsaTier::Avx512: return "avx512";
+  }
+  return "?";  // unreachable; keeps -Wreturn-type quiet on GCC
+}
+
+/// The widest tier THIS CPU can execute (cpuid-derived on x86, including
+/// the OS-enabled-state checks folded into __builtin_cpu_supports; Scalar
+/// everywhere else). Says nothing about what this binary was built with —
+/// see lptsp::kernels::detected_isa_tier() for hardware AND build support.
+/// Detection runs once; subsequent calls return the cached answer.
+IsaTier hw_isa_tier() noexcept;
+
+/// Parse a tier name ("scalar" | "avx2" | "avx512", ASCII case-insensitive).
+std::optional<IsaTier> parse_isa_tier(std::string_view name) noexcept;
+
+/// The LPTSP_FORCE_ISA environment override, if set and well-formed.
+/// Unset or unparseable values yield nullopt (callers keep auto-detection;
+/// a bad value is reported once on stderr rather than silently ignored).
+std::optional<IsaTier> forced_isa_tier_from_env() noexcept;
+
+}  // namespace lptsp

@@ -4,6 +4,7 @@
 #include "core/order_labeling.hpp"
 #include "core/solvers.hpp"
 #include "graph/generators.hpp"
+#include "kernels/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace lptsp {
@@ -56,6 +57,40 @@ TEST_P(ThreeOracles, Diameter4) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreeOracles, ::testing::Range(0, 8));
+
+/// Property-based ISA cross-check: the full pipeline (Theorem-2 reduce ->
+/// Held-Karp solve -> label) must be bit-for-bit span-identical whether
+/// the kernels run on the forced-scalar tier or whatever wider tier this
+/// machine dispatches natively. 200 seeded random diameter-2 instances
+/// over mixed p-vectors; any tail-masking or overflow bug in a wide
+/// kernel that survives the unit differentials shows up here as a span
+/// disagreement on a concrete reproducible instance.
+TEST(IsaCrossCheck, PipelineSpanIdenticalUnderScalarAndNativeDispatch) {
+  const IsaTier native = kernels::detected_isa_tier();
+  const IsaTier restore = kernels::active_isa_tier();
+  const PVec pvecs[] = {PVec::L21(), PVec({1, 1}), PVec({2, 2}), PVec::Lpq(3, 2)};
+  for (int seed = 0; seed < 200; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 41);
+    const int n = 5 + static_cast<int>(rng.uniform_index(5));  // 5..9
+    const double density = 0.2 + 0.15 * static_cast<double>(rng.uniform_index(3));
+    const Graph graph = random_with_diameter_at_most(n, 2, density, rng);
+    const PVec& p = pvecs[seed % 4];
+    SolveOptions options;
+    options.engine = Engine::HeldKarp;
+
+    kernels::set_isa_tier(IsaTier::Scalar);
+    const SolveResult scalar_result = solve_labeling(graph, p, options);
+    kernels::set_isa_tier(native);
+    const SolveResult native_result = solve_labeling(graph, p, options);
+
+    ASSERT_EQ(scalar_result.span, native_result.span)
+        << "seed=" << seed << " n=" << n << " p=" << p.to_string()
+        << " native=" << isa_tier_name(native);
+    EXPECT_TRUE(is_valid_labeling(graph, p, scalar_result.labeling)) << "seed=" << seed;
+    EXPECT_TRUE(is_valid_labeling(graph, p, native_result.labeling)) << "seed=" << seed;
+  }
+  kernels::set_isa_tier(restore);
+}
 
 TEST(ScalingLaw, LambdaScalesLinearly) {
   // lambda_{c*p} = c * lambda_p (used by Corollary 3's proof).

@@ -1,0 +1,246 @@
+/// Differential tests for the ISA kernel tiers (src/kernels/): every tier
+/// this machine can run — scalar, AVX2, AVX-512 — is exercised against the
+/// scalar reference on the same inputs. Widths deliberately straddle the
+/// vector and word boundaries (1, 63, 64, 65, 127, 129) so a tail-masking
+/// bug in any wider tier shows up as a one-lane disagreement, not a crash.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "kernels/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp {
+namespace {
+
+using kernels::KernelTable;
+
+using kernels::supported_tiers;
+
+constexpr int kAdversarialWidths[] = {1, 63, 64, 65, 127, 129};
+
+TEST(KernelDispatch, TableForClampsToDetected) {
+  EXPECT_EQ(kernels::kernel_table_for(IsaTier::Scalar).tier, IsaTier::Scalar);
+  for (const IsaTier tier : {IsaTier::Avx2, IsaTier::Avx512}) {
+    const KernelTable& table = kernels::kernel_table_for(tier);
+    EXPECT_LE(static_cast<int>(table.tier), static_cast<int>(tier));
+    EXPECT_LE(static_cast<int>(table.tier), static_cast<int>(kernels::detected_isa_tier()));
+    ASSERT_NE(table.diam2_row, nullptr);
+    ASSERT_NE(table.hk_min_i16, nullptr);
+    ASSERT_NE(table.hk_min_i32, nullptr);
+    ASSERT_NE(table.weight_range_min, nullptr);
+    ASSERT_NE(table.weight_range_count_eq, nullptr);
+  }
+}
+
+TEST(KernelDispatch, EnvParsing) {
+  EXPECT_EQ(parse_isa_tier("scalar"), IsaTier::Scalar);
+  EXPECT_EQ(parse_isa_tier("AVX2"), IsaTier::Avx2);
+  EXPECT_EQ(parse_isa_tier("Avx512"), IsaTier::Avx512);
+  EXPECT_FALSE(parse_isa_tier("avx-512").has_value());
+  EXPECT_FALSE(parse_isa_tier("").has_value());
+  EXPECT_FALSE(parse_isa_tier("sse").has_value());
+
+  // Save/restore the real override: under the forced-scalar CI leg this
+  // variable pins the whole test binary, and this test must not drop it.
+  const char* prior = std::getenv("LPTSP_FORCE_ISA");
+  const std::string saved = prior != nullptr ? prior : "";
+  ::setenv("LPTSP_FORCE_ISA", "avx2", 1);
+  EXPECT_EQ(forced_isa_tier_from_env(), IsaTier::Avx2);
+  ::setenv("LPTSP_FORCE_ISA", "nonsense", 1);
+  EXPECT_FALSE(forced_isa_tier_from_env().has_value());
+  ::unsetenv("LPTSP_FORCE_ISA");
+  EXPECT_FALSE(forced_isa_tier_from_env().has_value());
+  if (prior != nullptr) ::setenv("LPTSP_FORCE_ISA", saved.c_str(), 1);
+}
+
+TEST(KernelDispatch, SetIsaTierSwitchesActiveTable) {
+  const IsaTier detected = kernels::detected_isa_tier();
+  // Restore what was ACTIVE, not what was detected: under the
+  // forced-scalar CI leg the two differ, and this test must hand the
+  // rest of the binary back its pinned tier.
+  const IsaTier restore = kernels::active_isa_tier();
+  for (const IsaTier tier : supported_tiers()) {
+    kernels::set_isa_tier(tier);
+    EXPECT_EQ(kernels::active_isa_tier(), tier);
+  }
+  // Requesting wider than detected clamps instead of handing out
+  // unexecutable code.
+  kernels::set_isa_tier(IsaTier::Avx512);
+  EXPECT_LE(static_cast<int>(kernels::active_isa_tier()), static_cast<int>(detected));
+  kernels::set_isa_tier(restore);
+}
+
+/// Run one tier's diam2 kernel against the scalar tier on every source of
+/// `graph`, with sentinel-prefilled outputs so "wrote where it should not
+/// have" is as detectable as "wrote the wrong value".
+void expect_diam2_matches_scalar(const Graph& graph, const KernelTable& table,
+                                 const char* label) {
+  const KernelTable& scalar = kernels::kernel_table_for(IsaTier::Scalar);
+  const int n = graph.n();
+  const int words = graph.words_per_row();
+  constexpr int kSentinel = -7777;
+  std::vector<int> got(static_cast<std::size_t>(n)), want(static_cast<std::size_t>(n));
+  for (int src = 0; src < n; ++src) {
+    std::fill(got.begin(), got.end(), kSentinel);
+    std::fill(want.begin(), want.end(), kSentinel);
+    const bool ok_got = table.diam2_row(graph.adjacency_bits(), words, n, src, got.data());
+    const bool ok_want = scalar.diam2_row(graph.adjacency_bits(), words, n, src, want.data());
+    ASSERT_EQ(ok_got, ok_want) << label << " tier=" << isa_tier_name(table.tier)
+                               << " src=" << src;
+    for (int v = 0; v < n; ++v) {
+      ASSERT_EQ(got[static_cast<std::size_t>(v)], want[static_cast<std::size_t>(v)])
+          << label << " tier=" << isa_tier_name(table.tier) << " src=" << src << " v=" << v;
+    }
+    if (ok_got) {
+      // Success rows are also checked against ground truth, not just
+      // scalar agreement.
+      const auto truth = bfs_distances(graph, src);
+      for (int v = 0; v < n; ++v) {
+        ASSERT_EQ(got[static_cast<std::size_t>(v)], truth[static_cast<std::size_t>(v)])
+            << label << " tier=" << isa_tier_name(table.tier) << " src=" << src << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, Diam2RowDifferentialErdosRenyi) {
+  Rng rng(101);
+  for (const IsaTier tier : supported_tiers()) {
+    const KernelTable& table = kernels::kernel_table_for(tier);
+    for (const int n : kAdversarialWidths) {
+      for (const double p : {0.05, 0.3, 0.8}) {
+        for (int trial = 0; trial < 2; ++trial) {
+          expect_diam2_matches_scalar(erdos_renyi(n, p, rng), table, "erdos-renyi");
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, Diam2RowDifferentialGeneratorFamilies) {
+  Rng rng(103);
+  for (const IsaTier tier : supported_tiers()) {
+    const KernelTable& table = kernels::kernel_table_for(tier);
+    expect_diam2_matches_scalar(star_graph(129), table, "star");
+    expect_diam2_matches_scalar(complete_graph(65), table, "complete");
+    expect_diam2_matches_scalar(complete_bipartite(63, 66), table, "bipartite");
+    expect_diam2_matches_scalar(path_graph(127), table, "path");  // always bails: diam >> 2
+    expect_diam2_matches_scalar(petersen_graph(), table, "petersen");
+    expect_diam2_matches_scalar(Graph(64), table, "edgeless");
+    expect_diam2_matches_scalar(random_with_diameter_at_most(65, 2, 0.1, rng), table, "diam2");
+    expect_diam2_matches_scalar(random_with_diameter_at_most(127, 3, 0.05, rng), table, "diam3");
+  }
+}
+
+/// Random Held-Karp layer rows over the DP's real domain: entries in
+/// [0, kInf] with kInf sentinels sprinkled in (masked sources), plus
+/// all-kInf rows (fully masked, the fixed_start case).
+template <typename Cost, typename Fn>
+void hk_min_differential(Fn kernel_of, std::uint64_t seed) {
+  constexpr Cost kInf = std::numeric_limits<Cost>::max() / 2;
+  const KernelTable& scalar = kernels::kernel_table_for(IsaTier::Scalar);
+  Rng rng(seed);
+  for (const IsaTier tier : supported_tiers()) {
+    const KernelTable& table = kernels::kernel_table_for(tier);
+    const auto kernel = kernel_of(table);
+    const auto reference = kernel_of(scalar);
+    std::vector<int> widths(std::begin(kAdversarialWidths), std::end(kAdversarialWidths));
+    for (int n = 2; n <= 24; ++n) widths.push_back(n);  // every real DP size
+    for (const int n : widths) {
+      std::vector<Cost> dp(static_cast<std::size_t>(n)), w(static_cast<std::size_t>(n));
+      for (int trial = 0; trial < 8; ++trial) {
+        for (int j = 0; j < n; ++j) {
+          const bool masked = rng.uniform_index(4) == 0;
+          dp[static_cast<std::size_t>(j)] =
+              masked ? kInf : static_cast<Cost>(rng.uniform_index(static_cast<std::size_t>(kInf)));
+          w[static_cast<std::size_t>(j)] =
+              static_cast<Cost>(rng.uniform_index(static_cast<std::size_t>(kInf)));
+        }
+        ASSERT_EQ(kernel(dp.data(), w.data(), n), reference(dp.data(), w.data(), n))
+            << "tier=" << isa_tier_name(table.tier) << " n=" << n << " trial=" << trial;
+      }
+      std::fill(dp.begin(), dp.end(), kInf);
+      std::fill(w.begin(), w.end(), static_cast<Cost>(1));
+      ASSERT_EQ(kernel(dp.data(), w.data(), n), kInf)
+          << "all-masked row must reduce to the kInf identity, tier="
+          << isa_tier_name(table.tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelDispatch, HeldKarpMinReduceInt16Differential) {
+  hk_min_differential<std::int16_t>([](const KernelTable& t) { return t.hk_min_i16; }, 211);
+}
+
+TEST(KernelDispatch, HeldKarpMinReduceInt32Differential) {
+  hk_min_differential<std::int32_t>([](const KernelTable& t) { return t.hk_min_i32; }, 223);
+}
+
+TEST(KernelDispatch, WeightRangeDifferential) {
+  const KernelTable& scalar = kernels::kernel_table_for(IsaTier::Scalar);
+  Rng rng(307);
+  for (const IsaTier tier : supported_tiers()) {
+    const KernelTable& table = kernels::kernel_table_for(tier);
+    // Empty range: min is the +inf identity, count is zero — the contract
+    // that lets the candidate build split rows around the diagonal.
+    EXPECT_EQ(table.weight_range_min(nullptr, 0), std::numeric_limits<std::int64_t>::max());
+    EXPECT_EQ(table.weight_range_count_eq(nullptr, 0, 0), 0);
+    std::vector<int> widths(std::begin(kAdversarialWidths), std::end(kAdversarialWidths));
+    for (int n = 2; n <= 9; ++n) widths.push_back(n);  // sub-vector-width ranges
+    for (const int n : widths) {
+      std::vector<std::int64_t> w(static_cast<std::size_t>(n));
+      for (int trial = 0; trial < 8; ++trial) {
+        // Two-valued rows like reduced labeling metrics (heavy ties) in
+        // half the trials; wide-spread values in the rest.
+        const bool two_valued = trial % 2 == 0;
+        for (auto& x : w) {
+          x = two_valued ? static_cast<std::int64_t>(2 + 2 * rng.uniform_index(2))
+                         : static_cast<std::int64_t>(rng.uniform_index(std::size_t{1} << 30));
+        }
+        const std::int64_t want_min = scalar.weight_range_min(w.data(), n);
+        ASSERT_EQ(table.weight_range_min(w.data(), n), want_min)
+            << "tier=" << isa_tier_name(table.tier) << " n=" << n;
+        ASSERT_EQ(table.weight_range_count_eq(w.data(), n, want_min),
+                  scalar.weight_range_count_eq(w.data(), n, want_min))
+            << "tier=" << isa_tier_name(table.tier) << " n=" << n;
+        // A needle that may not appear at all.
+        ASSERT_EQ(table.weight_range_count_eq(w.data(), n, 3),
+                  scalar.weight_range_count_eq(w.data(), n, 3))
+            << "tier=" << isa_tier_name(table.tier) << " n=" << n;
+      }
+    }
+  }
+}
+
+/// End-to-end: APSP through the public entry point must be identical under
+/// every tier (this is what the forced-scalar CI leg checks fleet-wide;
+/// here it runs in-process through set_isa_tier).
+TEST(KernelDispatch, AllPairsDistancesIdenticalAcrossTiers) {
+  Rng rng(401);
+  const IsaTier restore = kernels::active_isa_tier();
+  for (const int n : {63, 64, 65, 129}) {
+    const Graph graph = erdos_renyi(n, 0.15, rng);
+    kernels::set_isa_tier(IsaTier::Scalar);
+    const DistanceMatrix want = all_pairs_distances(graph, 1);
+    for (const IsaTier tier : supported_tiers()) {
+      kernels::set_isa_tier(tier);
+      const DistanceMatrix got = all_pairs_distances(graph, 1);
+      for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+          ASSERT_EQ(got.at(u, v), want.at(u, v))
+              << "tier=" << isa_tier_name(tier) << " n=" << n << " u=" << u << " v=" << v;
+        }
+      }
+    }
+  }
+  kernels::set_isa_tier(restore);
+}
+
+}  // namespace
+}  // namespace lptsp

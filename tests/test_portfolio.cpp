@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <chrono>
 
 #include "core/reduction.hpp"
@@ -98,6 +99,93 @@ TEST(Portfolio, PreferredEngineFallsBackToSizeHeuristic) {
   EnginePortfolio portfolio(pool);
   EXPECT_EQ(portfolio.preferred_engine(10), Engine::HeldKarp);
   EXPECT_EQ(portfolio.preferred_engine(200), Engine::ChainedLK);
+}
+
+/// merge_win_table was only exercised indirectly (through the durable
+/// service restart test); these pin its contract directly. Counter layout:
+/// bucket-major flat vector of kBuckets * kSlots, bucket = bit_width(n),
+/// slots ordered HeldKarp / BranchBound / ChainedLK.
+class WinTableMerge : public ::testing::Test {
+ protected:
+  static std::size_t index_of(int n, int slot) {
+    return static_cast<std::size_t>(std::bit_width(static_cast<unsigned>(n))) *
+               EnginePortfolio::kSlots +
+           static_cast<std::size_t>(slot);
+  }
+
+  static std::vector<std::uint64_t> empty_table() {
+    return std::vector<std::uint64_t>(
+        static_cast<std::size_t>(EnginePortfolio::kBuckets) * EnginePortfolio::kSlots, 0);
+  }
+
+  TaskPool pool_{2};
+  EnginePortfolio portfolio_{pool_};
+};
+
+TEST_F(WinTableMerge, DisjointTablesPreserveEveryCount) {
+  auto first = empty_table();
+  first[index_of(10, 0)] = 7;  // HeldKarp wins at n~10
+  auto second = empty_table();
+  second[index_of(200, 2)] = 3;  // ChainedLK wins at n~200
+  portfolio_.merge_win_table(first);
+  portfolio_.merge_win_table(second);
+  EXPECT_EQ(portfolio_.wins(10, Engine::HeldKarp), 7u);
+  EXPECT_EQ(portfolio_.wins(200, Engine::ChainedLK), 3u);
+  EXPECT_EQ(portfolio_.wins(10, Engine::ChainedLK), 0u);
+  EXPECT_EQ(portfolio_.wins(200, Engine::HeldKarp), 0u);
+  // The merged table reads back exactly the element-wise sum.
+  auto want = empty_table();
+  want[index_of(10, 0)] = 7;
+  want[index_of(200, 2)] = 3;
+  EXPECT_EQ(portfolio_.win_table(), want);
+}
+
+TEST_F(WinTableMerge, OverlappingTablesAddCounts) {
+  auto counts = empty_table();
+  counts[index_of(16, 1)] = 5;  // BranchBound at n~16
+  portfolio_.merge_win_table(counts);
+  counts[index_of(16, 1)] = 11;
+  portfolio_.merge_win_table(counts);
+  EXPECT_EQ(portfolio_.wins(16, Engine::BranchBound), 16u);
+  // Same bucket, different slot stays independent.
+  EXPECT_EQ(portfolio_.wins(16, Engine::HeldKarp), 0u);
+}
+
+TEST_F(WinTableMerge, EmptyTableIsIdentityAndWrongLengthIsIgnored) {
+  auto counts = empty_table();
+  counts[index_of(12, 0)] = 4;
+  portfolio_.merge_win_table(counts);
+  const auto before = portfolio_.win_table();
+
+  portfolio_.merge_win_table(empty_table());  // all-zero: identity
+  EXPECT_EQ(portfolio_.win_table(), before);
+
+  portfolio_.merge_win_table({});  // zero-length: ignored
+  portfolio_.merge_win_table(std::vector<std::uint64_t>(5, 99));        // too short
+  portfolio_.merge_win_table(std::vector<std::uint64_t>(
+      static_cast<std::size_t>(EnginePortfolio::kBuckets) * EnginePortfolio::kSlots + 1,
+      99));  // too long
+  EXPECT_EQ(portfolio_.win_table(), before);
+}
+
+TEST_F(WinTableMerge, MergePreservesLiveRaceCounts) {
+  // Counts recorded by actual races and merged-in persisted counts add up.
+  PortfolioOptions options;
+  options.deadline = std::chrono::milliseconds{0};
+  EnginePortfolio racing(pool_, options);
+  Rng rng(77);
+  const Graph graph = random_with_diameter_at_most(10, 2, 0.3, rng);
+  const MetricInstance instance = reduced_instance(graph, PVec::L21());
+  const PortfolioOutcome outcome = racing.race(instance);
+  const std::uint64_t live = racing.wins(instance.n(), outcome.winner);
+  ASSERT_GE(live, 1u);
+
+  auto persisted = empty_table();
+  persisted[index_of(instance.n(),
+                     outcome.winner == Engine::HeldKarp ? 0
+                     : outcome.winner == Engine::BranchBound ? 1 : 2)] = 9;
+  racing.merge_win_table(persisted);
+  EXPECT_EQ(racing.wins(instance.n(), outcome.winner), live + 9);
 }
 
 TEST(Portfolio, TrivialInstancesAreExactInline) {

@@ -1,0 +1,27 @@
+/// lptsp_cpu — print the CPU feature detection result and the kernel
+/// dispatch decision. CI prints this into the job summary so every run
+/// records which tier its tests and benches actually exercised; operators
+/// use it to sanity-check LPTSP_FORCE_ISA before pointing it at a daemon.
+///
+/// Output (one key=value per line):
+///   hw=<widest tier this CPU can run>
+///   built=<widest tier compiled into this binary and runnable here>
+///   forced=<LPTSP_FORCE_ISA if set and valid, else ->
+///   active=<tier the dispatch table resolved to>
+///
+/// Exits 0 always; the output is informational.
+
+#include <cstdio>
+
+#include "kernels/kernels.hpp"
+#include "util/cpu.hpp"
+
+int main() {
+  using namespace lptsp;
+  const std::optional<IsaTier> forced = forced_isa_tier_from_env();
+  std::printf("hw=%s\n", isa_tier_name(hw_isa_tier()));
+  std::printf("built=%s\n", isa_tier_name(kernels::detected_isa_tier()));
+  std::printf("forced=%s\n", forced.has_value() ? isa_tier_name(*forced) : "-");
+  std::printf("active=%s\n", isa_tier_name(kernels::active_isa_tier()));
+  return 0;
+}

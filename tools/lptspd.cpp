@@ -38,6 +38,7 @@
 #include <memory>
 #include <thread>
 
+#include "kernels/kernels.hpp"
 #include "net/server.hpp"
 #include "store/backend.hpp"
 #include "util/cli.hpp"
@@ -117,11 +118,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("lptspd listening on %s:%u (deadline=%lldms cache=%s workers=%u/%u "
-              "max-pending=%zu)\n",
+              "max-pending=%zu isa=%s/detected=%s)\n",
               server_options.bind_address.c_str(), server.port(),
               static_cast<long long>(solver_options.portfolio.deadline.count()),
               solver_options.use_cache ? "on" : "off", solver_options.request_workers,
-              solver_options.engine_workers, solver_options.max_pending_requests);
+              solver_options.engine_workers, solver_options.max_pending_requests,
+              isa_tier_name(kernels::active_isa_tier()),
+              isa_tier_name(kernels::detected_isa_tier()));
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_signal);
@@ -135,9 +138,9 @@ int main(int argc, char** argv) {
       last_stats = std::chrono::steady_clock::now();
       const LabelingServer::Counters counters = server.counters();
       const CacheStats cache = solver.cache().stats();
-      std::printf("[lptspd] conns=%zu frames=%llu submitted=%llu responses=%llu "
+      std::printf("[lptspd] isa=%s conns=%zu frames=%llu submitted=%llu responses=%llu "
                   "rejected=%llu+%llu pending=%zu solves=%llu cache-hits=%llu/%llu",
-                  server.open_connections(),
+                  isa_tier_name(kernels::active_isa_tier()), server.open_connections(),
                   static_cast<unsigned long long>(counters.frames_received),
                   static_cast<unsigned long long>(counters.requests_submitted),
                   static_cast<unsigned long long>(counters.responses_sent),
