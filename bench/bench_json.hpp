@@ -10,13 +10,17 @@
 ///     "bench": "e9_reduction_parallel",
 ///     "results": [
 ///       {"name": "reduce_diam3", "n": 800, "median_ns": 1.05e7},
-///       {"name": "diam2_apsp_speedup_vs_reference", "n": 512, "ratio": 6.1}
+///       {"name": "diam2_apsp_speedup_vs_reference", "n": 512, "ratio": 6.1},
+///       {"name": "warm_rtt", "n": 256, "p50_ns": 8.1e4, "p90_ns": 1.2e5,
+///        "p99_ns": 3.4e5}
 ///     ]
 ///   }
 ///
 /// `median_ns` entries are wall time per operation (median over the reps
 /// the bench chose); `ratio` entries are dimensionless comparisons
-/// (speedups, hit rates).
+/// (speedups, hit rates); `p50_ns`/`p90_ns`/`p99_ns` entries are a
+/// latency distribution over individual operations (tail behaviour, where
+/// a median hides regressions).
 
 #include <algorithm>
 #include <fstream>
@@ -34,12 +38,31 @@ class BenchJson {
 
   /// One timed case: name, problem size, median wall nanoseconds.
   void record(const std::string& name, long long n, double median_ns) {
-    entries_.push_back({name, n, median_ns, false, 0.0});
+    entries_.push_back({name, n, median_ns, Kind::Median, 0.0, 0.0, 0.0, 0.0});
   }
 
   /// One dimensionless comparison (speedup, ratio, rate).
   void record_ratio(const std::string& name, long long n, double ratio) {
-    entries_.push_back({name, n, 0.0, true, ratio});
+    entries_.push_back({name, n, 0.0, Kind::Ratio, ratio, 0.0, 0.0, 0.0});
+  }
+
+  /// One latency distribution: per-operation percentiles in nanoseconds.
+  void record_latency(const std::string& name, long long n, double p50_ns, double p90_ns,
+                      double p99_ns) {
+    entries_.push_back({name, n, 0.0, Kind::Latency, 0.0, p50_ns, p90_ns, p99_ns});
+  }
+
+  /// record_latency from raw per-operation samples (sorted in place).
+  void record_latency_samples(const std::string& name, long long n,
+                              std::vector<double>& samples_ns) {
+    if (samples_ns.empty()) return;
+    std::sort(samples_ns.begin(), samples_ns.end());
+    const auto at = [&samples_ns](double q) {
+      const std::size_t last = samples_ns.size() - 1;
+      const auto rank = static_cast<std::size_t>(q * static_cast<double>(last) + 0.5);
+      return samples_ns[std::min(rank, last)];
+    };
+    record_latency(name, n, at(0.50), at(0.90), at(0.99));
   }
 
   /// Writes BENCH_<bench>.json in the working directory; returns the path.
@@ -50,10 +73,17 @@ class BenchJson {
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       const Entry& entry = entries_[i];
       out << "    {\"name\": \"" << entry.name << "\", \"n\": " << entry.n;
-      if (entry.is_ratio) {
-        out << ", \"ratio\": " << entry.ratio;
-      } else {
-        out << ", \"median_ns\": " << entry.median_ns;
+      switch (entry.kind) {
+        case Kind::Median:
+          out << ", \"median_ns\": " << entry.median_ns;
+          break;
+        case Kind::Ratio:
+          out << ", \"ratio\": " << entry.ratio;
+          break;
+        case Kind::Latency:
+          out << ", \"p50_ns\": " << entry.p50_ns << ", \"p90_ns\": " << entry.p90_ns
+              << ", \"p99_ns\": " << entry.p99_ns;
+          break;
       }
       out << '}' << (i + 1 < entries_.size() ? "," : "") << '\n';
     }
@@ -62,12 +92,17 @@ class BenchJson {
   }
 
  private:
+  enum class Kind { Median, Ratio, Latency };
+
   struct Entry {
     std::string name;
     long long n;
     double median_ns;
-    bool is_ratio;
+    Kind kind;
     double ratio;
+    double p50_ns;
+    double p90_ns;
+    double p99_ns;
   };
 
   std::string bench_;

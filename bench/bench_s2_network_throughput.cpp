@@ -9,6 +9,7 @@
 /// lane additionally pays encode + TCP loopback + decode per request and
 /// response, pipelined through one connection.
 
+#include <algorithm>
 #include <cstdio>
 #include <future>
 #include <vector>
@@ -107,12 +108,25 @@ int main() {
     json.record("loopback_req_ns_at_90pct", kRequests, seconds * 1e9 / kRequests);
 
     // Warm-cache single-request latency: the wire cost with the solve
-    // amortized away (every request below is a cache hit).
+    // amortized away (every request below is a cache hit). The full
+    // distribution, not just the median — loopback RTT tails expose
+    // event-loop scheduling hiccups a median hides.
     const SolveRequest& warm = requests.front();
-    const double rtt_ns = lptsp::bench::median_ns(21, [&] { (void)client.solve(warm); });
-    std::printf("  warm round-trip latency: %.0f us (solve cached; pure wire + dispatch)\n",
-                rtt_ns / 1000.0);
+    std::vector<double> rtt_samples;
+    rtt_samples.reserve(101);
+    for (int rep = 0; rep < 101; ++rep) {
+      const Timer rtt;
+      (void)client.solve(warm);
+      rtt_samples.push_back(rtt.seconds() * 1e9);
+    }
+    std::vector<double> sorted = rtt_samples;
+    std::sort(sorted.begin(), sorted.end());
+    const double rtt_ns = sorted[sorted.size() / 2];
+    std::printf("  warm round-trip latency: p50=%.0f us p99=%.0f us "
+                "(solve cached; pure wire + dispatch)\n",
+                rtt_ns / 1000.0, sorted[(sorted.size() * 99) / 100] / 1000.0);
     json.record("warm_roundtrip_ns", warm.graph.n(), rtt_ns);
+    json.record_latency_samples("warm_roundtrip_latency", warm.graph.n(), rtt_samples);
 
     client.shutdown();
     server.stop();

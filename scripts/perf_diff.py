@@ -5,7 +5,8 @@ The benches emit flat machine-readable records (see bench/bench_json.hpp):
 
     {"bench": "...", "results": [
         {"name": "...", "n": 123, "median_ns": 1.0e6},
-        {"name": "...", "n": 123, "ratio": 6.1}]}
+        {"name": "...", "n": 123, "ratio": 6.1},
+        {"name": "...", "n": 123, "p50_ns": 8.1e4, "p90_ns": 1.2e5, "p99_ns": 3.4e5}]}
 
 This differ is the missing half of the perf-trajectory loop: CI downloads
 the previous successful run's bench-json artifact, runs the current
@@ -13,7 +14,10 @@ benches, and renders a markdown verdict into the job summary. Entries are
 matched on (bench, name, n). A `median_ns` entry regresses when it got
 slower by more than the noise threshold; a `ratio` entry (speedups, hit
 rates — bigger is better) regresses when it dropped by more than the
-threshold. Shared-runner numbers are noisy, so the default threshold is
+threshold. Latency-distribution entries (p50_ns/p90_ns/p99_ns) are
+expanded into one time record per percentile — "name:p99" — so a tail
+regression is flagged even when the median held, under the same rule.
+Shared-runner numbers are noisy, so the default threshold is
 generous and the exit code stays 0 unless --strict is passed: the summary
 flags trends, it does not gate merges.
 
@@ -61,12 +65,20 @@ def load_records(directory):
                 n = int(entry.get("n", 0))
             except (TypeError, ValueError):
                 n = 0
-            key = (bench, str(entry.get("name", "?")), n)
+            name = str(entry.get("name", "?"))
+            key = (bench, name, n)
             try:
                 if "median_ns" in entry:
                     records[key] = ("median_ns", float(entry["median_ns"]))
                 elif "ratio" in entry:
                     records[key] = ("ratio", float(entry["ratio"]))
+                elif "p50_ns" in entry:
+                    # Latency distributions fan out into one time record per
+                    # percentile so each tail diffs independently.
+                    for field in ("p50_ns", "p90_ns", "p99_ns"):
+                        if field in entry:
+                            records[(bench, f"{name}:{field[:-3]}", n)] = \
+                                ("median_ns", float(entry[field]))
             except (TypeError, ValueError):
                 print(f"warning: {path}: non-numeric value for {key}", file=sys.stderr)
     return records

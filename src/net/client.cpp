@@ -102,6 +102,40 @@ SolveResponse LabelingClient::solve(const SolveRequest& request) {
   return wait(request.id);
 }
 
+std::string LabelingClient::stats(StatsFormat format) {
+  if (!connected()) transport_error("not connected");
+  std::vector<std::uint8_t> frame;
+  encode_stats_request(frame, format);
+  write_all(frame.data(), frame.size());
+  while (true) {
+    WireMessage message = read_message();
+    switch (message.type) {
+      case MessageType::StatsReply:
+        return std::move(message.stats_payload);
+      case MessageType::Response:
+        // A pipelined solve finishing ahead of the scrape; keep it for
+        // next()/wait().
+        buffered_.push_back(std::move(message.response));
+        continue;
+      case MessageType::Error: {
+        const std::string detail = message.error_message;
+        const WireFault fault = message.error_fault;
+        close();
+        transport_error(std::string("server refused stats: ") + wire_fault_name(fault) + ": " +
+                        detail);
+      }
+      case MessageType::Hello:
+      case MessageType::HelloAck:
+      case MessageType::Request:
+      case MessageType::Shutdown:
+      case MessageType::StatsRequest:
+        close();
+        transport_error(std::string("unexpected ") + message_type_name(message.type) +
+                        " frame from server");
+    }
+  }
+}
+
 void LabelingClient::shutdown() {
   if (!connected()) return;
   std::vector<std::uint8_t> frame;
@@ -179,6 +213,8 @@ SolveResponse LabelingClient::read_response() {
       case MessageType::HelloAck:
       case MessageType::Request:
       case MessageType::Shutdown:
+      case MessageType::StatsRequest:
+      case MessageType::StatsReply:
         close();
         transport_error(std::string("unexpected ") + message_type_name(message.type) +
                         " frame from server");

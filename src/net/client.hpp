@@ -48,6 +48,12 @@ class LabelingClient {
   /// submit + wait in one call.
   SolveResponse solve(const SolveRequest& request);
 
+  /// Scrape the server's metrics snapshot (v2+ servers), rendered in
+  /// `format`. Responses to still-pipelined requests that arrive first are
+  /// buffered for later next()/wait() calls. Throws on transport faults
+  /// and on servers that refuse stats frames.
+  std::string stats(StatsFormat format = StatsFormat::Json);
+
   /// Send a Shutdown frame (server flushes pending responses, then closes)
   /// and close this side. Safe to call with responses still unread —
   /// they are discarded.

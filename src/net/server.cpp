@@ -51,6 +51,9 @@ struct LabelingServer::Connection {
   std::vector<std::uint8_t> out;  ///< encoded frames awaiting write
   std::size_t out_offset = 0;
   std::size_t inflight = 0;       ///< submitted to the solver, not yet answered
+  /// Protocol version this connection negotiated at Hello. Stats frames
+  /// are refused below kStatsMinVersion.
+  std::uint16_t version = kWireVersion;
   bool handshaken = false;
   bool draining = false;  ///< client sent Shutdown: close once quiet
   bool closing = false;   ///< protocol fault: close once the Error frame flushes
@@ -80,9 +83,48 @@ struct LabelingServer::LoopState {
 };
 
 LabelingServer::LabelingServer(BatchSolver& solver, const Options& options)
-    : solver_(solver), options_(options) {}
+    : solver_(solver), options_(options) {
+  register_metrics();
+}
 
-LabelingServer::~LabelingServer() { stop(); }
+LabelingServer::~LabelingServer() {
+  stop();
+  // The net_* metrics point into this object; a snapshot taken after the
+  // server is gone must not read freed storage.
+  solver_.metrics_registry().deregister(this);
+}
+
+void LabelingServer::register_metrics() {
+  obs::MetricRegistry& registry = solver_.metrics_registry();
+  registry.register_counter("net_connections_accepted", &connections_accepted_, this);
+  registry.register_counter("net_connections_refused", &connections_refused_, this);
+  registry.register_counter("net_frames_received", &frames_received_, this);
+  registry.register_counter("net_requests_submitted", &requests_submitted_, this);
+  registry.register_counter("net_responses_sent", &responses_sent_, this);
+  registry.register_counter("net_rejected_inflight", &rejected_inflight_, this);
+  registry.register_counter("net_rejected_backlog", &rejected_backlog_, this);
+  registry.register_counter("net_protocol_errors", &protocol_errors_, this);
+  registry.register_counter("net_bytes_in", &bytes_in_, this);
+  registry.register_counter("net_bytes_out", &bytes_out_, this);
+  registry.register_counter("net_stats_requests", &stats_requests_, this);
+  registry.register_gauge(
+      "net_open_connections", [this] { return static_cast<std::int64_t>(open_connections()); },
+      this);
+  // One counter per fault kind, named from the enum (None excluded: a
+  // clean decode is not an error to count).
+  static_assert(static_cast<std::size_t>(WireFault::Malformed) + 1 ==
+                    std::tuple_size<decltype(wire_faults_)>::value,
+                "wire_faults_ must cover every WireFault");
+  for (std::size_t fault = 1; fault < wire_faults_.size(); ++fault) {
+    std::string name = std::string("net_wire_fault_") +
+                       wire_fault_name(static_cast<WireFault>(fault));
+    // "bad-magic" -> "bad_magic": metric names must stay Prometheus-legal.
+    for (char& c : name) {
+      if (c == '-') c = '_';
+    }
+    registry.register_counter(std::move(name), &wire_faults_[fault], this);
+  }
+}
 
 void LabelingServer::start() {
   LPTSP_REQUIRE(!running_.load(), "server already running");
@@ -154,14 +196,17 @@ void LabelingServer::stop() {
 
 LabelingServer::Counters LabelingServer::counters() const {
   Counters counters;
-  counters.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
-  counters.connections_refused = connections_refused_.load(std::memory_order_relaxed);
-  counters.frames_received = frames_received_.load(std::memory_order_relaxed);
-  counters.requests_submitted = requests_submitted_.load(std::memory_order_relaxed);
-  counters.responses_sent = responses_sent_.load(std::memory_order_relaxed);
-  counters.rejected_inflight = rejected_inflight_.load(std::memory_order_relaxed);
-  counters.rejected_backlog = rejected_backlog_.load(std::memory_order_relaxed);
-  counters.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  counters.connections_accepted = connections_accepted_.value();
+  counters.connections_refused = connections_refused_.value();
+  counters.frames_received = frames_received_.value();
+  counters.requests_submitted = requests_submitted_.value();
+  counters.responses_sent = responses_sent_.value();
+  counters.rejected_inflight = rejected_inflight_.value();
+  counters.rejected_backlog = rejected_backlog_.value();
+  counters.protocol_errors = protocol_errors_.value();
+  counters.bytes_in = bytes_in_.value();
+  counters.bytes_out = bytes_out_.value();
+  counters.stats_requests = stats_requests_.value();
   return counters;
 }
 
@@ -248,14 +293,14 @@ void LabelingServer::accept_new_connections() {
       // still-readable listener would spin the poll loop. Back off for a
       // few cycles and retry once other connections have released fds.
       loop_->accept_backoff = 8;
-      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      connections_refused_.add();
       return;
     }
     if (loop_->connections.size() >= static_cast<std::size_t>(options_.max_connections)) {
       // Refusal IS the admission response at this level; accepting and
       // buffering would be the unbounded growth we are here to prevent.
       ::close(fd);
-      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      connections_refused_.add();
       continue;
     }
     set_nonblocking(fd);
@@ -265,7 +310,7 @@ void LabelingServer::accept_new_connections() {
     connection.id = id;
     connection.fd = fd;
     loop_->connections.emplace(id, std::move(connection));
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_.add();
     open_connections_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -282,7 +327,7 @@ void LabelingServer::drain_completions() {
     Connection& connection = it->second;
     if (connection.inflight > 0) --connection.inflight;
     encode_response(connection.out, response);
-    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    responses_sent_.add();
     flush_writes(connection);
   }
 }
@@ -292,6 +337,7 @@ void LabelingServer::handle_readable(Connection& connection) {
   while (true) {
     const ssize_t got = ::read(connection.fd, buffer, sizeof(buffer));
     if (got > 0) {
+      bytes_in_.add(static_cast<std::uint64_t>(got));
       connection.reader.feed(buffer, static_cast<std::size_t>(got));
       if (got < static_cast<ssize_t>(sizeof(buffer))) break;
       continue;
@@ -312,13 +358,11 @@ void LabelingServer::handle_readable(Connection& connection) {
 
   DecodeResult result;
   while (!connection.closing && connection.reader.next(result)) {
-    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    frames_received_.add();
     if (!result.ok()) {
       // Typed refusal, never a crash: tell the client what was wrong with
       // its bytes, then close — the stream's framing is untrustworthy.
-      encode_error(connection.out, 0, result.fault, result.detail);
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      connection.closing = true;
+      send_fault(connection, result.fault, result.detail);
       break;
     }
     handle_frame(connection, std::move(result.message));
@@ -326,22 +370,36 @@ void LabelingServer::handle_readable(Connection& connection) {
   flush_writes(connection);
 }
 
+void LabelingServer::send_fault(Connection& connection, WireFault fault,
+                                const std::string& detail) {
+  encode_error(connection.out, 0, fault, detail);
+  protocol_errors_.add();
+  const auto index = static_cast<std::size_t>(fault);
+  if (index > 0 && index < wire_faults_.size()) wire_faults_[index].add();
+  connection.closing = true;
+}
+
 void LabelingServer::handle_frame(Connection& connection, WireMessage&& message) {
   if (!connection.handshaken) {
     if (message.type != MessageType::Hello) {
-      encode_error(connection.out, 0, WireFault::Malformed,
-                   std::string("expected hello, got ") + message_type_name(message.type));
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      connection.closing = true;
+      send_fault(connection, WireFault::Malformed,
+                 std::string("expected hello, got ") + message_type_name(message.type));
       return;
     }
     connection.handshaken = true;
-    encode_hello_ack(connection.out);
+    // Negotiate downward: remember the client's version and ack with it,
+    // so a v1 client sees the v1 handshake it expects. decode_handshake
+    // already bounded it to [kWireMinVersion, kWireVersion].
+    connection.version = message.version;
+    encode_hello_ack(connection.out, connection.version);
     return;
   }
   switch (message.type) {
     case MessageType::Request:
       handle_request(connection, std::move(message.request));
+      return;
+    case MessageType::StatsRequest:
+      handle_stats_request(connection, message.stats_format);
       return;
     case MessageType::Shutdown:
       connection.draining = true;
@@ -350,24 +408,44 @@ void LabelingServer::handle_frame(Connection& connection, WireMessage&& message)
     case MessageType::HelloAck:
     case MessageType::Response:
     case MessageType::Error:
-      encode_error(connection.out, 0, WireFault::Malformed,
-                   std::string("unexpected ") + message_type_name(message.type) +
-                       " frame from client");
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      connection.closing = true;
+    case MessageType::StatsReply:
+      send_fault(connection, WireFault::Malformed,
+                 std::string("unexpected ") + message_type_name(message.type) +
+                     " frame from client");
       return;
   }
 }
 
+void LabelingServer::handle_stats_request(Connection& connection, StatsFormat format) {
+  if (connection.version < kStatsMinVersion) {
+    // The client negotiated v1 and then sent a v2 frame — a protocol
+    // violation, not a soft failure.
+    send_fault(connection, WireFault::Malformed,
+               "stats frames require protocol version 2 (connection negotiated v1)");
+    return;
+  }
+  stats_requests_.add();
+  std::string payload;
+  switch (format) {
+    case StatsFormat::Json: payload = solver_.metrics_registry().snapshot().to_json(); break;
+    case StatsFormat::Prometheus:
+      payload = solver_.metrics_registry().snapshot().to_prometheus();
+      break;
+    case StatsFormat::Text: payload = solver_.metrics_registry().snapshot().to_text(); break;
+    case StatsFormat::Traces: payload = solver_.traces().dump_json(); break;
+  }
+  encode_stats_reply(connection.out, format, payload);
+}
+
 void LabelingServer::handle_request(Connection& connection, SolveRequest&& request) {
-  const auto reject = [&](const char* detail, std::atomic<std::uint64_t>& counter) {
+  const auto reject = [&](const char* detail, obs::Counter& counter) {
     SolveResponse response;
     response.id = request.id;
     response.status = SolveStatus::RejectedOverload;
     response.message = detail;
     encode_response(connection.out, response);
-    counter.fetch_add(1, std::memory_order_relaxed);
-    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    counter.add();
+    responses_sent_.add();
   };
   if (connection.inflight >= options_.max_inflight_per_connection) {
     reject("connection in-flight request limit reached, drain responses first",
@@ -379,7 +457,7 @@ void LabelingServer::handle_request(Connection& connection, SolveRequest&& reque
     return;
   }
   ++connection.inflight;
-  requests_submitted_.fetch_add(1, std::memory_order_relaxed);
+  requests_submitted_.add();
   // The callback runs on a solver worker: it must only touch the shared
   // completion queue, never connection state (the event loop owns that).
   // The request is moved, not copied — the decoded graph already exists.
@@ -402,6 +480,7 @@ void LabelingServer::flush_writes(Connection& connection) {
         ::send(connection.fd, connection.out.data() + connection.out_offset,
                connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
     if (wrote > 0) {
+      bytes_out_.add(static_cast<std::uint64_t>(wrote));
       connection.out_offset += static_cast<std::size_t>(wrote);
       continue;
     }

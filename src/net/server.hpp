@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -7,6 +8,7 @@
 #include <thread>
 
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
 #include "service/batch_solver.hpp"
 
 namespace lptsp {
@@ -47,7 +49,9 @@ class LabelingServer {
   };
 
   /// Monotonic observability counters (queue depth lives on the solver:
-  /// BatchSolver::pending_requests / rejected_overload).
+  /// BatchSolver::pending_requests / rejected_overload). The same values
+  /// are published as net_* metrics in the solver's registry; this struct
+  /// remains the in-process accessor.
   struct Counters {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_refused = 0;  ///< over max_connections
@@ -57,6 +61,9 @@ class LabelingServer {
     std::uint64_t rejected_inflight = 0;    ///< per-connection in-flight cap
     std::uint64_t rejected_backlog = 0;     ///< per-connection output-bytes cap
     std::uint64_t protocol_errors = 0;      ///< Error frames sent
+    std::uint64_t bytes_in = 0;             ///< raw socket bytes read
+    std::uint64_t bytes_out = 0;            ///< raw socket bytes written
+    std::uint64_t stats_requests = 0;       ///< StatsRequest frames served
   };
 
   /// The solver must outlive the server.
@@ -99,8 +106,15 @@ class LabelingServer {
   void handle_readable(Connection& connection);
   void handle_frame(Connection& connection, WireMessage&& message);
   void handle_request(Connection& connection, SolveRequest&& request);
+  void handle_stats_request(Connection& connection, StatsFormat format);
+  /// Encode an Error frame, bump protocol_errors_ + the per-fault counter,
+  /// and mark the connection closing.
+  void send_fault(Connection& connection, WireFault fault, const std::string& detail);
   void flush_writes(Connection& connection);
   void close_connection(std::uint64_t connection_id);
+  /// Publish net_* counters and the open-connections gauge into the
+  /// solver's registry (constructor; the destructor deregisters).
+  void register_metrics();
 
   BatchSolver& solver_;
   Options options_;
@@ -122,14 +136,22 @@ class LabelingServer {
   std::unique_ptr<LoopState> loop_;
 
   std::atomic<std::size_t> open_connections_{0};
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> connections_refused_{0};
-  std::atomic<std::uint64_t> frames_received_{0};
-  std::atomic<std::uint64_t> requests_submitted_{0};
-  std::atomic<std::uint64_t> responses_sent_{0};
-  std::atomic<std::uint64_t> rejected_inflight_{0};
-  std::atomic<std::uint64_t> rejected_backlog_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
+  // obs::Counter storage backs both counters() and the registry's net_*
+  // metrics — one set of numbers, two consumers.
+  obs::Counter connections_accepted_;
+  obs::Counter connections_refused_;
+  obs::Counter frames_received_;
+  obs::Counter requests_submitted_;
+  obs::Counter responses_sent_;
+  obs::Counter rejected_inflight_;
+  obs::Counter rejected_backlog_;
+  obs::Counter protocol_errors_;
+  obs::Counter bytes_in_;
+  obs::Counter bytes_out_;
+  obs::Counter stats_requests_;
+  /// Error frames sent, by WireFault (index = fault value; the None slot
+  /// is never incremented but keeps indexing trivial).
+  std::array<obs::Counter, 7> wire_faults_;
 };
 
 }  // namespace lptsp

@@ -117,7 +117,10 @@ DecodeResult decode_handshake(Cursor& cursor, MessageType type) {
   const std::uint16_t version = cursor.u16();
   if (!cursor.ok) return fail(WireFault::Truncated, "handshake body too short");
   if (magic != kWireMagic) return fail(WireFault::BadMagic, "handshake magic mismatch");
-  if (version != kWireVersion) {
+  // Accept the whole negotiable range, not just the current version: a v1
+  // peer's Hello (and the v1 HelloAck the server answers it with) must
+  // keep decoding after the version bump that added stats frames.
+  if (version < kWireMinVersion || version > kWireVersion) {
     return fail(WireFault::BadVersion,
                 "protocol version " + std::to_string(version) + " not supported");
   }
@@ -223,6 +226,41 @@ DecodeResult decode_response(Cursor& cursor) {
   return result;
 }
 
+DecodeResult decode_stats_request(Cursor& cursor) {
+  DecodeResult result;
+  result.message.type = MessageType::StatsRequest;
+  const std::uint8_t format = cursor.u8();
+  if (!cursor.ok) return fail(WireFault::Truncated, "stats request too short");
+  if (format < static_cast<std::uint8_t>(StatsFormat::Json) ||
+      format > static_cast<std::uint8_t>(StatsFormat::Traces)) {
+    return fail(WireFault::Malformed,
+                "stats request: unknown format " + std::to_string(format));
+  }
+  if (cursor.remaining() != 0) {
+    return fail(WireFault::Malformed, "stats request: trailing bytes");
+  }
+  result.message.stats_format = static_cast<StatsFormat>(format);
+  return result;
+}
+
+DecodeResult decode_stats_reply(Cursor& cursor) {
+  DecodeResult result;
+  result.message.type = MessageType::StatsReply;
+  const std::uint8_t format = cursor.u8();
+  if (!cursor.ok) return fail(WireFault::Truncated, "stats reply too short");
+  if (format < static_cast<std::uint8_t>(StatsFormat::Json) ||
+      format > static_cast<std::uint8_t>(StatsFormat::Traces)) {
+    return fail(WireFault::Malformed, "stats reply: unknown format " + std::to_string(format));
+  }
+  result.message.stats_format = static_cast<StatsFormat>(format);
+  result.message.stats_payload = cursor.str();
+  if (!cursor.ok) return fail(WireFault::Truncated, "stats reply: truncated payload");
+  if (cursor.remaining() != 0) {
+    return fail(WireFault::Malformed, "stats reply: trailing bytes");
+  }
+  return result;
+}
+
 DecodeResult decode_error(Cursor& cursor) {
   DecodeResult result;
   result.message.type = MessageType::Error;
@@ -243,17 +281,17 @@ DecodeResult decode_error(Cursor& cursor) {
 
 }  // namespace
 
-void encode_hello(std::vector<std::uint8_t>& out) {
+void encode_hello(std::vector<std::uint8_t>& out, std::uint16_t version) {
   const std::size_t slot = open_frame(out, MessageType::Hello);
   put_u32(out, kWireMagic);
-  put_u16(out, kWireVersion);
+  put_u16(out, version);
   close_frame(out, slot);
 }
 
-void encode_hello_ack(std::vector<std::uint8_t>& out) {
+void encode_hello_ack(std::vector<std::uint8_t>& out, std::uint16_t version) {
   const std::size_t slot = open_frame(out, MessageType::HelloAck);
   put_u32(out, kWireMagic);
-  put_u16(out, kWireVersion);
+  put_u16(out, version);
   close_frame(out, slot);
 }
 
@@ -313,13 +351,28 @@ void encode_shutdown(std::vector<std::uint8_t>& out) {
   close_frame(out, slot);
 }
 
+void encode_stats_request(std::vector<std::uint8_t>& out, StatsFormat format) {
+  const std::size_t slot = open_frame(out, MessageType::StatsRequest);
+  put_u8(out, static_cast<std::uint8_t>(format));
+  close_frame(out, slot);
+}
+
+void encode_stats_reply(std::vector<std::uint8_t>& out, StatsFormat format,
+                        const std::string& payload) {
+  const std::size_t slot = open_frame(out, MessageType::StatsReply);
+  put_u8(out, static_cast<std::uint8_t>(format));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  close_frame(out, slot);
+}
+
 DecodeResult decode_payload(const std::uint8_t* data, std::size_t size,
                             const WireLimits& limits) {
   Cursor cursor{data, size};
   const std::uint8_t type_byte = cursor.u8();
   if (!cursor.ok) return fail(WireFault::Truncated, "empty payload");
   if (type_byte < static_cast<std::uint8_t>(MessageType::Hello) ||
-      type_byte > static_cast<std::uint8_t>(MessageType::Shutdown)) {
+      type_byte > static_cast<std::uint8_t>(MessageType::StatsReply)) {
     return fail(WireFault::BadType, "unknown message type " + std::to_string(type_byte));
   }
   const auto type = static_cast<MessageType>(type_byte);
@@ -341,6 +394,10 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t size,
       result.message.type = MessageType::Shutdown;
       return result;
     }
+    case MessageType::StatsRequest:
+      return decode_stats_request(cursor);
+    case MessageType::StatsReply:
+      return decode_stats_reply(cursor);
   }
   return fail(WireFault::BadType, "unreachable");
 }

@@ -26,15 +26,24 @@ namespace lptsp {
 
 /// Bytes "LPTS" when the u32 is written little-endian.
 inline constexpr std::uint32_t kWireMagic = 0x5354504CU;
-inline constexpr std::uint16_t kWireVersion = 1;
+/// Current protocol version. v2 added StatsRequest/StatsReply; every v1
+/// frame is bit-identical in v2, so the handshake negotiates downward: the
+/// server accepts any version in [kWireMinVersion, kWireVersion] and acks
+/// with the client's (lower) version, on which stats frames are refused.
+inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireMinVersion = 1;
+/// First protocol version carrying StatsRequest/StatsReply.
+inline constexpr std::uint16_t kStatsMinVersion = 2;
 
 enum class MessageType : std::uint8_t {
-  Hello = 1,     ///< client -> server: magic + version
-  HelloAck = 2,  ///< server -> client: magic + version accepted
-  Request = 3,   ///< client -> server: one SolveRequest
-  Response = 4,  ///< server -> client: one SolveResponse (typed status)
-  Error = 5,     ///< server -> client: protocol fault, connection closing
-  Shutdown = 6,  ///< client -> server: flush pending responses and close
+  Hello = 1,         ///< client -> server: magic + version
+  HelloAck = 2,      ///< server -> client: magic + negotiated version
+  Request = 3,       ///< client -> server: one SolveRequest
+  Response = 4,      ///< server -> client: one SolveResponse (typed status)
+  Error = 5,         ///< server -> client: protocol fault, connection closing
+  Shutdown = 6,      ///< client -> server: flush pending responses and close
+  StatsRequest = 7,  ///< client -> server (v2+): scrape the metrics snapshot
+  StatsReply = 8,    ///< server -> client (v2+): rendered snapshot text
 };
 
 /// Compile-checked message-type names (no default + -Werror=switch: an
@@ -47,6 +56,27 @@ constexpr const char* message_type_name(MessageType type) noexcept {
     case MessageType::Response: return "response";
     case MessageType::Error: return "error";
     case MessageType::Shutdown: return "shutdown";
+    case MessageType::StatsRequest: return "stats-request";
+    case MessageType::StatsReply: return "stats-reply";
+  }
+  return "unknown";  // out-of-range cast, not a missing enumerator
+}
+
+/// Rendering a StatsRequest asks for; the reply carries the same byte so
+/// a pipelined scraper can match formats without tracking order.
+enum class StatsFormat : std::uint8_t {
+  Json = 1,        ///< flat JSON snapshot (counters/gauges/histograms)
+  Prometheus = 2,  ///< Prometheus text exposition
+  Text = 3,        ///< human-readable aligned table
+  Traces = 4,      ///< slow-trace ring as a JSON array
+};
+
+constexpr const char* stats_format_name(StatsFormat format) noexcept {
+  switch (format) {
+    case StatsFormat::Json: return "json";
+    case StatsFormat::Prometheus: return "prometheus";
+    case StatsFormat::Text: return "text";
+    case StatsFormat::Traces: return "traces";
   }
   return "unknown";  // out-of-range cast, not a missing enumerator
 }
@@ -91,6 +121,8 @@ struct WireMessage {
   std::uint64_t error_id = 0;    ///< Error: offending request id (0 = none)
   WireFault error_fault = WireFault::None;  ///< Error: fault being reported
   std::string error_message;     ///< Error: human-readable detail
+  StatsFormat stats_format = StatsFormat::Json;  ///< StatsRequest / StatsReply
+  std::string stats_payload;     ///< StatsReply: rendered snapshot
 };
 
 /// Outcome of decoding one payload: either a message or a typed fault.
@@ -105,13 +137,19 @@ struct DecodeResult {
 // Encoders append one complete frame (length prefix included) to `out`.
 // Request/Response bodies are bit-exact round-trips: decode(encode(x))
 // reproduces every field the wire carries (the fuzz test asserts this).
-void encode_hello(std::vector<std::uint8_t>& out);
-void encode_hello_ack(std::vector<std::uint8_t>& out);
+// The handshake encoders take the version to claim: clients send
+// kWireVersion, the server acks with whatever it negotiated (so a v1
+// client reads a v1 HelloAck and is none the wiser).
+void encode_hello(std::vector<std::uint8_t>& out, std::uint16_t version = kWireVersion);
+void encode_hello_ack(std::vector<std::uint8_t>& out, std::uint16_t version = kWireVersion);
 void encode_request(std::vector<std::uint8_t>& out, const SolveRequest& request);
 void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& response);
 void encode_error(std::vector<std::uint8_t>& out, std::uint64_t id, WireFault fault,
                   const std::string& message);
 void encode_shutdown(std::vector<std::uint8_t>& out);
+void encode_stats_request(std::vector<std::uint8_t>& out, StatsFormat format);
+void encode_stats_reply(std::vector<std::uint8_t>& out, StatsFormat format,
+                        const std::string& payload);
 
 /// Decode one payload (the bytes after the length prefix). Never throws.
 [[nodiscard]] DecodeResult decode_payload(const std::uint8_t* data, std::size_t size,

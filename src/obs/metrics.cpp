@@ -1,0 +1,333 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace lptsp::obs {
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+// ---------------------------------------------------------------------------
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[static_cast<std::size_t>(b)] += other.counts[static_cast<std::size_t>(b)];
+  }
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the smallest rank r (1-based) with r >= q * count.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count));
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = counts[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const std::uint64_t lo = LatencyHistogram::bucket_floor(b);
+      const std::uint64_t hi = LatencyHistogram::bucket_ceiling(b);
+      const double within =
+          static_cast<double>(rank - cumulative) / static_cast<double>(in_bucket);
+      auto estimate =
+          static_cast<std::uint64_t>(static_cast<double>(lo) +
+                                     within * static_cast<double>(hi - lo));
+      // The observed max is exact; an interpolated estimate past it would
+      // report a latency nothing ever reached.
+      return std::min(estimate, max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Metric names are [a-z0-9_] by convention, but escape defensively: a
+/// malformed name must break a dashboard, not the JSON document.
+void append_json_string(std::string& out, const std::string& value) {
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_u64(std::string& out, std::uint64_t value) { out += std::to_string(value); }
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& hist) {
+  out += "{\"count\":";
+  append_u64(out, hist.count);
+  out += ",\"sum_ns\":";
+  append_u64(out, hist.sum);
+  out += ",\"max_ns\":";
+  append_u64(out, hist.max);
+  out += ",\"p50_ns\":";
+  append_u64(out, hist.quantile(0.50));
+  out += ",\"p90_ns\":";
+  append_u64(out, hist.quantile(0.90));
+  out += ",\"p99_ns\":";
+  append_u64(out, hist.quantile(0.99));
+  out.push_back('}');
+}
+
+int highest_occupied_bucket(const HistogramSnapshot& hist) {
+  for (int b = HistogramSnapshot::kBuckets - 1; b >= 0; --b) {
+    if (hist.counts[static_cast<std::size_t>(b)] != 0) return b;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter_or(const std::string& name, std::uint64_t fallback) const {
+  for (const CounterValue& entry : counters) {
+    if (entry.name == name) return entry.value;
+  }
+  return fallback;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(const std::string& name) const {
+  for (const HistogramValue& entry : histograms) {
+    if (entry.name == name) return &entry.hist;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const CounterValue& entry : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, entry.name);
+    out.push_back(':');
+    append_u64(out, entry.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeValue& entry : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, entry.name);
+    out.push_back(':');
+    out += std::to_string(entry.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramValue& entry : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, entry.name);
+    out.push_back(':');
+    append_histogram_json(out, entry.hist);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const CounterValue& entry : counters) {
+    out += "# TYPE lptsp_" + entry.name + " counter\n";
+    out += "lptsp_" + entry.name + " " + std::to_string(entry.value) + "\n";
+  }
+  for (const GaugeValue& entry : gauges) {
+    out += "# TYPE lptsp_" + entry.name + " gauge\n";
+    out += "lptsp_" + entry.name + " " + std::to_string(entry.value) + "\n";
+  }
+  for (const HistogramValue& entry : histograms) {
+    const std::string name = "lptsp_" + entry.name;
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    const int top = highest_occupied_bucket(entry.hist);
+    for (int b = 0; b <= top; ++b) {
+      cumulative += entry.hist.counts[static_cast<std::size_t>(b)];
+      out += name + "_bucket{le=\"" +
+             std::to_string(LatencyHistogram::bucket_ceiling(b)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(entry.hist.count) + "\n";
+    out += name + "_sum " + std::to_string(entry.hist.sum) + "\n";
+    out += name + "_count " + std::to_string(entry.hist.count) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void append_padded(std::string& out, const std::string& text, std::size_t width) {
+  out += text;
+  for (std::size_t i = text.size(); i < width; ++i) out.push_back(' ');
+}
+
+std::string right_aligned(std::uint64_t value, std::size_t width) {
+  std::string text = std::to_string(value);
+  return text.size() >= width ? text : std::string(width - text.size(), ' ') + text;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_text() const {
+  std::size_t name_width = 8;
+  for (const CounterValue& entry : counters) name_width = std::max(name_width, entry.name.size());
+  for (const GaugeValue& entry : gauges) name_width = std::max(name_width, entry.name.size());
+  for (const HistogramValue& entry : histograms) {
+    name_width = std::max(name_width, entry.name.size());
+  }
+  name_width += 2;
+
+  std::string out;
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const CounterValue& entry : counters) {
+      out += "  ";
+      append_padded(out, entry.name, name_width);
+      out += std::to_string(entry.value) + "\n";
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const GaugeValue& entry : gauges) {
+      out += "  ";
+      append_padded(out, entry.name, name_width);
+      out += std::to_string(entry.value) + "\n";
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms (ns):\n  ";
+    append_padded(out, "", name_width);
+    out += "     count          p50          p90          p99          max\n";
+    for (const HistogramValue& entry : histograms) {
+      out += "  ";
+      append_padded(out, entry.name, name_width);
+      out += right_aligned(entry.hist.count, 10);
+      out += right_aligned(entry.hist.quantile(0.50), 13);
+      out += right_aligned(entry.hist.quantile(0.90), 13);
+      out += right_aligned(entry.hist.quantile(0.99), 13);
+      out += right_aligned(entry.hist.max, 13);
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_logline() const {
+  std::string out;
+  const auto append_kv = [&out](const std::string& key, const std::string& value) {
+    if (!out.empty()) out.push_back(' ');
+    out += key + "=" + value;
+  };
+  for (const CounterValue& entry : counters) append_kv(entry.name, std::to_string(entry.value));
+  for (const GaugeValue& entry : gauges) append_kv(entry.name, std::to_string(entry.value));
+  for (const HistogramValue& entry : histograms) {
+    append_kv(entry.name + "_p50", std::to_string(entry.hist.quantile(0.50)));
+    append_kv(entry.name + "_p99", std::to_string(entry.hist.quantile(0.99)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+void MetricRegistry::require_fresh_name(const std::string& name) const {
+  for (const CounterEntry& entry : counters_) {
+    LPTSP_REQUIRE(entry.name != name, "metric name already registered: " + name);
+  }
+  for (const GaugeEntry& entry : gauges_) {
+    LPTSP_REQUIRE(entry.name != name, "metric name already registered: " + name);
+  }
+  for (const HistogramEntry& entry : histograms_) {
+    LPTSP_REQUIRE(entry.name != name, "metric name already registered: " + name);
+  }
+}
+
+void MetricRegistry::register_counter(std::string name, const Counter* counter,
+                                      const void* owner) {
+  LPTSP_REQUIRE(counter != nullptr, "cannot register a null counter");
+  const std::lock_guard lock(mutex_);
+  require_fresh_name(name);
+  counters_.push_back({std::move(name), counter, owner});
+}
+
+void MetricRegistry::register_gauge(std::string name, std::function<std::int64_t()> read,
+                                    const void* owner) {
+  LPTSP_REQUIRE(read != nullptr, "cannot register a null gauge reader");
+  const std::lock_guard lock(mutex_);
+  require_fresh_name(name);
+  gauges_.push_back({std::move(name), std::move(read), owner});
+}
+
+void MetricRegistry::register_histogram(std::string name, const LatencyHistogram* histogram,
+                                        const void* owner) {
+  LPTSP_REQUIRE(histogram != nullptr, "cannot register a null histogram");
+  const std::lock_guard lock(mutex_);
+  require_fresh_name(name);
+  histograms_.push_back({std::move(name), histogram, owner});
+}
+
+void MetricRegistry::deregister(const void* owner) {
+  const std::lock_guard lock(mutex_);
+  const auto drop = [owner](auto& entries) {
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [owner](const auto& entry) { return entry.owner == owner; }),
+                  entries.end());
+  };
+  drop(counters_);
+  drop(gauges_);
+  drop(histograms_);
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::lock_guard lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const CounterEntry& entry : counters_) {
+    snap.counters.push_back({entry.name, entry.counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const GaugeEntry& entry : gauges_) {
+    snap.gauges.push_back({entry.name, entry.read()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const HistogramEntry& entry : histograms_) {
+    snap.histograms.push_back({entry.name, entry.histogram->snapshot()});
+  }
+  const auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::size_t MetricRegistry::size() const {
+  const std::lock_guard lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace lptsp::obs

@@ -1,0 +1,228 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// Observability core for the serving layer: named counters, gauges, and
+/// log2-bucket latency histograms behind one registry, snapshotted into a
+/// plain struct that serializes to JSON and Prometheus text exposition.
+///
+/// Design rules, in order:
+///   - the record path is header-only, lock-free, and allocation-free:
+///     Counter/Gauge are single relaxed atomics, LatencyHistogram::record
+///     is a handful of relaxed atomic adds — safe from any thread,
+///     including engine workers mid-race;
+///   - the registry never owns metric storage. Components keep their
+///     metrics as ordinary members (so they work with no registry at all)
+///     and register `name -> pointer` entries tagged with an owner token;
+///     deregister(owner) makes shorter-lived publishers (the socket
+///     server) safe against snapshots outliving them;
+///   - snapshot() is the only locking operation, and it only reads.
+namespace lptsp::obs {
+
+/// Monotonic event counter (wraps one relaxed atomic).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depths, residency).
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time copy of a LatencyHistogram: plain integers, mergeable
+/// (element-wise add) and able to estimate quantiles from its buckets.
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> counts{};  ///< counts[b] = samples in bucket b
+  std::uint64_t count = 0;                       ///< total samples
+  std::uint64_t sum = 0;                         ///< sum of all recorded values
+  std::uint64_t max = 0;                         ///< largest recorded value (exact)
+
+  /// Element-wise accumulate `other` into this snapshot. Associative and
+  /// commutative, so shard-local histograms can be combined in any order.
+  void merge(const HistogramSnapshot& other) noexcept;
+
+  /// Estimated value at quantile q in [0, 1] (nearest-rank bucket walk
+  /// with linear interpolation inside the landing bucket). Exact to
+  /// within one log2 bucket; the observed max caps the estimate, so the
+  /// top quantile never reports a value nothing ever reached. 0 when
+  /// empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket log2 histogram for nanosecond latencies. Bucket b holds
+/// values v with bit_width(v) == b, i.e. [2^(b-1), 2^b); bucket 0 holds
+/// exactly 0, the last bucket absorbs everything >= 2^62. record() is
+/// lock-free and allocation-free; snapshot() reads racily (relaxed), which
+/// can momentarily miscount by in-flight records — fine for monitoring,
+/// and quiescent reads (every test) are exact.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
+
+  static constexpr int bucket_of(std::uint64_t value) noexcept {
+    const int width = std::bit_width(value);  // 0 for value == 0
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive lower bound of bucket b (0 for bucket 0).
+  static constexpr std::uint64_t bucket_floor(int b) noexcept {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  /// Inclusive upper bound of bucket b.
+  static constexpr std::uint64_t bucket_ceiling(int b) noexcept {
+    return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t value) noexcept {
+    counts_[static_cast<std::size_t>(bucket_of(value))].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot snap;
+    for (int b = 0; b < kBuckets; ++b) {
+      snap.counts[static_cast<std::size_t>(b)] =
+          counts_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+      snap.count += snap.counts[static_cast<std::size_t>(b)];
+    }
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+    return snap;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Everything the registry knew at one instant, as plain data. Sorted by
+/// name within each kind, so serializations are deterministic.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    HistogramSnapshot hist;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Counter value by name; `fallback` when absent.
+  [[nodiscard]] std::uint64_t counter_or(const std::string& name,
+                                         std::uint64_t fallback = 0) const;
+  /// Histogram by name; nullptr when absent.
+  [[nodiscard]] const HistogramSnapshot* histogram(const std::string& name) const;
+
+  /// Flat JSON object: {"counters":{...},"gauges":{...},"histograms":
+  /// {"name":{"count":..,"sum_ns":..,"max_ns":..,"p50_ns":..,...}}}.
+  [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition (counters, gauges, and cumulative-le
+  /// histogram buckets up to the highest occupied one), names prefixed
+  /// "lptsp_".
+  [[nodiscard]] std::string to_prometheus() const;
+  /// Human-readable aligned table (the lptsp_stats default view).
+  [[nodiscard]] std::string to_text() const;
+  /// Single "key=value ..." line for periodic daemon logging: every
+  /// counter and gauge, plus p50/p99 of every histogram.
+  [[nodiscard]] std::string to_logline() const;
+};
+
+/// Name -> metric-pointer directory. Registration is rare (component
+/// construction) and mutex-guarded; the hot path never touches the
+/// registry at all — components record into their own members and the
+/// registry only reads them at snapshot() time. Owners must deregister
+/// before their metrics' storage dies (or simply outlive the registry, as
+/// everything BatchSolver owns does).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Each register_* throws precondition_error on a duplicate name (any
+  /// kind): silently shadowing a metric would corrupt dashboards.
+  void register_counter(std::string name, const Counter* counter, const void* owner = nullptr);
+  void register_gauge(std::string name, std::function<std::int64_t()> read,
+                      const void* owner = nullptr);
+  void register_histogram(std::string name, const LatencyHistogram* histogram,
+                          const void* owner = nullptr);
+
+  /// Remove every metric registered with `owner` (no-op for unknown ones).
+  void deregister(const void* owner);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Registered metric count (tests).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  void require_fresh_name(const std::string& name) const;  // caller holds mutex_
+
+  struct CounterEntry {
+    std::string name;
+    const Counter* counter;
+    const void* owner;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::function<std::int64_t()> read;
+    const void* owner;
+  };
+  struct HistogramEntry {
+    std::string name;
+    const LatencyHistogram* histogram;
+    const void* owner;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<CounterEntry> counters_;
+  std::vector<GaugeEntry> gauges_;
+  std::vector<HistogramEntry> histograms_;
+};
+
+}  // namespace lptsp::obs

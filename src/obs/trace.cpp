@@ -1,0 +1,68 @@
+#include "obs/trace.hpp"
+
+#include <utility>
+
+namespace lptsp::obs {
+
+void TraceRing::keep(Trace&& trace) {
+  if (config_.capacity == 0 || trace.total_ns < config_.threshold_ns) return;
+  const std::lock_guard lock(mutex_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > config_.capacity) ring_.pop_front();
+}
+
+std::size_t TraceRing::size() const {
+  const std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::vector<Trace> TraceRing::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+namespace {
+
+void append_span_json(std::string& out, const Span& span) {
+  out += "{\"stage\":\"";
+  out += stage_name(span.stage);
+  out += "\"";
+  if (span.detail != nullptr) {
+    out += ",\"detail\":\"";
+    out += span.detail;
+    out += "\"";
+  }
+  out += ",\"start_ns\":" + std::to_string(span.start_ns);
+  out += ",\"duration_ns\":" + std::to_string(span.duration_ns);
+  if (span.winner) out += ",\"winner\":true";
+  if (span.nested) out += ",\"nested\":true";
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string TraceRing::dump_json() const {
+  const std::lock_guard lock(mutex_);
+  std::string out = "[";
+  bool first_trace = true;
+  for (const Trace& trace : ring_) {
+    if (!first_trace) out.push_back(',');
+    first_trace = false;
+    out += "{\"id\":" + std::to_string(trace.request_id);
+    out += ",\"total_ns\":" + std::to_string(trace.total_ns);
+    out += ",\"result\":\"";
+    out += trace.result;
+    out += "\",\"spans\":[";
+    bool first_span = true;
+    for (const Span& span : trace.spans) {
+      if (!first_span) out.push_back(',');
+      first_span = false;
+      append_span_json(out, span);
+    }
+    out += "]}";
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace lptsp::obs

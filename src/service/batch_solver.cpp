@@ -42,30 +42,62 @@ void join_all(std::vector<std::future<void>>& tasks) {
 
 BatchSolver::BatchSolver(const Options& options)
     : options_(options),
+      traces_(obs::TraceRing::Config{
+          options.trace_capacity,
+          static_cast<std::uint64_t>(options.trace_threshold.count()) * 1'000'000}),
       cache_(options.cache),
       engine_pool_(options.engine_workers),
       portfolio_(engine_pool_, options.portfolio),
       request_pool_(options.request_workers) {
-  if (options_.store_path.empty()) return;
-  PersistentBackend::Options store_options;
-  store_options.path = options_.store_path;
-  store_options.sync_every_put = options_.store_sync_every_put;
-  std::string error;
-  backend_ = PersistentBackend::open(store_options, error);
-  LPTSP_REQUIRE(backend_ != nullptr, "cannot open durable store: " + error);
-  // With the cache disabled, results are neither written through nor
-  // served, so skip attaching and the per-record re-verification of a
-  // warm load — the store still carries the win table (engine-choice
-  // learning is independent of result caching).
-  if (options_.use_cache) {
-    cache_.attach_backend(backend_);
-    warm_stats_ = cache_.warm_from_disk();
-  }
-  if (const auto table = backend_->load_win_table()) {
-    if (table->buckets == EnginePortfolio::kBuckets && table->slots == EnginePortfolio::kSlots) {
-      portfolio_.merge_win_table(table->counts);
+  if (!options_.store_path.empty()) {
+    PersistentBackend::Options store_options;
+    store_options.path = options_.store_path;
+    store_options.sync_every_put = options_.store_sync_every_put;
+    std::string error;
+    backend_ = PersistentBackend::open(store_options, error);
+    LPTSP_REQUIRE(backend_ != nullptr, "cannot open durable store: " + error);
+    // With the cache disabled, results are neither written through nor
+    // served, so skip attaching and the per-record re-verification of a
+    // warm load — the store still carries the win table (engine-choice
+    // learning is independent of result caching).
+    if (options_.use_cache) {
+      cache_.attach_backend(backend_);
+      warm_stats_ = cache_.warm_from_disk();
+    }
+    if (const auto table = backend_->load_win_table()) {
+      if (table->buckets == EnginePortfolio::kBuckets && table->slots == EnginePortfolio::kSlots) {
+        portfolio_.merge_win_table(table->counts);
+      }
     }
   }
+  register_metrics();
+}
+
+void BatchSolver::register_metrics() {
+  registry_.register_counter("requests_total", &requests_total_, this);
+  registry_.register_counter("requests_coalesced", &requests_coalesced_, this);
+  registry_.register_counter("engine_solves", &engine_solves_, this);
+  registry_.register_counter("rejected_overload", &rejected_overload_, this);
+  registry_.register_gauge(
+      "pending_requests", [this] { return static_cast<std::int64_t>(pending_requests()); }, this);
+  // Warm-load outcome as gauges: fixed after construction, but gauges keep
+  // them out of rate() queries where a counter would mislead.
+  registry_.register_gauge(
+      "warm_loaded", [this] { return static_cast<std::int64_t>(warm_stats_.loaded); }, this);
+  registry_.register_gauge(
+      "warm_rejected", [this] { return static_cast<std::int64_t>(warm_stats_.rejected); }, this);
+  registry_.register_histogram("request_ns", &request_ns_, this);
+  registry_.register_histogram("queue_wait_ns", &queue_wait_ns_, this);
+  registry_.register_histogram("canonical_ns", &canonical_ns_, this);
+  registry_.register_histogram("cache_lookup_ns", &cache_lookup_ns_, this);
+  registry_.register_histogram("reduction_ns", &reduction_ns_, this);
+  registry_.register_histogram("engine_race_ns", &engine_race_ns_, this);
+  registry_.register_histogram("verify_ns", &verify_ns_, this);
+  registry_.register_histogram("store_put_ns", &store_put_ns_, this);
+  registry_.register_histogram("coalesced_wait_ns", &coalesced_wait_ns_, this);
+  cache_.register_metrics(registry_);
+  portfolio_.register_metrics(registry_);
+  if (backend_ != nullptr) backend_->register_metrics(registry_);
 }
 
 BatchSolver::~BatchSolver() {
@@ -88,11 +120,9 @@ void BatchSolver::checkpoint_win_table() {
   backend_->put_win_table(record);
 }
 
-BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
-                                                           const CanonicalForm& form,
-                                                           const PVec& p,
-                                                           const std::optional<Engine>& engine,
-                                                           std::chrono::milliseconds deadline) {
+BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(
+    const Graph& graph, const CanonicalForm& form, const PVec& p,
+    const std::optional<Engine>& engine, std::chrono::milliseconds deadline, obs::Trace* trace) {
   CanonicalOutcome out;
   if (graph.n() == 0) {
     out.status = SolveStatus::EmptyGraph;
@@ -121,6 +151,7 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
   // quality floor — an unluckier re-race can never degrade the cache.
   std::shared_ptr<const ResultEntry> floor;
   if (cacheable) {
+    const obs::SpanScope span(trace, obs::Stage::CacheLookup);
     if (auto entry = cache_.find_result(rkey)) {
       const bool upgradeable = !entry->optimal && entry->deadline_ms != 0 &&
                                (budget_ms == 0 || budget_ms > entry->deadline_ms);
@@ -134,6 +165,7 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
     }
   }
 
+  obs::SpanScope reduction_span(trace, obs::Stage::Reduction);
   const Graph canon = relabel(graph, form.to_canonical);
   std::shared_ptr<const ReductionEntry> reduction;
   if (cacheable) {
@@ -148,6 +180,7 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
         ReductionEntry{std::move(dist), diameter, connected});
     if (cacheable) cache_.put_reduction(graph_key(form), reduction);
   }
+  reduction_span.finish();
 
   // Classify off the entry's cached connected/diameter fields: a reduction
   // hit must not pay classify_labeling_request's O(n^2) matrix re-scans.
@@ -161,7 +194,7 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
   }
 
   MetricInstance instance = instance_from_distances(reduction->dist, p);
-  engine_solves_.fetch_add(1, std::memory_order_relaxed);
+  engine_solves_.add();
 
   std::shared_ptr<const ResultEntry> entry;
   if (engine.has_value()) {
@@ -170,6 +203,7 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
     SolveOptions solve_options;
     solve_options.engine = *engine;
     solve_options.seed = options_.seed;
+    const obs::SpanScope race_span(trace, obs::Stage::EngineRace, engine_name_cstr(*engine));
     try {
       SolveResult result = solve_labeling_injected(canon, p, instance, reduction->dist,
                                                    solve_options);
@@ -183,7 +217,23 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
   } else {
     const std::optional<std::chrono::milliseconds> race_deadline =
         deadline.count() > 0 ? std::optional(deadline) : std::nullopt;
+    const std::uint64_t race_begin = trace != nullptr ? obs::steady_now_ns() : 0;
     PortfolioOutcome raced = portfolio_.race(instance, race_deadline);
+    if (trace != nullptr) {
+      const std::uint64_t race_start = race_begin - trace->origin_ns;
+      trace->spans.push_back({obs::Stage::EngineRace, nullptr, race_start,
+                              obs::steady_now_ns() - race_begin, false, false});
+      // One nested span per racing engine, synthesized from the attempt
+      // records (the engines themselves run on pool workers and never see
+      // the trace). They overlap their EngineRace parent, hence `nested`.
+      for (const EngineAttempt& attempt : raced.attempts) {
+        trace->spans.push_back({obs::Stage::EngineAttempt, engine_name_cstr(attempt.engine),
+                                race_start,
+                                static_cast<std::uint64_t>(attempt.seconds * 1e9),
+                                raced.solution.cost >= 0 && attempt.engine == raced.winner,
+                                true});
+      }
+    }
     if (raced.solution.cost < 0) {
       if (floor) {
         out.status = SolveStatus::Ok;
@@ -195,9 +245,12 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
       out.message = "no portfolio engine produced a verified solution";
       return out;
     }
+    obs::SpanScope verify_span(trace, obs::Stage::Verify);
     Labeling labeling = labeling_from_order(instance, raced.solution.order);
-    if (labeling.span() != raced.solution.cost ||
-        !is_valid_labeling(canon, reduction->dist, p, labeling)) {
+    const bool verified = labeling.span() == raced.solution.cost &&
+                          is_valid_labeling(canon, reduction->dist, p, labeling);
+    verify_span.finish();
+    if (!verified) {
       if (floor) {
         out.status = SolveStatus::Ok;
         out.entry = std::move(floor);
@@ -226,15 +279,18 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(const Graph& graph,
   // The durable overload writes the entry through to the store (when one
   // is attached) with its canonical graph and p, making the persisted
   // record self-verifying on the next start.
-  if (cacheable) cache_.put_result(rkey, canon, p, std::move(entry));
+  if (cacheable) {
+    const obs::SpanScope span(trace, obs::Stage::StoreWrite);
+    cache_.put_result(rkey, canon, p, std::move(entry));
+  }
   return out;
 }
 
 BatchSolver::CanonicalOutcome BatchSolver::solve_canonical_coalesced(
     const Graph& graph, const CanonicalForm& form, const PVec& p,
-    const std::optional<Engine>& engine, std::chrono::milliseconds deadline) {
+    const std::optional<Engine>& engine, std::chrono::milliseconds deadline, obs::Trace* trace) {
   const bool cacheable = options_.use_cache && form.exact;
-  if (!cacheable) return solve_canonical(graph, form, p, engine, deadline);
+  if (!cacheable) return solve_canonical(graph, form, p, engine, deadline, trace);
 
   // Pinned-engine requests only coalesce with requests pinning the same
   // engine (a portfolio answer is not a substitute for "run Held-Karp"),
@@ -266,6 +322,8 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical_coalesced(
   if (!leader) {
     // The registrant is currently running on some worker and never blocks
     // on this pool, so waiting here cannot deadlock.
+    const obs::SpanScope span(trace, obs::Stage::CoalescedWait);
+    requests_coalesced_.add();
     CanonicalOutcome out = shared.get();
     out.coalesced = true;
     return out;
@@ -273,7 +331,7 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical_coalesced(
 
   CanonicalOutcome out;
   try {
-    out = solve_canonical(graph, form, p, engine, deadline);
+    out = solve_canonical(graph, form, p, engine, deadline, trace);
   } catch (...) {
     promise.set_exception(std::current_exception());
     const std::lock_guard lock(inflight_mutex_);
@@ -314,17 +372,76 @@ SolveResponse BatchSolver::respond(const SolveRequest& request, const CanonicalF
 }
 
 SolveResponse BatchSolver::solve_one(const SolveRequest& request) {
+  return solve_one_timed(request, 0);
+}
+
+SolveResponse BatchSolver::solve_one_timed(const SolveRequest& request,
+                                           std::uint64_t enqueued_ns) {
   const Timer timer;
-  const CanonicalForm form = canonical_form(request.graph, options_.canonical);
-  const CanonicalOutcome outcome =
-      solve_canonical_coalesced(request.graph, form, request.p, request.engine, request.deadline);
-  return respond(request, form, outcome, ResponseSource::Solved, timer.seconds());
+  requests_total_.add();
+  obs::Trace trace;
+  obs::Trace* tp = nullptr;
+  if (options_.metrics) {
+    tp = &trace;
+    trace.request_id = request.id;
+    trace.spans.reserve(8);
+    const std::uint64_t now = obs::steady_now_ns();
+    // The trace origin is the ADMISSION time when the request was queued:
+    // queue wait is part of what the caller experienced, so it belongs in
+    // total_ns (and in the slow-trace threshold).
+    trace.origin_ns = enqueued_ns != 0 && enqueued_ns < now ? enqueued_ns : now;
+    if (trace.origin_ns != now) {
+      trace.spans.push_back({obs::Stage::QueueWait, nullptr, 0, now - trace.origin_ns, false,
+                             false});
+    }
+  }
+  CanonicalForm form;
+  {
+    const obs::SpanScope span(tp, obs::Stage::Canonicalize);
+    form = canonical_form(request.graph, options_.canonical);
+  }
+  const CanonicalOutcome outcome = solve_canonical_coalesced(request.graph, form, request.p,
+                                                             request.engine, request.deadline, tp);
+  SolveResponse response =
+      respond(request, form, outcome, ResponseSource::Solved, timer.seconds());
+  if (tp != nullptr) {
+    finish_trace(std::move(trace), response.status == SolveStatus::Ok
+                                       ? response_source_name_cstr(response.source)
+                                       : status_name_cstr(response.status));
+  }
+  return response;
+}
+
+void BatchSolver::finish_trace(obs::Trace&& trace, const char* result) {
+  trace.total_ns = obs::steady_now_ns() - trace.origin_ns;
+  trace.result = result;
+  request_ns_.record(trace.total_ns);
+  for (const obs::Span& span : trace.spans) {
+    // Exhaustive by -Werror=switch: adding a Stage forces a routing
+    // decision here. Nested engine attempts are routed per-engine by the
+    // portfolio's own histograms, not double-counted here.
+    switch (span.stage) {
+      case obs::Stage::QueueWait: queue_wait_ns_.record(span.duration_ns); break;
+      case obs::Stage::Canonicalize: canonical_ns_.record(span.duration_ns); break;
+      case obs::Stage::CacheLookup: cache_lookup_ns_.record(span.duration_ns); break;
+      case obs::Stage::Reduction: reduction_ns_.record(span.duration_ns); break;
+      case obs::Stage::EngineRace: engine_race_ns_.record(span.duration_ns); break;
+      case obs::Stage::EngineAttempt: break;
+      case obs::Stage::Verify: verify_ns_.record(span.duration_ns); break;
+      case obs::Stage::StoreWrite: store_put_ns_.record(span.duration_ns); break;
+      case obs::Stage::CoalescedWait: coalesced_wait_ns_.record(span.duration_ns); break;
+    }
+  }
+  traces_.keep(std::move(trace));
 }
 
 bool BatchSolver::admit() {
   if (options_.max_pending_requests != 0 &&
       request_pool_.pending() >= options_.max_pending_requests) {
-    rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+    // Rejected submissions still count toward requests_total (they got a
+    // response), so rejected/total is a meaningful rejection ratio.
+    requests_total_.add();
+    rejected_overload_.add();
     return false;
   }
   return true;
@@ -348,8 +465,10 @@ std::future<SolveResponse> BatchSolver::submit(SolveRequest request) {
     rejected.set_value(overload_response(request));
     return rejected.get_future();
   }
-  return request_pool_.submit(
-      [this, request = std::move(request)]() -> SolveResponse { return solve_one(request); });
+  const std::uint64_t enqueued_ns = options_.metrics ? obs::steady_now_ns() : 0;
+  return request_pool_.submit([this, request = std::move(request), enqueued_ns]() -> SolveResponse {
+    return solve_one_timed(request, enqueued_ns);
+  });
 }
 
 void BatchSolver::submit_async(SolveRequest request, std::function<void(SolveResponse)> done) {
@@ -357,13 +476,14 @@ void BatchSolver::submit_async(SolveRequest request, std::function<void(SolveRes
     done(overload_response(request));
     return;
   }
-  request_pool_.submit([this, request = std::move(request), done = std::move(done)] {
+  const std::uint64_t enqueued_ns = options_.metrics ? obs::steady_now_ns() : 0;
+  request_pool_.submit([this, request = std::move(request), done = std::move(done), enqueued_ns] {
     // The callback must fire exactly once even if the pipeline throws —
     // an event-loop front-end that never hears back would leak an
     // in-flight slot forever.
     SolveResponse response;
     try {
-      response = solve_one(request);
+      response = solve_one_timed(request, enqueued_ns);
     } catch (const std::exception& e) {
       response.id = request.id;
       response.status = SolveStatus::EngineFailure;
@@ -377,6 +497,7 @@ std::vector<SolveResponse> BatchSolver::solve_batch(const std::vector<SolveReque
   const std::size_t count = requests.size();
   std::vector<SolveResponse> responses(count);
   if (count == 0) return responses;
+  requests_total_.add(count);
 
   // Stage 1: canonicalize every request in parallel — this is the
   // order-insensitive identity the dedupe below groups on.
@@ -429,10 +550,27 @@ std::vector<SolveResponse> BatchSolver::solve_batch(const std::vector<SolveReque
   std::vector<std::future<void>> solve_tasks;
   solve_tasks.reserve(groups.size());
   for (const std::size_t g : schedule) {
-    solve_tasks.push_back(request_pool_.submit([this, &requests, &forms, &responses, &groups, g] {
+    const std::uint64_t enqueued_ns = options_.metrics ? obs::steady_now_ns() : 0;
+    solve_tasks.push_back(request_pool_.submit([this, &requests, &forms, &responses, &groups, g,
+                                                enqueued_ns] {
       const Timer timer;
       const Group& group = groups[g];
       const std::size_t leader = group.members.front();
+      // One trace per group (the group shares one solve). Canonicalization
+      // ran batched in stage 1, so these traces start at the solve.
+      obs::Trace trace;
+      obs::Trace* tp = nullptr;
+      if (options_.metrics) {
+        tp = &trace;
+        trace.request_id = requests[leader].id;
+        trace.spans.reserve(8);
+        const std::uint64_t now = obs::steady_now_ns();
+        trace.origin_ns = enqueued_ns != 0 && enqueued_ns < now ? enqueued_ns : now;
+        if (trace.origin_ns != now) {
+          trace.spans.push_back({obs::Stage::QueueWait, nullptr, 0, now - trace.origin_ns, false,
+                                 false});
+        }
+      }
       // The group shares one solve; give it the most generous budget any
       // member asked for. A member on the service default counts as the
       // default's budget (or unlimited when that is 0), never less than an
@@ -450,12 +588,20 @@ std::vector<SolveResponse> BatchSolver::solve_batch(const std::vector<SolveReque
       }
       const CanonicalOutcome outcome = solve_canonical_coalesced(
           requests[leader].graph, forms[leader], requests[leader].p, requests[leader].engine,
-          deadline);
+          deadline, tp);
       const double seconds = timer.seconds();
       for (const std::size_t m : group.members) {
         responses[m] = respond(requests[m], forms[m], outcome,
                                m == leader ? ResponseSource::Solved : ResponseSource::Coalesced,
                                seconds);
+      }
+      // Deduplicated members share the leader's solve without ever waiting
+      // on the in-flight map — count them as coalesced all the same.
+      if (group.members.size() > 1) requests_coalesced_.add(group.members.size() - 1);
+      if (tp != nullptr) {
+        finish_trace(std::move(trace), responses[leader].status == SolveStatus::Ok
+                                           ? response_source_name_cstr(responses[leader].source)
+                                           : status_name_cstr(responses[leader].status));
       }
     }));
   }

@@ -1,6 +1,6 @@
 #pragma once
 
-#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/canonical_key.hpp"
 #include "service/portfolio.hpp"
 #include "service/request.hpp"
@@ -69,6 +71,19 @@ class BatchSolver {
     /// results are re-derivable, so the OS page-cache durability window is
     /// an acceptable trade against paying an fsync per solve.
     bool store_sync_every_put = false;
+    /// Stage timing and request tracing. Counters are always maintained
+    /// (one relaxed add each, unmeasurable); this flag gates only the
+    /// steady_clock reads — per-request traces, stage histograms, the
+    /// request-latency histogram — which is what the overhead bench
+    /// toggles. Off: the slow-trace ring stays empty and latency
+    /// histograms stay at zero, but every counter keeps counting.
+    bool metrics = true;
+    /// Slow-trace retention: keep the most recent `trace_capacity` traces
+    /// whose end-to-end latency (queue wait included) was at least
+    /// `trace_threshold`. Capacity 0 disables retention; threshold 0
+    /// retains every request (up to capacity).
+    std::size_t trace_capacity = 64;
+    std::chrono::milliseconds trace_threshold{0};
   };
 
   BatchSolver() : BatchSolver(Options{}) {}
@@ -107,12 +122,19 @@ class BatchSolver {
   [[nodiscard]] EnginePortfolio& portfolio() noexcept { return portfolio_; }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
+  /// The shared metric registry every pipeline component publishes into
+  /// (cache, portfolio, store, and this solver's own stage histograms).
+  /// Front-ends register their transport counters here too, so one
+  /// snapshot() covers the whole process.
+  [[nodiscard]] obs::MetricRegistry& metrics_registry() noexcept { return registry_; }
+
+  /// The slow-trace ring (see Options::trace_capacity/trace_threshold).
+  [[nodiscard]] const obs::TraceRing& traces() const noexcept { return traces_; }
+
   /// Number of actual engine runs performed (excludes cache hits and
   /// coalesced/deduplicated requests) — the denominator of every
   /// amortization claim, and what the dedupe tests assert on.
-  [[nodiscard]] std::uint64_t engine_solves() const noexcept {
-    return engine_solves_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t engine_solves() const noexcept { return engine_solves_.value(); }
 
   /// Requests queued or running on the request pool right now — the
   /// queue-depth gauge admission control reads, exported for monitoring.
@@ -120,7 +142,7 @@ class BatchSolver {
 
   /// Submissions turned away by admission control since construction.
   [[nodiscard]] std::uint64_t rejected_overload() const noexcept {
-    return rejected_overload_.load(std::memory_order_relaxed);
+    return rejected_overload_.value();
   }
 
   /// Outcome of the startup warm load from the durable store (all zeros
@@ -150,13 +172,27 @@ class BatchSolver {
 
   CanonicalOutcome solve_canonical(const Graph& graph, const CanonicalForm& form, const PVec& p,
                                    const std::optional<Engine>& engine,
-                                   std::chrono::milliseconds deadline);
+                                   std::chrono::milliseconds deadline, obs::Trace* trace);
   CanonicalOutcome solve_canonical_coalesced(const Graph& graph, const CanonicalForm& form,
                                              const PVec& p, const std::optional<Engine>& engine,
-                                             std::chrono::milliseconds deadline);
+                                             std::chrono::milliseconds deadline,
+                                             obs::Trace* trace);
   SolveResponse respond(const SolveRequest& request, const CanonicalForm& form,
                         const CanonicalOutcome& outcome, ResponseSource fallback_source,
                         double seconds) const;
+
+  /// solve_one with queue provenance: `enqueued_ns` (steady_now_ns() at
+  /// admission, 0 = not queued / metrics off) becomes the trace origin, so
+  /// queue wait is part of the recorded end-to-end latency.
+  SolveResponse solve_one_timed(const SolveRequest& request, std::uint64_t enqueued_ns);
+
+  /// Stamp total/result, feed the per-stage histograms, hand the trace to
+  /// the slow ring. Only called when metrics are on.
+  void finish_trace(obs::Trace&& trace, const char* result);
+
+  /// Publish this solver's own metrics plus every owned component's into
+  /// registry_ (constructor tail).
+  void register_metrics();
 
   /// True when the request pool has admission headroom; false increments
   /// the rejection counter. The check is racy by design (two concurrent
@@ -169,13 +205,32 @@ class BatchSolver {
   // tasks — runs first, while the engine pool, portfolio, cache, and
   // coalescing state those tasks use are all still alive.
   Options options_;
+  // Every registered metric points into members of this object (or the
+  // backend it shares), so "metrics outlive snapshots" holds by
+  // construction; shorter-lived publishers (the socket server) deregister
+  // in their destructors.
+  obs::MetricRegistry registry_;
+  obs::TraceRing traces_;
   SolveCache cache_;
   std::shared_ptr<PersistentBackend> backend_;  ///< shared with cache_
   SolveCache::WarmStats warm_stats_;
   TaskPool engine_pool_;
   EnginePortfolio portfolio_;
-  std::atomic<std::uint64_t> engine_solves_{0};
-  std::atomic<std::uint64_t> rejected_overload_{0};
+  obs::Counter requests_total_;
+  obs::Counter requests_coalesced_;
+  obs::Counter engine_solves_;
+  obs::Counter rejected_overload_;
+  // Per-stage latency histograms, fed from completed traces (metrics on
+  // only). request_ns_ is end-to-end including queue wait.
+  obs::LatencyHistogram request_ns_;
+  obs::LatencyHistogram queue_wait_ns_;
+  obs::LatencyHistogram canonical_ns_;
+  obs::LatencyHistogram cache_lookup_ns_;
+  obs::LatencyHistogram reduction_ns_;
+  obs::LatencyHistogram engine_race_ns_;
+  obs::LatencyHistogram verify_ns_;
+  obs::LatencyHistogram store_put_ns_;
+  obs::LatencyHistogram coalesced_wait_ns_;
 
   // In-flight coalescing for submit(): maps a result key to the shared
   // outcome of the request currently computing it.

@@ -87,8 +87,12 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
   const std::chrono::milliseconds deadline = deadline_override.value_or(options_.deadline);
 
   PortfolioOutcome outcome;
+  races_total_.add();
   if (n <= 3) {
     // Too small to be worth a race (or a thread hop): enumerate exactly.
+    // Counted in races_total but not in any per-engine slot — brute force
+    // shares the heuristic slot in the win table, and folding its
+    // microsecond runs into chained-lk's latency histogram would skew it.
     outcome.solution = brute_force_path(instance);
     outcome.optimal = true;
     outcome.winner = Engine::BruteForce;
@@ -228,7 +232,12 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
       best = static_cast<int>(i);
     }
   }
-  for (const Run& run : runs) outcome.attempts.push_back(run.attempt);
+  for (const Run& run : runs) {
+    outcome.attempts.push_back(run.attempt);
+    const auto slot = static_cast<std::size_t>(slot_of(run.attempt.engine));
+    slot_latency_[slot].record(static_cast<std::uint64_t>(run.attempt.seconds * 1e9));
+    if (!run.attempt.finished) slot_cancelled_[slot].add();
+  }
 
   int verified_attempts = 0;
   for (const Run& run : runs) {
@@ -239,6 +248,7 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     outcome.solution = std::move(winner.solution);
     outcome.optimal = winner.attempt.optimal;
     outcome.winner = winner.attempt.engine;
+    slot_wins_[static_cast<std::size_t>(slot_of(outcome.winner))].add();
     if (verified_attempts >= 2) {
       // Only contested races teach the scheduler anything. Walkovers —
       // including races where a cancelled Held–Karp forfeited without a
@@ -249,9 +259,27 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     }
   } else {
     outcome.solution.cost = -1;  // no engine verified — caller reports EngineFailure
+    races_failed_.add();
   }
   outcome.seconds = timer.seconds();
   return outcome;
+}
+
+void EnginePortfolio::register_metrics(obs::MetricRegistry& registry, const void* owner) const {
+  if (owner == nullptr) owner = this;
+  registry.register_counter("races_total", &races_total_, owner);
+  registry.register_counter("races_failed", &races_failed_, owner);
+  // Slot order mirrors slot_of(): HeldKarp / BranchBound / ChainedLK.
+  static constexpr const char* kSlotNames[kSlots] = {"held_karp", "branch_bound", "chained_lk"};
+  for (int slot = 0; slot < kSlots; ++slot) {
+    const auto i = static_cast<std::size_t>(slot);
+    registry.register_counter(std::string("engine_race_wins_") + kSlotNames[i], &slot_wins_[i],
+                              owner);
+    registry.register_counter(std::string("engine_race_cancelled_") + kSlotNames[i],
+                              &slot_cancelled_[i], owner);
+    registry.register_histogram(std::string("engine_ns_") + kSlotNames[i], &slot_latency_[i],
+                                owner);
+  }
 }
 
 }  // namespace lptsp

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/solvers.hpp"
+#include "obs/metrics.hpp"
 #include "tsp/instance.hpp"
 #include "tsp/path.hpp"
 #include "util/thread_pool.hpp"
@@ -92,6 +93,12 @@ class EnginePortfolio {
   /// Inputs of the wrong length are ignored.
   void merge_win_table(const std::vector<std::uint64_t>& counts);
 
+  /// Publish race totals, per-engine win/cancel counters and per-engine
+  /// latency histograms into `registry`, tagged with `owner` (defaults to
+  /// this portfolio). The portfolio must outlive the registry's snapshots
+  /// or deregister(owner) first.
+  void register_metrics(obs::MetricRegistry& registry, const void* owner = nullptr) const;
+
  private:
   static int bucket_of(int n) noexcept;
   static int slot_of(Engine engine) noexcept;
@@ -99,6 +106,15 @@ class EnginePortfolio {
   TaskPool& pool_;
   PortfolioOptions options_;
   std::array<std::array<std::atomic<std::uint64_t>, kSlots>, kBuckets> wins_{};
+  // Observability storage, indexed by slot_of(). The win table above is
+  // learning state (bucketed by size, persisted); these are monitoring
+  // counters (global per engine, reset on restart) — different consumers,
+  // so they stay separate.
+  obs::Counter races_total_;
+  obs::Counter races_failed_;
+  std::array<obs::Counter, kSlots> slot_wins_;
+  std::array<obs::Counter, kSlots> slot_cancelled_;
+  std::array<obs::LatencyHistogram, kSlots> slot_latency_;
 };
 
 }  // namespace lptsp

@@ -35,19 +35,18 @@ SolveCache::Shard& SolveCache::shard_for(const std::string& key) {
 }
 
 std::shared_ptr<const void> SolveCache::find(const std::string& key, Space space,
-                                             std::atomic<std::uint64_t>& hits,
-                                             std::atomic<std::uint64_t>& misses) {
+                                             obs::Counter& hits, obs::Counter& misses) {
   Shard& shard = shard_for(key);
   const std::lock_guard lock(shard.mutex);
   Lru& lru = shard.spaces[space];
   const auto it = lru.index.find(key);
   if (it == lru.index.end()) {
-    misses.fetch_add(1, std::memory_order_relaxed);
+    misses.add();
     return nullptr;
   }
   // Move-to-front keeps the LRU order without invalidating map iterators.
   lru.order.splice(lru.order.begin(), lru.order, it->second);
-  hits.fetch_add(1, std::memory_order_relaxed);
+  hits.add();
   return it->second->second;
 }
 
@@ -67,11 +66,11 @@ bool SolveCache::put(const std::string& key, Space space, std::shared_ptr<const 
   }
   lru.order.emplace_front(key, std::move(value));
   lru.index.emplace(key, lru.order.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.add();
   while (lru.order.size() > per_shard_capacity_[space]) {
     lru.index.erase(lru.order.back().first);
     lru.order.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.add();
   }
   return true;
 }
@@ -90,7 +89,7 @@ std::shared_ptr<const ResultEntry> SolveCache::find_result(const std::string& ke
   auto entry = std::static_pointer_cast<const ResultEntry>(
       find(key, kResultSpace, result_hits_, result_misses_));
   if (entry != nullptr && entry->from_disk) {
-    persisted_hits_.fetch_add(1, std::memory_order_relaxed);
+    persisted_hits_.add();
   }
   return entry;
 }
@@ -189,14 +188,31 @@ std::size_t SolveCache::reduction_entries() const { return space_entries(kReduct
 
 CacheStats SolveCache::stats() const {
   CacheStats stats;
-  stats.result_hits = result_hits_.load(std::memory_order_relaxed);
-  stats.result_misses = result_misses_.load(std::memory_order_relaxed);
-  stats.reduction_hits = reduction_hits_.load(std::memory_order_relaxed);
-  stats.reduction_misses = reduction_misses_.load(std::memory_order_relaxed);
-  stats.insertions = insertions_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.persisted_hits = persisted_hits_.load(std::memory_order_relaxed);
+  stats.result_hits = result_hits_.value();
+  stats.result_misses = result_misses_.value();
+  stats.reduction_hits = reduction_hits_.value();
+  stats.reduction_misses = reduction_misses_.value();
+  stats.insertions = insertions_.value();
+  stats.evictions = evictions_.value();
+  stats.persisted_hits = persisted_hits_.value();
   return stats;
+}
+
+void SolveCache::register_metrics(obs::MetricRegistry& registry, const void* owner) const {
+  if (owner == nullptr) owner = this;
+  registry.register_counter("cache_result_hits", &result_hits_, owner);
+  registry.register_counter("cache_result_misses", &result_misses_, owner);
+  registry.register_counter("cache_reduction_hits", &reduction_hits_, owner);
+  registry.register_counter("cache_reduction_misses", &reduction_misses_, owner);
+  registry.register_counter("cache_insertions", &insertions_, owner);
+  registry.register_counter("cache_evictions", &evictions_, owner);
+  registry.register_counter("cache_persisted_hits", &persisted_hits_, owner);
+  registry.register_gauge(
+      "cache_result_entries",
+      [this] { return static_cast<std::int64_t>(result_entries()); }, owner);
+  registry.register_gauge(
+      "cache_reduction_entries",
+      [this] { return static_cast<std::int64_t>(reduction_entries()); }, owner);
 }
 
 void SolveCache::clear() {

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -12,6 +11,7 @@
 #include "core/pvec.hpp"
 #include "core/solvers.hpp"
 #include "graph/bfs.hpp"
+#include "obs/metrics.hpp"
 
 namespace lptsp {
 
@@ -138,6 +138,12 @@ class SolveCache {
 
   [[nodiscard]] CacheStats stats() const;
 
+  /// Publish the cache's counters (per-namespace hits/misses, insertions,
+  /// evictions, persisted hits) and residency gauges into `registry`,
+  /// tagged with `owner` (defaults to this cache). The cache must outlive
+  /// the registry's snapshots or deregister(owner) first.
+  void register_metrics(obs::MetricRegistry& registry, const void* owner = nullptr) const;
+
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
   /// Drop every entry (stats are kept; the durable store is untouched).
@@ -160,9 +166,8 @@ class SolveCache {
   };
 
   Shard& shard_for(const std::string& key);
-  std::shared_ptr<const void> find(const std::string& key, Space space,
-                                   std::atomic<std::uint64_t>& hits,
-                                   std::atomic<std::uint64_t>& misses);
+  std::shared_ptr<const void> find(const std::string& key, Space space, obs::Counter& hits,
+                                   obs::Counter& misses);
   /// `keep_existing(existing, incoming)` returning true suppresses a
   /// refresh-in-place — the compare runs under the shard lock, which is
   /// what makes "a worse concurrent solve can never degrade a better
@@ -178,13 +183,16 @@ class SolveCache {
   std::size_t per_shard_capacity_[kSpaces] = {0, 0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::shared_ptr<PersistentBackend> backend_;
-  std::atomic<std::uint64_t> result_hits_{0};
-  std::atomic<std::uint64_t> result_misses_{0};
-  std::atomic<std::uint64_t> reduction_hits_{0};
-  std::atomic<std::uint64_t> reduction_misses_{0};
-  std::atomic<std::uint64_t> insertions_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> persisted_hits_{0};
+  // obs::Counter members (relaxed atomics underneath) double as the
+  // stats() source and the storage the metric registry reads — one set of
+  // numbers, two consumers.
+  obs::Counter result_hits_;
+  obs::Counter result_misses_;
+  obs::Counter reduction_hits_;
+  obs::Counter reduction_misses_;
+  obs::Counter insertions_;
+  obs::Counter evictions_;
+  obs::Counter persisted_hits_;
 };
 
 }  // namespace lptsp

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace lptsp {
 
 namespace {
@@ -29,6 +31,7 @@ void PersistentBackend::put_result(const std::string& key, const Graph& canon, c
   // verification matrix is bounded by the same constant), so writing it
   // would only burn disk.
   if (canon.n() > kMaxPersistedGraphVertices) return;
+  const std::uint64_t begin_ns = obs::steady_now_ns();
   const std::lock_guard lock(result_put_mutex_);
   // Monotone-improving per key: the in-memory cache's better-entry policy
   // cannot vouch for an entry it has already evicted, so the comparison
@@ -49,8 +52,9 @@ void PersistentBackend::put_result(const std::string& key, const Graph& canon, c
   encode_persisted_result(value, canon, p.entries(), entry);
   if (!kv_->put(kResultsNamespace, key,
                 std::string(reinterpret_cast<const char*>(value.data()), value.size()))) {
-    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    write_failures_.add();
   }
+  append_ns_.record(obs::steady_now_ns() - begin_ns);
 }
 
 std::uint64_t PersistentBackend::for_each_result(
@@ -70,12 +74,32 @@ std::uint64_t PersistentBackend::for_each_result(
 }
 
 void PersistentBackend::put_win_table(const WinTableRecord& table) {
+  const std::uint64_t begin_ns = obs::steady_now_ns();
   std::vector<std::uint8_t> value;
   encode_win_table(value, table);
   if (!kv_->put(kMetaNamespace, kWinTableKey,
                 std::string(reinterpret_cast<const char*>(value.data()), value.size()))) {
-    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    write_failures_.add();
   }
+  append_ns_.record(obs::steady_now_ns() - begin_ns);
+}
+
+void PersistentBackend::register_metrics(obs::MetricRegistry& registry, const void* owner) const {
+  if (owner == nullptr) owner = this;
+  registry.register_counter("store_write_failures", &write_failures_, owner);
+  registry.register_histogram("store_append_ns", &append_ns_, owner);
+  registry.register_gauge(
+      "store_live_records",
+      [this] { return static_cast<std::int64_t>(kv_->stats().live_records); }, owner);
+  registry.register_gauge(
+      "store_total_records",
+      [this] { return static_cast<std::int64_t>(kv_->stats().total_records); }, owner);
+  registry.register_gauge(
+      "store_file_bytes", [this] { return static_cast<std::int64_t>(kv_->stats().file_bytes); },
+      owner);
+  registry.register_gauge(
+      "store_compactions", [this] { return static_cast<std::int64_t>(kv_->stats().compactions); },
+      owner);
 }
 
 std::optional<WinTableRecord> PersistentBackend::load_win_table() const {

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -9,6 +8,7 @@
 #include <string>
 
 #include "core/pvec.hpp"
+#include "obs/metrics.hpp"
 #include "store/codec.hpp"
 #include "store/kv.hpp"
 
@@ -63,9 +63,13 @@ class PersistentBackend {
   [[nodiscard]] std::optional<WinTableRecord> load_win_table() const;
 
   /// Writes that failed at the KV/log layer since open (observability).
-  [[nodiscard]] std::uint64_t write_failures() const noexcept {
-    return write_failures_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] std::uint64_t write_failures() const noexcept { return write_failures_.value(); }
+
+  /// Publish the append-latency histogram, write-failure counter, and
+  /// gauges over KvStore::stats() (live/total records, file bytes,
+  /// compactions) into `registry`, tagged with `owner` (defaults to this
+  /// backend).
+  void register_metrics(obs::MetricRegistry& registry, const void* owner = nullptr) const;
 
   [[nodiscard]] KvStore& kv() noexcept { return *kv_; }
   [[nodiscard]] const KvStore& kv() const noexcept { return *kv_; }
@@ -77,7 +81,10 @@ class PersistentBackend {
   /// Serializes put_result's read-compare-write so the monotonicity check
   /// is atomic across racing result writers (win-table puts don't need it).
   std::mutex result_put_mutex_;
-  std::atomic<std::uint64_t> write_failures_{0};
+  obs::Counter write_failures_;
+  /// End-to-end latency of durable appends (encode + monotonicity peek +
+  /// KV put), recorded in both put_result and put_win_table.
+  obs::LatencyHistogram append_ns_;
 };
 
 }  // namespace lptsp

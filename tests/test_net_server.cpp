@@ -333,6 +333,142 @@ TEST_F(NetServerTest, SolverLevelAdmissionControlAnswersTyped) {
   client.shutdown();
 }
 
+TEST_F(NetServerTest, StatsScrapeReflectsTheWorkload) {
+  start();
+  LabelingClient client;
+  client.connect("127.0.0.1", server_->port());
+
+  Rng rng(17);
+  const Graph graph = random_with_diameter_at_most(14, 2, 0.3, rng);
+  ASSERT_TRUE(client.solve(request_for(graph, 1)).ok());  // cold: engine race
+  const SolveResponse warm =
+      client.solve(request_for(relabel(graph, rng.permutation(graph.n())), 2));
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm.source, ResponseSource::ResultCache);
+
+  // The JSON view carries the counters the workload just produced.
+  const std::string json = client.stats(StatsFormat::Json);
+  EXPECT_NE(json.find("\"requests_total\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_result_hits\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_result_misses\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"engine_solves\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"net_requests_submitted\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"request_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99_ns\""), std::string::npos) << json;
+
+  // Engine-race latency histogram: present, one recorded race.
+  const obs::MetricsSnapshot snap = solver_->metrics_registry().snapshot();
+  ASSERT_NE(snap.histogram("engine_race_ns"), nullptr);
+  EXPECT_EQ(snap.histogram("engine_race_ns")->count, 1u);
+  EXPECT_GT(snap.histogram("engine_race_ns")->quantile(0.5), 0u);
+
+  // The other render formats are served on the same connection, and the
+  // traces view shows both requests with their distinguishing spans.
+  EXPECT_NE(client.stats(StatsFormat::Prometheus).find("lptsp_requests_total 2"),
+            std::string::npos);
+  EXPECT_NE(client.stats(StatsFormat::Text).find("requests_total"), std::string::npos);
+  const std::string traces = client.stats(StatsFormat::Traces);
+  EXPECT_NE(traces.find("\"stage\":\"engine-race\""), std::string::npos) << traces;
+  EXPECT_NE(traces.find("\"winner\":true"), std::string::npos) << traces;
+  EXPECT_NE(traces.find("\"result\":\"result-cache\""), std::string::npos) << traces;
+
+  EXPECT_EQ(server_->counters().stats_requests, 4u);
+  client.shutdown();
+}
+
+TEST_F(NetServerTest, V1ClientsStillInteroperate) {
+  start();
+  RawSocket raw(server_->port());
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes, 1);  // a pre-stats client
+  SolveRequest request = request_for(complete_graph(5), 77);
+  encode_request(bytes, request);
+  raw.send(bytes);
+  raw.shutdown_write();
+
+  const std::vector<std::uint8_t> reply = raw.read_to_eof();
+  FrameReader reader;
+  reader.feed(reply.data(), reply.size());
+  DecodeResult result;
+  ASSERT_TRUE(reader.next(result));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  ASSERT_EQ(result.message.type, MessageType::HelloAck);
+  // The ack mirrors the client's version so a strict v1 decoder accepts it.
+  EXPECT_EQ(result.message.version, 1u);
+  ASSERT_TRUE(reader.next(result));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  ASSERT_EQ(result.message.type, MessageType::Response);
+  EXPECT_EQ(result.message.response.id, 77u);
+  EXPECT_TRUE(result.message.response.ok());
+}
+
+TEST_F(NetServerTest, StatsOnAV1ConnectionIsRefusedTyped) {
+  start();
+  RawSocket raw(server_->port());
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes, 1);
+  encode_stats_request(bytes, StatsFormat::Json);
+  raw.send(bytes);
+
+  const std::vector<std::uint8_t> reply = raw.read_to_eof();  // server closes
+  FrameReader reader;
+  reader.feed(reply.data(), reply.size());
+  DecodeResult result;
+  ASSERT_TRUE(reader.next(result));
+  ASSERT_EQ(result.message.type, MessageType::HelloAck);
+  ASSERT_TRUE(reader.next(result));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  ASSERT_EQ(result.message.type, MessageType::Error);
+  EXPECT_EQ(result.message.error_fault, WireFault::Malformed);
+  EXPECT_NE(result.message.error_message.find("version"), std::string::npos);
+  EXPECT_EQ(server_->counters().stats_requests, 0u);
+}
+
+TEST_F(NetServerTest, WireFaultCountersTickByKind) {
+  start();
+  {
+    RawSocket raw(server_->port());
+    std::vector<std::uint8_t> hello;
+    encode_hello(hello);
+    hello[5] ^= 0xff;  // BadMagic
+    raw.send(hello);
+    (void)raw.read_to_eof();
+  }
+  {
+    RawSocket raw(server_->port());
+    std::vector<std::uint8_t> bytes;
+    encode_hello(bytes);
+    bytes.insert(bytes.end(), {3, 0, 0, 0, 0x6f, 0xde, 0xad});  // BadType
+    raw.send(bytes);
+    (void)raw.read_to_eof();
+  }
+  const obs::MetricsSnapshot snap = solver_->metrics_registry().snapshot();
+  EXPECT_EQ(snap.counter_or("net_wire_fault_bad_magic"), 1u);
+  EXPECT_EQ(snap.counter_or("net_wire_fault_bad_type"), 1u);
+  EXPECT_EQ(snap.counter_or("net_wire_fault_truncated"), 0u);
+  EXPECT_EQ(snap.counter_or("net_protocol_errors"), 2u);
+  EXPECT_EQ(server_->counters().protocol_errors, 2u);
+}
+
+TEST_F(NetServerTest, ServerTeardownFreesTheRegistryNames) {
+  // The server deregisters its net_* metrics on destruction, so a second
+  // server (same solver) can register the same names — the restart path.
+  BatchSolver solver(BatchSolver::Options{});
+  {
+    LabelingServer first(solver);
+    first.start();
+    EXPECT_GE(solver.metrics_registry().snapshot().counters.size(), 1u);
+  }
+  LabelingServer second(solver);
+  second.start();
+  LabelingClient client;
+  client.connect("127.0.0.1", second.port());
+  EXPECT_TRUE(client.solve(request_for(complete_graph(5), 1)).ok());
+  EXPECT_NE(client.stats(StatsFormat::Json).find("\"net_connections_accepted\":1"),
+            std::string::npos);
+  client.shutdown();
+}
+
 TEST_F(NetServerTest, CountersAndLifecycle) {
   start();
   {

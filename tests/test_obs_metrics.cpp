@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace lptsp::obs {
+namespace {
+
+// ---------------------------------------------------------------- buckets
+
+TEST(LatencyHistogram, BucketBoundariesAtPowersOfTwo) {
+  // Bucket b holds values with bit_width == b: [2^(b-1), 2^b).
+  EXPECT_EQ(LatencyHistogram::bucket_of(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_of(1), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_of(2), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(3), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_of(4), 3);
+  for (int b = 2; b < 62; ++b) {
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    EXPECT_EQ(LatencyHistogram::bucket_of(lo), b) << "floor of bucket " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_of(lo - 1), b - 1) << "just below bucket " << b;
+    EXPECT_EQ(LatencyHistogram::bucket_of(2 * lo - 1), b) << "ceiling of bucket " << b;
+  }
+  // The last bucket absorbs everything huge.
+  EXPECT_EQ(LatencyHistogram::bucket_of(~std::uint64_t{0}), LatencyHistogram::kBuckets - 1);
+
+  for (int b = 0; b < LatencyHistogram::kBuckets - 1; ++b) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_floor(b)), b);
+    EXPECT_EQ(LatencyHistogram::bucket_of(LatencyHistogram::bucket_ceiling(b)), b);
+  }
+}
+
+TEST(LatencyHistogram, RecordCountsSumAndMax) {
+  LatencyHistogram hist;
+  hist.record(0);
+  hist.record(1);
+  hist.record(1000);
+  hist.record(7);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1008u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.counts[0], 1u);                                // the 0
+  EXPECT_EQ(snap.counts[1], 1u);                                // the 1
+  EXPECT_EQ(snap.counts[3], 1u);                                // 7 in [4,8)
+  EXPECT_EQ(snap.counts[LatencyHistogram::bucket_of(1000)], 1u);
+}
+
+TEST(LatencyHistogram, EmptyAndSingleSampleEdges) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.snapshot().quantile(0.5), 0u);
+  EXPECT_EQ(hist.snapshot().quantile(0.99), 0u);
+  EXPECT_EQ(hist.snapshot().mean(), 0.0);
+
+  hist.record(12345);
+  const HistogramSnapshot snap = hist.snapshot();
+  // With one sample every quantile is that sample, exactly (the max cap
+  // beats bucket interpolation).
+  EXPECT_EQ(snap.quantile(0.0), 12345u);
+  EXPECT_EQ(snap.quantile(0.5), 12345u);
+  EXPECT_EQ(snap.quantile(1.0), 12345u);
+}
+
+// -------------------------------------------------------------- quantiles
+
+TEST(LatencyHistogram, QuantilesTrackSortedOracleWithinOneBucket) {
+  Rng rng(7);
+  LatencyHistogram hist;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    // Spread across several orders of magnitude, like real latencies.
+    const std::uint64_t value = rng.next() % (std::uint64_t{1} << (10 + rng.next() % 16));
+    values.push_back(value);
+    hist.record(value);
+  }
+  std::sort(values.begin(), values.end());
+  const HistogramSnapshot snap = hist.snapshot();
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const std::uint64_t oracle =
+        values[std::min(values.size() - 1,
+                        static_cast<std::size_t>(q * static_cast<double>(values.size())))];
+    const std::uint64_t estimate = snap.quantile(q);
+    // Log2 buckets bound the estimate to within one bucket of truth:
+    // same bucket or adjacent (interpolation can land either side).
+    const int oracle_bucket = LatencyHistogram::bucket_of(oracle);
+    const int estimate_bucket = LatencyHistogram::bucket_of(estimate);
+    EXPECT_LE(std::abs(oracle_bucket - estimate_bucket), 1)
+        << "q=" << q << " oracle=" << oracle << " estimate=" << estimate;
+  }
+  // Monotone in q, and capped by the true max.
+  std::uint64_t previous = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const std::uint64_t estimate = snap.quantile(q);
+    EXPECT_GE(estimate, previous);
+    EXPECT_LE(estimate, snap.max);
+    previous = estimate;
+  }
+  EXPECT_EQ(snap.quantile(1.0), snap.max);
+}
+
+// ------------------------------------------------------------ concurrency
+
+TEST(LatencyHistogram, ConcurrentRecordLosesNothing) {
+  LatencyHistogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const HistogramSnapshot snap = hist.snapshot();
+  constexpr std::uint64_t kTotal = std::uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(snap.count, kTotal);
+  EXPECT_EQ(snap.sum, kTotal * (kTotal - 1) / 2);  // sum of 0..kTotal-1
+  EXPECT_EQ(snap.max, kTotal - 1);
+}
+
+TEST(Counter, ConcurrentAddIsExact) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 50000; ++i) counter.add();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 400000u);
+}
+
+// ------------------------------------------------------------------ merge
+
+TEST(HistogramSnapshot, MergeIsAssociativeAndOrderFree) {
+  Rng rng(11);
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram c;
+  for (int i = 0; i < 300; ++i) {
+    a.record(rng.next() % 100000);
+    b.record(rng.next() % 4000);
+    c.record(rng.next() % 90000000);
+  }
+  const HistogramSnapshot sa = a.snapshot();
+  const HistogramSnapshot sb = b.snapshot();
+  const HistogramSnapshot sc = c.snapshot();
+
+  HistogramSnapshot left = sa;   // (a + b) + c
+  left.merge(sb);
+  left.merge(sc);
+  HistogramSnapshot right = sb;  // a + (b + c)
+  right.merge(sc);
+  HistogramSnapshot outer = sa;
+  outer.merge(right);
+
+  EXPECT_EQ(left.count, outer.count);
+  EXPECT_EQ(left.sum, outer.sum);
+  EXPECT_EQ(left.max, outer.max);
+  EXPECT_EQ(left.counts, outer.counts);
+  EXPECT_EQ(left.count, sa.count + sb.count + sc.count);
+  EXPECT_EQ(left.quantile(0.5), outer.quantile(0.5));
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(MetricRegistry, DuplicateNameThrowsAcrossKinds) {
+  MetricRegistry registry;
+  Counter counter;
+  LatencyHistogram hist;
+  registry.register_counter("events", &counter);
+  EXPECT_THROW(registry.register_counter("events", &counter), precondition_error);
+  // Name collisions are rejected across kinds too: one namespace.
+  EXPECT_THROW(registry.register_gauge("events", [] { return 0; }), precondition_error);
+  EXPECT_THROW(registry.register_histogram("events", &hist), precondition_error);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricRegistry, DeregisterRemovesOnlyThatOwner) {
+  MetricRegistry registry;
+  Counter mine;
+  Counter theirs;
+  const int owner_a = 0;
+  const int owner_b = 0;
+  registry.register_counter("a", &mine, &owner_a);
+  registry.register_gauge("a_gauge", [] { return 5; }, &owner_a);
+  registry.register_counter("b", &theirs, &owner_b);
+  EXPECT_EQ(registry.size(), 3u);
+
+  registry.deregister(&owner_a);
+  EXPECT_EQ(registry.size(), 1u);
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "b");
+  // The freed name is reusable.
+  registry.register_counter("a", &mine, &owner_a);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricRegistry, SnapshotReadsLiveValuesSorted) {
+  MetricRegistry registry;
+  Counter zebra;
+  Counter alpha;
+  LatencyHistogram hist;
+  std::int64_t depth = 3;
+  registry.register_counter("zebra", &zebra);
+  registry.register_counter("alpha", &alpha);
+  registry.register_gauge("depth", [&depth] { return depth; });
+  registry.register_histogram("lat_ns", &hist);
+
+  alpha.add(2);
+  zebra.add(7);
+  hist.record(100);
+  depth = 9;
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");  // sorted by name
+  EXPECT_EQ(snap.counters[0].value, 2u);
+  EXPECT_EQ(snap.counters[1].name, "zebra");
+  EXPECT_EQ(snap.counters[1].value, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 9);  // gauge callback reads at snapshot time
+  EXPECT_EQ(snap.counter_or("alpha"), 2u);
+  EXPECT_EQ(snap.counter_or("missing", 42), 42u);
+  ASSERT_NE(snap.histogram("lat_ns"), nullptr);
+  EXPECT_EQ(snap.histogram("lat_ns")->count, 1u);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+// ---------------------------------------------------------- serialization
+
+TEST(MetricsSnapshot, SerializationsContainEveryMetric) {
+  MetricRegistry registry;
+  Counter hits;
+  LatencyHistogram lat;
+  registry.register_counter("cache_hits", &hits);
+  registry.register_gauge("queue_depth", [] { return 4; });
+  registry.register_histogram("solve_ns", &lat);
+  hits.add(3);
+  lat.record(1500);
+  lat.record(900);
+
+  const MetricsSnapshot snap = registry.snapshot();
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"cache_hits\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue_depth\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"solve_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_ns\":1500"), std::string::npos) << json;
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("lptsp_cache_hits 3"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lptsp_queue_depth 4"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lptsp_solve_ns_bucket"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lptsp_solve_ns_count 2"), std::string::npos) << prom;
+
+  const std::string text = snap.to_text();
+  EXPECT_NE(text.find("cache_hits"), std::string::npos);
+  EXPECT_NE(text.find("solve_ns"), std::string::npos);
+
+  const std::string line = snap.to_logline();
+  EXPECT_NE(line.find("cache_hits=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("solve_ns_p50="), std::string::npos) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "logline must be one line";
+}
+
+}  // namespace
+}  // namespace lptsp::obs

@@ -314,7 +314,7 @@ TEST(WireFormat, EncodeRefusesPVectorsTheFormatCannotCarry) {
 
 TEST(WireFormat, EveryMessageTypeAndFaultHasAName) {
   for (int raw = static_cast<int>(MessageType::Hello);
-       raw <= static_cast<int>(MessageType::Shutdown); ++raw) {
+       raw <= static_cast<int>(MessageType::StatsReply); ++raw) {
     EXPECT_STRNE(message_type_name(static_cast<MessageType>(raw)), "unknown");
   }
   for (int raw = 0; raw <= static_cast<int>(WireFault::Malformed); ++raw) {
@@ -322,6 +322,85 @@ TEST(WireFormat, EveryMessageTypeAndFaultHasAName) {
   }
   static_assert(message_type_name(MessageType::Request)[0] == 'r');
   static_assert(wire_fault_name(WireFault::Oversized)[0] == 'o');
+}
+
+// ------------------------------------------------- v2 stats frames + compat
+
+TEST(WireFormat, VersionNegotiationAcceptsTheSupportedRange) {
+  // A v1 Hello (pre-stats client) must still decode: the server keeps
+  // serving old clients and simply refuses stats frames on them.
+  for (std::uint16_t version = kWireMinVersion; version <= kWireVersion; ++version) {
+    std::vector<std::uint8_t> bytes;
+    encode_hello(bytes, version);
+    const DecodeResult result = decode_one(bytes);
+    ASSERT_TRUE(result.ok()) << result.detail;
+    EXPECT_EQ(result.message.version, version);
+  }
+  // Below the floor and above the ceiling are typed faults.
+  for (const std::uint16_t version :
+       {std::uint16_t{0}, static_cast<std::uint16_t>(kWireVersion + 1)}) {
+    std::vector<std::uint8_t> bytes;
+    encode_hello(bytes, version);
+    EXPECT_EQ(decode_one(bytes).fault, WireFault::BadVersion) << "version " << version;
+  }
+}
+
+TEST(WireFormat, StatsFramesRoundTripEveryFormat) {
+  for (const StatsFormat format : {StatsFormat::Json, StatsFormat::Prometheus, StatsFormat::Text,
+                                   StatsFormat::Traces}) {
+    std::vector<std::uint8_t> request_bytes;
+    encode_stats_request(request_bytes, format);
+    const DecodeResult request = decode_one(request_bytes);
+    ASSERT_TRUE(request.ok()) << request.detail;
+    ASSERT_EQ(request.message.type, MessageType::StatsRequest);
+    EXPECT_EQ(request.message.stats_format, format);
+
+    const std::string payload =
+        std::string("{\"counters\":{}} with \0 byte and utf8 \xc3\xa9", 40);
+    std::vector<std::uint8_t> reply_bytes;
+    encode_stats_reply(reply_bytes, format, payload);
+    const DecodeResult reply = decode_one(reply_bytes);
+    ASSERT_TRUE(reply.ok()) << reply.detail;
+    ASSERT_EQ(reply.message.type, MessageType::StatsReply);
+    EXPECT_EQ(reply.message.stats_format, format);
+    EXPECT_EQ(reply.message.stats_payload, payload);
+  }
+}
+
+TEST(WireFormat, StatsFramesRejectBadFormatBytes) {
+  std::vector<std::uint8_t> request_bytes;
+  encode_stats_request(request_bytes, StatsFormat::Json);
+  // The format byte is the last payload byte of a StatsRequest.
+  request_bytes.back() = 0;  // below the valid range
+  EXPECT_EQ(decode_one(request_bytes).fault, WireFault::Malformed);
+  request_bytes.back() = 99;  // above it
+  EXPECT_EQ(decode_one(request_bytes).fault, WireFault::Malformed);
+}
+
+TEST(WireFormat, TruncatedStatsFramesAreTypedFaults) {
+  std::vector<std::uint8_t> frame;
+  encode_stats_reply(frame, StatsFormat::Json, "{\"counters\":{\"requests_total\":12}}");
+  const std::uint32_t full = static_cast<std::uint32_t>(frame.size() - 4);
+  for (std::uint32_t declared = 1; declared < full; ++declared) {
+    const DecodeResult result = decode_payload(frame.data() + 4, declared);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.fault, WireFault::None);
+  }
+}
+
+TEST(WireFormat, CorruptedStatsFramesNeverCrash) {
+  std::vector<std::uint8_t> frame;
+  encode_stats_reply(frame, StatsFormat::Prometheus, "lptsp_requests_total 12\n");
+  for (std::size_t position = 4; position < frame.size(); ++position) {
+    for (const std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80}, std::uint8_t{0xff}}) {
+      std::vector<std::uint8_t> corrupted = frame;
+      corrupted[position] ^= flip;
+      const DecodeResult result = decode_payload(corrupted.data() + 4, corrupted.size() - 4);
+      if (!result.ok()) {
+        EXPECT_NE(result.fault, WireFault::None);
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -12,13 +12,22 @@
 ///          [--request-workers=0] [--engine-workers=0]
 ///          [--max-pending=256] [--max-connections=64]
 ///          [--max-inflight=64] [--seed=1] [--stats-every=10]
+///          [--stats-json=PATH] [--trace-keep=64] [--trace-slow-ms=0]
 ///
 /// Worker counts of 0 mean hardware concurrency. --max-pending is the
 /// service-wide admission bound (RejectedOverload beyond it); 0 disables
 /// it. --cache-capacity bounds EACH of the two cache namespaces (solve
 /// results and reductions) separately, so peak residency is up to twice
-/// the flag's value. --stats-every=N prints counters every N seconds
-/// (0 = quiet). SIGINT/SIGTERM shut down cleanly.
+/// the flag's value. --stats-every=N prints one key=value metrics line
+/// every N seconds (0 = quiet). SIGINT/SIGTERM shut down cleanly.
+///
+/// Observability: every metric is scrapeable live over the wire
+/// (lptsp_stats, or any v2 client sending a StatsRequest frame).
+/// --stats-json=PATH additionally writes the full JSON snapshot to PATH
+/// atomically (temp file + rename) on every stats tick and at shutdown,
+/// for file-based collectors. --trace-keep bounds the in-memory ring of
+/// recent request traces; --trace-slow-ms keeps only requests slower than
+/// the threshold (0 keeps every request, newest win once full).
 ///
 /// Persistence: --cache-file points at the durable store (created if
 /// absent); --state-dir is the directory flavor (uses DIR/lptspd.store,
@@ -40,6 +49,7 @@
 
 #include "kernels/kernels.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
 #include "store/backend.hpp"
 #include "util/cli.hpp"
 
@@ -50,6 +60,21 @@ namespace {
 std::atomic<bool> g_stop{false};
 
 void handle_signal(int) { g_stop.store(true); }
+
+/// Write `payload` to `path` via temp-file + rename so a collector
+/// reading the path never sees a torn snapshot.
+bool write_snapshot_file(const std::string& path, const std::string& payload) {
+  const std::string temp = path + ".tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool wrote = std::fwrite(payload.data(), 1, payload.size(), file) == payload.size();
+  const bool flushed = std::fclose(file) == 0;
+  if (!wrote || !flushed) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  return std::rename(temp.c_str(), path.c_str()) == 0;
+}
 
 }  // namespace
 
@@ -65,6 +90,8 @@ int main(int argc, char** argv) {
   solver_options.engine_workers = static_cast<unsigned>(args.get_int("engine-workers", 0));
   solver_options.max_pending_requests = static_cast<std::size_t>(args.get_int("max-pending", 256));
   solver_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  solver_options.trace_capacity = static_cast<std::size_t>(args.get_int("trace-keep", 64));
+  solver_options.trace_threshold = std::chrono::milliseconds{args.get_int("trace-slow-ms", 0)};
 
   std::string store_path = args.get("cache-file", "");
   const std::string state_dir = args.get("state-dir", "");
@@ -87,6 +114,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("max-inflight", 64));
 
   const int stats_every = args.get_int("stats-every", 10);
+  const std::string stats_json = args.get("stats-json", "");
 
   const std::vector<std::string> unknown = args.unused_keys();
   if (!unknown.empty()) {
@@ -136,32 +164,16 @@ int main(int argc, char** argv) {
     if (stats_every > 0 &&
         std::chrono::steady_clock::now() - last_stats >= std::chrono::seconds{stats_every}) {
       last_stats = std::chrono::steady_clock::now();
-      const LabelingServer::Counters counters = server.counters();
-      const CacheStats cache = solver.cache().stats();
-      std::printf("[lptspd] isa=%s conns=%zu frames=%llu submitted=%llu responses=%llu "
-                  "rejected=%llu+%llu pending=%zu solves=%llu cache-hits=%llu/%llu",
-                  isa_tier_name(kernels::active_isa_tier()), server.open_connections(),
-                  static_cast<unsigned long long>(counters.frames_received),
-                  static_cast<unsigned long long>(counters.requests_submitted),
-                  static_cast<unsigned long long>(counters.responses_sent),
-                  static_cast<unsigned long long>(counters.rejected_inflight),
-                  static_cast<unsigned long long>(counters.rejected_backlog),
-                  solver.pending_requests(),
-                  static_cast<unsigned long long>(solver.engine_solves()),
-                  static_cast<unsigned long long>(cache.result_hits),
-                  static_cast<unsigned long long>(cache.result_hits + cache.result_misses));
-      if (solver.store() != nullptr) {
-        const KvStore::Stats store = solver.store()->kv().stats();
-        std::printf(" persisted-hits=%llu store-records=%llu/%llu store-bytes=%llu "
-                    "write-failures=%llu",
-                    static_cast<unsigned long long>(cache.persisted_hits),
-                    static_cast<unsigned long long>(store.live_records),
-                    static_cast<unsigned long long>(store.total_records),
-                    static_cast<unsigned long long>(store.file_bytes),
-                    static_cast<unsigned long long>(solver.store()->write_failures()));
-      }
-      std::printf("\n");
+      // One registry snapshot feeds both consumers: the human-readable
+      // stats line and the machine-readable JSON file.
+      const obs::MetricsSnapshot snapshot = solver.metrics_registry().snapshot();
+      std::printf("[lptspd] isa=%s %s\n", isa_tier_name(kernels::active_isa_tier()),
+                  snapshot.to_logline().c_str());
       std::fflush(stdout);
+      if (!stats_json.empty() && !write_snapshot_file(stats_json, snapshot.to_json())) {
+        std::fprintf(stderr, "lptspd: cannot write --stats-json %s: %s\n", stats_json.c_str(),
+                     std::strerror(errno));
+      }
       // Piggyback a win-table checkpoint on the stats tick so a crash
       // loses at most one interval of engine-choice learning.
       solver.checkpoint_win_table();
@@ -170,5 +182,11 @@ int main(int argc, char** argv) {
 
   std::printf("lptspd: shutting down\n");
   server.stop();
+  // Final snapshot + checkpoint after the server stops, so the file and
+  // win table reflect every request that was served.
+  if (!stats_json.empty()) {
+    write_snapshot_file(stats_json, solver.metrics_registry().snapshot().to_json());
+  }
+  solver.checkpoint_win_table();
   return 0;
 }
