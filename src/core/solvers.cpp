@@ -130,6 +130,10 @@ std::string status_message(SolveStatus status, int diameter, const PVec& p) {
       return "engine failed";
     case SolveStatus::RejectedOverload:
       return "service overloaded: request admission limit reached, retry later";
+    case SolveStatus::TimedOut:
+      return "request deadline elapsed before a reply arrived";
+    case SolveStatus::TransportDisconnected:
+      return "connection to the server was lost before a reply arrived";
     case SolveStatus::Ok:
       break;
   }

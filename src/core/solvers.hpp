@@ -103,6 +103,8 @@ enum class SolveStatus {
   MetricConditionViolated,   ///< pmax > 2*pmin, reduction not exact
   EngineFailure,             ///< engine gave up (size/node caps) or crashed
   RejectedOverload,          ///< admission control turned the request away
+  TimedOut,                  ///< client-side: request deadline elapsed
+  TransportDisconnected,     ///< client-side: connection lost before a reply
 };
 
 /// Compile-checked status names (no default + -Werror=switch: an unnamed
@@ -116,6 +118,8 @@ constexpr const char* status_name_cstr(SolveStatus status) noexcept {
     case SolveStatus::MetricConditionViolated: return "metric-condition-violated";
     case SolveStatus::EngineFailure: return "engine-failure";
     case SolveStatus::RejectedOverload: return "rejected-overload";
+    case SolveStatus::TimedOut: return "timed-out";
+    case SolveStatus::TransportDisconnected: return "transport-disconnected";
   }
   return "unknown";  // out-of-range cast, not a missing enumerator
 }

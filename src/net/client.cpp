@@ -1,15 +1,23 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include "core/solvers.hpp"
+#include "util/fault.hpp"
 
 namespace lptsp {
 
@@ -19,9 +27,44 @@ namespace {
   throw std::runtime_error("lptspd client: " + what);
 }
 
+/// Remaining budget as a poll(2) timeout: -1 = no deadline, 0 = expired.
+int remaining_poll_ms(const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  if (!deadline.has_value()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        *deadline - std::chrono::steady_clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return left > INT_MAX ? INT_MAX : static_cast<int>(left);
+}
+
+SolveResponse failure_response(std::uint64_t id, SolveStatus status, std::string message) {
+  SolveResponse response;
+  response.id = id;
+  response.status = status;
+  response.message = std::move(message);
+  return response;
+}
+
+ClientOptions legacy_options(const WireLimits& limits) {
+  ClientOptions options;
+  options.wire = limits;
+  // The WireLimits constructor is the pre-deadline API: pure blocking
+  // behaviour, exactly as before timeouts existed.
+  options.connect_timeout = std::chrono::milliseconds{0};
+  options.request_timeout = std::chrono::milliseconds{0};
+  return options;
+}
+
 }  // namespace
 
-LabelingClient::LabelingClient(const WireLimits& limits) : limits_(limits), reader_(limits) {}
+LabelingClient::LabelingClient(const WireLimits& limits)
+    : LabelingClient(legacy_options(limits)) {}
+
+LabelingClient::LabelingClient(const ClientOptions& options)
+    : options_(options),
+      limits_(options.wire),
+      reader_(options.wire),
+      jitter_rng_(options.jitter_seed) {}
 
 LabelingClient::~LabelingClient() { close(); }
 
@@ -45,25 +88,87 @@ void LabelingClient::connect(const std::string& host, std::uint16_t port) {
     ::freeaddrinfo(found);
   }
 
+  const Deadline deadline =
+      options_.connect_timeout.count() > 0
+          ? Deadline{std::chrono::steady_clock::now() + options_.connect_timeout}
+          : Deadline{};
+
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) transport_error("socket() failed");
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+
+  // Nonblocking connect so both the timeout and EINTR are handled
+  // explicitly (a blocking connect interrupted by a signal leaves the
+  // attempt in limbo; here poll() just resumes waiting on it).
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const int rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
     const std::string detail = std::strerror(errno);
     close();
     transport_error("connect to " + host + ":" + std::to_string(port) + " failed: " + detail);
   }
+  if (rc != 0) {
+    while (true) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, remaining_poll_ms(deadline));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        const std::string detail = std::strerror(errno);
+        close();
+        transport_error("connect poll failed: " + detail);
+      }
+      if (ready == 0) {
+        close();
+        transport_error("connect to " + host + ":" + std::to_string(port) + " timed out");
+      }
+      break;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      const std::string detail = std::strerror(err);
+      close();
+      transport_error("connect to " + host + ":" + std::to_string(port) + " failed: " + detail);
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);  // back to blocking; reads go through poll()
+
   int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   std::vector<std::uint8_t> hello;
   encode_hello(hello);
   write_all(hello.data(), hello.size());
-  const WireMessage ack = read_message();
+  WireMessage ack;
+  std::string detail;
+  switch (try_read_message(ack, deadline, detail)) {
+    case ReadOutcome::Ok:
+      break;
+    case ReadOutcome::TimedOut:
+      close();
+      transport_error("handshake with " + host + ":" + std::to_string(port) + " timed out");
+    case ReadOutcome::Disconnected:
+      transport_error("handshake failed: " + detail);
+  }
   if (ack.type != MessageType::HelloAck) {
     close();
     transport_error(std::string("handshake expected hello-ack, got ") +
                     message_type_name(ack.type));
   }
+  host_ = host;
+  port_ = port;
+}
+
+bool LabelingClient::reconnect() {
+  if (host_.empty()) return false;  // never connected; nowhere to go back to
+  close();
+  try {
+    connect(host_, port_);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return true;
 }
 
 void LabelingClient::submit(const SolveRequest& request) {
@@ -97,9 +202,139 @@ SolveResponse LabelingClient::wait(std::uint64_t id) {
   }
 }
 
+SolveResponse LabelingClient::wait_for(std::uint64_t id, std::chrono::milliseconds timeout) {
+  for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+    if (it->id == id) {
+      SolveResponse response = std::move(*it);
+      buffered_.erase(it);
+      return response;
+    }
+  }
+  const Deadline deadline = timeout.count() > 0
+                                ? Deadline{std::chrono::steady_clock::now() + timeout}
+                                : Deadline{};
+  while (true) {
+    WireMessage message;
+    std::string detail;
+    switch (try_read_message(message, deadline, detail)) {
+      case ReadOutcome::Ok:
+        break;
+      case ReadOutcome::TimedOut:
+        // The connection stays open: if the reply lands later it is
+        // buffered by the next read and drained via next().
+        return failure_response(id, SolveStatus::TimedOut,
+                                status_message(SolveStatus::TimedOut, 0, PVec({1})));
+      case ReadOutcome::Disconnected:
+        return failure_response(id, SolveStatus::TransportDisconnected, detail);
+    }
+    switch (message.type) {
+      case MessageType::Response:
+        if (message.response.id == id) return std::move(message.response);
+        buffered_.push_back(std::move(message.response));
+        continue;
+      case MessageType::Error: {
+        std::string error_detail = std::string("server reported ") +
+                                   wire_fault_name(message.error_fault) + ": " +
+                                   message.error_message;
+        close();
+        return failure_response(id, SolveStatus::TransportDisconnected,
+                                std::move(error_detail));
+      }
+      case MessageType::Hello:
+      case MessageType::HelloAck:
+      case MessageType::Request:
+      case MessageType::Shutdown:
+      case MessageType::StatsRequest:
+      case MessageType::StatsReply: {
+        std::string frame_detail = std::string("unexpected ") +
+                                   message_type_name(message.type) + " frame from server";
+        close();
+        return failure_response(id, SolveStatus::TransportDisconnected,
+                                std::move(frame_detail));
+      }
+    }
+  }
+}
+
 SolveResponse LabelingClient::solve(const SolveRequest& request) {
   submit(request);
   return wait(request.id);
+}
+
+SolveResponse LabelingClient::solve_retry(const SolveRequest& request) {
+  const Deadline deadline =
+      options_.request_timeout.count() > 0
+          ? Deadline{std::chrono::steady_clock::now() + options_.request_timeout}
+          : Deadline{};
+  const int max_attempts = std::max(1, options_.retry.max_attempts);
+  std::chrono::milliseconds backoff = options_.retry.initial_backoff;
+  SolveResponse last =
+      failure_response(request.id, SolveStatus::TransportDisconnected, "no attempt made");
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Backoff before the retry; the server's retry-after hint (on
+      // RejectedOverload) sets a floor under the exponential schedule.
+      std::chrono::milliseconds sleep = backoff;
+      if (last.status == SolveStatus::RejectedOverload && last.retry_after_ms > 0) {
+        sleep = std::max(sleep, std::chrono::milliseconds{last.retry_after_ms});
+      }
+      const double jitter = std::clamp(options_.retry.jitter, 0.0, 1.0);
+      const double factor = 1.0 + jitter * (2.0 * jitter_rng_.uniform01() - 1.0);
+      sleep = std::chrono::milliseconds{
+          static_cast<std::int64_t>(static_cast<double>(sleep.count()) * factor)};
+      if (deadline.has_value() &&
+          std::chrono::steady_clock::now() + sleep >= *deadline) {
+        return last;  // sleeping would spend the whole remaining budget
+      }
+      std::this_thread::sleep_for(sleep);
+      backoff = std::min(
+          std::chrono::milliseconds{static_cast<std::int64_t>(
+              static_cast<double>(backoff.count()) * options_.retry.backoff_multiplier)},
+          options_.retry.max_backoff);
+    }
+
+    if (!connected() && !reconnect()) {
+      last = failure_response(request.id, SolveStatus::TransportDisconnected,
+                              "reconnect to " + host_ + ":" + std::to_string(port_) +
+                                  " failed");
+      continue;
+    }
+    try {
+      submit(request);
+    } catch (const std::runtime_error& error) {
+      last = failure_response(request.id, SolveStatus::TransportDisconnected, error.what());
+      continue;
+    }
+
+    std::chrono::milliseconds remaining{0};  // 0 = wait forever (no budget)
+    if (deadline.has_value()) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        return failure_response(request.id, SolveStatus::TimedOut,
+                                status_message(SolveStatus::TimedOut, 0, request.p));
+      }
+      remaining = left;
+    }
+    SolveResponse response = wait_for(request.id, remaining);
+    switch (response.status) {
+      case SolveStatus::TimedOut:
+        return response;  // the end-to-end budget is spent; retrying cannot help
+      case SolveStatus::TransportDisconnected:
+      case SolveStatus::RejectedOverload:
+        last = std::move(response);
+        continue;  // transient: back off and retry
+      case SolveStatus::Ok:
+      case SolveStatus::EmptyGraph:
+      case SolveStatus::Disconnected:
+      case SolveStatus::DiameterExceedsK:
+      case SolveStatus::MetricConditionViolated:
+      case SolveStatus::EngineFailure:
+        return response;  // definitive answer (success or permanent rejection)
+    }
+  }
+  return last;
 }
 
 std::string LabelingClient::stats(StatsFormat format) {
@@ -107,8 +342,24 @@ std::string LabelingClient::stats(StatsFormat format) {
   std::vector<std::uint8_t> frame;
   encode_stats_request(frame, format);
   write_all(frame.data(), frame.size());
+  // Bound the scrape by the request budget: a wedged daemon must produce a
+  // clean diagnostic, not a hung tool.
+  const Deadline deadline =
+      options_.request_timeout.count() > 0
+          ? Deadline{std::chrono::steady_clock::now() + options_.request_timeout}
+          : Deadline{};
   while (true) {
-    WireMessage message = read_message();
+    WireMessage message;
+    std::string detail;
+    switch (try_read_message(message, deadline, detail)) {
+      case ReadOutcome::Ok:
+        break;
+      case ReadOutcome::TimedOut:
+        close();
+        transport_error("stats request timed out");
+      case ReadOutcome::Disconnected:
+        transport_error(detail);
+    }
     switch (message.type) {
       case MessageType::StatsReply:
         return std::move(message.stats_payload);
@@ -118,11 +369,11 @@ std::string LabelingClient::stats(StatsFormat format) {
         buffered_.push_back(std::move(message.response));
         continue;
       case MessageType::Error: {
-        const std::string detail = message.error_message;
+        const std::string reply_detail = message.error_message;
         const WireFault fault = message.error_fault;
         close();
         transport_error(std::string("server refused stats: ") + wire_fault_name(fault) + ": " +
-                        detail);
+                        reply_detail);
       }
       case MessageType::Hello:
       case MessageType::HelloAck:
@@ -160,9 +411,17 @@ void LabelingClient::close() {
 void LabelingClient::write_all(const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
+    if (fault::should_fail(FaultSite::NetDisconnect)) {
+      close();
+      transport_error("write failed: injected disconnect");
+    }
+    std::size_t chunk = size - sent;
+    // Injected short write: hand the kernel one byte, exactly as a full
+    // socket buffer would — the loop must finish the frame regardless.
+    if (chunk > 1 && fault::should_fail(FaultSite::NetWriteShort)) chunk = 1;
     // MSG_NOSIGNAL: a peer reset must surface as the documented
     // runtime_error, not a process-killing SIGPIPE.
-    const ssize_t wrote = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    const ssize_t wrote = ::send(fd_, data + sent, chunk, MSG_NOSIGNAL);
     if (wrote < 0) {
       if (errno == EINTR) continue;
       const std::string detail = std::strerror(errno);
@@ -173,27 +432,65 @@ void LabelingClient::write_all(const std::uint8_t* data, std::size_t size) {
   }
 }
 
-WireMessage LabelingClient::read_message() {
+LabelingClient::ReadOutcome LabelingClient::try_read_message(WireMessage& out,
+                                                             const Deadline& deadline,
+                                                             std::string& detail) {
+  if (!connected()) {
+    detail = "not connected";
+    return ReadOutcome::Disconnected;
+  }
   DecodeResult result;
   while (!reader_.next(result)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms = remaining_poll_ms(deadline);
+    if (timeout_ms == 0) return ReadOutcome::TimedOut;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal, not a connection fault
+      detail = std::string("poll failed: ") + std::strerror(errno);
+      close();
+      return ReadOutcome::Disconnected;
+    }
+    if (ready == 0) return ReadOutcome::TimedOut;
+    if (fault::should_fail(FaultSite::NetDisconnect)) {
+      close();
+      detail = "injected disconnect";
+      return ReadOutcome::Disconnected;
+    }
     std::uint8_t buffer[64 * 1024];
-    const ssize_t got = ::read(fd_, buffer, sizeof(buffer));
+    std::size_t cap = sizeof(buffer);
+    // Injected short read: take one byte, as a trickling network would —
+    // the frame reader must reassemble regardless.
+    if (fault::should_fail(FaultSite::NetReadShort)) cap = 1;
+    const ssize_t got = ::read(fd_, buffer, cap);
     if (got > 0) {
       reader_.feed(buffer, static_cast<std::size_t>(got));
       continue;
     }
     if (got < 0 && errno == EINTR) continue;
+    detail = got == 0 ? "server closed the connection"
+                      : std::string("read failed: ") + std::strerror(errno);
     close();
-    transport_error(got == 0 ? "server closed the connection"
-                             : std::string("read failed: ") + std::strerror(errno));
+    return ReadOutcome::Disconnected;
   }
   if (!result.ok()) {
-    const std::string detail = result.detail;
+    detail = std::string("protocol fault from server bytes: ") + wire_fault_name(result.fault) +
+             " (" + result.detail + ")";
     close();
-    transport_error(std::string("protocol fault from server bytes: ") +
-                    wire_fault_name(result.fault) + " (" + detail + ")");
+    return ReadOutcome::Disconnected;
   }
-  return std::move(result.message);
+  out = std::move(result.message);
+  return ReadOutcome::Ok;
+}
+
+WireMessage LabelingClient::read_message() {
+  WireMessage message;
+  std::string detail;
+  // No deadline: this path blocks (the legacy contract) and throws on
+  // transport loss; TimedOut is unreachable without a deadline.
+  const ReadOutcome outcome = try_read_message(message, Deadline{}, detail);
+  if (outcome != ReadOutcome::Ok) transport_error(detail);
+  return message;
 }
 
 SolveResponse LabelingClient::read_response() {

@@ -1,12 +1,43 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 
 #include "net/wire.hpp"
+#include "util/rng.hpp"
 
 namespace lptsp {
+
+/// How solve_retry() behaves across transient failures: capped exponential
+/// backoff with multiplicative jitter, bounded by both an attempt count and
+/// the caller's end-to-end request timeout.
+struct ClientRetryPolicy {
+  int max_attempts = 4;                          ///< total tries (first + retries)
+  std::chrono::milliseconds initial_backoff{50};
+  std::chrono::milliseconds max_backoff{2000};
+  double backoff_multiplier = 2.0;
+  /// Each sleep is scaled by a uniform factor in [1-jitter, 1+jitter] so a
+  /// fleet of clients does not retry in lockstep.
+  double jitter = 0.2;
+};
+
+/// Full client configuration; the legacy WireLimits constructor maps to
+/// this with timeouts disabled (pure blocking behaviour, as before).
+struct ClientOptions {
+  WireLimits wire;
+  /// TCP connect + handshake budget. 0 = block indefinitely.
+  std::chrono::milliseconds connect_timeout{5000};
+  /// End-to-end budget for solve_retry(), spanning every attempt, backoff
+  /// sleep, and reconnect. 0 = no deadline (retries still capped by
+  /// ClientRetryPolicy::max_attempts).
+  std::chrono::milliseconds request_timeout{5000};
+  ClientRetryPolicy retry;
+  /// Seed for the backoff jitter stream (deterministic for tests).
+  std::uint64_t jitter_seed = 0x6c707473ULL;
+};
 
 /// Blocking lptspd client with a pipelined submit/wait split.
 ///
@@ -19,20 +50,34 @@ namespace lptsp {
 /// Service-level outcomes (including RejectedOverload backpressure) are
 /// ordinary SolveResponse values. Transport and protocol failures — broken
 /// connection, handshake mismatch, an Error frame from the server — throw
-/// std::runtime_error: once framing is in doubt there is no response
-/// stream left to return typed values on.
+/// std::runtime_error from the legacy blocking calls: once framing is in
+/// doubt there is no response stream left to return typed values on.
+///
+/// The deadline-aware calls never block forever and never throw for
+/// transport loss: wait_for() returns a typed SolveStatus::TimedOut or
+/// SolveStatus::TransportDisconnected response, and solve_retry() wraps
+/// submit + wait_for in reconnect + capped exponential backoff with jitter
+/// under one end-to-end request_timeout budget, honouring the server's
+/// retry-after hint on RejectedOverload.
 class LabelingClient {
  public:
   explicit LabelingClient(const WireLimits& limits = {});
+  explicit LabelingClient(const ClientOptions& options);
   ~LabelingClient();
 
   LabelingClient(const LabelingClient&) = delete;
   LabelingClient& operator=(const LabelingClient&) = delete;
 
-  /// Connect and run the Hello/HelloAck handshake.
+  /// Connect and run the Hello/HelloAck handshake. Bounded by
+  /// connect_timeout (nonblocking connect + poll); throws on failure.
   void connect(const std::string& host, std::uint16_t port);
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Close and re-connect to the endpoint of the last successful
+  /// connect(). Returns false (instead of throwing) when the server is
+  /// still unreachable; used by solve_retry between attempts.
+  bool reconnect();
 
   /// Write one Request frame (blocking until the kernel accepts it).
   void submit(const SolveRequest& request);
@@ -42,11 +87,26 @@ class LabelingClient {
   SolveResponse next();
 
   /// The response to a specific request id, buffering any others that
-  /// arrive before it.
+  /// arrive before it. Blocks indefinitely; see wait_for for a deadline.
   SolveResponse wait(std::uint64_t id);
 
-  /// submit + wait in one call.
+  /// wait() with a deadline and typed failure outcomes instead of blocking
+  /// forever or throwing: on deadline expiry returns a response with
+  /// status TimedOut (the connection stays open — a late reply is buffered
+  /// for next() when it eventually arrives); on connection loss or a
+  /// protocol fault returns TransportDisconnected (the connection is
+  /// closed; reconnect() restores it). timeout <= 0 waits forever.
+  SolveResponse wait_for(std::uint64_t id, std::chrono::milliseconds timeout);
+
+  /// submit + wait in one call (blocking, throwing — the legacy path).
   SolveResponse solve(const SolveRequest& request);
+
+  /// submit + wait_for with reconnect and capped exponential backoff with
+  /// jitter, all under the end-to-end request_timeout budget. Transport
+  /// loss and RejectedOverload (after honouring its retry-after hint) are
+  /// retried up to ClientRetryPolicy::max_attempts; the final failure is
+  /// returned as its typed response, never thrown.
+  SolveResponse solve_retry(const SolveRequest& request);
 
   /// Scrape the server's metrics snapshot (v2+ servers), rendered in
   /// `format`. Responses to still-pipelined requests that arrive first are
@@ -63,15 +123,28 @@ class LabelingClient {
   void close();
 
  private:
+  /// Typed outcome of one bounded read attempt.
+  enum class ReadOutcome { Ok, TimedOut, Disconnected };
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
   void write_all(const std::uint8_t* data, std::size_t size);
   /// Read until one decoded message is available; throws on EOF/fault.
   WireMessage read_message();
+  /// Deadline-bounded read of one message. Never throws: expiry returns
+  /// TimedOut (connection intact), EOF/IO/protocol faults close the
+  /// connection and return Disconnected with `detail` set.
+  ReadOutcome try_read_message(WireMessage& out, const Deadline& deadline, std::string& detail);
   /// Read until a Response frame arrives; Error frames throw.
   SolveResponse read_response();
 
+  ClientOptions options_;
   WireLimits limits_;
   int fd_ = -1;
   FrameReader reader_;
+  /// Endpoint of the last successful connect(), for reconnect().
+  std::string host_;
+  std::uint16_t port_ = 0;
+  Rng jitter_rng_;
   /// Responses read while waiting for a different id, oldest first. Scans
   /// are linear; the deque is bounded by the caller's pipeline window.
   std::deque<SolveResponse> buffered_;

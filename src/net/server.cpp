@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/fault.hpp"
 
 namespace lptsp {
 
@@ -80,6 +81,10 @@ struct LabelingServer::LoopState {
   /// connection we cannot accept would otherwise keep the listen fd
   /// POLLIN-ready and spin the loop at 100% CPU.
   int accept_backoff = 0;
+  /// Brownout rungs currently engaged (hysteresis state; loop-thread
+  /// owned — the atomic brownout_level_ is the published view).
+  bool brownout_heuristic_engaged = false;
+  bool brownout_reject_engaged = false;
 };
 
 LabelingServer::LabelingServer(BatchSolver& solver, const Options& options)
@@ -107,8 +112,13 @@ void LabelingServer::register_metrics() {
   registry.register_counter("net_bytes_in", &bytes_in_, this);
   registry.register_counter("net_bytes_out", &bytes_out_, this);
   registry.register_counter("net_stats_requests", &stats_requests_, this);
+  registry.register_counter("net_brownout_sheds", &brownout_sheds_, this);
+  registry.register_counter("net_brownout_rejects", &brownout_rejects_, this);
   registry.register_gauge(
       "net_open_connections", [this] { return static_cast<std::int64_t>(open_connections()); },
+      this);
+  registry.register_gauge(
+      "net_brownout_level", [this] { return static_cast<std::int64_t>(brownout_level()); },
       this);
   // One counter per fault kind, named from the enum (None excluded: a
   // clean decode is not an error to count).
@@ -178,7 +188,10 @@ void LabelingServer::stop() {
     const std::lock_guard lock(completions_->mutex);
     if (completions_->wake_fd >= 0) {
       const char byte = 'q';
-      [[maybe_unused]] const auto ignored = ::write(completions_->wake_fd, &byte, 1);
+      // Retry EINTR: losing this wake would leave the join below waiting
+      // out a full poll timeout.
+      while (::write(completions_->wake_fd, &byte, 1) < 0 && errno == EINTR) {
+      }
     }
   }
   if (loop_thread_.joinable()) loop_thread_.join();
@@ -207,11 +220,16 @@ LabelingServer::Counters LabelingServer::counters() const {
   counters.bytes_in = bytes_in_.value();
   counters.bytes_out = bytes_out_.value();
   counters.stats_requests = stats_requests_.value();
+  counters.brownout_sheds = brownout_sheds_.value();
+  counters.brownout_rejects = brownout_rejects_.value();
   return counters;
 }
 
 void LabelingServer::event_loop() {
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    // Re-evaluate the ladder every cycle, not just on request arrival, so
+    // the rungs release as the backlog drains even on a quiet socket.
+    update_brownout();
     auto& pollfds = loop_->pollfds;
     auto& poll_ids = loop_->poll_ids;
     pollfds.clear();
@@ -241,7 +259,11 @@ void LabelingServer::event_loop() {
     if ((pollfds[0].revents & POLLIN) != 0) accept_new_connections();
     if ((pollfds[1].revents & POLLIN) != 0) {
       char scratch[256];
-      while (::read(wake_read_fd_, scratch, sizeof(scratch)) > 0) {
+      while (true) {
+        const ssize_t got = ::read(wake_read_fd_, scratch, sizeof(scratch));
+        if (got > 0) continue;
+        if (got < 0 && errno == EINTR) continue;  // signal: keep draining
+        break;  // drained (EAGAIN) or pipe gone
       }
       drain_completions();
     }
@@ -280,6 +302,42 @@ void LabelingServer::event_loop() {
   for (const auto& [id, connection] : loop_->connections) ids.push_back(id);
   for (const std::uint64_t id : ids) close_connection(id);
   close_fd(listen_fd_);
+  // The heuristic-only override belongs to this server's ladder; the
+  // solver (and any future server over it) must get its portfolio back.
+  if (loop_->brownout_heuristic_engaged) solver_.portfolio().force_heuristic_only(false);
+  loop_->brownout_heuristic_engaged = false;
+  loop_->brownout_reject_engaged = false;
+  brownout_level_.store(0, std::memory_order_relaxed);
+}
+
+void LabelingServer::update_brownout() {
+  if (options_.brownout_heuristic_pending == 0 && options_.brownout_reject_pending == 0) return;
+  const std::size_t pending = solver_.pending_requests();
+  const auto exit_threshold = [&](std::size_t enter) {
+    return static_cast<std::size_t>(static_cast<double>(enter) * options_.brownout_exit_ratio);
+  };
+  if (options_.brownout_heuristic_pending > 0) {
+    if (!loop_->brownout_heuristic_engaged && pending >= options_.brownout_heuristic_pending) {
+      loop_->brownout_heuristic_engaged = true;
+      solver_.portfolio().force_heuristic_only(true);
+      brownout_sheds_.add();
+    } else if (loop_->brownout_heuristic_engaged &&
+               pending <= exit_threshold(options_.brownout_heuristic_pending)) {
+      loop_->brownout_heuristic_engaged = false;
+      solver_.portfolio().force_heuristic_only(false);
+    }
+  }
+  if (options_.brownout_reject_pending > 0) {
+    if (!loop_->brownout_reject_engaged && pending >= options_.brownout_reject_pending) {
+      loop_->brownout_reject_engaged = true;
+    } else if (loop_->brownout_reject_engaged &&
+               pending <= exit_threshold(options_.brownout_reject_pending)) {
+      loop_->brownout_reject_engaged = false;
+    }
+  }
+  brownout_level_.store(
+      loop_->brownout_reject_engaged ? 2 : (loop_->brownout_heuristic_engaged ? 1 : 0),
+      std::memory_order_relaxed);
 }
 
 void LabelingServer::accept_new_connections() {
@@ -326,7 +384,13 @@ void LabelingServer::drain_completions() {
     if (it == loop_->connections.end()) continue;  // connection died mid-solve
     Connection& connection = it->second;
     if (connection.inflight > 0) --connection.inflight;
-    encode_response(connection.out, response);
+    // The solver's own admission gate produces RejectedOverload without a
+    // hint; stamp the configured one so every overload reply tells the
+    // client when to come back.
+    if (response.status == SolveStatus::RejectedOverload && response.retry_after_ms == 0) {
+      response.retry_after_ms = options_.brownout_retry_after_ms;
+    }
+    encode_response(connection.out, response, connection.version);
     responses_sent_.add();
     flush_writes(connection);
   }
@@ -335,11 +399,21 @@ void LabelingServer::drain_completions() {
 void LabelingServer::handle_readable(Connection& connection) {
   std::uint8_t buffer[64 * 1024];
   while (true) {
-    const ssize_t got = ::read(connection.fd, buffer, sizeof(buffer));
+    if (fault::should_fail(FaultSite::NetDisconnect)) {
+      // Injected peer reset: the connection dies exactly as if the client
+      // vanished mid-frame.
+      close_connection(connection.id);
+      return;
+    }
+    std::size_t cap = sizeof(buffer);
+    // Injected short read: one byte per syscall, as a trickling or
+    // heavily fragmented peer would deliver — framing must reassemble.
+    if (fault::should_fail(FaultSite::NetReadShort)) cap = 1;
+    const ssize_t got = ::read(connection.fd, buffer, cap);
     if (got > 0) {
       bytes_in_.add(static_cast<std::uint64_t>(got));
       connection.reader.feed(buffer, static_cast<std::size_t>(got));
-      if (got < static_cast<ssize_t>(sizeof(buffer))) break;
+      if (got < static_cast<ssize_t>(cap)) break;
       continue;
     }
     if (got == 0) {
@@ -443,7 +517,8 @@ void LabelingServer::handle_request(Connection& connection, SolveRequest&& reque
     response.id = request.id;
     response.status = SolveStatus::RejectedOverload;
     response.message = detail;
-    encode_response(connection.out, response);
+    response.retry_after_ms = options_.brownout_retry_after_ms;
+    encode_response(connection.out, response, connection.version);
     counter.add();
     responses_sent_.add();
   };
@@ -454,6 +529,15 @@ void LabelingServer::handle_request(Connection& connection, SolveRequest&& reque
   }
   if (connection.queued_bytes() > options_.max_queued_bytes_per_connection) {
     reject("connection response backlog limit reached, read faster", rejected_backlog_);
+    return;
+  }
+  // The top brownout rung: the pending gauge crossed the reject threshold,
+  // so the kindest answer is an immediate typed refusal with a hint —
+  // queueing more work would only stretch every deadline in the backlog.
+  update_brownout();
+  if (loop_->brownout_reject_engaged) {
+    reject("service browned out: pending backlog over the reject threshold, retry later",
+           brownout_rejects_);
     return;
   }
   ++connection.inflight;
@@ -467,18 +551,29 @@ void LabelingServer::handle_request(Connection& connection, SolveRequest&& reque
                          if (queue->wake_fd < 0) return;  // server is gone
                          queue->items.emplace_back(connection_id, std::move(response));
                          const char byte = 'c';
-                         [[maybe_unused]] const auto ignored =
-                             ::write(queue->wake_fd, &byte, 1);
+                         // Retry EINTR so a signal cannot swallow the wake
+                         // and leave the completion parked until the next
+                         // poll timeout.
+                         while (::write(queue->wake_fd, &byte, 1) < 0 && errno == EINTR) {
+                         }
                        });
 }
 
 void LabelingServer::flush_writes(Connection& connection) {
   while (connection.out_offset < connection.out.size()) {
+    if (fault::should_fail(FaultSite::NetDisconnect)) {
+      close_connection(connection.id);  // injected peer reset mid-write
+      return;
+    }
+    std::size_t chunk = connection.out.size() - connection.out_offset;
+    // Injected short write: the kernel "accepts" one byte, as a full
+    // socket buffer would — the flush must resume where it left off.
+    if (chunk > 1 && fault::should_fail(FaultSite::NetWriteShort)) chunk = 1;
     // MSG_NOSIGNAL: a client that resets mid-response must cost one
     // connection, not a SIGPIPE against the whole daemon.
     const ssize_t wrote =
         ::send(connection.fd, connection.out.data() + connection.out_offset,
-               connection.out.size() - connection.out_offset, MSG_NOSIGNAL);
+               chunk, MSG_NOSIGNAL);
     if (wrote > 0) {
       bytes_out_.add(static_cast<std::uint64_t>(wrote));
       connection.out_offset += static_cast<std::size_t>(wrote);

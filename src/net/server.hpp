@@ -46,6 +46,19 @@ class LabelingServer {
     std::size_t max_inflight_per_connection = 64;
     std::size_t max_queued_bytes_per_connection = std::size_t{4} << 20;
     WireLimits wire;
+    /// Brownout ladder, driven by the solver's pending_requests() gauge.
+    /// Rung 1: at `brownout_heuristic_pending` pending requests the
+    /// portfolio is forced heuristic-only (sheds the exact engines, keeps
+    /// answering). Rung 2: at `brownout_reject_pending` new requests are
+    /// rejected with RejectedOverload + a retry-after hint. Each rung
+    /// releases with hysteresis once pending falls to
+    /// `brownout_exit_ratio` of its threshold. 0 disables a rung.
+    std::size_t brownout_heuristic_pending = 0;
+    std::size_t brownout_reject_pending = 0;
+    double brownout_exit_ratio = 0.5;
+    /// Retry-after hint stamped on every RejectedOverload reply (v3+
+    /// connections); 0 = no hint.
+    std::uint32_t brownout_retry_after_ms = 250;
   };
 
   /// Monotonic observability counters (queue depth lives on the solver:
@@ -64,6 +77,8 @@ class LabelingServer {
     std::uint64_t bytes_in = 0;             ///< raw socket bytes read
     std::uint64_t bytes_out = 0;            ///< raw socket bytes written
     std::uint64_t stats_requests = 0;       ///< StatsRequest frames served
+    std::uint64_t brownout_sheds = 0;       ///< times rung 1 (heuristic-only) engaged
+    std::uint64_t brownout_rejects = 0;     ///< requests rejected by rung 2
   };
 
   /// The solver must outlive the server.
@@ -96,6 +111,12 @@ class LabelingServer {
     return open_connections_.load(std::memory_order_relaxed);
   }
 
+  /// Current brownout rung: 0 = healthy, 1 = heuristic-only, 2 = rejecting
+  /// new requests. Also published as the net_brownout_level gauge.
+  [[nodiscard]] int brownout_level() const noexcept {
+    return brownout_level_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection;
   struct CompletionQueue;
@@ -106,6 +127,9 @@ class LabelingServer {
   void handle_readable(Connection& connection);
   void handle_frame(Connection& connection, WireMessage&& message);
   void handle_request(Connection& connection, SolveRequest&& request);
+  /// Re-evaluate both brownout rungs against pending_requests(), with
+  /// hysteresis. Loop-thread only.
+  void update_brownout();
   void handle_stats_request(Connection& connection, StatsFormat format);
   /// Encode an Error frame, bump protocol_errors_ + the per-fault counter,
   /// and mark the connection closing.
@@ -149,6 +173,10 @@ class LabelingServer {
   obs::Counter bytes_in_;
   obs::Counter bytes_out_;
   obs::Counter stats_requests_;
+  obs::Counter brownout_sheds_;
+  obs::Counter brownout_rejects_;
+  /// Published rung (0/1/2); written by the loop thread, read by scrapers.
+  std::atomic<int> brownout_level_{0};
   /// Error frames sent, by WireFault (index = fault value; the None slot
   /// is never incremented but keeps indexing trivial).
   std::array<obs::Counter, 7> wire_faults_;

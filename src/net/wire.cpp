@@ -102,6 +102,8 @@ void close_frame(std::vector<std::uint8_t>& out, std::size_t length_slot) {
 
 constexpr std::uint8_t kResponseOptimalBit = 1;
 constexpr std::uint8_t kResponseReductionCachedBit = 2;
+/// v3+: a trailing u32 retry-after hint (milliseconds) follows the labels.
+constexpr std::uint8_t kResponseRetryAfterBit = 4;
 
 DecodeResult fail(WireFault fault, std::string detail) {
   DecodeResult result;
@@ -188,7 +190,7 @@ DecodeResult decode_response(Cursor& cursor) {
   const auto span = static_cast<std::int64_t>(cursor.u64());
   const std::uint64_t seconds_bits = cursor.u64();
   if (!cursor.ok) return fail(WireFault::Truncated, "response header too short");
-  if (status > static_cast<std::uint8_t>(SolveStatus::RejectedOverload)) {
+  if (status > static_cast<std::uint8_t>(SolveStatus::TransportDisconnected)) {
     return fail(WireFault::Malformed, "response: unknown status " + std::to_string(status));
   }
   if (source > static_cast<std::uint8_t>(ResponseSource::Coalesced)) {
@@ -197,7 +199,7 @@ DecodeResult decode_response(Cursor& cursor) {
   if (engine_byte > static_cast<std::uint8_t>(Engine::BranchBound)) {
     return fail(WireFault::Malformed, "response: unknown engine " + std::to_string(engine_byte));
   }
-  if (flags > (kResponseOptimalBit | kResponseReductionCachedBit)) {
+  if (flags > (kResponseOptimalBit | kResponseReductionCachedBit | kResponseRetryAfterBit)) {
     return fail(WireFault::Malformed, "response: unknown flag bits");
   }
   response.status = static_cast<SolveStatus>(status);
@@ -219,6 +221,10 @@ DecodeResult decode_response(Cursor& cursor) {
   response.labeling.labels.resize(label_count);
   for (auto& label : response.labeling.labels) {
     label = static_cast<std::int64_t>(cursor.u64());
+  }
+  if ((flags & kResponseRetryAfterBit) != 0) {
+    response.retry_after_ms = cursor.u32();
+    if (!cursor.ok) return fail(WireFault::Truncated, "response: truncated retry-after hint");
   }
   if (cursor.remaining() != 0) {
     return fail(WireFault::Malformed, "response: trailing bytes after labels");
@@ -315,7 +321,12 @@ void encode_request(std::vector<std::uint8_t>& out, const SolveRequest& request)
   close_frame(out, slot);
 }
 
-void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& response) {
+void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& response,
+                     std::uint16_t version) {
+  // Older decoders reject unknown flag bits, so the hint (bit + trailing
+  // u32) is only emitted on connections that negotiated v3+.
+  const bool carry_retry_after =
+      version >= kRetryAfterMinVersion && response.retry_after_ms != 0;
   const std::size_t slot = open_frame(out, MessageType::Response);
   put_u64(out, response.id);
   put_u8(out, static_cast<std::uint8_t>(response.status));
@@ -324,7 +335,8 @@ void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& respon
   put_u8(out, static_cast<std::uint8_t>((response.optimal ? kResponseOptimalBit : 0) |
                                         (response.reduction_cached
                                              ? kResponseReductionCachedBit
-                                             : 0)));
+                                             : 0) |
+                                        (carry_retry_after ? kResponseRetryAfterBit : 0)));
   put_u64(out, static_cast<std::uint64_t>(response.span));
   put_u64(out, std::bit_cast<std::uint64_t>(response.seconds));
   put_u32(out, static_cast<std::uint32_t>(response.message.size()));
@@ -333,6 +345,7 @@ void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& respon
   for (const Weight label : response.labeling.labels) {
     put_u64(out, static_cast<std::uint64_t>(label));
   }
+  if (carry_retry_after) put_u32(out, response.retry_after_ms);
   close_frame(out, slot);
 }
 

@@ -26,14 +26,19 @@ namespace lptsp {
 
 /// Bytes "LPTS" when the u32 is written little-endian.
 inline constexpr std::uint32_t kWireMagic = 0x5354504CU;
-/// Current protocol version. v2 added StatsRequest/StatsReply; every v1
-/// frame is bit-identical in v2, so the handshake negotiates downward: the
-/// server accepts any version in [kWireMinVersion, kWireVersion] and acks
-/// with the client's (lower) version, on which stats frames are refused.
-inline constexpr std::uint16_t kWireVersion = 2;
+/// Current protocol version. v2 added StatsRequest/StatsReply; v3 added
+/// the retry-after hint on Response frames (flag bit + trailing u32, only
+/// emitted when the hint is nonzero). Every v1/v2 frame is bit-identical
+/// in v3, so the handshake negotiates downward: the server accepts any
+/// version in [kWireMinVersion, kWireVersion] and acks with the client's
+/// (lower) version, on which the newer frames/fields are suppressed.
+inline constexpr std::uint16_t kWireVersion = 3;
 inline constexpr std::uint16_t kWireMinVersion = 1;
 /// First protocol version carrying StatsRequest/StatsReply.
 inline constexpr std::uint16_t kStatsMinVersion = 2;
+/// First protocol version whose Response frames may carry a retry-after
+/// hint (on RejectedOverload, for client backoff).
+inline constexpr std::uint16_t kRetryAfterMinVersion = 3;
 
 enum class MessageType : std::uint8_t {
   Hello = 1,         ///< client -> server: magic + version
@@ -143,7 +148,11 @@ struct DecodeResult {
 void encode_hello(std::vector<std::uint8_t>& out, std::uint16_t version = kWireVersion);
 void encode_hello_ack(std::vector<std::uint8_t>& out, std::uint16_t version = kWireVersion);
 void encode_request(std::vector<std::uint8_t>& out, const SolveRequest& request);
-void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& response);
+/// `version` is the NEGOTIATED connection version: a v1/v2 peer's decoder
+/// rejects unknown flag bits, so the retry-after hint is only emitted when
+/// the connection speaks v3+ (and the hint is nonzero).
+void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& response,
+                     std::uint16_t version = kWireVersion);
 void encode_error(std::vector<std::uint8_t>& out, std::uint64_t id, WireFault fault,
                   const std::string& message);
 void encode_shutdown(std::vector<std::uint8_t>& out);

@@ -53,6 +53,8 @@ BatchSolver::BatchSolver(const Options& options)
     PersistentBackend::Options store_options;
     store_options.path = options_.store_path;
     store_options.sync_every_put = options_.store_sync_every_put;
+    store_options.degraded_after_failures = options_.store_degraded_after_failures;
+    store_options.reopen_probe_interval = options_.store_reopen_probe_interval;
     std::string error;
     backend_ = PersistentBackend::open(store_options, error);
     LPTSP_REQUIRE(backend_ != nullptr, "cannot open durable store: " + error);

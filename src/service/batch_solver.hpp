@@ -71,6 +71,12 @@ class BatchSolver {
     /// results are re-derivable, so the OS page-cache durability window is
     /// an acceptable trade against paying an fsync per solve.
     bool store_sync_every_put = false;
+    /// Consecutive store write failures before the backend flips into
+    /// read-only degraded mode (cache-only serving continues; the
+    /// store_degraded gauge reports it). <= 0 disables the ladder.
+    int store_degraded_after_failures = 3;
+    /// While degraded, attempt a reopen/heal at most this often.
+    std::chrono::milliseconds store_reopen_probe_interval{1000};
     /// Stage timing and request tracing. Counters are always maintained
     /// (one relaxed add each, unmeasurable); this flag gates only the
     /// steady_clock reads — per-request traces, stage histograms, the

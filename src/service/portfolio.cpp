@@ -11,6 +11,7 @@
 #include "tsp/chained_lk.hpp"
 #include "tsp/held_karp.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/timer.hpp"
 
 namespace lptsp {
@@ -82,6 +83,10 @@ Engine EnginePortfolio::preferred_engine(int n) const {
 PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
                                        std::optional<std::chrono::milliseconds> deadline_override) {
   const Timer timer;
+  // Injected engine stall (chaos harness): burn wall time on this worker
+  // before any engine starts, driving the pending gauge up the same way a
+  // pathological instance would.
+  fault::maybe_stall(FaultSite::EngineStall);
   const int n = instance.n();
   LPTSP_REQUIRE(n >= 1, "portfolio requires a non-empty instance");
   const std::chrono::milliseconds deadline = deadline_override.value_or(options_.deadline);
@@ -118,7 +123,12 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
   const Engine exact_engine = use_hk ? Engine::HeldKarp : Engine::BranchBound;
 
   bool run_exact = true;
-  if (options_.learn) {
+  if (heuristic_only_.load(std::memory_order_relaxed)) {
+    // Brownout rung 1: shed the exact engine, keep the bounded heuristic.
+    run_exact = false;
+    races_heuristic_only_.add();
+  }
+  if (run_exact && options_.learn) {
     const auto& bucket = wins_[static_cast<std::size_t>(bucket_of(n))];
     const std::uint64_t exact_wins = bucket[0].load(std::memory_order_relaxed) +
                                      bucket[1].load(std::memory_order_relaxed);
@@ -269,6 +279,7 @@ void EnginePortfolio::register_metrics(obs::MetricRegistry& registry, const void
   if (owner == nullptr) owner = this;
   registry.register_counter("races_total", &races_total_, owner);
   registry.register_counter("races_failed", &races_failed_, owner);
+  registry.register_counter("races_heuristic_only", &races_heuristic_only_, owner);
   // Slot order mirrors slot_of(): HeldKarp / BranchBound / ChainedLK.
   static constexpr const char* kSlotNames[kSlots] = {"held_karp", "branch_bound", "chained_lk"};
   for (int slot = 0; slot < kSlots; ++slot) {

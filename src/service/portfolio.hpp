@@ -93,6 +93,18 @@ class EnginePortfolio {
   /// Inputs of the wrong length are ignored.
   void merge_win_table(const std::vector<std::uint64_t>& counts);
 
+  /// Brownout override (rung 1 of the server's degradation ladder): while
+  /// set, race() skips the exact engine entirely and serves the chained-LK
+  /// heuristic alone — bounded work per request, no optimality
+  /// certificates. Safe to toggle from any thread; in-flight races finish
+  /// under the mode they started with.
+  void force_heuristic_only(bool on) noexcept {
+    heuristic_only_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool heuristic_only() const noexcept {
+    return heuristic_only_.load(std::memory_order_relaxed);
+  }
+
   /// Publish race totals, per-engine win/cancel counters and per-engine
   /// latency histograms into `registry`, tagged with `owner` (defaults to
   /// this portfolio). The portfolio must outlive the registry's snapshots
@@ -110,8 +122,10 @@ class EnginePortfolio {
   // learning state (bucketed by size, persisted); these are monitoring
   // counters (global per engine, reset on restart) — different consumers,
   // so they stay separate.
+  std::atomic<bool> heuristic_only_{false};
   obs::Counter races_total_;
   obs::Counter races_failed_;
+  obs::Counter races_heuristic_only_;  ///< races run with the exact slot shed
   std::array<obs::Counter, kSlots> slot_wins_;
   std::array<obs::Counter, kSlots> slot_cancelled_;
   std::array<obs::LatencyHistogram, kSlots> slot_latency_;

@@ -64,6 +64,10 @@ struct SolveResponse {
   ResponseSource source = ResponseSource::Solved;
   bool reduction_cached = false;  ///< the all-pairs BFS was skipped
   double seconds = 0;             ///< wall time spent on this request
+  /// RejectedOverload hint: how long the client should back off before
+  /// retrying, in milliseconds. 0 = no hint. Carried on the wire from
+  /// protocol v3; older peers simply never see it.
+  std::uint32_t retry_after_ms = 0;
 
   [[nodiscard]] bool ok() const noexcept { return status == SolveStatus::Ok; }
 };

@@ -22,7 +22,51 @@ std::unique_ptr<PersistentBackend> PersistentBackend::open(const Options& option
   kv_options.compact_min_records = options.compact_min_records;
   std::unique_ptr<KvStore> kv = KvStore::open(kv_options, error);
   if (kv == nullptr) return nullptr;
-  return std::unique_ptr<PersistentBackend>(new PersistentBackend(std::move(kv)));
+  return std::unique_ptr<PersistentBackend>(new PersistentBackend(std::move(kv), options));
+}
+
+bool PersistentBackend::allow_write() {
+  if (!degraded_.load(std::memory_order_relaxed)) return true;
+  const std::uint64_t now_ns = obs::steady_now_ns();
+  const auto interval_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(options_.reopen_probe_interval)
+          .count());
+  std::uint64_t last_ns = last_probe_ns_.load(std::memory_order_relaxed);
+  // One writer wins the probe slot per interval (CAS): a heal attempt is
+  // a full live-state rewrite, not something every racing put should pay.
+  if (now_ns - last_ns >= interval_ns &&
+      last_probe_ns_.compare_exchange_strong(last_ns, now_ns, std::memory_order_relaxed)) {
+    if (probe_reopen()) return true;
+  }
+  writes_skipped_.add();
+  return false;
+}
+
+bool PersistentBackend::probe_reopen() {
+  reopen_probes_.add();
+  // compact() rewrites the complete in-memory live set to a fresh log and
+  // renames it over the (possibly poisoned) old one — so a successful
+  // heal also recovers every record whose append failed while degraded.
+  if (!kv_->compact()) return false;
+  reopens_.add();
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  degraded_.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+void PersistentBackend::note_write(bool ok) {
+  if (ok) {
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  write_failures_.add();
+  if (options_.degraded_after_failures <= 0) return;
+  const int failures = consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures >= options_.degraded_after_failures &&
+      !degraded_.exchange(true, std::memory_order_relaxed)) {
+    degraded_entered_.add();
+    last_probe_ns_.store(obs::steady_now_ns(), std::memory_order_relaxed);
+  }
 }
 
 void PersistentBackend::put_result(const std::string& key, const Graph& canon, const PVec& p,
@@ -31,6 +75,7 @@ void PersistentBackend::put_result(const std::string& key, const Graph& canon, c
   // verification matrix is bounded by the same constant), so writing it
   // would only burn disk.
   if (canon.n() > kMaxPersistedGraphVertices) return;
+  if (!allow_write()) return;
   const std::uint64_t begin_ns = obs::steady_now_ns();
   const std::lock_guard lock(result_put_mutex_);
   // Monotone-improving per key: the in-memory cache's better-entry policy
@@ -50,10 +95,8 @@ void PersistentBackend::put_result(const std::string& key, const Graph& canon, c
   }
   std::vector<std::uint8_t> value;
   encode_persisted_result(value, canon, p.entries(), entry);
-  if (!kv_->put(kResultsNamespace, key,
-                std::string(reinterpret_cast<const char*>(value.data()), value.size()))) {
-    write_failures_.add();
-  }
+  note_write(kv_->put(kResultsNamespace, key,
+                      std::string(reinterpret_cast<const char*>(value.data()), value.size())));
   append_ns_.record(obs::steady_now_ns() - begin_ns);
 }
 
@@ -74,13 +117,12 @@ std::uint64_t PersistentBackend::for_each_result(
 }
 
 void PersistentBackend::put_win_table(const WinTableRecord& table) {
+  if (!allow_write()) return;
   const std::uint64_t begin_ns = obs::steady_now_ns();
   std::vector<std::uint8_t> value;
   encode_win_table(value, table);
-  if (!kv_->put(kMetaNamespace, kWinTableKey,
-                std::string(reinterpret_cast<const char*>(value.data()), value.size()))) {
-    write_failures_.add();
-  }
+  note_write(kv_->put(kMetaNamespace, kWinTableKey,
+                      std::string(reinterpret_cast<const char*>(value.data()), value.size())));
   append_ns_.record(obs::steady_now_ns() - begin_ns);
 }
 
@@ -100,6 +142,13 @@ void PersistentBackend::register_metrics(obs::MetricRegistry& registry, const vo
   registry.register_gauge(
       "store_compactions", [this] { return static_cast<std::int64_t>(kv_->stats().compactions); },
       owner);
+  registry.register_gauge(
+      "store_degraded",
+      [this] { return degraded_.load(std::memory_order_relaxed) ? 1 : 0; }, owner);
+  registry.register_counter("store_degraded_entered", &degraded_entered_, owner);
+  registry.register_counter("store_writes_skipped_degraded", &writes_skipped_, owner);
+  registry.register_counter("store_reopen_probes", &reopen_probes_, owner);
+  registry.register_counter("store_reopens", &reopens_, owner);
 }
 
 std::optional<WinTableRecord> PersistentBackend::load_win_table() const {

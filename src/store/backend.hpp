@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,6 +26,18 @@ namespace lptsp {
 /// Persistence is best-effort by design: an IO failure flips writes into
 /// counted no-ops instead of failing solves — the store is a cache of
 /// re-derivable results, never the source of truth.
+///
+/// Degradation ladder: after `degraded_after_failures` CONSECUTIVE write
+/// failures the backend enters read-only degraded mode (the
+/// `store_degraded` gauge flips to 1). Serving continues from the
+/// in-memory cache; writes become counted skips instead of repeated
+/// syscall failures. While degraded, at most once per
+/// `reopen_probe_interval` a write attempt turns into a reopen probe: a
+/// forced compaction that rewrites the full live in-memory state to a
+/// fresh log and atomically renames it over the old one. A successful
+/// probe heals the store — including every record whose append failed
+/// while degraded, because the in-memory index kept them — and exits
+/// degraded mode.
 class PersistentBackend {
  public:
   static constexpr std::uint8_t kResultsNamespace = 0;
@@ -34,6 +48,11 @@ class PersistentBackend {
     bool sync_every_put = false;
     double compact_garbage_ratio = 0.5;
     std::uint64_t compact_min_records = 256;
+    /// Consecutive write failures before entering read-only degraded
+    /// mode. <= 0 disables degradation (every write keeps trying).
+    int degraded_after_failures = 3;
+    /// While degraded, attempt a reopen/heal at most this often.
+    std::chrono::milliseconds reopen_probe_interval{1000};
   };
 
   /// Open or create the store file. nullptr + `error` on failure (corrupt
@@ -65,6 +84,17 @@ class PersistentBackend {
   /// Writes that failed at the KV/log layer since open (observability).
   [[nodiscard]] std::uint64_t write_failures() const noexcept { return write_failures_.value(); }
 
+  /// True while the backend is in read-only degraded mode.
+  [[nodiscard]] bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
+  /// Attempt a heal right now regardless of the probe interval: force a
+  /// compaction (full live-state rewrite + atomic rename). On success the
+  /// backend leaves degraded mode. Exposed for tests and operator tooling;
+  /// the write path calls this automatically on the probe cadence.
+  bool probe_reopen();
+
   /// Publish the append-latency histogram, write-failure counter, and
   /// gauges over KvStore::stats() (live/total records, file bytes,
   /// compactions) into `registry`, tagged with `owner` (defaults to this
@@ -75,9 +105,19 @@ class PersistentBackend {
   [[nodiscard]] const KvStore& kv() const noexcept { return *kv_; }
 
  private:
-  explicit PersistentBackend(std::unique_ptr<KvStore> kv) : kv_(std::move(kv)) {}
+  PersistentBackend(std::unique_ptr<KvStore> kv, const Options& options)
+      : kv_(std::move(kv)), options_(options) {}
+
+  /// Gate every durable write through the degradation ladder: true =
+  /// proceed with the write; false = skip it (degraded, and no probe due
+  /// or the probe failed). May heal the store as a side effect.
+  bool allow_write();
+  /// Account one write outcome: success resets the consecutive-failure
+  /// run; failure counts it and may enter degraded mode.
+  void note_write(bool ok);
 
   std::unique_ptr<KvStore> kv_;
+  Options options_;
   /// Serializes put_result's read-compare-write so the monotonicity check
   /// is atomic across racing result writers (win-table puts don't need it).
   std::mutex result_put_mutex_;
@@ -85,6 +125,16 @@ class PersistentBackend {
   /// End-to-end latency of durable appends (encode + monotonicity peek +
   /// KV put), recorded in both put_result and put_win_table.
   obs::LatencyHistogram append_ns_;
+
+  // Degradation ladder state. `degraded_` is the mode flag (also the
+  // store_degraded gauge); the rest drives entry/exit accounting.
+  std::atomic<bool> degraded_{false};
+  std::atomic<int> consecutive_failures_{0};
+  std::atomic<std::uint64_t> last_probe_ns_{0};
+  obs::Counter degraded_entered_;   ///< times the backend flipped read-only
+  obs::Counter writes_skipped_;     ///< writes dropped while degraded
+  obs::Counter reopen_probes_;      ///< heal attempts (successful or not)
+  obs::Counter reopens_;            ///< successful heals
 };
 
 }  // namespace lptsp

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/endian.hpp"
+#include "util/fault.hpp"
 
 namespace lptsp {
 
@@ -204,6 +205,15 @@ bool KvStore::compact_locked() {
     }
   }
   if (!fresh->sync()) return abandon();
+  // Injected crash in the rename window: the fully written sibling stays
+  // on disk (deliberately NOT abandon() — a killed process cleans nothing
+  // up) and the old log remains live. open() reclaims the orphan; the
+  // compaction-crash-window tests assert reopen serves the pre-compaction
+  // state with no lost records.
+  if (fault::should_fail(FaultSite::StoreCompactRename)) {
+    fresh.reset();
+    return false;
+  }
   if (std::rename(log_options.path.c_str(), options_.path.c_str()) != 0) {
     return abandon();
   }

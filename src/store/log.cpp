@@ -9,6 +9,7 @@
 
 #include "util/crc32.hpp"
 #include "util/endian.hpp"
+#include "util/fault.hpp"
 
 namespace lptsp {
 
@@ -179,6 +180,14 @@ bool RecordLog::append(const std::uint8_t* payload, std::size_t size) {
   // failed WRITE poisons the log: a half-written frame would corrupt the
   // scan of anything appended after it.
   if (size > options_.max_record_bytes) return false;
+  // Injected append failure: models a failed write(2). Nothing reaches
+  // the disk, but the caller-visible contract is the real one — the
+  // append failed and the log is poisoned (a genuine failure could have
+  // left a half-written frame).
+  if (fault::should_fail(FaultSite::StoreAppend)) {
+    failed_ = true;
+    return false;
+  }
   // One buffer, one write: the frame and payload land contiguously, so a
   // crash leaves at worst a torn tail (which open() repairs), never an
   // intact frame pointing at someone else's bytes.
@@ -197,6 +206,10 @@ bool RecordLog::append(const std::uint8_t* payload, std::size_t size) {
 
 bool RecordLog::sync() {
   if (failed_) return false;
+  // An injected fsync failure does not poison the log: the data is
+  // intact, only the durability point was refused — same as a real
+  // transient fsync error.
+  if (fault::should_fail(FaultSite::StoreFsync)) return false;
   return ::fsync(fd_) == 0;
 }
 

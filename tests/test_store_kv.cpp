@@ -4,6 +4,7 @@
 #include <string>
 
 #include "store/kv.hpp"
+#include "util/fault.hpp"
 
 namespace lptsp {
 namespace {
@@ -112,6 +113,82 @@ TEST(KvStore, ExplicitCompactAndSyncWork) {
   EXPECT_LT(stats.file_bytes, before);
   EXPECT_EQ(stats.total_records, 1u);
   EXPECT_EQ(store->get(0, "k"), "49");
+  std::remove(path.c_str());
+}
+
+/// Returns true when `path` exists on disk.
+bool file_exists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
+
+/// Compaction "crashes" inside the rename window: the fully written
+/// .compact sibling is left on disk (as a killed process would leave it)
+/// and the old log stays live. Nothing is lost, the orphan is reclaimed on
+/// reopen, and a later compaction succeeds.
+TEST(KvStore, CompactionCrashInRenameWindowLosesNothing) {
+  const std::string path = temp_path("compact_crash");
+  std::remove(path.c_str());
+  std::remove((path + ".compact").c_str());
+  fault::disarm_all();
+  {
+    auto store = must_open(options_for(path));
+    for (int i = 0; i < 40; ++i) store->put(0, "k" + std::to_string(i % 4), std::to_string(i));
+
+    fault::arm(FaultSite::StoreCompactRename, 1.0, 7, /*max_fires=*/1);
+    EXPECT_FALSE(store->compact());
+    fault::disarm_all();
+    // The sibling survives the simulated crash; the live state is intact
+    // through the in-memory index AND through the still-valid old log.
+    EXPECT_TRUE(file_exists(path + ".compact"));
+    EXPECT_EQ(store->get(0, "k3"), "39");
+    EXPECT_EQ(store->size(0), 4u);
+    EXPECT_EQ(store->stats().compactions, 0u);
+    // The store keeps accepting writes after the failed compaction.
+    EXPECT_TRUE(store->put(0, "post-crash", "alive"));
+  }
+  // Reopen: pre-compaction state is fully served, no record lost, and the
+  // leftover sibling is reclaimed.
+  auto store = must_open(options_for(path));
+  EXPECT_FALSE(file_exists(path + ".compact"));
+  EXPECT_EQ(store->size(0), 5u);
+  EXPECT_EQ(store->get(0, "k0"), "36");
+  EXPECT_EQ(store->get(0, "k3"), "39");
+  EXPECT_EQ(store->get(0, "post-crash"), "alive");
+  // With the fault gone, compaction completes and still loses nothing.
+  EXPECT_TRUE(store->compact());
+  EXPECT_EQ(store->size(0), 5u);
+  EXPECT_EQ(store->get(0, "post-crash"), "alive");
+  EXPECT_EQ(store->stats().compactions, 1u);
+  std::remove(path.c_str());
+}
+
+/// Compaction interrupted by an injected fsync failure on the fresh log:
+/// the abandon path removes the sibling, the old log stays authoritative,
+/// and reopen serves the pre-compaction state.
+TEST(KvStore, CompactionFsyncFailureAbandonsCleanly) {
+  const std::string path = temp_path("compact_fsync");
+  std::remove(path.c_str());
+  std::remove((path + ".compact").c_str());
+  fault::disarm_all();
+  {
+    auto store = must_open(options_for(path));
+    for (int i = 0; i < 30; ++i) store->put(0, "key", std::to_string(i));
+
+    fault::arm(FaultSite::StoreFsync, 1.0, 11, /*max_fires=*/1);
+    EXPECT_FALSE(store->compact());
+    fault::disarm_all();
+    // Abandoned, not crashed: no orphan left beside the log.
+    EXPECT_FALSE(file_exists(path + ".compact"));
+    EXPECT_EQ(store->get(0, "key"), "29");
+  }
+  auto store = must_open(options_for(path));
+  EXPECT_EQ(store->get(0, "key"), "29");
+  EXPECT_EQ(store->size(0), 1u);
+  EXPECT_TRUE(store->compact());
+  EXPECT_EQ(store->get(0, "key"), "29");
   std::remove(path.c_str());
 }
 

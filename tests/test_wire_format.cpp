@@ -38,8 +38,8 @@ SolveRequest random_request(Rng& rng, std::uint64_t id) {
 SolveResponse random_response(Rng& rng, std::uint64_t id) {
   SolveResponse response;
   response.id = id;
-  response.status =
-      static_cast<SolveStatus>(rng.uniform_int(0, static_cast<int>(SolveStatus::RejectedOverload)));
+  response.status = static_cast<SolveStatus>(
+      rng.uniform_int(0, static_cast<int>(SolveStatus::TransportDisconnected)));
   response.source =
       static_cast<ResponseSource>(rng.uniform_int(0, static_cast<int>(ResponseSource::Coalesced)));
   response.engine =
@@ -55,6 +55,11 @@ SolveResponse random_response(Rng& rng, std::uint64_t id) {
   const int labels = rng.uniform_int(0, 40);
   for (int i = 0; i < labels; ++i) {
     response.labeling.labels.push_back(rng.uniform_int(0, 1000000));
+  }
+  // v3 field: present on roughly half the responses (0 = absent on the
+  // wire, so both encodings stay covered).
+  if (rng.bernoulli(0.5)) {
+    response.retry_after_ms = static_cast<std::uint32_t>(rng.uniform_int(1, 60000));
   }
   return response;
 }
@@ -127,7 +132,30 @@ TEST(WireFormat, RandomResponsesRoundTripExactly) {
     EXPECT_EQ(decoded.seconds, response.seconds);  // bit-exact via bit_cast
     EXPECT_EQ(decoded.message, response.message);
     EXPECT_EQ(decoded.labeling.labels, response.labeling.labels);
+    EXPECT_EQ(decoded.retry_after_ms, response.retry_after_ms);
   }
+}
+
+/// A v1/v2 connection must never see the v3 retry-after flag bit: encoding
+/// for an older negotiated version drops the hint (and an old decoder
+/// would have rejected the unknown bit as malformed).
+TEST(WireFormat, RetryAfterHintSuppressedForOlderPeers) {
+  SolveResponse response;
+  response.id = 9;
+  response.status = SolveStatus::RejectedOverload;
+  response.retry_after_ms = 250;
+  for (const std::uint16_t version : {std::uint16_t{1}, std::uint16_t{2}}) {
+    std::vector<std::uint8_t> bytes;
+    encode_response(bytes, response, version);
+    const DecodeResult result = decode_one(bytes);
+    ASSERT_TRUE(result.ok()) << result.detail;
+    EXPECT_EQ(result.message.response.retry_after_ms, 0u);
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_response(bytes, response, kWireVersion);
+  const DecodeResult result = decode_one(bytes);
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(result.message.response.retry_after_ms, 250u);
 }
 
 TEST(WireFormat, ErrorFramesRoundTrip) {

@@ -8,11 +8,15 @@
 ///   lptsp_stats [--host=127.0.0.1] [--port=4780]
 ///               [--json | --prom | --traces]      (default: aligned text)
 ///               [--drive=N] [--seed=S]            (send N requests first)
+///               [--timeout-ms=5000]               (connect + scrape budget)
 ///
 /// Exit codes: 0 scrape succeeded, 1 transport/protocol failure, 2 bad
 /// usage. The scrape requires a v2 server; v1 servers answer the stats
-/// frame with an Error, reported here as a refusal.
+/// frame with an Error, reported here as a refusal. A dead, absent, or
+/// wedged daemon produces a one-line diagnostic and exit 1 within
+/// --timeout-ms — never a hang (0 disables the timeout).
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
   const int port = args.get_int("port", 4780);
   const int drive = args.get_int("drive", 0);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const int timeout_ms = args.get_int("timeout-ms", 5000);
 
   StatsFormat format = StatsFormat::Text;
   int format_flags = 0;
@@ -89,19 +94,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "lptsp_stats: unknown flag --%s\n", unused.front().c_str());
     std::fprintf(stderr,
                  "usage: lptsp_stats [--host=H] [--port=P] [--json|--prom|--traces] "
-                 "[--drive=N] [--seed=S]\n");
+                 "[--drive=N] [--seed=S] [--timeout-ms=T]\n");
     return 2;
   }
 
   try {
-    lptsp::LabelingClient client;
+    ClientOptions client_options;
+    client_options.connect_timeout = std::chrono::milliseconds{timeout_ms};
+    client_options.request_timeout = std::chrono::milliseconds{timeout_ms};
+    lptsp::LabelingClient client(client_options);
     client.connect(host, static_cast<std::uint16_t>(port));
 
     if (drive > 0) {
       const std::vector<SolveRequest> workload = make_drive_workload(drive, seed);
       int ok = 0;
       for (const SolveRequest& request : workload) {
-        if (client.solve(request).ok()) ++ok;
+        if (client.solve_retry(request).ok()) ++ok;
       }
       std::fprintf(stderr, "lptsp_stats: drove %d requests (%d ok) against %s:%d\n", drive, ok,
                    host.c_str(), port);

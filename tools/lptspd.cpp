@@ -13,6 +13,9 @@
 ///          [--max-pending=256] [--max-connections=64]
 ///          [--max-inflight=64] [--seed=1] [--stats-every=10]
 ///          [--stats-json=PATH] [--trace-keep=64] [--trace-slow-ms=0]
+///          [--store-degraded-after=3] [--store-probe-ms=1000]
+///          [--brownout-heuristic-pending=N] [--brownout-reject-pending=N]
+///          [--brownout-retry-after-ms=250]
 ///
 /// Worker counts of 0 mean hardware concurrency. --max-pending is the
 /// service-wide admission bound (RejectedOverload beyond it); 0 disables
@@ -35,6 +38,20 @@
 /// previously solved results without re-running an engine, and resumes the
 /// portfolio's engine-choice learning where it stopped. --cache-sync adds
 /// an fsync per persisted result (default: OS page-cache durability).
+///
+/// Degradation ladder: --store-degraded-after=K flips the durable store
+/// into read-only degraded mode after K consecutive write failures (0
+/// disables; serving continues from memory, the store_degraded gauge goes
+/// to 1, and a reopen/heal is probed every --store-probe-ms). The
+/// brownout rungs watch the pending-request gauge:
+/// --brownout-heuristic-pending forces heuristic-only solving past its
+/// threshold and --brownout-reject-pending rejects new requests with
+/// RejectedOverload + a --brownout-retry-after-ms hint; both release with
+/// hysteresis at half their threshold. When --max-pending is set, the
+/// rungs default to 1/2 and 3/4 of it (pass 0 to disable a rung).
+/// Fault injection for drills: set LPTSP_FAULTS=site:prob:seed[:param],...
+/// (sites: store.append store.fsync store.compact_rename net.read_short
+/// net.write_short net.disconnect engine.stall).
 
 #include <sys/stat.h>
 
@@ -52,6 +69,7 @@
 #include "obs/metrics.hpp"
 #include "store/backend.hpp"
 #include "util/cli.hpp"
+#include "util/fault.hpp"
 
 using namespace lptsp;
 
@@ -105,6 +123,9 @@ int main(int argc, char** argv) {
     store_path = state_dir + "/lptspd.store";
   }
   solver_options.store_path = store_path;
+  solver_options.store_degraded_after_failures = args.get_int("store-degraded-after", 3);
+  solver_options.store_reopen_probe_interval =
+      std::chrono::milliseconds{args.get_int("store-probe-ms", 1000)};
 
   LabelingServer::Options server_options;
   server_options.bind_address = args.get("bind", "127.0.0.1");
@@ -112,6 +133,16 @@ int main(int argc, char** argv) {
   server_options.max_connections = args.get_int("max-connections", 64);
   server_options.max_inflight_per_connection =
       static_cast<std::size_t>(args.get_int("max-inflight", 64));
+  // Brownout defaults derive from the admission bound: shed the exact
+  // engines at half the pending cap, refuse outright at three quarters —
+  // the hard RejectedOverload at --max-pending stays the last resort.
+  const std::size_t max_pending = solver_options.max_pending_requests;
+  server_options.brownout_heuristic_pending = static_cast<std::size_t>(
+      args.get_int("brownout-heuristic-pending", static_cast<int>(max_pending / 2)));
+  server_options.brownout_reject_pending = static_cast<std::size_t>(
+      args.get_int("brownout-reject-pending", static_cast<int>(max_pending * 3 / 4)));
+  server_options.brownout_retry_after_ms =
+      static_cast<std::uint32_t>(args.get_int("brownout-retry-after-ms", 250));
 
   const int stats_every = args.get_int("stats-every", 10);
   const std::string stats_json = args.get("stats-json", "");
@@ -153,6 +184,11 @@ int main(int argc, char** argv) {
               solver_options.engine_workers, solver_options.max_pending_requests,
               isa_tier_name(kernels::active_isa_tier()),
               isa_tier_name(kernels::detected_isa_tier()));
+  std::printf("lptspd: brownout heuristic/reject at %zu/%zu pending, retry-after=%ums; "
+              "store degraded after %d failures; faults armed: %s\n",
+              server_options.brownout_heuristic_pending,
+              server_options.brownout_reject_pending, server_options.brownout_retry_after_ms,
+              solver_options.store_degraded_after_failures, fault::describe().c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_signal);
