@@ -20,7 +20,8 @@
 /// the bench chose); `ratio` entries are dimensionless comparisons
 /// (speedups, hit rates); `p50_ns`/`p90_ns`/`p99_ns` entries are a
 /// latency distribution over individual operations (tail behaviour, where
-/// a median hides regressions).
+/// a median hides regressions); `rate_per_s` entries are sustained
+/// throughput (operations per second — bigger is better, like ratio).
 
 #include <algorithm>
 #include <fstream>
@@ -38,18 +39,23 @@ class BenchJson {
 
   /// One timed case: name, problem size, median wall nanoseconds.
   void record(const std::string& name, long long n, double median_ns) {
-    entries_.push_back({name, n, median_ns, Kind::Median, 0.0, 0.0, 0.0, 0.0});
+    entries_.push_back({name, n, median_ns, Kind::Median, 0.0, 0.0, 0.0, 0.0, 0.0});
   }
 
-  /// One dimensionless comparison (speedup, ratio, rate).
+  /// One dimensionless comparison (speedup, hit rate, retained fraction).
   void record_ratio(const std::string& name, long long n, double ratio) {
-    entries_.push_back({name, n, 0.0, Kind::Ratio, ratio, 0.0, 0.0, 0.0});
+    entries_.push_back({name, n, 0.0, Kind::Ratio, ratio, 0.0, 0.0, 0.0, 0.0});
   }
 
   /// One latency distribution: per-operation percentiles in nanoseconds.
   void record_latency(const std::string& name, long long n, double p50_ns, double p90_ns,
                       double p99_ns) {
-    entries_.push_back({name, n, 0.0, Kind::Latency, 0.0, p50_ns, p90_ns, p99_ns});
+    entries_.push_back({name, n, 0.0, Kind::Latency, 0.0, p50_ns, p90_ns, p99_ns, 0.0});
+  }
+
+  /// One sustained throughput measurement in operations per second.
+  void record_rate(const std::string& name, long long n, double rate_per_s) {
+    entries_.push_back({name, n, 0.0, Kind::Rate, 0.0, 0.0, 0.0, 0.0, rate_per_s});
   }
 
   /// record_latency from raw per-operation samples (sorted in place).
@@ -84,6 +90,9 @@ class BenchJson {
           out << ", \"p50_ns\": " << entry.p50_ns << ", \"p90_ns\": " << entry.p90_ns
               << ", \"p99_ns\": " << entry.p99_ns;
           break;
+        case Kind::Rate:
+          out << ", \"rate_per_s\": " << entry.rate_per_s;
+          break;
       }
       out << '}' << (i + 1 < entries_.size() ? "," : "") << '\n';
     }
@@ -92,7 +101,7 @@ class BenchJson {
   }
 
  private:
-  enum class Kind { Median, Ratio, Latency };
+  enum class Kind { Median, Ratio, Latency, Rate };
 
   struct Entry {
     std::string name;
@@ -103,6 +112,7 @@ class BenchJson {
     double p50_ns;
     double p90_ns;
     double p99_ns;
+    double rate_per_s;
   };
 
   std::string bench_;

@@ -84,12 +84,14 @@ int main() {
     std::printf("  direct:   %3d ok, %.3fs, %.1f req/s (engine solves: %llu)\n", ok, seconds,
                 direct_rps, static_cast<unsigned long long>(solver.engine_solves()));
     json.record("direct_submit_req_ns_at_90pct", kRequests, seconds * 1e9 / kRequests);
+    json.record_rate("direct_submit_rate_at_90pct", kRequests, direct_rps);
   }
 
   // Lane 2: the same stream through a real TCP loopback connection,
   // fully pipelined (submit everything, then drain out of order).
   double loopback_rps = 0;
   double warm_rtt_ns = 0;
+  double trace_retained = 1.0;
   {
     BatchSolver solver(service_options());
     LabelingServer::Options server_options;
@@ -130,6 +132,57 @@ int main() {
                 rtt_ns / 1000.0, sorted[(sorted.size() * 99) / 100] / 1000.0);
     json.record("warm_roundtrip_ns", warm.graph.n(), rtt_ns);
     json.record_latency_samples("warm_roundtrip_latency", warm.graph.n(), rtt_samples);
+    json.record_rate("loopback_rate_at_90pct", kRequests, loopback_rps);
+
+    // Trace-context overhead: the same warm cache-hit round-trip through
+    // a tracing client — which stamps a trace id on the wire, records
+    // client spans, and makes the server echo its queue/service timings —
+    // vs the plain client above. Measurement is PAIRED like S1d: both
+    // lanes are warmed, then alternate request-by-request with the order
+    // flipped every other pair, and the comparison is medians over all
+    // per-request samples (whole-pass wall clock is far too noisy at
+    // ~100us RTTs).
+    {
+      ClientOptions trace_options;
+      trace_options.trace = true;
+      LabelingClient traced(trace_options);
+      traced.connect("127.0.0.1", server.port());
+      for (int i = 0; i < 8; ++i) {
+        (void)client.solve(warm);
+        (void)traced.solve(warm);
+      }
+      constexpr int kReps = 8;
+      constexpr int kPairsPerRep = 40;
+      std::vector<double> off_ns;
+      std::vector<double> on_ns;
+      off_ns.reserve(kReps * kPairsPerRep);
+      on_ns.reserve(kReps * kPairsPerRep);
+      const auto timed = [&warm](LabelingClient& lane, std::vector<double>& sink) {
+        const Timer per_request;
+        (void)lane.solve(warm);
+        sink.push_back(per_request.seconds() * 1e9);
+      };
+      for (int rep = 0; rep < kReps; ++rep) {
+        for (int i = 0; i < kPairsPerRep; ++i) {
+          const bool off_first = ((rep + i) & 1) == 0;
+          timed(off_first ? client : traced, off_first ? off_ns : on_ns);
+          timed(off_first ? traced : client, off_first ? on_ns : off_ns);
+        }
+      }
+      const auto median_of = [](std::vector<double>& samples) {
+        std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+        return samples[samples.size() / 2];
+      };
+      const double rps_off = 1e9 / median_of(off_ns);
+      const double rps_on = 1e9 / median_of(on_ns);
+      trace_retained = rps_on / rps_off;
+      std::printf("  trace-context warm RTT: off %.1f req/s, on %.1f req/s — retained %.1f%% "
+                  "(acceptance: >= 97%%, %zu client traces kept)\n",
+                  rps_off, rps_on, trace_retained * 100.0, traced.traces().size());
+      json.record_ratio("trace_context_throughput_retained", kReps * kPairsPerRep,
+                        trace_retained);
+      traced.shutdown();
+    }
 
     client.shutdown();
     server.stop();
@@ -171,6 +224,10 @@ int main() {
   }
   if (fault_overhead > 0.02) {
     std::printf("ACCEPTANCE FAILED: disarmed fault sites cost more than 2%% of warm RTT\n");
+    return 1;
+  }
+  if (trace_retained < 0.97) {
+    std::printf("ACCEPTANCE FAILED: trace context costs more than 3%% of warm throughput\n");
     return 1;
   }
   return 0;

@@ -6,17 +6,21 @@ The benches emit flat machine-readable records (see bench/bench_json.hpp):
     {"bench": "...", "results": [
         {"name": "...", "n": 123, "median_ns": 1.0e6},
         {"name": "...", "n": 123, "ratio": 6.1},
+        {"name": "...", "n": 123, "rate_per_s": 1.2e4},
         {"name": "...", "n": 123, "p50_ns": 8.1e4, "p90_ns": 1.2e5, "p99_ns": 3.4e5}]}
 
 This differ is the missing half of the perf-trajectory loop: CI downloads
 the previous successful run's bench-json artifact, runs the current
 benches, and renders a markdown verdict into the job summary. Entries are
 matched on (bench, name, n). A `median_ns` entry regresses when it got
-slower by more than the noise threshold; a `ratio` entry (speedups, hit
-rates — bigger is better) regresses when it dropped by more than the
-threshold. Latency-distribution entries (p50_ns/p90_ns/p99_ns) are
-expanded into one time record per percentile — "name:p99" — so a tail
-regression is flagged even when the median held, under the same rule.
+slower by more than the noise threshold; `ratio` and `rate_per_s` entries
+(speedups, hit rates, sustained throughput — bigger is better) regress
+when they dropped by more than the threshold. Latency-distribution
+entries (p50_ns/p90_ns/p99_ns) are expanded into one time record per
+percentile — "name:p99" — so a tail regression is flagged even when the
+median held, under the same rule. Entries whose value field this version
+does not recognize (a newer bench schema) are counted and noted, never a
+crash: an old differ must degrade gracefully against new artifacts.
 Shared-runner numbers are noisy, so the default threshold is
 generous and the exit code stays 0 unless --strict is passed: the summary
 flags trends, it does not gate merges.
@@ -34,7 +38,11 @@ import sys
 
 
 def load_records(directory):
-    """(bench, name, n) -> ("median_ns"|"ratio", value).
+    """Returns ({(bench, name, n): (kind, value)}, unknown_kind_count).
+
+    kind is "median_ns", "ratio", or "rate_per_s". Entries carrying none
+    of the known value fields are counted in unknown_kind_count so the
+    summary can note them (a newer bench schema than this differ knows).
 
     Defensive by design: this runs as a best-effort CI summary step, so a
     malformed artifact, a renamed bench, or a half-written JSON must come
@@ -43,6 +51,7 @@ def load_records(directory):
     TypeError on mixed-type fields.
     """
     records = {}
+    unknown = 0
     for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
         try:
             with open(path) as handle:
@@ -72,6 +81,8 @@ def load_records(directory):
                     records[key] = ("median_ns", float(entry["median_ns"]))
                 elif "ratio" in entry:
                     records[key] = ("ratio", float(entry["ratio"]))
+                elif "rate_per_s" in entry:
+                    records[key] = ("rate_per_s", float(entry["rate_per_s"]))
                 elif "p50_ns" in entry:
                     # Latency distributions fan out into one time record per
                     # percentile so each tail diffs independently.
@@ -79,14 +90,21 @@ def load_records(directory):
                         if field in entry:
                             records[(bench, f"{name}:{field[:-3]}", n)] = \
                                 ("median_ns", float(entry[field]))
+                else:
+                    unknown += 1
+                    print(f"warning: {path}: unrecognized record kind for {key} "
+                          f"(fields: {sorted(set(entry) - {'name', 'n'})})",
+                          file=sys.stderr)
             except (TypeError, ValueError):
                 print(f"warning: {path}: non-numeric value for {key}", file=sys.stderr)
-    return records
+    return records, unknown
 
 
 def fmt_value(kind, value):
     if kind == "ratio":
         return f"{value:.2f}x"
+    if kind == "rate_per_s":
+        return f"{value:.0f}/s"
     if value >= 1e9:
         return f"{value / 1e9:.2f}s"
     if value >= 1e6:
@@ -112,8 +130,8 @@ def main():
               "was not downloadable).")
         return 0
 
-    baseline = load_records(args.baseline)
-    current = load_records(args.current)
+    baseline, _ = load_records(args.baseline)
+    current, unknown_current = load_records(args.current)
 
     if not baseline:
         print("### Perf diff\n\nNo baseline bench records found — nothing to compare "
@@ -130,7 +148,8 @@ def main():
         base_kind, before = baseline[key]
         if base_kind != kind or before <= 0 or now <= 0:
             continue
-        # Normalize so "bigger change = worse" for both kinds.
+        # Normalize so "bigger change = worse" for every kind (median_ns
+        # is smaller-better; ratio and rate_per_s are bigger-better).
         change = (now / before - 1.0) if kind == "median_ns" else (before / now - 1.0)
         row = (key, kind, before, now, change)
         if change > args.threshold:
@@ -170,6 +189,10 @@ def main():
     if new_keys:
         print(f"\nNew records without a baseline (a bench was added or renamed — "
               f"expected on the run introducing it): {len(new_keys)}")
+    if unknown_current:
+        print(f"\nSkipped {unknown_current} current record(s) with an unrecognized "
+              f"kind — the bench schema is newer than this differ; update "
+              f"scripts/perf_diff.py to compare them.")
     if gone_keys:
         print(f"\nBaseline records with no current counterpart (a bench was removed "
               f"or renamed): "

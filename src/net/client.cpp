@@ -55,6 +55,14 @@ ClientOptions legacy_options(const WireLimits& limits) {
   return options;
 }
 
+std::uint64_t splitmix64_step(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace
 
 LabelingClient::LabelingClient(const WireLimits& limits)
@@ -64,12 +72,17 @@ LabelingClient::LabelingClient(const ClientOptions& options)
     : options_(options),
       limits_(options.wire),
       reader_(options.wire),
-      jitter_rng_(options.jitter_seed) {}
+      jitter_rng_(options.jitter_seed),
+      // A separate stream from jitter_rng_ keeps trace ids from
+      // perturbing the backoff schedule tests pin.
+      trace_id_state_(options.jitter_seed ^ 0x7472616365ULL),
+      traces_(obs::TraceRing::Config{options.trace ? options.trace_capacity : 0, 0}) {}
 
 LabelingClient::~LabelingClient() { close(); }
 
 void LabelingClient::connect(const std::string& host, std::uint16_t port) {
   if (connected()) transport_error("already connected");
+  const std::uint64_t connect_start = options_.trace ? obs::steady_now_ns() : 0;
 
   sockaddr_in address{};
   address.sin_family = AF_INET;
@@ -156,6 +169,10 @@ void LabelingClient::connect(const std::string& host, std::uint16_t port) {
     transport_error(std::string("handshake expected hello-ack, got ") +
                     message_type_name(ack.type));
   }
+  // The ack carries the version the server settled on; every encoder on
+  // this connection gates its version-dependent fields on it.
+  negotiated_version_ = ack.version;
+  if (options_.trace) pending_connect_ns_ = obs::steady_now_ns() - connect_start;
   host_ = host;
   port_ = port;
 }
@@ -171,11 +188,93 @@ bool LabelingClient::reconnect() {
   return true;
 }
 
+std::uint64_t LabelingClient::next_trace_id() {
+  const std::uint64_t id = splitmix64_step(trace_id_state_);
+  return id != 0 ? id : 1;  // 0 means "no context" on the wire
+}
+
 void LabelingClient::submit(const SolveRequest& request) {
   if (!connected()) transport_error("not connected");
+  if (!tracing_active()) {
+    std::vector<std::uint8_t> frame;
+    encode_request(frame, request, negotiated_version_);
+    write_all(frame.data(), frame.size());
+    return;
+  }
+
+  // A retry reuses the request id; the stale pending trace (whose reply
+  // will never come) must not swallow the new attempt's response.
+  for (auto it = pending_traces_.begin(); it != pending_traces_.end(); ++it) {
+    if (it->id == request.id) {
+      pending_traces_.erase(it);
+      break;
+    }
+  }
+
+  obs::Trace trace;
+  trace.request_id = request.id;
+  trace.sampled = true;
+  trace.origin_ns = obs::steady_now_ns();
+  trace.spans.reserve(8);
+  if (pending_connect_ns_ != 0) {
+    // The handshake predates any request; bill it to the first trace on
+    // the connection as a span at origin.
+    trace.spans.push_back(
+        {obs::Stage::ClientConnect, nullptr, 0, pending_connect_ns_, false, false});
+    pending_connect_ns_ = 0;
+  }
+
+  // Stamp a generated sampled id unless the caller pre-stamped one. The
+  // override goes straight to the encoder — copying the request (and its
+  // graph) per traced send would cost more than the tracing itself.
+  std::uint64_t trace_id = request.trace_id;
+  bool sampled = request.trace_sampled;
+  if (trace_id == 0) {
+    trace_id = next_trace_id();
+    sampled = true;
+  }
   std::vector<std::uint8_t> frame;
-  encode_request(frame, request);
-  write_all(frame.data(), frame.size());
+  {
+    obs::SpanScope serialize(&trace, obs::Stage::ClientSerialize);
+    encode_request_traced(frame, request, negotiated_version_, trace_id, sampled);
+  }
+  trace.trace_id = trace_id;
+  {
+    obs::SpanScope send(&trace, obs::Stage::ClientSend);
+    write_all(frame.data(), frame.size());
+  }
+  pending_traces_.push_back({request.id, obs::steady_now_ns(), std::move(trace)});
+}
+
+void LabelingClient::finish_trace_for(const SolveResponse& response) {
+  for (auto it = pending_traces_.begin(); it != pending_traces_.end(); ++it) {
+    if (it->id != response.id) continue;
+    PendingTrace pending = std::move(*it);
+    pending_traces_.erase(it);
+    obs::Trace& trace = pending.trace;
+    const std::uint64_t now = obs::steady_now_ns();
+    const std::uint64_t turnaround_start = pending.sent_ns - trace.origin_ns;
+    trace.spans.push_back({obs::Stage::ServerTurnaround, nullptr, turnaround_start,
+                           now - pending.sent_ns, false, false});
+    // The echoed server timings and the measured decode cost nest inside
+    // the turnaround: net transit = turnaround minus the nested spans.
+    if (response.server_queue_ns != 0 || response.server_service_ns != 0) {
+      trace.spans.push_back({obs::Stage::ServerQueue, nullptr, turnaround_start,
+                             response.server_queue_ns, false, true});
+      trace.spans.push_back({obs::Stage::ServerService, nullptr,
+                             turnaround_start + response.server_queue_ns,
+                             response.server_service_ns, false, true});
+    }
+    if (last_decode_ns_ != 0 && now - trace.origin_ns >= last_decode_ns_) {
+      trace.spans.push_back({obs::Stage::ClientDeserialize, nullptr,
+                             now - trace.origin_ns - last_decode_ns_, last_decode_ns_, false,
+                             true});
+    }
+    trace.total_ns = now - trace.origin_ns;
+    trace.result = response.ok() ? response_source_name_cstr(response.source) : "error";
+    traces_.keep(std::move(trace));
+    return;
+  }
 }
 
 SolveResponse LabelingClient::next() {
@@ -229,6 +328,7 @@ SolveResponse LabelingClient::wait_for(std::uint64_t id, std::chrono::millisecon
     }
     switch (message.type) {
       case MessageType::Response:
+        finish_trace_for(message.response);
         if (message.response.id == id) return std::move(message.response);
         buffered_.push_back(std::move(message.response));
         continue;
@@ -366,6 +466,7 @@ std::string LabelingClient::stats(StatsFormat format) {
       case MessageType::Response:
         // A pipelined solve finishing ahead of the scrape; keep it for
         // next()/wait().
+        finish_trace_for(message.response);
         buffered_.push_back(std::move(message.response));
         continue;
       case MessageType::Error: {
@@ -406,6 +507,10 @@ void LabelingClient::close() {
   }
   buffered_.clear();
   reader_ = FrameReader(limits_);
+  // In-flight traces will never get their responses on this connection.
+  pending_traces_.clear();
+  pending_connect_ns_ = 0;
+  negotiated_version_ = kWireVersion;
 }
 
 void LabelingClient::write_all(const std::uint8_t* data, std::size_t size) {
@@ -440,6 +545,10 @@ LabelingClient::ReadOutcome LabelingClient::try_read_message(WireMessage& out,
     return ReadOutcome::Disconnected;
   }
   DecodeResult result;
+  // Time the successful decode for the ClientDeserialize span; the clock
+  // is only read while a traced request is actually in flight.
+  const bool measure_decode = !pending_traces_.empty();
+  std::uint64_t decode_start = measure_decode ? obs::steady_now_ns() : 0;
   while (!reader_.next(result)) {
     pollfd pfd{fd_, POLLIN, 0};
     const int timeout_ms = remaining_poll_ms(deadline);
@@ -465,6 +574,7 @@ LabelingClient::ReadOutcome LabelingClient::try_read_message(WireMessage& out,
     const ssize_t got = ::read(fd_, buffer, cap);
     if (got > 0) {
       reader_.feed(buffer, static_cast<std::size_t>(got));
+      if (measure_decode) decode_start = obs::steady_now_ns();
       continue;
     }
     if (got < 0 && errno == EINTR) continue;
@@ -473,6 +583,7 @@ LabelingClient::ReadOutcome LabelingClient::try_read_message(WireMessage& out,
     close();
     return ReadOutcome::Disconnected;
   }
+  if (measure_decode) last_decode_ns_ = obs::steady_now_ns() - decode_start;
   if (!result.ok()) {
     detail = std::string("protocol fault from server bytes: ") + wire_fault_name(result.fault) +
              " (" + result.detail + ")";
@@ -498,6 +609,7 @@ SolveResponse LabelingClient::read_response() {
     WireMessage message = read_message();
     switch (message.type) {
       case MessageType::Response:
+        finish_trace_for(message.response);
         return std::move(message.response);
       case MessageType::Error: {
         const std::string detail = message.error_message;

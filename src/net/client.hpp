@@ -5,8 +5,10 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/wire.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace lptsp {
@@ -37,6 +39,16 @@ struct ClientOptions {
   ClientRetryPolicy retry;
   /// Seed for the backoff jitter stream (deterministic for tests).
   std::uint64_t jitter_seed = 0x6c707473ULL;
+  /// Client-side request tracing. When true, submit() stamps requests
+  /// that carry no trace context with a generated sampled 64-bit trace
+  /// id (suppressed automatically on connections that negotiated < v4)
+  /// and records spans — connect, serialize, send, server-turnaround
+  /// (with the server's echoed queue/service timings nested inside),
+  /// deserialize — into a client-owned ring exposed via traces(). The
+  /// server adopts the same id, so both rings dump one joined trace.
+  bool trace = false;
+  /// Retained client traces (ring capacity) when `trace` is on.
+  std::size_t trace_capacity = 64;
 };
 
 /// Blocking lptspd client with a pipelined submit/wait split.
@@ -122,10 +134,31 @@ class LabelingClient {
   /// Close without the protocol goodbye.
   void close();
 
+  /// Version negotiated on the current connection (the server acks the
+  /// lower of the two); kWireVersion before the first connect().
+  [[nodiscard]] std::uint16_t negotiated_version() const noexcept {
+    return negotiated_version_;
+  }
+
+  /// Client-side trace ring (empty unless ClientOptions::trace is on).
+  [[nodiscard]] const obs::TraceRing& traces() const noexcept { return traces_; }
+
  private:
   /// Typed outcome of one bounded read attempt.
   enum class ReadOutcome { Ok, TimedOut, Disconnected };
   using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
+  /// Tracing is live when the option is on AND the peer speaks v4+ (an
+  /// older server would reject the unknown request flag bits).
+  [[nodiscard]] bool tracing_active() const noexcept {
+    return options_.trace && negotiated_version_ >= kTraceContextMinVersion;
+  }
+  /// Fresh nonzero trace id from a deterministic per-client stream.
+  std::uint64_t next_trace_id();
+  /// Close the pending client trace for `response` (if any): append the
+  /// server-turnaround span, the echoed server timings, and the measured
+  /// deserialize time, then retain it in traces_.
+  void finish_trace_for(const SolveResponse& response);
 
   void write_all(const std::uint8_t* data, std::size_t size);
   /// Read until one decoded message is available; throws on EOF/fault.
@@ -148,6 +181,21 @@ class LabelingClient {
   /// Responses read while waiting for a different id, oldest first. Scans
   /// are linear; the deque is bounded by the caller's pipeline window.
   std::deque<SolveResponse> buffered_;
+
+  // --- client-side tracing state ---
+  std::uint16_t negotiated_version_ = kWireVersion;
+  std::uint64_t trace_id_state_ = 0;     ///< splitmix stream for next_trace_id()
+  std::uint64_t pending_connect_ns_ = 0; ///< last connect duration, spent on the next trace
+  std::uint64_t last_decode_ns_ = 0;     ///< duration of the last successful frame decode
+  /// Traces for submitted-but-unanswered requests, submit order. Linear
+  /// scans, bounded by the caller's pipeline window (like buffered_).
+  struct PendingTrace {
+    std::uint64_t id = 0;
+    std::uint64_t sent_ns = 0;  ///< steady_now_ns() when the frame was fully written
+    obs::Trace trace;
+  };
+  std::vector<PendingTrace> pending_traces_;
+  obs::TraceRing traces_;
 };
 
 }  // namespace lptsp

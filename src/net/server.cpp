@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/journal.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
 
@@ -313,6 +314,8 @@ void LabelingServer::event_loop() {
 void LabelingServer::update_brownout() {
   if (options_.brownout_heuristic_pending == 0 && options_.brownout_reject_pending == 0) return;
   const std::size_t pending = solver_.pending_requests();
+  const int old_level =
+      loop_->brownout_reject_engaged ? 2 : (loop_->brownout_heuristic_engaged ? 1 : 0);
   const auto exit_threshold = [&](std::size_t enter) {
     return static_cast<std::size_t>(static_cast<double>(enter) * options_.brownout_exit_ratio);
   };
@@ -335,9 +338,16 @@ void LabelingServer::update_brownout() {
       loop_->brownout_reject_engaged = false;
     }
   }
-  brownout_level_.store(
-      loop_->brownout_reject_engaged ? 2 : (loop_->brownout_heuristic_engaged ? 1 : 0),
-      std::memory_order_relaxed);
+  const int new_level =
+      loop_->brownout_reject_engaged ? 2 : (loop_->brownout_heuristic_engaged ? 1 : 0);
+  brownout_level_.store(new_level, std::memory_order_relaxed);
+  if (new_level != old_level) {
+    // Rung transitions are the incident timeline's backbone: the journal
+    // answers "when did we start shedding, and when did we recover".
+    obs::journal().emit(obs::EventType::BrownoutRung,
+                        new_level > old_level ? obs::EventLevel::Warn : obs::EventLevel::Info,
+                        nullptr, 0, 0, old_level, new_level);
+  }
 }
 
 void LabelingServer::accept_new_connections() {
@@ -448,6 +458,10 @@ void LabelingServer::send_fault(Connection& connection, WireFault fault,
                                 const std::string& detail) {
   encode_error(connection.out, 0, fault, detail);
   protocol_errors_.add();
+  // Peer attribution: counters say how many faults, the journal says
+  // which connection sent them.
+  obs::journal().emit(obs::EventType::WireFault, obs::EventLevel::Error,
+                      wire_fault_name(fault), 0, connection.id);
   const auto index = static_cast<std::size_t>(fault);
   if (index > 0 && index < wire_faults_.size()) wire_faults_[index].add();
   connection.closing = true;
@@ -498,6 +512,12 @@ void LabelingServer::handle_stats_request(Connection& connection, StatsFormat fo
                "stats frames require protocol version 2 (connection negotiated v1)");
     return;
   }
+  if (format == StatsFormat::Journal && connection.version < kTraceContextMinVersion) {
+    send_fault(connection, WireFault::Malformed,
+               "journal format requires protocol version 4 (connection negotiated v" +
+                   std::to_string(connection.version) + ")");
+    return;
+  }
   stats_requests_.add();
   std::string payload;
   switch (format) {
@@ -507,6 +527,7 @@ void LabelingServer::handle_stats_request(Connection& connection, StatsFormat fo
       break;
     case StatsFormat::Text: payload = solver_.metrics_registry().snapshot().to_text(); break;
     case StatsFormat::Traces: payload = solver_.traces().dump_json(); break;
+    case StatsFormat::Journal: payload = obs::journal().dump_json(); break;
   }
   encode_stats_reply(connection.out, format, payload);
 }
@@ -536,6 +557,10 @@ void LabelingServer::handle_request(Connection& connection, SolveRequest&& reque
   // queueing more work would only stretch every deadline in the backlog.
   update_brownout();
   if (loop_->brownout_reject_engaged) {
+    // Trace-correlated: an incident read can tie "this client's request
+    // was refused" to the client-side trace carrying the same id.
+    obs::journal().emit(obs::EventType::OverloadReject, obs::EventLevel::Error, nullptr,
+                        request.trace_id, connection.id);
     reject("service browned out: pending backlog over the reject threshold, retry later",
            brownout_rejects_);
     return;

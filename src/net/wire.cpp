@@ -104,6 +104,18 @@ constexpr std::uint8_t kResponseOptimalBit = 1;
 constexpr std::uint8_t kResponseReductionCachedBit = 2;
 /// v3+: a trailing u32 retry-after hint (milliseconds) follows the labels.
 constexpr std::uint8_t kResponseRetryAfterBit = 4;
+/// v4+: two trailing u64s (server queue-wait ns, service ns) follow the
+/// retry-after hint (when present).
+constexpr std::uint8_t kResponseServerTimingBit = 8;
+
+/// Request flag byte. Through v3 this byte was the engine-pin flag and
+/// only 0/1 decoded; v4 reads it as a bit set, so a v1-v3 decoder
+/// naturally rejects frames carrying trace context it cannot parse —
+/// exactly why the encoder suppresses these bits below v4.
+constexpr std::uint8_t kRequestPinnedBit = 1;
+/// v4+: a trailing u64 trace id follows the graph bytes.
+constexpr std::uint8_t kRequestTraceContextBit = 2;
+constexpr std::uint8_t kRequestTraceSampledBit = 4;
 
 DecodeResult fail(WireFault fault, std::string detail) {
   DecodeResult result;
@@ -140,14 +152,19 @@ DecodeResult decode_request(Cursor& cursor, const WireLimits& limits) {
   request.id = cursor.u64();
   const std::uint32_t deadline_ms = cursor.u32();
   const auto priority = static_cast<std::int32_t>(cursor.u32());
-  const std::uint8_t pinned = cursor.u8();
+  const std::uint8_t flags = cursor.u8();
   const std::uint8_t engine_byte = cursor.u8();
   const std::uint8_t k = cursor.u8();
   if (!cursor.ok) return fail(WireFault::Truncated, "request header too short");
   request.deadline = std::chrono::milliseconds{deadline_ms};
   request.priority = priority;
-  if (pinned > 1) return fail(WireFault::Malformed, "request: pin flag must be 0 or 1");
-  if (pinned == 1) {
+  if (flags > (kRequestPinnedBit | kRequestTraceContextBit | kRequestTraceSampledBit)) {
+    return fail(WireFault::Malformed, "request: unknown flag bits");
+  }
+  if ((flags & kRequestTraceSampledBit) != 0 && (flags & kRequestTraceContextBit) == 0) {
+    return fail(WireFault::Malformed, "request: sampled bit without trace context");
+  }
+  if ((flags & kRequestPinnedBit) != 0) {
     if (engine_byte > static_cast<std::uint8_t>(Engine::BranchBound)) {
       return fail(WireFault::Malformed,
                   "request: unknown engine " + std::to_string(engine_byte));
@@ -171,6 +188,11 @@ DecodeResult decode_request(Cursor& cursor, const WireLimits& limits) {
   if (!decode_graph_binary(cursor.data, cursor.size, cursor.offset, request.graph, graph_error,
                            limits.max_vertices)) {
     return fail(WireFault::Malformed, "request: " + graph_error);
+  }
+  if ((flags & kRequestTraceContextBit) != 0) {
+    request.trace_id = cursor.u64();
+    if (!cursor.ok) return fail(WireFault::Truncated, "request: truncated trace context");
+    request.trace_sampled = (flags & kRequestTraceSampledBit) != 0;
   }
   if (cursor.remaining() != 0) {
     return fail(WireFault::Malformed, "request: trailing bytes after graph");
@@ -199,7 +221,8 @@ DecodeResult decode_response(Cursor& cursor) {
   if (engine_byte > static_cast<std::uint8_t>(Engine::BranchBound)) {
     return fail(WireFault::Malformed, "response: unknown engine " + std::to_string(engine_byte));
   }
-  if (flags > (kResponseOptimalBit | kResponseReductionCachedBit | kResponseRetryAfterBit)) {
+  if (flags > (kResponseOptimalBit | kResponseReductionCachedBit | kResponseRetryAfterBit |
+               kResponseServerTimingBit)) {
     return fail(WireFault::Malformed, "response: unknown flag bits");
   }
   response.status = static_cast<SolveStatus>(status);
@@ -226,6 +249,11 @@ DecodeResult decode_response(Cursor& cursor) {
     response.retry_after_ms = cursor.u32();
     if (!cursor.ok) return fail(WireFault::Truncated, "response: truncated retry-after hint");
   }
+  if ((flags & kResponseServerTimingBit) != 0) {
+    response.server_queue_ns = cursor.u64();
+    response.server_service_ns = cursor.u64();
+    if (!cursor.ok) return fail(WireFault::Truncated, "response: truncated server timing");
+  }
   if (cursor.remaining() != 0) {
     return fail(WireFault::Malformed, "response: trailing bytes after labels");
   }
@@ -238,7 +266,7 @@ DecodeResult decode_stats_request(Cursor& cursor) {
   const std::uint8_t format = cursor.u8();
   if (!cursor.ok) return fail(WireFault::Truncated, "stats request too short");
   if (format < static_cast<std::uint8_t>(StatsFormat::Json) ||
-      format > static_cast<std::uint8_t>(StatsFormat::Traces)) {
+      format > static_cast<std::uint8_t>(StatsFormat::Journal)) {
     return fail(WireFault::Malformed,
                 "stats request: unknown format " + std::to_string(format));
   }
@@ -255,7 +283,7 @@ DecodeResult decode_stats_reply(Cursor& cursor) {
   const std::uint8_t format = cursor.u8();
   if (!cursor.ok) return fail(WireFault::Truncated, "stats reply too short");
   if (format < static_cast<std::uint8_t>(StatsFormat::Json) ||
-      format > static_cast<std::uint8_t>(StatsFormat::Traces)) {
+      format > static_cast<std::uint8_t>(StatsFormat::Journal)) {
     return fail(WireFault::Malformed, "stats reply: unknown format " + std::to_string(format));
   }
   result.message.stats_format = static_cast<StatsFormat>(format);
@@ -301,11 +329,26 @@ void encode_hello_ack(std::vector<std::uint8_t>& out, std::uint16_t version) {
   close_frame(out, slot);
 }
 
-void encode_request(std::vector<std::uint8_t>& out, const SolveRequest& request) {
+void encode_request(std::vector<std::uint8_t>& out, const SolveRequest& request,
+                    std::uint16_t version) {
+  encode_request_traced(out, request, version, request.trace_id, request.trace_sampled);
+}
+
+void encode_request_traced(std::vector<std::uint8_t>& out, const SolveRequest& request,
+                           std::uint16_t version, std::uint64_t trace_id,
+                           bool trace_sampled) {
   // The wire carries k as one byte; emitting a frame whose declared
   // length disagrees with its payload would poison the whole pipelined
   // connection server-side, so refuse locally with a clear error.
   LPTSP_REQUIRE(request.p.k() <= 255, "wire format carries at most 255 p-vector entries");
+  // A v1-v3 server's decoder rejects flag values above 1, so the trace
+  // context (bits + trailing u64) is only emitted on v4+ connections.
+  const bool carry_trace = version >= kTraceContextMinVersion && trace_id != 0;
+  std::uint8_t flags = request.engine.has_value() ? kRequestPinnedBit : 0;
+  if (carry_trace) {
+    flags |= kRequestTraceContextBit;
+    if (trace_sampled) flags |= kRequestTraceSampledBit;
+  }
   const std::size_t slot = open_frame(out, MessageType::Request);
   put_u64(out, request.id);
   const auto deadline = request.deadline.count();
@@ -313,20 +356,25 @@ void encode_request(std::vector<std::uint8_t>& out, const SolveRequest& request)
                                   std::min<std::int64_t>(deadline, 0xffffffffLL))
                             : 0);
   put_u32(out, static_cast<std::uint32_t>(request.priority));
-  put_u8(out, request.engine.has_value() ? 1 : 0);
+  put_u8(out, flags);
   put_u8(out, request.engine.has_value() ? static_cast<std::uint8_t>(*request.engine) : 0);
   put_u8(out, static_cast<std::uint8_t>(request.p.k()));
   for (const int entry : request.p.entries()) put_u32(out, static_cast<std::uint32_t>(entry));
   append_graph_binary(out, request.graph);
+  if (carry_trace) put_u64(out, trace_id);
   close_frame(out, slot);
 }
 
 void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& response,
                      std::uint16_t version) {
   // Older decoders reject unknown flag bits, so the hint (bit + trailing
-  // u32) is only emitted on connections that negotiated v3+.
+  // u32) is only emitted on connections that negotiated v3+, and the
+  // server-timing echo (bit + two trailing u64s) only on v4+.
   const bool carry_retry_after =
       version >= kRetryAfterMinVersion && response.retry_after_ms != 0;
+  const bool carry_server_timing =
+      version >= kTraceContextMinVersion &&
+      (response.server_queue_ns != 0 || response.server_service_ns != 0);
   const std::size_t slot = open_frame(out, MessageType::Response);
   put_u64(out, response.id);
   put_u8(out, static_cast<std::uint8_t>(response.status));
@@ -336,7 +384,9 @@ void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& respon
                                         (response.reduction_cached
                                              ? kResponseReductionCachedBit
                                              : 0) |
-                                        (carry_retry_after ? kResponseRetryAfterBit : 0)));
+                                        (carry_retry_after ? kResponseRetryAfterBit : 0) |
+                                        (carry_server_timing ? kResponseServerTimingBit
+                                                             : 0)));
   put_u64(out, static_cast<std::uint64_t>(response.span));
   put_u64(out, std::bit_cast<std::uint64_t>(response.seconds));
   put_u32(out, static_cast<std::uint32_t>(response.message.size()));
@@ -346,6 +396,10 @@ void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& respon
     put_u64(out, static_cast<std::uint64_t>(label));
   }
   if (carry_retry_after) put_u32(out, response.retry_after_ms);
+  if (carry_server_timing) {
+    put_u64(out, response.server_queue_ns);
+    put_u64(out, response.server_service_ns);
+  }
   close_frame(out, slot);
 }
 

@@ -28,17 +28,23 @@ namespace lptsp {
 inline constexpr std::uint32_t kWireMagic = 0x5354504CU;
 /// Current protocol version. v2 added StatsRequest/StatsReply; v3 added
 /// the retry-after hint on Response frames (flag bit + trailing u32, only
-/// emitted when the hint is nonzero). Every v1/v2 frame is bit-identical
-/// in v3, so the handshake negotiates downward: the server accepts any
-/// version in [kWireMinVersion, kWireVersion] and acks with the client's
-/// (lower) version, on which the newer frames/fields are suppressed.
-inline constexpr std::uint16_t kWireVersion = 3;
+/// emitted when the hint is nonzero); v4 added trace context on Request
+/// frames (flag bits + trailing u64 trace id), the server-timing echo on
+/// Response frames (flag bit + two trailing u64s), and the Journal stats
+/// format. Every older frame is bit-identical in v4, so the handshake
+/// negotiates downward: the server accepts any version in
+/// [kWireMinVersion, kWireVersion] and acks with the client's (lower)
+/// version, on which the newer frames/fields are suppressed.
+inline constexpr std::uint16_t kWireVersion = 4;
 inline constexpr std::uint16_t kWireMinVersion = 1;
 /// First protocol version carrying StatsRequest/StatsReply.
 inline constexpr std::uint16_t kStatsMinVersion = 2;
 /// First protocol version whose Response frames may carry a retry-after
 /// hint (on RejectedOverload, for client backoff).
 inline constexpr std::uint16_t kRetryAfterMinVersion = 3;
+/// First protocol version carrying trace context on Requests, the
+/// server-timing echo on Responses, and the Journal stats format.
+inline constexpr std::uint16_t kTraceContextMinVersion = 4;
 
 enum class MessageType : std::uint8_t {
   Hello = 1,         ///< client -> server: magic + version
@@ -74,6 +80,7 @@ enum class StatsFormat : std::uint8_t {
   Prometheus = 2,  ///< Prometheus text exposition
   Text = 3,        ///< human-readable aligned table
   Traces = 4,      ///< slow-trace ring as a JSON array
+  Journal = 5,     ///< structured event journal as a JSON array (v4+)
 };
 
 constexpr const char* stats_format_name(StatsFormat format) noexcept {
@@ -82,6 +89,7 @@ constexpr const char* stats_format_name(StatsFormat format) noexcept {
     case StatsFormat::Prometheus: return "prometheus";
     case StatsFormat::Text: return "text";
     case StatsFormat::Traces: return "traces";
+    case StatsFormat::Journal: return "journal";
   }
   return "unknown";  // out-of-range cast, not a missing enumerator
 }
@@ -147,10 +155,22 @@ struct DecodeResult {
 // client reads a v1 HelloAck and is none the wiser).
 void encode_hello(std::vector<std::uint8_t>& out, std::uint16_t version = kWireVersion);
 void encode_hello_ack(std::vector<std::uint8_t>& out, std::uint16_t version = kWireVersion);
-void encode_request(std::vector<std::uint8_t>& out, const SolveRequest& request);
+/// `version` is the NEGOTIATED connection version: a v1-v3 server's
+/// decoder rejects unknown request flag bits, so the trace context (flag
+/// bits + trailing u64 id) is only emitted when the connection speaks
+/// v4+ (and the request carries a nonzero trace id).
+void encode_request(std::vector<std::uint8_t>& out, const SolveRequest& request,
+                    std::uint16_t version = kWireVersion);
+/// Same frame, but with the trace context supplied out of band instead of
+/// read from the request. The traced client path stamps a generated id on
+/// every request; taking the override here means it never has to copy the
+/// request (and its graph) just to set two fields.
+void encode_request_traced(std::vector<std::uint8_t>& out, const SolveRequest& request,
+                           std::uint16_t version, std::uint64_t trace_id, bool trace_sampled);
 /// `version` is the NEGOTIATED connection version: a v1/v2 peer's decoder
 /// rejects unknown flag bits, so the retry-after hint is only emitted when
-/// the connection speaks v3+ (and the hint is nonzero).
+/// the connection speaks v3+ (and the hint is nonzero), and the
+/// server-timing echo only on v4+ (when measured).
 void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& response,
                      std::uint16_t version = kWireVersion);
 void encode_error(std::vector<std::uint8_t>& out, std::uint64_t id, WireFault fault,

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+/// Rate view over two MetricsSnapshots of the same registry.
+///
+/// Counters and histograms are cumulative since process start; a single
+/// snapshot answers "how much ever", never "how fast now". SnapshotDelta
+/// subtracts an earlier snapshot from a later one and divides by the
+/// monotonic interval the snapshots themselves carry (timestamp_ns), so
+/// the rates are exact regardless of scrape jitter. Histogram deltas
+/// subtract per-bucket counts, which yields true interval percentiles —
+/// not the since-boot blend a cumulative histogram reports.
+namespace lptsp::obs {
+
+struct SnapshotDelta {
+  struct CounterRate {
+    std::string name;
+    std::uint64_t delta = 0;     ///< newer - older (0 when the counter reset)
+    double per_second = 0.0;
+  };
+  struct GaugeLevel {
+    std::string name;
+    std::int64_t value = 0;      ///< newer snapshot's level
+    std::int64_t delta = 0;      ///< newer - older
+  };
+  struct HistogramDelta {
+    std::string name;
+    HistogramSnapshot hist;      ///< per-bucket difference over the interval
+    double per_second = 0.0;     ///< interval sample rate
+  };
+
+  double interval_seconds = 0.0;
+  std::uint64_t uptime_ns = 0;   ///< newer snapshot's uptime
+  std::vector<CounterRate> counters;
+  std::vector<GaugeLevel> gauges;
+  std::vector<HistogramDelta> histograms;
+
+  /// Difference newer - older. Metrics present in only one snapshot are
+  /// skipped (a registry that changed shape mid-watch); a counter that
+  /// went backwards (process restart) deltas to 0 rather than wrapping.
+  /// Requires newer.timestamp_ns >= older.timestamp_ns; an equal-time
+  /// pair yields zero rates (interval clamped to a minimum tick).
+  static SnapshotDelta between(const MetricsSnapshot& older, const MetricsSnapshot& newer);
+
+  /// Aligned table view for the --watch live display: per-second rates
+  /// for counters, levels for gauges, interval percentiles for
+  /// histograms.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Parse a Prometheus text exposition produced by
+/// MetricsSnapshot::to_prometheus() back into a MetricsSnapshot.
+/// Recognizes the "lptsp_" prefix, the snapshot_timestamp/uptime anchor
+/// gauges, and histogram _bucket/_sum/_count/_max series (bucket `le`
+/// values map back to log2 bucket indices via bucket_ceiling). Returns
+/// nullopt when the text carries no lptsp metrics at all; unknown lines
+/// are ignored, so the parser tolerates future additions.
+std::optional<MetricsSnapshot> parse_prometheus(const std::string& text);
+
+}  // namespace lptsp::obs

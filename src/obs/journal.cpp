@@ -1,0 +1,90 @@
+#include "obs/journal.hpp"
+
+#include "obs/trace.hpp"
+
+namespace lptsp::obs {
+
+void Journal::emit(EventType type, EventLevel level, const char* detail, std::uint64_t trace_id,
+                   std::uint64_t peer, std::int64_t arg0, std::int64_t arg1) {
+  JournalEvent event;
+  event.t_ns = steady_now_ns();
+  event.type = type;
+  event.level = level;
+  event.trace_id = trace_id;
+  event.peer = peer;
+  event.arg0 = arg0;
+  event.arg1 = arg1;
+  event.detail = detail;
+
+  const std::lock_guard lock(mutex_);
+  event.seq = next_seq_++;
+  if (capacity_ == 0) return;  // seq still advances: emitted() stays truthful
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+std::vector<JournalEvent> Journal::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<JournalEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Journal::emitted() const {
+  const std::lock_guard lock(mutex_);
+  return next_seq_ - 1;
+}
+
+std::size_t Journal::size() const {
+  const std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+void Journal::clear() {
+  const std::lock_guard lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+}
+
+std::string Journal::dump_json() const {
+  const std::vector<JournalEvent> events = snapshot();
+  std::string out = "[";
+  bool first = true;
+  for (const JournalEvent& event : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"seq\":" + std::to_string(event.seq);
+    out += ",\"t_ns\":" + std::to_string(event.t_ns);
+    out += ",\"type\":\"";
+    out += journal_event_name(event.type);
+    out += "\",\"level\":\"";
+    out += journal_level_name(event.level);
+    out += "\"";
+    if (event.trace_id != 0) out += ",\"trace_id\":" + std::to_string(event.trace_id);
+    if (event.peer != 0) out += ",\"peer\":" + std::to_string(event.peer);
+    if (event.arg0 != 0) out += ",\"arg0\":" + std::to_string(event.arg0);
+    if (event.arg1 != 0) out += ",\"arg1\":" + std::to_string(event.arg1);
+    if (event.detail != nullptr) {
+      out += ",\"detail\":\"";
+      out += event.detail;  // static strings: enum/site names, never user text
+      out += "\"";
+    }
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return out;
+}
+
+Journal& journal() {
+  static Journal instance;
+  return instance;
+}
+
+}  // namespace lptsp::obs

@@ -3,9 +3,17 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace lptsp::obs {
+
+std::uint64_t process_start_ns() noexcept {
+  // Function-local static: captured exactly once, at the first call
+  // (the first MetricRegistry construction), thread-safe per C++11.
+  static const std::uint64_t start = steady_now_ns();
+  return start;
+}
 
 // ---------------------------------------------------------------------------
 // HistogramSnapshot
@@ -119,7 +127,11 @@ const HistogramSnapshot* MetricsSnapshot::histogram(const std::string& name) con
 }
 
 std::string MetricsSnapshot::to_json() const {
-  std::string out = "{\"counters\":{";
+  std::string out = "{\"timestamp_ns\":";
+  append_u64(out, timestamp_ns);
+  out += ",\"uptime_ns\":";
+  append_u64(out, uptime_ns);
+  out += ",\"counters\":{";
   bool first = true;
   for (const CounterValue& entry : counters) {
     if (!first) out.push_back(',');
@@ -150,19 +162,57 @@ std::string MetricsSnapshot::to_json() const {
   return out;
 }
 
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names
+/// are lower_snake by convention, but a malformed one (say a fault-site
+/// name with a '.') must degrade to '_', not emit an exposition no
+/// scraper will parse.
+std::string prometheus_name(const std::string& name) {
+  std::string sanitized = name;
+  for (char& c : sanitized) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!sanitized.empty() && sanitized.front() >= '0' && sanitized.front() <= '9') {
+    sanitized.insert(sanitized.begin(), '_');
+  }
+  return sanitized;
+}
+
+void append_prometheus_header(std::string& out, const std::string& name, const char* kind) {
+  out += "# HELP " + name + " lptsp " + kind + " metric.\n";
+  out += "# TYPE " + name + " ";
+  out += kind;
+  out.push_back('\n');
+}
+
+}  // namespace
+
 std::string MetricsSnapshot::to_prometheus() const {
   std::string out;
+  // Snapshot-time anchors first: lptsp_stats --watch deltas successive
+  // scrapes against lptsp_snapshot_timestamp_ns (same monotonic clock as
+  // every histogram sample), and uptime makes one-off scrapes rateable
+  // against process start.
+  append_prometheus_header(out, "lptsp_snapshot_timestamp_ns", "gauge");
+  out += "lptsp_snapshot_timestamp_ns " + std::to_string(timestamp_ns) + "\n";
+  append_prometheus_header(out, "lptsp_uptime_ns", "gauge");
+  out += "lptsp_uptime_ns " + std::to_string(uptime_ns) + "\n";
   for (const CounterValue& entry : counters) {
-    out += "# TYPE lptsp_" + entry.name + " counter\n";
-    out += "lptsp_" + entry.name + " " + std::to_string(entry.value) + "\n";
+    const std::string name = "lptsp_" + prometheus_name(entry.name);
+    append_prometheus_header(out, name, "counter");
+    out += name + " " + std::to_string(entry.value) + "\n";
   }
   for (const GaugeValue& entry : gauges) {
-    out += "# TYPE lptsp_" + entry.name + " gauge\n";
-    out += "lptsp_" + entry.name + " " + std::to_string(entry.value) + "\n";
+    const std::string name = "lptsp_" + prometheus_name(entry.name);
+    append_prometheus_header(out, name, "gauge");
+    out += name + " " + std::to_string(entry.value) + "\n";
   }
   for (const HistogramValue& entry : histograms) {
-    const std::string name = "lptsp_" + entry.name;
-    out += "# TYPE " + name + " histogram\n";
+    const std::string name = "lptsp_" + prometheus_name(entry.name);
+    append_prometheus_header(out, name, "histogram");
     std::uint64_t cumulative = 0;
     const int top = highest_occupied_bucket(entry.hist);
     for (int b = 0; b <= top; ++b) {
@@ -174,6 +224,10 @@ std::string MetricsSnapshot::to_prometheus() const {
     out += name + "_bucket{le=\"+Inf\"} " + std::to_string(entry.hist.count) + "\n";
     out += name + "_sum " + std::to_string(entry.hist.sum) + "\n";
     out += name + "_count " + std::to_string(entry.hist.count) + "\n";
+    // Non-standard but delta-critical: the exact observed max lets a
+    // SnapshotDelta built from two expositions cap its interpolated
+    // quantiles the same way the in-process snapshot does.
+    out += name + "_max " + std::to_string(entry.hist.max) + "\n";
   }
   return out;
 }
@@ -305,6 +359,8 @@ void MetricRegistry::deregister(const void* owner) {
 
 MetricsSnapshot MetricRegistry::snapshot() const {
   MetricsSnapshot snap;
+  snap.timestamp_ns = steady_now_ns();
+  snap.uptime_ns = snap.timestamp_ns - process_start_ns();
   const std::lock_guard lock(mutex_);
   snap.counters.reserve(counters_.size());
   for (const CounterEntry& entry : counters_) {

@@ -148,6 +148,13 @@ struct MetricsSnapshot {
     HistogramSnapshot hist;
   };
 
+  /// steady_now_ns() at snapshot() time. Two snapshots of the same
+  /// registry delta into per-second rates (SnapshotDelta) because the
+  /// timestamp shares the histograms' monotonic clock.
+  std::uint64_t timestamp_ns = 0;
+  /// Nanoseconds since this process first touched the metrics layer.
+  std::uint64_t uptime_ns = 0;
+
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
@@ -158,12 +165,14 @@ struct MetricsSnapshot {
   /// Histogram by name; nullptr when absent.
   [[nodiscard]] const HistogramSnapshot* histogram(const std::string& name) const;
 
-  /// Flat JSON object: {"counters":{...},"gauges":{...},"histograms":
-  /// {"name":{"count":..,"sum_ns":..,"max_ns":..,"p50_ns":..,...}}}.
+  /// Flat JSON object: {"timestamp_ns":..,"uptime_ns":..,"counters":
+  /// {...},"gauges":{...},"histograms":{"name":{"count":..,"sum_ns":..,
+  /// "max_ns":..,"p50_ns":..,...}}}.
   [[nodiscard]] std::string to_json() const;
-  /// Prometheus text exposition (counters, gauges, and cumulative-le
-  /// histogram buckets up to the highest occupied one), names prefixed
-  /// "lptsp_".
+  /// Prometheus text exposition (# HELP/# TYPE lines, counters, gauges,
+  /// and cumulative-le histogram buckets up to the highest occupied one
+  /// plus _sum/_count/_max), names prefixed "lptsp_" with characters
+  /// outside [a-zA-Z0-9_:] rewritten to '_'.
   [[nodiscard]] std::string to_prometheus() const;
   /// Human-readable aligned table (the lptsp_stats default view).
   [[nodiscard]] std::string to_text() const;
@@ -171,6 +180,12 @@ struct MetricsSnapshot {
   /// counter and gauge, plus p50/p99 of every histogram.
   [[nodiscard]] std::string to_logline() const;
 };
+
+/// Monotonic nanosecond timestamp of the first call in this process —
+/// the anchor for every snapshot's uptime_ns. MetricRegistry's
+/// constructor touches it, so the clock starts when the first registry
+/// is built (process startup for every real deployment).
+[[nodiscard]] std::uint64_t process_start_ns() noexcept;
 
 /// Name -> metric-pointer directory. Registration is rare (component
 /// construction) and mutex-guarded; the hot path never touches the
@@ -180,7 +195,7 @@ struct MetricsSnapshot {
 /// everything BatchSolver owns does).
 class MetricRegistry {
  public:
-  MetricRegistry() = default;
+  MetricRegistry() { (void)process_start_ns(); }
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 

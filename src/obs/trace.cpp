@@ -5,7 +5,8 @@
 namespace lptsp::obs {
 
 void TraceRing::keep(Trace&& trace) {
-  if (config_.capacity == 0 || trace.total_ns < config_.threshold_ns) return;
+  if (config_.capacity == 0) return;
+  if (!trace.sampled && trace.total_ns < config_.threshold_ns) return;
   const std::lock_guard lock(mutex_);
   ring_.push_back(std::move(trace));
   while (ring_.size() > config_.capacity) ring_.pop_front();
@@ -49,6 +50,8 @@ std::string TraceRing::dump_json() const {
     if (!first_trace) out.push_back(',');
     first_trace = false;
     out += "{\"id\":" + std::to_string(trace.request_id);
+    if (trace.trace_id != 0) out += ",\"trace_id\":" + std::to_string(trace.trace_id);
+    if (trace.sampled) out += ",\"sampled\":true";
     out += ",\"total_ns\":" + std::to_string(trace.total_ns);
     out += ",\"result\":\"";
     out += trace.result;

@@ -32,6 +32,17 @@ enum class Stage : std::uint8_t {
   Verify,         ///< labeling reconstruction + validity check
   StoreWrite,     ///< cache insert + durable write-through
   CoalescedWait,  ///< joined an identical in-flight solve
+  // Client-side stages (LabelingClient): one joined trace spans both
+  // processes when the wire carries the trace context (protocol v4+).
+  ClientConnect,      ///< TCP connect + Hello/HelloAck handshake
+  ClientSerialize,    ///< request encode into the wire frame
+  ClientSend,         ///< write_all of the encoded frame
+  ServerTurnaround,   ///< send complete -> response frame decoded
+  ClientDeserialize,  ///< response frame decode
+  // Server-reported stages, synthesized on the client from the timings
+  // the v4 Response echoes back (nested under ServerTurnaround).
+  ServerQueue,    ///< server-side queue wait (echoed)
+  ServerService,  ///< server-side service time (echoed)
 };
 
 /// Compile-checked stage names (no default + -Werror=switch: an unnamed
@@ -47,6 +58,13 @@ constexpr const char* stage_name(Stage stage) noexcept {
     case Stage::Verify: return "verify";
     case Stage::StoreWrite: return "store-write";
     case Stage::CoalescedWait: return "coalesced-wait";
+    case Stage::ClientConnect: return "client-connect";
+    case Stage::ClientSerialize: return "client-serialize";
+    case Stage::ClientSend: return "client-send";
+    case Stage::ServerTurnaround: return "server-turnaround";
+    case Stage::ClientDeserialize: return "client-deserialize";
+    case Stage::ServerQueue: return "server-queue";
+    case Stage::ServerService: return "server-service";
   }
   return "unknown";  // out-of-range cast, not a missing enumerator
 }
@@ -75,6 +93,12 @@ struct Span {
 /// front and total/result when the response is built.
 struct Trace {
   std::uint64_t request_id = 0;
+  /// Cross-process trace id (0 = none). Carried on wire v4 Requests so
+  /// the client-side and server-side rings can be joined on one id.
+  std::uint64_t trace_id = 0;
+  /// Sampled traces bypass the ring's slow threshold: a client that set
+  /// the sampled bit asked for this trace to be retained end to end.
+  bool sampled = false;
   std::uint64_t origin_ns = 0;  ///< steady_now_ns() at request start
   std::uint64_t total_ns = 0;
   const char* result = "";  ///< response source, or the failure status
@@ -129,8 +153,8 @@ class TraceRing {
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
-  /// Retain `trace` if it clears the threshold, evicting the oldest
-  /// retained trace past capacity.
+  /// Retain `trace` if it clears the threshold (sampled traces always
+  /// clear it), evicting the oldest retained trace past capacity.
   void keep(Trace&& trace);
 
   [[nodiscard]] std::size_t size() const;

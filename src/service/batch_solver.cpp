@@ -383,9 +383,15 @@ SolveResponse BatchSolver::solve_one_timed(const SolveRequest& request,
   requests_total_.add();
   obs::Trace trace;
   obs::Trace* tp = nullptr;
+  std::uint64_t queue_ns = 0;
   if (options_.metrics) {
     tp = &trace;
     trace.request_id = request.id;
+    // Adopt the client's trace context (v4 wire): the ring then holds
+    // the server half of a joined cross-process trace, and a sampled id
+    // bypasses the slow threshold so the client's ask is honored.
+    trace.trace_id = request.trace_id;
+    trace.sampled = request.trace_sampled;
     trace.spans.reserve(8);
     const std::uint64_t now = obs::steady_now_ns();
     // The trace origin is the ADMISSION time when the request was queued:
@@ -393,8 +399,8 @@ SolveResponse BatchSolver::solve_one_timed(const SolveRequest& request,
     // total_ns (and in the slow-trace threshold).
     trace.origin_ns = enqueued_ns != 0 && enqueued_ns < now ? enqueued_ns : now;
     if (trace.origin_ns != now) {
-      trace.spans.push_back({obs::Stage::QueueWait, nullptr, 0, now - trace.origin_ns, false,
-                             false});
+      queue_ns = now - trace.origin_ns;
+      trace.spans.push_back({obs::Stage::QueueWait, nullptr, 0, queue_ns, false, false});
     }
   }
   CanonicalForm form;
@@ -407,6 +413,11 @@ SolveResponse BatchSolver::solve_one_timed(const SolveRequest& request,
   SolveResponse response =
       respond(request, form, outcome, ResponseSource::Solved, timer.seconds());
   if (tp != nullptr) {
+    // Echo the split the client cannot see: how long its request sat in
+    // the queue vs how long the pipeline worked on it. Carried on v4+
+    // responses; encode_response suppresses it for older peers.
+    response.server_queue_ns = queue_ns;
+    response.server_service_ns = obs::steady_now_ns() - trace.origin_ns - queue_ns;
     finish_trace(std::move(trace), response.status == SolveStatus::Ok
                                        ? response_source_name_cstr(response.source)
                                        : status_name_cstr(response.status));
@@ -432,6 +443,16 @@ void BatchSolver::finish_trace(obs::Trace&& trace, const char* result) {
       case obs::Stage::Verify: verify_ns_.record(span.duration_ns); break;
       case obs::Stage::StoreWrite: store_put_ns_.record(span.duration_ns); break;
       case obs::Stage::CoalescedWait: coalesced_wait_ns_.record(span.duration_ns); break;
+      // Client-side stages never appear in server-built traces; routing
+      // them nowhere (rather than a default) keeps the switch exhaustive.
+      case obs::Stage::ClientConnect:
+      case obs::Stage::ClientSerialize:
+      case obs::Stage::ClientSend:
+      case obs::Stage::ServerTurnaround:
+      case obs::Stage::ClientDeserialize:
+      case obs::Stage::ServerQueue:
+      case obs::Stage::ServerService:
+        break;
     }
   }
   traces_.keep(std::move(trace));
@@ -565,6 +586,8 @@ std::vector<SolveResponse> BatchSolver::solve_batch(const std::vector<SolveReque
       if (options_.metrics) {
         tp = &trace;
         trace.request_id = requests[leader].id;
+        trace.trace_id = requests[leader].trace_id;
+        trace.sampled = requests[leader].trace_sampled;
         trace.spans.reserve(8);
         const std::uint64_t now = obs::steady_now_ns();
         trace.origin_ns = enqueued_ns != 0 && enqueued_ns < now ? enqueued_ns : now;

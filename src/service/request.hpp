@@ -28,6 +28,13 @@ struct SolveRequest {
   int priority = 0;
   /// Caller correlation tag, echoed back verbatim in the response.
   std::uint64_t id = 0;
+  /// Cross-process trace context: a client-generated id joining the
+  /// client's and server's trace rings. 0 = no context. Carried on the
+  /// wire from protocol v4; older peers simply never see it.
+  std::uint64_t trace_id = 0;
+  /// The client asked for this trace to be retained end to end (bypasses
+  /// the server ring's slow threshold).
+  bool trace_sampled = false;
 };
 
 /// How a response was produced, for observability and cache accounting.
@@ -68,6 +75,12 @@ struct SolveResponse {
   /// retrying, in milliseconds. 0 = no hint. Carried on the wire from
   /// protocol v3; older peers simply never see it.
   std::uint32_t retry_after_ms = 0;
+  /// Server-side timing echo: queue wait and service time in
+  /// nanoseconds, so the client can split its observed turnaround into
+  /// transit vs server work. 0 = not measured. Carried on the wire from
+  /// protocol v4; older peers simply never see it.
+  std::uint64_t server_queue_ns = 0;
+  std::uint64_t server_service_ns = 0;
 
   [[nodiscard]] bool ok() const noexcept { return status == SolveStatus::Ok; }
 };

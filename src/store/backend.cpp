@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 
 namespace lptsp {
@@ -51,6 +52,7 @@ bool PersistentBackend::probe_reopen() {
   reopens_.add();
   consecutive_failures_.store(0, std::memory_order_relaxed);
   degraded_.store(false, std::memory_order_relaxed);
+  obs::journal().emit(obs::EventType::StoreHealed, obs::EventLevel::Info);
   return true;
 }
 
@@ -65,6 +67,8 @@ void PersistentBackend::note_write(bool ok) {
   if (failures >= options_.degraded_after_failures &&
       !degraded_.exchange(true, std::memory_order_relaxed)) {
     degraded_entered_.add();
+    obs::journal().emit(obs::EventType::StoreDegraded, obs::EventLevel::Error, nullptr, 0, 0,
+                        failures);
     last_probe_ns_.store(obs::steady_now_ns(), std::memory_order_relaxed);
   }
 }

@@ -1,5 +1,7 @@
 #include "util/fault.hpp"
 
+#include "obs/journal.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -82,6 +84,10 @@ bool fire_slow(FaultSite site) {
       static_cast<double>(splitmix64(state.rng_state) >> 11) * 0x1.0p-53;  // [0, 1)
   if (draw >= state.probability) return false;
   ++state.fires;
+  // Chaos forensics: the journal records which site fired, so a failing
+  // schedule can be read back as a timeline instead of a diff of counters.
+  obs::journal().emit(obs::EventType::FaultFired, obs::EventLevel::Warn, fault_site_name(site),
+                      0, 0, static_cast<std::int64_t>(state.fires));
   return true;
 }
 

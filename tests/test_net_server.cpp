@@ -15,6 +15,8 @@
 #include "graph/operations.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace lptsp {
@@ -422,6 +424,119 @@ TEST_F(NetServerTest, StatsOnAV1ConnectionIsRefusedTyped) {
   EXPECT_EQ(result.message.error_fault, WireFault::Malformed);
   EXPECT_NE(result.message.error_message.find("version"), std::string::npos);
   EXPECT_EQ(server_->counters().stats_requests, 0u);
+}
+
+TEST_F(NetServerTest, TracedClientAndServerShareOneTraceId) {
+  start();
+  ClientOptions options;
+  options.trace = true;
+  LabelingClient client(options);
+  client.connect("127.0.0.1", server_->port());
+  EXPECT_EQ(client.negotiated_version(), kWireVersion);
+
+  Rng rng(19);
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng);
+  const SolveResponse response = client.solve(request_for(graph, 31));
+  ASSERT_TRUE(response.ok()) << response.message;
+  // The v4 server echoes where its time went; the solve actually ran, so
+  // service time is nonzero.
+  EXPECT_GT(response.server_service_ns, 0u);
+
+  // Client side: one trace, client-owned spans plus the nested echo.
+  const std::vector<obs::Trace> client_traces = client.traces().snapshot();
+  ASSERT_EQ(client_traces.size(), 1u);
+  const obs::Trace& mine = client_traces[0];
+  EXPECT_EQ(mine.request_id, 31u);
+  EXPECT_NE(mine.trace_id, 0u);
+  EXPECT_TRUE(mine.sampled);
+  const auto has_stage = [](const obs::Trace& trace, obs::Stage stage) {
+    for (const obs::Span& span : trace.spans) {
+      if (span.stage == stage) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_stage(mine, obs::Stage::ClientConnect));
+  EXPECT_TRUE(has_stage(mine, obs::Stage::ClientSerialize));
+  EXPECT_TRUE(has_stage(mine, obs::Stage::ClientSend));
+  EXPECT_TRUE(has_stage(mine, obs::Stage::ServerTurnaround));
+  EXPECT_TRUE(has_stage(mine, obs::Stage::ClientDeserialize));
+  EXPECT_TRUE(has_stage(mine, obs::Stage::ServerService));
+
+  // Server side: its ring adopted the SAME id — the joined trace.
+  const std::vector<obs::Trace> server_traces = solver_->traces().snapshot();
+  ASSERT_EQ(server_traces.size(), 1u);
+  EXPECT_EQ(server_traces[0].trace_id, mine.trace_id);
+  EXPECT_TRUE(server_traces[0].sampled);
+  EXPECT_EQ(server_traces[0].request_id, 31u);
+  EXPECT_TRUE(has_stage(server_traces[0], obs::Stage::CacheLookup));
+
+  // Both rings dump the shared id.
+  const std::string expected = "\"trace_id\":" + std::to_string(mine.trace_id);
+  EXPECT_NE(client.traces().dump_json().find(expected), std::string::npos);
+  EXPECT_NE(client.stats(StatsFormat::Traces).find(expected), std::string::npos);
+  client.shutdown();
+}
+
+TEST_F(NetServerTest, JournalIsScrapableOnV4AndRefusedBelow) {
+  start();
+  obs::journal().clear();
+  obs::journal().emit(obs::EventType::StoreHealed, obs::EventLevel::Info);
+  {
+    LabelingClient client;
+    client.connect("127.0.0.1", server_->port());
+    const std::string journal = client.stats(StatsFormat::Journal);
+    EXPECT_NE(journal.find("\"type\":\"store-healed\""), std::string::npos) << journal;
+    client.shutdown();
+  }
+  // A v3 peer asking for the journal format gets a typed refusal naming
+  // the version, exactly like stats-on-v1.
+  RawSocket raw(server_->port());
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes, 3);
+  encode_stats_request(bytes, StatsFormat::Journal);
+  raw.send(bytes);
+  const std::vector<std::uint8_t> reply = raw.read_to_eof();
+  FrameReader reader;
+  reader.feed(reply.data(), reply.size());
+  DecodeResult result;
+  ASSERT_TRUE(reader.next(result));
+  ASSERT_EQ(result.message.type, MessageType::HelloAck);
+  EXPECT_EQ(result.message.version, 3u);
+  ASSERT_TRUE(reader.next(result));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  ASSERT_EQ(result.message.type, MessageType::Error);
+  EXPECT_EQ(result.message.error_fault, WireFault::Malformed);
+  EXPECT_NE(result.message.error_message.find("version 4"), std::string::npos)
+      << result.message.error_message;
+}
+
+TEST_F(NetServerTest, V3ClientsNeverSeeTraceContext) {
+  // A traced client on a v3 connection suppresses the new flag bits
+  // entirely — the old-decoder interop pin for wire v4.
+  start();
+  RawSocket raw(server_->port());
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes, 3);
+  SolveRequest request = request_for(complete_graph(5), 88);
+  request.trace_id = 0x1234u;  // would need v4; must be dropped at encode
+  request.trace_sampled = true;
+  encode_request(bytes, request, 3);
+  raw.send(bytes);
+  raw.shutdown_write();
+  const std::vector<std::uint8_t> reply = raw.read_to_eof();
+  FrameReader reader;
+  reader.feed(reply.data(), reply.size());
+  DecodeResult result;
+  ASSERT_TRUE(reader.next(result));
+  ASSERT_EQ(result.message.type, MessageType::HelloAck);
+  EXPECT_EQ(result.message.version, 3u);
+  ASSERT_TRUE(reader.next(result));
+  ASSERT_TRUE(result.ok()) << result.detail;
+  ASSERT_EQ(result.message.type, MessageType::Response);
+  EXPECT_TRUE(result.message.response.ok());
+  // And the response carries no v4 server-timing echo for this peer.
+  EXPECT_EQ(result.message.response.server_queue_ns, 0u);
+  EXPECT_EQ(result.message.response.server_service_ns, 0u);
 }
 
 TEST_F(NetServerTest, WireFaultCountersTickByKind) {

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/delta.hpp"
+#include "obs/metrics.hpp"
+
+namespace lptsp::obs {
+namespace {
+
+MetricsSnapshot snapshot_at(std::uint64_t timestamp_ns) {
+  MetricsSnapshot snap;
+  snap.timestamp_ns = timestamp_ns;
+  snap.uptime_ns = timestamp_ns;
+  return snap;
+}
+
+// ----------------------------------------------------------------- between
+
+TEST(SnapshotDelta, CounterRatesUseTheSnapshotInterval) {
+  MetricsSnapshot older = snapshot_at(1'000'000'000);  // t = 1s
+  MetricsSnapshot newer = snapshot_at(3'000'000'000);  // t = 3s
+  older.counters.push_back({"requests_total", 100});
+  newer.counters.push_back({"requests_total", 500});
+
+  const SnapshotDelta delta = SnapshotDelta::between(older, newer);
+  EXPECT_DOUBLE_EQ(delta.interval_seconds, 2.0);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].delta, 400u);
+  EXPECT_DOUBLE_EQ(delta.counters[0].per_second, 200.0);
+}
+
+TEST(SnapshotDelta, BackwardsCounterClampsToZeroNotWrap) {
+  MetricsSnapshot older = snapshot_at(1'000'000'000);
+  MetricsSnapshot newer = snapshot_at(2'000'000'000);
+  older.counters.push_back({"requests_total", 500});
+  newer.counters.push_back({"requests_total", 10});  // daemon restarted
+
+  const SnapshotDelta delta = SnapshotDelta::between(older, newer);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].delta, 0u);
+  EXPECT_DOUBLE_EQ(delta.counters[0].per_second, 0.0);
+}
+
+TEST(SnapshotDelta, ShapeChangedMetricsAreSkippedNotInvented) {
+  MetricsSnapshot older = snapshot_at(1'000'000'000);
+  MetricsSnapshot newer = snapshot_at(2'000'000'000);
+  older.counters.push_back({"old_only", 5});
+  newer.counters.push_back({"new_only", 7});
+  newer.gauges.push_back({"fresh_gauge", 3});
+
+  const SnapshotDelta delta = SnapshotDelta::between(older, newer);
+  EXPECT_TRUE(delta.counters.empty());
+  EXPECT_TRUE(delta.gauges.empty());
+}
+
+TEST(SnapshotDelta, GaugesReportLevelAndSignedDelta) {
+  MetricsSnapshot older = snapshot_at(1'000'000'000);
+  MetricsSnapshot newer = snapshot_at(2'000'000'000);
+  older.gauges.push_back({"pending", 12});
+  newer.gauges.push_back({"pending", 4});
+
+  const SnapshotDelta delta = SnapshotDelta::between(older, newer);
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  EXPECT_EQ(delta.gauges[0].value, 4);
+  EXPECT_EQ(delta.gauges[0].delta, -8);
+}
+
+TEST(SnapshotDelta, HistogramDeltaYieldsIntervalQuantiles) {
+  // Lifetime: 1000 fast samples; interval: 50 slow ones. The cumulative
+  // histogram's p50 stays fast, the interval delta's p50 must be slow.
+  LatencyHistogram lifetime;
+  for (int i = 0; i < 1000; ++i) lifetime.record(100);
+  MetricsSnapshot older = snapshot_at(1'000'000'000);
+  older.histograms.push_back({"request_ns", lifetime.snapshot()});
+
+  for (int i = 0; i < 50; ++i) lifetime.record(1'000'000);
+  MetricsSnapshot newer = snapshot_at(2'000'000'000);
+  newer.histograms.push_back({"request_ns", lifetime.snapshot()});
+
+  const SnapshotDelta delta = SnapshotDelta::between(older, newer);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const HistogramSnapshot& interval = delta.histograms[0].hist;
+  EXPECT_EQ(interval.count, 50u);
+  EXPECT_DOUBLE_EQ(delta.histograms[0].per_second, 50.0);
+  // Every interval sample was ~1ms; the cumulative p50 would be 100ns.
+  EXPECT_GE(interval.quantile(0.5), std::uint64_t{1} << 19);
+  EXPECT_LE(interval.quantile(0.99), newer.histograms[0].hist.max);
+}
+
+TEST(SnapshotDelta, EqualTimestampsYieldVisibleDeltasNotNaN) {
+  MetricsSnapshot older = snapshot_at(5);
+  MetricsSnapshot newer = snapshot_at(5);
+  older.counters.push_back({"x", 1});
+  newer.counters.push_back({"x", 3});
+  const SnapshotDelta delta = SnapshotDelta::between(older, newer);
+  EXPECT_GT(delta.interval_seconds, 0.0);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].delta, 2u);
+}
+
+TEST(SnapshotDelta, ToTextListsEverySection) {
+  MetricsSnapshot older = snapshot_at(1'000'000'000);
+  MetricsSnapshot newer = snapshot_at(2'000'000'000);
+  older.counters.push_back({"requests_total", 0});
+  newer.counters.push_back({"requests_total", 42});
+  older.gauges.push_back({"pending", 1});
+  newer.gauges.push_back({"pending", 2});
+  LatencyHistogram hist;
+  older.histograms.push_back({"request_ns", hist.snapshot()});
+  hist.record(500);
+  newer.histograms.push_back({"request_ns", hist.snapshot()});
+
+  const std::string text = SnapshotDelta::between(older, newer).to_text();
+  EXPECT_NE(text.find("interval 1.00s"), std::string::npos) << text;
+  EXPECT_NE(text.find("requests_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("42.0/s"), std::string::npos) << text;
+  EXPECT_NE(text.find("pending"), std::string::npos) << text;
+  EXPECT_NE(text.find("request_ns"), std::string::npos) << text;
+}
+
+// --------------------------------------------------- exposition round-trip
+
+TEST(ParsePrometheus, RoundTripsARealRegistrySnapshot) {
+  MetricRegistry registry;
+  Counter hits;
+  LatencyHistogram lat;
+  registry.register_counter("cache_hits", &hits);
+  registry.register_gauge("queue_depth", [] { return -3; });
+  registry.register_histogram("solve_ns", &lat);
+  hits.add(41);
+  lat.record(0);
+  lat.record(900);
+  lat.record(900);
+  lat.record(123456);
+
+  const MetricsSnapshot original = registry.snapshot();
+  const std::optional<MetricsSnapshot> parsed = parse_prometheus(original.to_prometheus());
+  ASSERT_TRUE(parsed.has_value());
+
+  EXPECT_EQ(parsed->timestamp_ns, original.timestamp_ns);
+  EXPECT_EQ(parsed->uptime_ns, original.uptime_ns);
+  EXPECT_EQ(parsed->counter_or("cache_hits"), 41u);
+  // The timestamp/uptime anchors fold into the snapshot fields; the only
+  // gauge series left is queue_depth.
+  ASSERT_EQ(parsed->gauges.size(), 1u);
+  EXPECT_EQ(parsed->gauges[0].name, "queue_depth");
+  EXPECT_EQ(parsed->gauges[0].value, -3);
+  const HistogramSnapshot* hist = parsed->histogram("solve_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 4u);
+  EXPECT_EQ(hist->sum, original.histogram("solve_ns")->sum);
+  EXPECT_EQ(hist->max, 123456u);
+  EXPECT_EQ(hist->counts, original.histogram("solve_ns")->counts);
+}
+
+TEST(ParsePrometheus, AnchorsAreFieldsNotGauges) {
+  MetricRegistry registry;
+  registry.register_gauge("queue_depth", [] { return 9; });
+  const std::optional<MetricsSnapshot> parsed =
+      parse_prometheus(registry.snapshot().to_prometheus());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->gauges.size(), 1u);
+  EXPECT_EQ(parsed->gauges[0].name, "queue_depth");
+  EXPECT_EQ(parsed->gauges[0].value, 9);
+  EXPECT_GT(parsed->timestamp_ns, 0u);
+}
+
+TEST(ParsePrometheus, DeltaOfParsedScrapesMatchesDirectDelta) {
+  // The --watch pipeline end to end, minus the socket: two expositions,
+  // parsed, diffed — rates must match the in-process delta.
+  MetricRegistry registry;
+  Counter requests;
+  LatencyHistogram lat;
+  registry.register_counter("requests_total", &requests);
+  registry.register_histogram("request_ns", &lat);
+
+  requests.add(10);
+  lat.record(1000);
+  const MetricsSnapshot first = registry.snapshot();
+  const std::string first_text = first.to_prometheus();
+  requests.add(30);
+  for (int i = 0; i < 5; ++i) lat.record(8000);
+  const MetricsSnapshot second = registry.snapshot();
+  const std::string second_text = second.to_prometheus();
+
+  const std::optional<MetricsSnapshot> a = parse_prometheus(first_text);
+  const std::optional<MetricsSnapshot> b = parse_prometheus(second_text);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  const SnapshotDelta via_text = SnapshotDelta::between(*a, *b);
+  const SnapshotDelta direct = SnapshotDelta::between(first, second);
+
+  ASSERT_EQ(via_text.counters.size(), direct.counters.size());
+  EXPECT_EQ(via_text.counters[0].delta, direct.counters[0].delta);
+  ASSERT_EQ(via_text.histograms.size(), 1u);
+  EXPECT_EQ(via_text.histograms[0].hist.count, 5u);
+  EXPECT_EQ(via_text.histograms[0].hist.quantile(0.5),
+            direct.histograms[0].hist.quantile(0.5));
+}
+
+TEST(ParsePrometheus, ForeignTextIsRejectedUnknownLinesIgnored) {
+  EXPECT_FALSE(parse_prometheus("").has_value());
+  EXPECT_FALSE(parse_prometheus("node_cpu_seconds_total 1\n# HELP foo bar\n").has_value());
+  // Unknown lptsp-prefixed series and future comment forms do not derail
+  // the ones the parser knows.
+  const std::string text =
+      "# TYPE lptsp_known counter\n"
+      "lptsp_known 7\n"
+      "lptsp_mystery{shard=\"3\"} 12\n"
+      "# EXOTIC comment\n";
+  const std::optional<MetricsSnapshot> parsed = parse_prometheus(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->counter_or("known"), 7u);
+}
+
+}  // namespace
+}  // namespace lptsp::obs

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/journal.hpp"
+
+namespace lptsp::obs {
+namespace {
+
+TEST(Journal, EmitRetainsInOrderWithMonotoneSeq) {
+  Journal journal(8);
+  journal.emit(EventType::StoreDegraded, EventLevel::Error, nullptr, 0, 0, 3);
+  journal.emit(EventType::StoreHealed, EventLevel::Info);
+  journal.emit(EventType::BrownoutRung, EventLevel::Warn, nullptr, 0, 0, 0, 1);
+
+  const std::vector<JournalEvent> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, EventType::StoreDegraded);
+  EXPECT_EQ(events[0].arg0, 3);
+  EXPECT_EQ(events[1].type, EventType::StoreHealed);
+  EXPECT_EQ(events[2].type, EventType::BrownoutRung);
+  EXPECT_EQ(events[2].arg1, 1);
+  // Sequence numbers are strictly increasing, timestamps monotone.
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_LE(events[0].t_ns, events[2].t_ns);
+  EXPECT_EQ(journal.emitted(), 3u);
+}
+
+TEST(Journal, RingEvictsOldestAndCountsEverything) {
+  Journal journal(4);
+  for (int i = 0; i < 10; ++i) {
+    journal.emit(EventType::FaultFired, EventLevel::Warn, "store.append", 0, 0, i);
+  }
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.emitted(), 10u);
+  const std::vector<JournalEvent> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  EXPECT_EQ(events.front().arg0, 6);
+  EXPECT_EQ(events.back().arg0, 9);
+}
+
+TEST(Journal, ZeroCapacityStillCountsEmissions) {
+  Journal journal(0);
+  journal.emit(EventType::WireFault, EventLevel::Error);
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.emitted(), 1u);
+  EXPECT_EQ(journal.dump_json(), "[]");
+}
+
+TEST(Journal, DumpJsonCarriesOptionalFieldsOnlyWhenSet) {
+  Journal journal(8);
+  journal.emit(EventType::OverloadReject, EventLevel::Error, nullptr,
+               /*trace_id=*/0x1234u, /*peer=*/7);
+  journal.emit(EventType::StoreHealed, EventLevel::Info);
+
+  const std::string json = journal.dump_json();
+  EXPECT_NE(json.find("\"type\":\"overload-reject\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"level\":\"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":4660"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"peer\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"type\":\"store-healed\""), std::string::npos) << json;
+  // The context-free heal event carries no trace/peer keys.
+  const std::size_t healed_at = json.find("store-healed");
+  EXPECT_EQ(json.find("trace_id", healed_at), std::string::npos) << json;
+  // Shape: brackets and braces balance.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['), std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Journal, ClearDropsEventsButNotTheSequence) {
+  Journal journal(8);
+  journal.emit(EventType::StoreHealed, EventLevel::Info);
+  const std::uint64_t seq_before = journal.snapshot().front().seq;
+  journal.clear();
+  EXPECT_EQ(journal.size(), 0u);
+  journal.emit(EventType::StoreHealed, EventLevel::Info);
+  EXPECT_GT(journal.snapshot().front().seq, seq_before);
+}
+
+TEST(Journal, ConcurrentEmitLosesNoCount) {
+  Journal journal(64);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.emit(EventType::FaultFired, EventLevel::Warn, "net.read_short");
+      }
+    });
+  }
+  std::thread reader([&journal] {
+    for (int i = 0; i < 100; ++i) {
+      const std::string json = journal.dump_json();
+      EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+                std::count(json.begin(), json.end(), '}'));
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  reader.join();
+  EXPECT_EQ(journal.emitted(), std::uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(journal.size(), 64u);
+  // Seqs in the retained window are consecutive (nothing lost or reordered
+  // inside the ring itself).
+  const std::vector<JournalEvent> events = journal.snapshot();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(Journal, EveryEventTypeAndLevelHasAName) {
+  for (int raw = 0; raw <= static_cast<int>(EventType::OverloadReject); ++raw) {
+    EXPECT_STRNE(journal_event_name(static_cast<EventType>(raw)), "unknown");
+  }
+  for (int raw = 0; raw <= static_cast<int>(EventLevel::Error); ++raw) {
+    EXPECT_STRNE(journal_level_name(static_cast<EventLevel>(raw)), "unknown");
+  }
+  static_assert(journal_event_name(EventType::BrownoutRung)[0] == 'b');
+  static_assert(journal_level_name(EventLevel::Warn)[0] == 'w');
+}
+
+TEST(Journal, ProcessGlobalSingletonIsStable) {
+  Journal& a = journal();
+  Journal& b = journal();
+  EXPECT_EQ(&a, &b);
+  const std::uint64_t before = a.emitted();
+  a.emit(EventType::StoreHealed, EventLevel::Info);
+  EXPECT_EQ(b.emitted(), before + 1);
+  a.clear();
+}
+
+}  // namespace
+}  // namespace lptsp::obs

@@ -68,6 +68,50 @@ TEST(LatencyHistogram, EmptyAndSingleSampleEdges) {
   EXPECT_EQ(snap.quantile(1.0), 12345u);
 }
 
+TEST(LatencyHistogram, QuantileAtExactBucketBoundaries) {
+  // All mass in one bucket whose floor/ceiling are exact powers of two:
+  // every quantile must stay inside [floor, ceiling] of that bucket and
+  // never exceed the observed max even mid-interpolation.
+  LatencyHistogram hist;
+  const std::uint64_t floor = LatencyHistogram::bucket_floor(10);    // 512
+  const std::uint64_t ceiling = LatencyHistogram::bucket_ceiling(10);  // 1023
+  for (int i = 0; i < 100; ++i) hist.record(floor);
+  const HistogramSnapshot at_floor = hist.snapshot();
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    const std::uint64_t estimate = at_floor.quantile(q);
+    EXPECT_GE(estimate, floor) << "q=" << q;
+    // Every sample IS the observed max, so the cap pins the answer.
+    EXPECT_EQ(estimate, floor) << "q=" << q;
+  }
+
+  // At the ceiling the bucket cannot tell 1023 from 512 — interpolation
+  // may answer anywhere inside [floor, ceiling], but never outside it,
+  // and q=1.0 is pinned to the exact observed max.
+  LatencyHistogram spread;
+  for (int i = 0; i < 100; ++i) spread.record(ceiling);
+  const HistogramSnapshot at_ceiling = spread.snapshot();
+  EXPECT_GE(at_ceiling.quantile(0.5), floor);
+  EXPECT_LE(at_ceiling.quantile(0.5), ceiling);
+  EXPECT_EQ(at_ceiling.quantile(1.0), ceiling);
+}
+
+TEST(LatencyHistogram, InterpolationNeverExceedsObservedMax) {
+  // 99 tiny samples and one at the very bottom of a huge bucket: naive
+  // within-bucket interpolation of the top quantile would report a value
+  // deep inside [2^19, 2^20), far above anything observed. The snapshot
+  // caps at max.
+  LatencyHistogram hist;
+  for (int i = 0; i < 99; ++i) hist.record(10);
+  const std::uint64_t lone_max = LatencyHistogram::bucket_floor(20) + 1;
+  hist.record(lone_max);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.max, lone_max);
+  EXPECT_LE(snap.quantile(0.995), lone_max);
+  EXPECT_EQ(snap.quantile(1.0), lone_max);
+  // And the low quantiles are untouched by the outlier.
+  EXPECT_LE(snap.quantile(0.5), LatencyHistogram::bucket_ceiling(4));
+}
+
 // -------------------------------------------------------------- quantiles
 
 TEST(LatencyHistogram, QuantilesTrackSortedOracleWithinOneBucket) {
@@ -276,6 +320,60 @@ TEST(MetricsSnapshot, SerializationsContainEveryMetric) {
   EXPECT_NE(line.find("cache_hits=3"), std::string::npos) << line;
   EXPECT_NE(line.find("solve_ns_p50="), std::string::npos) << line;
   EXPECT_EQ(line.find('\n'), std::string::npos) << "logline must be one line";
+}
+
+TEST(MetricsSnapshot, CarriesMonotonicTimestampAndUptime) {
+  MetricRegistry registry;
+  const MetricsSnapshot first = registry.snapshot();
+  EXPECT_GT(first.timestamp_ns, 0u);
+  const MetricsSnapshot second = registry.snapshot();
+  EXPECT_GE(second.timestamp_ns, first.timestamp_ns);
+  EXPECT_GE(second.uptime_ns, first.uptime_ns);
+  // Both serializations surface the anchors for rate-aware consumers.
+  EXPECT_NE(first.to_json().find("\"timestamp_ns\":"), std::string::npos);
+  EXPECT_NE(first.to_json().find("\"uptime_ns\":"), std::string::npos);
+  EXPECT_NE(first.to_prometheus().find("lptsp_snapshot_timestamp_ns "), std::string::npos);
+  EXPECT_NE(first.to_prometheus().find("lptsp_uptime_ns "), std::string::npos);
+}
+
+TEST(MetricsSnapshot, PrometheusExpositionHasHelpTypeAndMax) {
+  MetricRegistry registry;
+  Counter hits;
+  LatencyHistogram lat;
+  registry.register_counter("cache_hits", &hits);
+  registry.register_gauge("queue_depth", [] { return 4; });
+  registry.register_histogram("solve_ns", &lat);
+  hits.add(3);
+  lat.record(1500);
+
+  const std::string prom = registry.snapshot().to_prometheus();
+  // Every series is announced before its samples, with the right type.
+  EXPECT_NE(prom.find("# HELP lptsp_cache_hits "), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE lptsp_cache_hits counter\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE lptsp_queue_depth gauge\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE lptsp_solve_ns histogram\n"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE lptsp_snapshot_timestamp_ns gauge\n"), std::string::npos);
+  // The exact observed max rides along so exposition-based deltas can cap
+  // interpolated quantiles like the in-process snapshot does.
+  EXPECT_NE(prom.find("lptsp_solve_ns_max 1500\n"), std::string::npos) << prom;
+  // HELP precedes TYPE precedes the first sample of each series.
+  const std::size_t help_at = prom.find("# HELP lptsp_cache_hits");
+  const std::size_t type_at = prom.find("# TYPE lptsp_cache_hits");
+  const std::size_t sample_at = prom.find("\nlptsp_cache_hits 3");
+  ASSERT_NE(sample_at, std::string::npos) << prom;
+  EXPECT_LT(help_at, type_at);
+  EXPECT_LT(type_at, sample_at);
+}
+
+TEST(MetricsSnapshot, PrometheusNamesAreEscaped) {
+  MetricRegistry registry;
+  Counter dotted;
+  registry.register_counter("store.append.failures-total", &dotted);
+  dotted.add(2);
+  const std::string prom = registry.snapshot().to_prometheus();
+  // '.' and '-' are outside the exposition grammar; they degrade to '_'.
+  EXPECT_NE(prom.find("lptsp_store_append_failures_total 2"), std::string::npos) << prom;
+  EXPECT_EQ(prom.find("store.append"), std::string::npos) << prom;
 }
 
 }  // namespace

@@ -100,6 +100,57 @@ TEST(TraceRing, DumpJsonIsWellFormed) {
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'), std::count(json.begin(), json.end(), '}'));
 }
 
+TEST(TraceRing, SampledTracesBypassTheSlowThreshold) {
+  TraceRing ring(TraceRing::Config{4, 1000});
+  Trace fast = trace_taking(1, 10);  // far below the threshold
+  fast.sampled = true;
+  fast.trace_id = 0xabcdef12u;
+  ring.keep(std::move(fast));
+  ASSERT_EQ(ring.size(), 1u);  // sampled: retained anyway
+  ring.keep(trace_taking(2, 10));
+  EXPECT_EQ(ring.size(), 1u);  // unsampled fast trace still dropped
+
+  const std::string json = ring.dump_json();
+  EXPECT_NE(json.find("\"trace_id\":2882400018"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sampled\":true"), std::string::npos) << json;
+  // Context-free traces carry neither key (the common case stays small).
+  TraceRing plain(TraceRing::Config{4, 0});
+  plain.keep(trace_taking(3, 10));
+  EXPECT_EQ(plain.dump_json().find("trace_id"), std::string::npos);
+  EXPECT_EQ(plain.dump_json().find("sampled"), std::string::npos);
+}
+
+TEST(TraceRing, ConcurrentKeepAndDumpStaySane) {
+  // Writers race keep() against readers pulling dump_json()/snapshot():
+  // under TSan this is the data-race check; everywhere else it checks the
+  // ring never loses its bounds and the JSON stays balanced.
+  TraceRing ring(TraceRing::Config{32, 0});
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        Trace trace = trace_taking(static_cast<std::uint64_t>(w * kPerWriter + i), 100);
+        trace.spans.push_back({Stage::CacheLookup, nullptr, 1, 2, false, false});
+        ring.keep(std::move(trace));
+      }
+    });
+  }
+  std::thread reader([&ring] {
+    for (int i = 0; i < 200; ++i) {
+      const std::string json = ring.dump_json();
+      EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+                std::count(json.begin(), json.end(), '}'));
+      EXPECT_LE(ring.snapshot().size(), 32u);
+    }
+  });
+  for (std::thread& writer : writers) writer.join();
+  reader.join();
+  EXPECT_EQ(ring.size(), 32u);
+}
+
 // ------------------------------------------- end-to-end through the solver
 
 BatchSolver::Options traced_options() {

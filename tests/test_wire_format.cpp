@@ -31,6 +31,12 @@ SolveRequest random_request(Rng& rng, std::uint64_t id) {
     request.engine =
         static_cast<Engine>(rng.uniform_int(0, static_cast<int>(Engine::BranchBound)));
   }
+  // v4 fields: trace context on roughly half the requests (0 = absent on
+  // the wire, so both encodings stay covered).
+  if (rng.bernoulli(0.5)) {
+    request.trace_id = rng.next() | 1;  // nonzero
+    request.trace_sampled = rng.bernoulli(0.5);
+  }
   request.id = id;
   return request;
 }
@@ -60,6 +66,11 @@ SolveResponse random_response(Rng& rng, std::uint64_t id) {
   // wire, so both encodings stay covered).
   if (rng.bernoulli(0.5)) {
     response.retry_after_ms = static_cast<std::uint32_t>(rng.uniform_int(1, 60000));
+  }
+  // v4 fields: the server-timing echo, also ~50/50.
+  if (rng.bernoulli(0.5)) {
+    response.server_queue_ns = rng.next() >> 8;
+    response.server_service_ns = (rng.next() >> 8) | 1;  // at least one nonzero
   }
   return response;
 }
@@ -109,6 +120,8 @@ TEST(WireFormat, RandomRequestsRoundTripExactly) {
     EXPECT_EQ(decoded.deadline, request.deadline);
     EXPECT_EQ(decoded.priority, request.priority);
     EXPECT_EQ(decoded.engine, request.engine);
+    EXPECT_EQ(decoded.trace_id, request.trace_id);
+    EXPECT_EQ(decoded.trace_sampled, request.trace_sampled);
   }
 }
 
@@ -133,6 +146,8 @@ TEST(WireFormat, RandomResponsesRoundTripExactly) {
     EXPECT_EQ(decoded.message, response.message);
     EXPECT_EQ(decoded.labeling.labels, response.labeling.labels);
     EXPECT_EQ(decoded.retry_after_ms, response.retry_after_ms);
+    EXPECT_EQ(decoded.server_queue_ns, response.server_queue_ns);
+    EXPECT_EQ(decoded.server_service_ns, response.server_service_ns);
   }
 }
 
@@ -156,6 +171,93 @@ TEST(WireFormat, RetryAfterHintSuppressedForOlderPeers) {
   const DecodeResult result = decode_one(bytes);
   ASSERT_TRUE(result.ok()) << result.detail;
   EXPECT_EQ(result.message.response.retry_after_ms, 250u);
+}
+
+/// A v1-v3 connection must never see the v4 trace-context flag bits: a
+/// pre-v4 decoder treated the flags byte as a strict 0/1 pin flag and
+/// would reject the frame, so the encoder drops the context for them.
+TEST(WireFormat, TraceContextSuppressedForOlderPeers) {
+  SolveRequest request;
+  request.graph = path_graph(4);
+  request.p = PVec::L21();
+  request.id = 12;
+  request.trace_id = 0xfeedfacecafef00dULL;
+  request.trace_sampled = true;
+  for (const std::uint16_t version :
+       {std::uint16_t{1}, std::uint16_t{2}, std::uint16_t{3}}) {
+    std::vector<std::uint8_t> bytes;
+    encode_request(bytes, request, version);
+    const DecodeResult result = decode_one(bytes);
+    ASSERT_TRUE(result.ok()) << result.detail << " (version " << version << ")";
+    EXPECT_EQ(result.message.request.trace_id, 0u);
+    EXPECT_FALSE(result.message.request.trace_sampled);
+    EXPECT_EQ(result.message.request.graph, request.graph);  // payload intact
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_request(bytes, request, kWireVersion);
+  const DecodeResult result = decode_one(bytes);
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(result.message.request.trace_id, request.trace_id);
+  EXPECT_TRUE(result.message.request.trace_sampled);
+}
+
+/// Same rule for the v4 server-timing echo on Responses.
+TEST(WireFormat, ServerTimingSuppressedForOlderPeers) {
+  SolveResponse response;
+  response.id = 21;
+  response.status = SolveStatus::Ok;
+  response.server_queue_ns = 1200;
+  response.server_service_ns = 84000;
+  for (const std::uint16_t version :
+       {std::uint16_t{1}, std::uint16_t{2}, std::uint16_t{3}}) {
+    std::vector<std::uint8_t> bytes;
+    encode_response(bytes, response, version);
+    const DecodeResult result = decode_one(bytes);
+    ASSERT_TRUE(result.ok()) << result.detail << " (version " << version << ")";
+    EXPECT_EQ(result.message.response.server_queue_ns, 0u);
+    EXPECT_EQ(result.message.response.server_service_ns, 0u);
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_response(bytes, response, kWireVersion);
+  const DecodeResult result = decode_one(bytes);
+  ASSERT_TRUE(result.ok()) << result.detail;
+  EXPECT_EQ(result.message.response.server_queue_ns, 1200u);
+  EXPECT_EQ(result.message.response.server_service_ns, 84000u);
+}
+
+TEST(WireFormat, RequestFlagByteValidation) {
+  SolveRequest request;
+  request.graph = path_graph(3);
+  request.p = PVec::L21();
+  request.id = 5;
+  std::vector<std::uint8_t> frame;
+  encode_request(frame, request);
+  // The flags byte sits right after: len(4) type(1) id(8) deadline(4)
+  // priority(4).
+  const std::size_t flags_at = 4 + 1 + 8 + 4 + 4;
+  {
+    std::vector<std::uint8_t> bad = frame;
+    bad[flags_at] = 0x08;  // first undefined bit
+    const DecodeResult result = decode_payload(bad.data() + 4, bad.size() - 4);
+    EXPECT_EQ(result.fault, WireFault::Malformed);
+    EXPECT_NE(result.detail.find("unknown flag bits"), std::string::npos) << result.detail;
+  }
+  {
+    // Sampled without trace context is self-inconsistent: there is no id
+    // for the sample bit to apply to.
+    std::vector<std::uint8_t> bad = frame;
+    bad[flags_at] = 0x04;
+    const DecodeResult result = decode_payload(bad.data() + 4, bad.size() - 4);
+    EXPECT_EQ(result.fault, WireFault::Malformed);
+    EXPECT_NE(result.detail.find("sampled"), std::string::npos) << result.detail;
+  }
+  {
+    // Trace-context bit without the trailing u64 is a truncation.
+    std::vector<std::uint8_t> bad = frame;
+    bad[flags_at] = 0x02;
+    const DecodeResult result = decode_payload(bad.data() + 4, bad.size() - 4);
+    EXPECT_EQ(result.fault, WireFault::Truncated);
+  }
 }
 
 TEST(WireFormat, ErrorFramesRoundTrip) {
@@ -375,7 +477,7 @@ TEST(WireFormat, VersionNegotiationAcceptsTheSupportedRange) {
 
 TEST(WireFormat, StatsFramesRoundTripEveryFormat) {
   for (const StatsFormat format : {StatsFormat::Json, StatsFormat::Prometheus, StatsFormat::Text,
-                                   StatsFormat::Traces}) {
+                                   StatsFormat::Traces, StatsFormat::Journal}) {
     std::vector<std::uint8_t> request_bytes;
     encode_stats_request(request_bytes, format);
     const DecodeResult request = decode_one(request_bytes);

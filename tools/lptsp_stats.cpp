@@ -6,27 +6,43 @@
 /// server-rendered payload.
 ///
 ///   lptsp_stats [--host=127.0.0.1] [--port=4780]
-///               [--json | --prom | --traces]      (default: aligned text)
+///               [--json | --prom | --traces | --journal]  (default: text)
 ///               [--drive=N] [--seed=S]            (send N requests first)
+///               [--client-traces=PATH]            (dump the driver's trace ring)
+///               [--watch[=SECONDS]] [--watch-count=N]
 ///               [--timeout-ms=5000]               (connect + scrape budget)
 ///
+/// Driven requests carry trace context (v4 servers adopt the client's
+/// trace id, so the server's --traces ring and the client ring written by
+/// --client-traces hold one joined trace per request). --journal scrapes
+/// the structured event journal (v4+). --watch turns the tool into a live
+/// rate view: it scrapes the Prometheus exposition every SECONDS (default
+/// 2), diffs consecutive snapshots with SnapshotDelta, and redraws a
+/// top-style screen of per-second rates and interval percentiles;
+/// --watch-count=N exits 0 after N redraws (0 = until killed).
+///
 /// Exit codes: 0 scrape succeeded, 1 transport/protocol failure, 2 bad
-/// usage. The scrape requires a v2 server; v1 servers answer the stats
-/// frame with an Error, reported here as a refusal. A dead, absent, or
-/// wedged daemon produces a one-line diagnostic and exit 1 within
-/// --timeout-ms — never a hang (0 disables the timeout).
+/// usage. The scrape requires a v2 server (v4 for --journal); older
+/// servers answer the stats frame with an Error, reported here as a
+/// refusal. A dead, absent, or wedged daemon produces a one-line
+/// diagnostic and exit 1 within --timeout-ms — never a hang (0 disables
+/// the timeout).
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <exception>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "graph/operations.hpp"
 #include "net/client.hpp"
 #include "net/wire.hpp"
+#include "obs/delta.hpp"
+#include "obs/metrics.hpp"
 #include "service/request.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -61,6 +77,47 @@ std::vector<SolveRequest> make_drive_workload(int count, std::uint64_t seed) {
   return requests;
 }
 
+/// Write `payload` to `path` ("-" = stdout). Plain write is fine here:
+/// the file is produced once at exit, not concurrently scraped.
+bool write_text_file(const std::string& path, const std::string& payload) {
+  if (path == "-") {
+    std::fputs(payload.c_str(), stdout);
+    if (!payload.empty() && payload.back() != '\n') std::fputc('\n', stdout);
+    return true;
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const bool wrote = std::fwrite(payload.data(), 1, payload.size(), file) == payload.size();
+  return (std::fclose(file) == 0) && wrote;
+}
+
+/// The --watch loop: scrape the Prometheus exposition every `interval`
+/// seconds, diff consecutive snapshots, redraw. Returns the exit code.
+int run_watch(LabelingClient& client, double interval_s, int max_redraws) {
+  std::optional<obs::MetricsSnapshot> previous;
+  int redraws = 0;
+  while (true) {
+    const std::string exposition = client.stats(StatsFormat::Prometheus);
+    std::optional<obs::MetricsSnapshot> current = obs::parse_prometheus(exposition);
+    if (!current) {
+      std::fprintf(stderr, "lptsp_stats: --watch could not parse the Prometheus scrape\n");
+      return 1;
+    }
+    if (previous) {
+      const obs::SnapshotDelta delta = obs::SnapshotDelta::between(*previous, *current);
+      // Home the cursor and clear below (top-style redraw) rather than
+      // clearing the whole screen, so the view never visibly flickers.
+      std::fputs("\x1b[H\x1b[J", stdout);
+      std::printf("lptsp_stats --watch: %.3gs interval\n\n%s", interval_s,
+                  delta.to_text().c_str());
+      std::fflush(stdout);
+      if (max_redraws > 0 && ++redraws >= max_redraws) return 0;
+    }
+    previous = std::move(current);
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -70,6 +127,10 @@ int main(int argc, char** argv) {
   const int drive = args.get_int("drive", 0);
   const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const int timeout_ms = args.get_int("timeout-ms", 5000);
+  const std::string client_traces = args.get("client-traces", "");
+  const bool watch = args.has("watch");
+  const double watch_interval = args.get_double("watch", 2.0);
+  const int watch_count = args.get_int("watch-count", 0);
 
   StatsFormat format = StatsFormat::Text;
   int format_flags = 0;
@@ -85,16 +146,30 @@ int main(int argc, char** argv) {
     format = StatsFormat::Traces;
     ++format_flags;
   }
+  if (args.has("journal")) {
+    format = StatsFormat::Journal;
+    ++format_flags;
+  }
   if (format_flags > 1) {
-    std::fprintf(stderr, "lptsp_stats: pick at most one of --json / --prom / --traces\n");
+    std::fprintf(stderr,
+                 "lptsp_stats: pick at most one of --json / --prom / --traces / --journal\n");
+    return 2;
+  }
+  if (watch && format_flags > 0) {
+    std::fprintf(stderr, "lptsp_stats: --watch scrapes Prometheus; drop the format flag\n");
+    return 2;
+  }
+  if (watch && !(watch_interval > 0.0)) {
+    std::fprintf(stderr, "lptsp_stats: --watch interval must be positive\n");
     return 2;
   }
   const std::vector<std::string> unused = args.unused_keys();
   if (!unused.empty()) {
     std::fprintf(stderr, "lptsp_stats: unknown flag --%s\n", unused.front().c_str());
     std::fprintf(stderr,
-                 "usage: lptsp_stats [--host=H] [--port=P] [--json|--prom|--traces] "
-                 "[--drive=N] [--seed=S] [--timeout-ms=T]\n");
+                 "usage: lptsp_stats [--host=H] [--port=P] [--json|--prom|--traces|--journal] "
+                 "[--drive=N] [--seed=S] [--client-traces=PATH] [--watch[=S]] [--watch-count=N] "
+                 "[--timeout-ms=T]\n");
     return 2;
   }
 
@@ -102,6 +177,10 @@ int main(int argc, char** argv) {
     ClientOptions client_options;
     client_options.connect_timeout = std::chrono::milliseconds{timeout_ms};
     client_options.request_timeout = std::chrono::milliseconds{timeout_ms};
+    // Driven requests carry trace context so a v4 server records the same
+    // trace ids this client's ring holds — one joined trace per request.
+    client_options.trace = drive > 0;
+    client_options.trace_capacity = drive > 0 ? static_cast<std::size_t>(drive) : 64;
     lptsp::LabelingClient client(client_options);
     client.connect(host, static_cast<std::uint16_t>(port));
 
@@ -111,9 +190,17 @@ int main(int argc, char** argv) {
       for (const SolveRequest& request : workload) {
         if (client.solve_retry(request).ok()) ++ok;
       }
-      std::fprintf(stderr, "lptsp_stats: drove %d requests (%d ok) against %s:%d\n", drive, ok,
-                   host.c_str(), port);
+      std::fprintf(stderr, "lptsp_stats: drove %d requests (%d ok, wire v%u) against %s:%d\n",
+                   drive, ok, client.negotiated_version(), host.c_str(), port);
+      if (!client_traces.empty() &&
+          !write_text_file(client_traces, client.traces().dump_json())) {
+        std::fprintf(stderr, "lptsp_stats: cannot write --client-traces %s\n",
+                     client_traces.c_str());
+        return 1;
+      }
     }
+
+    if (watch) return run_watch(client, watch_interval, watch_count);
 
     const std::string payload = client.stats(format);
     std::fputs(payload.c_str(), stdout);

@@ -12,7 +12,8 @@
 ///          [--request-workers=0] [--engine-workers=0]
 ///          [--max-pending=256] [--max-connections=64]
 ///          [--max-inflight=64] [--seed=1] [--stats-every=10]
-///          [--stats-json=PATH] [--trace-keep=64] [--trace-slow-ms=0]
+///          [--stats-json=PATH] [--journal-json=PATH]
+///          [--trace-keep=64] [--trace-slow-ms=0]
 ///          [--store-degraded-after=3] [--store-probe-ms=1000]
 ///          [--brownout-heuristic-pending=N] [--brownout-reject-pending=N]
 ///          [--brownout-retry-after-ms=250]
@@ -31,6 +32,11 @@
 /// for file-based collectors. --trace-keep bounds the in-memory ring of
 /// recent request traces; --trace-slow-ms keeps only requests slower than
 /// the threshold (0 keeps every request, newest win once full).
+/// The structured event journal (brownout rung changes, store
+/// degrade/heal, wire faults, fault-injection fires) is dumped as JSON —
+/// atomically, like the snapshot — to --journal-json=PATH (default:
+/// <stats-json>.journal when --stats-json is set) on SIGQUIT and on
+/// clean shutdown, so a postmortem always has the incident timeline.
 ///
 /// Persistence: --cache-file points at the durable store (created if
 /// absent); --state-dir is the directory flavor (uses DIR/lptspd.store,
@@ -66,6 +72,7 @@
 
 #include "kernels/kernels.hpp"
 #include "net/server.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "store/backend.hpp"
 #include "util/cli.hpp"
@@ -76,8 +83,14 @@ using namespace lptsp;
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump_journal{false};
 
 void handle_signal(int) { g_stop.store(true); }
+
+/// SIGQUIT asks for an on-demand journal dump without stopping the
+/// daemon — the crash-safe half of the postmortem story: the handler
+/// only flips a flag, the 200ms main loop does the file IO.
+void handle_dump_signal(int) { g_dump_journal.store(true); }
 
 /// Write `payload` to `path` via temp-file + rename so a collector
 /// reading the path never sees a torn snapshot.
@@ -146,6 +159,8 @@ int main(int argc, char** argv) {
 
   const int stats_every = args.get_int("stats-every", 10);
   const std::string stats_json = args.get("stats-json", "");
+  std::string journal_json = args.get("journal-json", "");
+  if (journal_json.empty() && !stats_json.empty()) journal_json = stats_json + ".journal";
 
   const std::vector<std::string> unknown = args.unused_keys();
   if (!unknown.empty()) {
@@ -193,10 +208,21 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGQUIT, handle_dump_signal);
 
   auto last_stats = std::chrono::steady_clock::now();
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds{200});
+    if (g_dump_journal.exchange(false) && !journal_json.empty()) {
+      if (write_snapshot_file(journal_json, obs::journal().dump_json())) {
+        std::printf("lptspd: journal dumped to %s (%llu events emitted)\n", journal_json.c_str(),
+                    static_cast<unsigned long long>(obs::journal().emitted()));
+        std::fflush(stdout);
+      } else {
+        std::fprintf(stderr, "lptspd: cannot write --journal-json %s: %s\n", journal_json.c_str(),
+                     std::strerror(errno));
+      }
+    }
     if (stats_every > 0 &&
         std::chrono::steady_clock::now() - last_stats >= std::chrono::seconds{stats_every}) {
       last_stats = std::chrono::steady_clock::now();
@@ -222,6 +248,9 @@ int main(int argc, char** argv) {
   // win table reflect every request that was served.
   if (!stats_json.empty()) {
     write_snapshot_file(stats_json, solver.metrics_registry().snapshot().to_json());
+  }
+  if (!journal_json.empty()) {
+    write_snapshot_file(journal_json, obs::journal().dump_json());
   }
   solver.checkpoint_win_table();
   return 0;
