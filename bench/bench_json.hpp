@@ -21,7 +21,10 @@
 /// (speedups, hit rates); `p50_ns`/`p90_ns`/`p99_ns` entries are a
 /// latency distribution over individual operations (tail behaviour, where
 /// a median hides regressions); `rate_per_s` entries are sustained
-/// throughput (operations per second — bigger is better, like ratio).
+/// throughput (operations per second — bigger is better, like ratio);
+/// `work` entries are raw engine-work totals from the profiling layer
+/// (DP cells, search nodes — workload bookkeeping, not a perf verdict:
+/// the differ notes and skips them instead of comparing).
 
 #include <algorithm>
 #include <fstream>
@@ -56,6 +59,12 @@ class BenchJson {
   /// One sustained throughput measurement in operations per second.
   void record_rate(const std::string& name, long long n, double rate_per_s) {
     entries_.push_back({name, n, 0.0, Kind::Rate, 0.0, 0.0, 0.0, 0.0, rate_per_s});
+  }
+
+  /// One raw engine-work total (profiling layer): context for the timed
+  /// records, deliberately not a diffable perf number.
+  void record_work(const std::string& name, long long n, double work) {
+    entries_.push_back({name, n, 0.0, Kind::Work, 0.0, 0.0, 0.0, 0.0, work});
   }
 
   /// record_latency from raw per-operation samples (sorted in place).
@@ -93,6 +102,9 @@ class BenchJson {
         case Kind::Rate:
           out << ", \"rate_per_s\": " << entry.rate_per_s;
           break;
+        case Kind::Work:
+          out << ", \"work\": " << entry.rate_per_s;  // reuses the slot
+          break;
       }
       out << '}' << (i + 1 < entries_.size() ? "," : "") << '\n';
     }
@@ -101,7 +113,7 @@ class BenchJson {
   }
 
  private:
-  enum class Kind { Median, Ratio, Latency, Rate };
+  enum class Kind { Median, Ratio, Latency, Rate, Work };
 
   struct Entry {
     std::string name;

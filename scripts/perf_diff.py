@@ -40,9 +40,13 @@ import sys
 def load_records(directory):
     """Returns ({(bench, name, n): (kind, value)}, unknown_kind_count).
 
-    kind is "median_ns", "ratio", or "rate_per_s". Entries carrying none
-    of the known value fields are counted in unknown_kind_count so the
-    summary can note them (a newer bench schema than this differ knows).
+    kind is "median_ns", "ratio", or "rate_per_s". Profile records (a
+    "work" field: raw engine-work totals from the profiling layer) are
+    counted in unknown_kind_count and skipped without a warning — they are
+    workload bookkeeping, not perf numbers, and never diffable. Entries
+    carrying none of the known value fields are counted in
+    unknown_kind_count so the summary can note them (a newer bench schema
+    than this differ knows).
 
     Defensive by design: this runs as a best-effort CI summary step, so a
     malformed artifact, a renamed bench, or a half-written JSON must come
@@ -90,6 +94,12 @@ def load_records(directory):
                         if field in entry:
                             records[(bench, f"{name}:{field[:-3]}", n)] = \
                                 ("median_ns", float(entry[field]))
+                elif "work" in entry:
+                    # Work-attribution profile record: raw engine-work
+                    # totals (DP cells, search nodes). Machine- and
+                    # workload-shaped, not a perf verdict — note, never
+                    # compare, never crash.
+                    unknown += 1
                 else:
                     unknown += 1
                     print(f"warning: {path}: unrecognized record kind for {key} "
@@ -190,9 +200,9 @@ def main():
         print(f"\nNew records without a baseline (a bench was added or renamed — "
               f"expected on the run introducing it): {len(new_keys)}")
     if unknown_current:
-        print(f"\nSkipped {unknown_current} current record(s) with an unrecognized "
-              f"kind — the bench schema is newer than this differ; update "
-              f"scripts/perf_diff.py to compare them.")
+        print(f"\nSkipped {unknown_current} current record(s) that are not perf "
+              f"comparisons: profile work records (raw engine-work totals) and "
+              f"any kinds newer than this differ.")
     if gone_keys:
         print(f"\nBaseline records with no current counterpart (a bench was removed "
               f"or renamed): "

@@ -437,10 +437,10 @@ SolveResponse LabelingClient::solve_retry(const SolveRequest& request) {
   return last;
 }
 
-std::string LabelingClient::stats(StatsFormat format) {
+std::string LabelingClient::stats(StatsFormat format, std::uint64_t journal_since) {
   if (!connected()) transport_error("not connected");
   std::vector<std::uint8_t> frame;
-  encode_stats_request(frame, format);
+  encode_stats_request(frame, format, journal_since);
   write_all(frame.data(), frame.size());
   // Bound the scrape by the request budget: a wedged daemon must produce a
   // clean diagnostic, not a hung tool.

@@ -123,8 +123,10 @@ class LabelingClient {
   /// Scrape the server's metrics snapshot (v2+ servers), rendered in
   /// `format`. Responses to still-pipelined requests that arrive first are
   /// buffered for later next()/wait() calls. Throws on transport faults
-  /// and on servers that refuse stats frames.
-  std::string stats(StatsFormat format = StatsFormat::Json);
+  /// and on servers that refuse stats frames. `journal_since` (Journal
+  /// format only) asks for events with seq > journal_since — the
+  /// incremental-scrape cursor.
+  std::string stats(StatsFormat format = StatsFormat::Json, std::uint64_t journal_since = 0);
 
   /// Send a Shutdown frame (server flushes pending responses, then closes)
   /// and close this side. Safe to call with responses still unread —

@@ -487,7 +487,7 @@ void LabelingServer::handle_frame(Connection& connection, WireMessage&& message)
       handle_request(connection, std::move(message.request));
       return;
     case MessageType::StatsRequest:
-      handle_stats_request(connection, message.stats_format);
+      handle_stats_request(connection, message.stats_format, message.stats_since);
       return;
     case MessageType::Shutdown:
       connection.draining = true;
@@ -504,7 +504,8 @@ void LabelingServer::handle_frame(Connection& connection, WireMessage&& message)
   }
 }
 
-void LabelingServer::handle_stats_request(Connection& connection, StatsFormat format) {
+void LabelingServer::handle_stats_request(Connection& connection, StatsFormat format,
+                                          std::uint64_t since) {
   if (connection.version < kStatsMinVersion) {
     // The client negotiated v1 and then sent a v2 frame — a protocol
     // violation, not a soft failure.
@@ -512,9 +513,11 @@ void LabelingServer::handle_stats_request(Connection& connection, StatsFormat fo
                "stats frames require protocol version 2 (connection negotiated v1)");
     return;
   }
-  if (format == StatsFormat::Journal && connection.version < kTraceContextMinVersion) {
+  if ((format == StatsFormat::Journal || format == StatsFormat::Profile) &&
+      connection.version < kTraceContextMinVersion) {
     send_fault(connection, WireFault::Malformed,
-               "journal format requires protocol version 4 (connection negotiated v" +
+               std::string(stats_format_name(format)) +
+                   " format requires protocol version 4 (connection negotiated v" +
                    std::to_string(connection.version) + ")");
     return;
   }
@@ -527,7 +530,8 @@ void LabelingServer::handle_stats_request(Connection& connection, StatsFormat fo
       break;
     case StatsFormat::Text: payload = solver_.metrics_registry().snapshot().to_text(); break;
     case StatsFormat::Traces: payload = solver_.traces().dump_json(); break;
-    case StatsFormat::Journal: payload = obs::journal().dump_json(); break;
+    case StatsFormat::Journal: payload = obs::journal().dump_json(since); break;
+    case StatsFormat::Profile: payload = solver_.profile_json(); break;
   }
   encode_stats_reply(connection.out, format, payload);
 }

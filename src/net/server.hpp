@@ -130,7 +130,7 @@ class LabelingServer {
   /// Re-evaluate both brownout rungs against pending_requests(), with
   /// hysteresis. Loop-thread only.
   void update_brownout();
-  void handle_stats_request(Connection& connection, StatsFormat format);
+  void handle_stats_request(Connection& connection, StatsFormat format, std::uint64_t since);
   /// Encode an Error frame, bump protocol_errors_ + the per-fault counter,
   /// and mark the connection closing.
   void send_fault(Connection& connection, WireFault fault, const std::string& detail);

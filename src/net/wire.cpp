@@ -266,11 +266,16 @@ DecodeResult decode_stats_request(Cursor& cursor) {
   const std::uint8_t format = cursor.u8();
   if (!cursor.ok) return fail(WireFault::Truncated, "stats request too short");
   if (format < static_cast<std::uint8_t>(StatsFormat::Json) ||
-      format > static_cast<std::uint8_t>(StatsFormat::Journal)) {
+      format > static_cast<std::uint8_t>(StatsFormat::Profile)) {
     return fail(WireFault::Malformed,
                 "stats request: unknown format " + std::to_string(format));
   }
-  if (cursor.remaining() != 0) {
+  // Optional trailing u64: the incremental-scrape cursor (--since). Either
+  // absent (the v2-era one-byte frame) or exactly eight bytes — anything
+  // else is malformed, so framing bugs cannot masquerade as a cursor.
+  if (cursor.remaining() == 8) {
+    result.message.stats_since = cursor.u64();
+  } else if (cursor.remaining() != 0) {
     return fail(WireFault::Malformed, "stats request: trailing bytes");
   }
   result.message.stats_format = static_cast<StatsFormat>(format);
@@ -283,7 +288,7 @@ DecodeResult decode_stats_reply(Cursor& cursor) {
   const std::uint8_t format = cursor.u8();
   if (!cursor.ok) return fail(WireFault::Truncated, "stats reply too short");
   if (format < static_cast<std::uint8_t>(StatsFormat::Json) ||
-      format > static_cast<std::uint8_t>(StatsFormat::Journal)) {
+      format > static_cast<std::uint8_t>(StatsFormat::Profile)) {
     return fail(WireFault::Malformed, "stats reply: unknown format " + std::to_string(format));
   }
   result.message.stats_format = static_cast<StatsFormat>(format);
@@ -418,9 +423,11 @@ void encode_shutdown(std::vector<std::uint8_t>& out) {
   close_frame(out, slot);
 }
 
-void encode_stats_request(std::vector<std::uint8_t>& out, StatsFormat format) {
+void encode_stats_request(std::vector<std::uint8_t>& out, StatsFormat format,
+                          std::uint64_t since) {
   const std::size_t slot = open_frame(out, MessageType::StatsRequest);
   put_u8(out, static_cast<std::uint8_t>(format));
+  if (since != 0) put_u64(out, since);
   close_frame(out, slot);
 }
 

@@ -31,7 +31,11 @@ inline constexpr std::uint32_t kWireMagic = 0x5354504CU;
 /// emitted when the hint is nonzero); v4 added trace context on Request
 /// frames (flag bits + trailing u64 trace id), the server-timing echo on
 /// Response frames (flag bit + two trailing u64s), and the Journal stats
-/// format. Every older frame is bit-identical in v4, so the handshake
+/// format; still within v4, StatsRequest grew an optional trailing u64
+/// `since` cursor (incremental journal scrapes) and the Profile stats
+/// format — both additive, both rejected cleanly by older servers as
+/// malformed/unknown rather than misread. Every older frame is
+/// bit-identical in v4, so the handshake
 /// negotiates downward: the server accepts any version in
 /// [kWireMinVersion, kWireVersion] and acks with the client's (lower)
 /// version, on which the newer frames/fields are suppressed.
@@ -81,6 +85,7 @@ enum class StatsFormat : std::uint8_t {
   Text = 3,        ///< human-readable aligned table
   Traces = 4,      ///< slow-trace ring as a JSON array
   Journal = 5,     ///< structured event journal as a JSON array (v4+)
+  Profile = 6,     ///< work-attribution profile as a JSON object (v4+)
 };
 
 constexpr const char* stats_format_name(StatsFormat format) noexcept {
@@ -90,6 +95,7 @@ constexpr const char* stats_format_name(StatsFormat format) noexcept {
     case StatsFormat::Text: return "text";
     case StatsFormat::Traces: return "traces";
     case StatsFormat::Journal: return "journal";
+    case StatsFormat::Profile: return "profile";
   }
   return "unknown";  // out-of-range cast, not a missing enumerator
 }
@@ -135,6 +141,9 @@ struct WireMessage {
   WireFault error_fault = WireFault::None;  ///< Error: fault being reported
   std::string error_message;     ///< Error: human-readable detail
   StatsFormat stats_format = StatsFormat::Json;  ///< StatsRequest / StatsReply
+  /// StatsRequest: only events with seq > stats_since are wanted (Journal
+  /// format; 0 = everything). Carried as an optional trailing u64.
+  std::uint64_t stats_since = 0;
   std::string stats_payload;     ///< StatsReply: rendered snapshot
 };
 
@@ -176,7 +185,11 @@ void encode_response(std::vector<std::uint8_t>& out, const SolveResponse& respon
 void encode_error(std::vector<std::uint8_t>& out, std::uint64_t id, WireFault fault,
                   const std::string& message);
 void encode_shutdown(std::vector<std::uint8_t>& out);
-void encode_stats_request(std::vector<std::uint8_t>& out, StatsFormat format);
+/// `since` (nonzero only for Journal scrapes) is appended as a trailing
+/// u64 when set; the plain one-byte frame stays bit-identical, so old
+/// servers keep accepting cursor-less requests.
+void encode_stats_request(std::vector<std::uint8_t>& out, StatsFormat format,
+                          std::uint64_t since = 0);
 void encode_stats_reply(std::vector<std::uint8_t>& out, StatsFormat format,
                         const std::string& payload);
 

@@ -47,17 +47,38 @@ std::size_t Journal::size() const {
   return ring_.size();
 }
 
+std::size_t Journal::capacity() const {
+  const std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void Journal::set_capacity(std::size_t capacity) {
+  const std::lock_guard lock(mutex_);
+  // Rebuild oldest-first inline (snapshot() would re-take mutex_), then
+  // keep the newest events that fit the new ring.
+  std::vector<JournalEvent> ordered;
+  ordered.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    ordered.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  const std::size_t keep = ordered.size() < capacity ? ordered.size() : capacity;
+  ring_.assign(ordered.end() - static_cast<std::ptrdiff_t>(keep), ordered.end());
+  head_ = 0;
+  capacity_ = capacity;
+}
+
 void Journal::clear() {
   const std::lock_guard lock(mutex_);
   ring_.clear();
   head_ = 0;
 }
 
-std::string Journal::dump_json() const {
+std::string Journal::dump_json(std::uint64_t since_seq) const {
   const std::vector<JournalEvent> events = snapshot();
   std::string out = "[";
   bool first = true;
   for (const JournalEvent& event : events) {
+    if (event.seq <= since_seq) continue;
     if (!first) out.push_back(',');
     first = false;
     out += "{\"seq\":" + std::to_string(event.seq);

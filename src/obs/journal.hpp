@@ -28,6 +28,8 @@ enum class EventType : std::uint8_t {
   WireFault,       ///< protocol error sent to a peer; peer = connection id
   FaultFired,      ///< an armed fault site fired; detail = site name
   OverloadReject,  ///< request rejected at the brownout reject rung
+  SloBreach,       ///< rolling deadline-hit ratio fell below target; arg0 = pct, arg1 = target
+  SloRecovered,    ///< rolling deadline-hit ratio back at/above target
 };
 
 constexpr const char* journal_event_name(EventType type) noexcept {
@@ -38,6 +40,8 @@ constexpr const char* journal_event_name(EventType type) noexcept {
     case EventType::WireFault: return "wire-fault";
     case EventType::FaultFired: return "fault-fired";
     case EventType::OverloadReject: return "overload-reject";
+    case EventType::SloBreach: return "slo-breach";
+    case EventType::SloRecovered: return "slo-recovered";
   }
   return "unknown";  // out-of-range cast, not a missing enumerator
 }
@@ -94,12 +98,17 @@ class Journal {
   [[nodiscard]] std::uint64_t emitted() const;
 
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const;
 
-  /// JSON array, oldest first:
-  /// [{"seq":..,"t_ns":..,"type":"..","level":"..","trace_id":..,
-  ///   "peer":..,"arg0":..,"arg1":..,"detail":".."},...]
-  [[nodiscard]] std::string dump_json() const;
+  /// Resize the ring in place, keeping the newest events that still fit.
+  /// Sequence numbering is untouched (emitted() stays truthful), so an
+  /// incremental reader's --since cursor survives a resize.
+  void set_capacity(std::size_t capacity);
+
+  /// JSON array, oldest first, of retained events with seq > since_seq
+  /// (0 = everything). The seq field is the incremental-scrape cursor:
+  /// pass the largest seq you have seen to fetch only newer events.
+  [[nodiscard]] std::string dump_json(std::uint64_t since_seq = 0) const;
 
   /// Drop every retained event (tests).
   void clear();

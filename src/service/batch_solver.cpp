@@ -99,6 +99,11 @@ void BatchSolver::register_metrics() {
   registry_.register_histogram("coalesced_wait_ns", &coalesced_wait_ns_, this);
   cache_.register_metrics(registry_);
   portfolio_.register_metrics(registry_);
+  slo_.register_into(registry_, this);
+  registry_.register_gauge(
+      "profile_keys_tracked", [this] { return static_cast<std::int64_t>(key_profile_.size()); },
+      this);
+  registry_.register_counter("profile_key_evictions", &key_profile_.evictions_counter(), this);
   if (backend_ != nullptr) backend_->register_metrics(registry_);
 }
 
@@ -161,6 +166,9 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(
         out.status = SolveStatus::Ok;
         out.entry = std::move(entry);
         out.result_cached = true;
+        // A deadline-bounded request served from cache met its deadline
+        // with (essentially) the full budget as slack.
+        if (options_.profile && budget_ms > 0) slo_.record_cache_hit(budget_ms);
         return out;
       }
       floor = std::move(entry);
@@ -221,6 +229,18 @@ BatchSolver::CanonicalOutcome BatchSolver::solve_canonical(
         deadline.count() > 0 ? std::optional(deadline) : std::nullopt;
     const std::uint64_t race_begin = trace != nullptr ? obs::steady_now_ns() : 0;
     PortfolioOutcome raced = portfolio_.race(instance, race_deadline);
+    if (options_.profile) {
+      // race() times itself unconditionally, so attribution adds no clock
+      // reads — one shard-mutex touch for the key table, relaxed adds and
+      // (rarely) the ring mutex for the SLO.
+      const auto race_ns = static_cast<std::uint64_t>(raced.seconds * 1e9);
+      const bool had_deadline = budget_ms > 0;
+      const bool deadline_hit =
+          !had_deadline || race_ns <= static_cast<std::uint64_t>(budget_ms) * 1'000'000ULL;
+      key_profile_.record(form.hash, form.n, race_ns, engine_name_cstr(raced.winner),
+                          had_deadline, deadline_hit);
+      if (had_deadline) slo_.record(race_ns, budget_ms);
+    }
     if (trace != nullptr) {
       const std::uint64_t race_start = race_begin - trace->origin_ns;
       trace->spans.push_back({obs::Stage::EngineRace, nullptr, race_start,
@@ -514,6 +534,22 @@ void BatchSolver::submit_async(SolveRequest request, std::function<void(SolveRes
     }
     done(std::move(response));
   });
+}
+
+std::string BatchSolver::profile_json() const {
+  // Top-K width of the rendered table: enough to dominate any realistic
+  // Zipf head while keeping the reply frame small.
+  constexpr std::size_t kTopKeys = 16;
+  const std::uint64_t uptime_ns = obs::steady_now_ns() - obs::process_start_ns();
+  std::string out = "{\"uptime_ns\":" + std::to_string(uptime_ns);
+  out += ",\"work\":";
+  out += portfolio_.work().to_json(uptime_ns);
+  out += ",\"top_keys\":";
+  out += key_profile_.to_json(kTopKeys);
+  out += ",\"slo\":";
+  out += slo_.to_json();
+  out.push_back('}');
+  return out;
 }
 
 std::vector<SolveResponse> BatchSolver::solve_batch(const std::vector<SolveRequest>& requests) {

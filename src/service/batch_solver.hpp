@@ -84,6 +84,13 @@ class BatchSolver {
     /// toggles. Off: the slow-trace ring stays empty and latency
     /// histograms stay at zero, but every counter keeps counting.
     bool metrics = true;
+    /// Work-attribution profiling: the per-canonical-key hot-graph table
+    /// and deadline SLO tracking (see src/obs/profile.hpp). Gates only
+    /// the per-request record calls (one shard-mutex touch per engine
+    /// race, one slack record per deadline-bounded request); the
+    /// engine-work counters themselves are always maintained — counters
+    /// always count, same rule as `metrics`.
+    bool profile = true;
     /// Slow-trace retention: keep the most recent `trace_capacity` traces
     /// whose end-to-end latency (queue wait included) was at least
     /// `trace_threshold`. Capacity 0 disables retention; threshold 0
@@ -136,6 +143,18 @@ class BatchSolver {
 
   /// The slow-trace ring (see Options::trace_capacity/trace_threshold).
   [[nodiscard]] const obs::TraceRing& traces() const noexcept { return traces_; }
+
+  /// The per-canonical-key hot-graph table and deadline SLO tracker (see
+  /// Options::profile), exposed for tests and monitoring.
+  [[nodiscard]] const obs::KeyProfileTable& key_profile() const noexcept { return key_profile_; }
+  [[nodiscard]] const obs::SloTracker& slo() const noexcept { return slo_; }
+
+  /// The work-attribution profile as one JSON object — the payload behind
+  /// StatsFormat::Profile and lptspd's --profile-json dump:
+  /// {"uptime_ns":..,"work":{per-engine totals + rates},
+  ///  "top_keys":[hottest canonical keys],"slo":{deadline summary}}.
+  /// The schema is a contract (README "Profiling & SLO").
+  [[nodiscard]] std::string profile_json() const;
 
   /// Number of actual engine runs performed (excludes cache hits and
   /// coalesced/deduplicated requests) — the denominator of every
@@ -237,6 +256,10 @@ class BatchSolver {
   obs::LatencyHistogram verify_ns_;
   obs::LatencyHistogram store_put_ns_;
   obs::LatencyHistogram coalesced_wait_ns_;
+  // Work-attribution profiling (Options::profile): which canonical graphs
+  // eat the engine time, and how the per-request deadlines fared.
+  obs::KeyProfileTable key_profile_;
+  obs::SloTracker slo_;
 
   // In-flight coalescing for submit(): maps a result key to the shared
   // outcome of the request currently computing it.

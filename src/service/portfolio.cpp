@@ -102,7 +102,7 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     outcome.optimal = true;
     outcome.winner = Engine::BruteForce;
     outcome.attempts.push_back(
-        {Engine::BruteForce, true, true, true, outcome.solution.cost, timer.seconds()});
+        {Engine::BruteForce, true, true, true, outcome.solution.cost, timer.seconds(), {}});
     outcome.seconds = timer.seconds();
     return outcome;
   }
@@ -152,6 +152,8 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
           HeldKarpRun result = held_karp_path_run(instance, hk);
           run.solution = std::move(result.solution);
           run.attempt.finished = result.completed;
+          run.attempt.work.hk_layers = result.layers;
+          run.attempt.work.hk_cells = result.cells;
         } else {
           BranchBoundOptions bb;
           bb.node_limit = options_.bb_node_limit;
@@ -159,6 +161,8 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
           BranchBoundRun result = branch_bound_path_run(instance, bb);
           run.solution = std::move(result.solution);
           run.attempt.finished = result.completed;
+          run.attempt.work.bb_nodes = static_cast<std::uint64_t>(result.nodes);
+          run.attempt.work.bb_pruned = static_cast<std::uint64_t>(result.pruned);
         }
       } catch (const precondition_error&) {
         // Node limit exceeded: the search forfeits this race.
@@ -183,6 +187,10 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     ChainedLkRun result = chained_lk_path_run(instance, lk);
     run.solution = std::move(result.solution);
     run.attempt.finished = result.completed;
+    run.attempt.work.lk_kicks = result.kicks;
+    run.attempt.work.lk_accepted = result.accepted;
+    run.attempt.work.lk_wakes = result.wakes;
+    run.attempt.work.lk_moves = result.moves;
     run.attempt.seconds = attempt_timer.seconds();
     return run;
   }));
@@ -244,6 +252,8 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
   }
   for (const Run& run : runs) {
     outcome.attempts.push_back(run.attempt);
+    outcome.work.merge(run.attempt.work);
+    work_.add(run.attempt.work);
     const auto slot = static_cast<std::size_t>(slot_of(run.attempt.engine));
     slot_latency_[slot].record(static_cast<std::uint64_t>(run.attempt.seconds * 1e9));
     if (!run.attempt.finished) slot_cancelled_[slot].add();
@@ -291,6 +301,7 @@ void EnginePortfolio::register_metrics(obs::MetricRegistry& registry, const void
     registry.register_histogram(std::string("engine_ns_") + kSlotNames[i], &slot_latency_[i],
                                 owner);
   }
+  work_.register_into(registry, owner);
 }
 
 }  // namespace lptsp

@@ -9,6 +9,7 @@
 
 #include "core/solvers.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "tsp/instance.hpp"
 #include "tsp/path.hpp"
 #include "util/thread_pool.hpp"
@@ -42,6 +43,7 @@ struct EngineAttempt {
   bool optimal = false;    ///< exact engine AND finished
   Weight cost = -1;
   double seconds = 0;
+  obs::EngineWork work;    ///< work this attempt performed (its fields only)
 };
 
 struct PortfolioOutcome {
@@ -50,6 +52,7 @@ struct PortfolioOutcome {
   Engine winner = Engine::ChainedLK;
   std::vector<EngineAttempt> attempts;
   double seconds = 0;
+  obs::EngineWork work;    ///< all attempts' work, merged
 };
 
 /// Deadline-aware engine racing. Each race launches an exact engine
@@ -111,6 +114,10 @@ class EnginePortfolio {
   /// or deregister(owner) first.
   void register_metrics(obs::MetricRegistry& registry, const void* owner = nullptr) const;
 
+  /// Lifetime engine-work totals across every race (engine_work_* in the
+  /// registry; the profile JSON renders them with per-second rates).
+  [[nodiscard]] const obs::WorkCounters& work() const noexcept { return work_; }
+
  private:
   static int bucket_of(int n) noexcept;
   static int slot_of(Engine engine) noexcept;
@@ -129,6 +136,7 @@ class EnginePortfolio {
   std::array<obs::Counter, kSlots> slot_wins_;
   std::array<obs::Counter, kSlots> slot_cancelled_;
   std::array<obs::LatencyHistogram, kSlots> slot_latency_;
+  obs::WorkCounters work_;
 };
 
 }  // namespace lptsp

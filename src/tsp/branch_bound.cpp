@@ -41,6 +41,7 @@ struct Search {
   const long long node_limit;
   const std::atomic<bool>* cancel;
   long long nodes = 0;
+  long long pruned = 0;
   bool cancelled = false;
   Weight incumbent_cost;
   Order incumbent;
@@ -93,7 +94,10 @@ struct Search {
       }
       return;
     }
-    if (cost + completion_bound() >= incumbent_cost) return;
+    if (cost + completion_bound() >= incumbent_cost) {
+      ++pruned;
+      return;
+    }
 
     // Branch on nearest candidates first: good incumbents early tighten
     // every later bound.
@@ -122,7 +126,7 @@ BranchBoundRun branch_bound_path_run(const MetricInstance& instance,
                                      const BranchBoundOptions& options) {
   const int n = instance.n();
   LPTSP_REQUIRE(n >= 1, "instance must be non-empty");
-  if (n == 1) return {{{0}, 0}, true, 0};
+  if (n == 1) return {{{0}, 0}, true, 0, 0};
 
   // Warm start: NN + VND gives a strong incumbent so pruning bites from
   // the first branch.
@@ -134,7 +138,8 @@ BranchBoundRun branch_bound_path_run(const MetricInstance& instance,
   Search search(instance, options, std::move(warm));
   search.dfs(0);
   LPTSP_ENSURE(is_valid_order(search.incumbent, n), "branch and bound lost its incumbent");
-  return {{search.incumbent, search.incumbent_cost}, !search.cancelled, search.nodes};
+  return {{search.incumbent, search.incumbent_cost}, !search.cancelled, search.nodes,
+          search.pruned};
 }
 
 PathSolution branch_bound_path(const MetricInstance& instance, const BranchBoundOptions& options) {

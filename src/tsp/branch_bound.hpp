@@ -41,6 +41,7 @@ struct BranchBoundRun {
   PathSolution solution;
   bool completed = true;       ///< false when options.cancel fired first
   long long nodes = 0;         ///< search nodes expanded
+  long long pruned = 0;        ///< subtrees cut by the completion bound
 };
 
 BranchBoundRun branch_bound_path_run(const MetricInstance& instance,

@@ -62,6 +62,12 @@ ChainedLkRun chained_lk_path_run(const MetricInstance& instance, const ChainedLk
   global_best.cost = -1;
   std::mutex best_mutex;
   std::atomic<bool> truncated{false};
+  // Work totals across restarts, accumulated under best_mutex (once per
+  // restart, not per kick — the merge is as cold as the best-merge).
+  std::uint64_t total_kicks = 0;
+  std::uint64_t total_accepted = 0;
+  std::uint64_t total_wakes = 0;
+  std::uint64_t total_moves = 0;
 
   const auto cancelled = [&options] {
     return options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed);
@@ -82,6 +88,7 @@ ChainedLkRun chained_lk_path_run(const MetricInstance& instance, const ChainedLk
     best.cost = path_length(instance, best.order);
     std::vector<int> wake;
     int kick = 0;
+    std::uint64_t accepted = 0;
     for (; kick < options.kicks; ++kick) {
       if (cancelled()) break;
       Order perturbed = double_bridge_kick(best.order, rng, &wake);
@@ -93,16 +100,22 @@ ChainedLkRun chained_lk_path_run(const MetricInstance& instance, const ChainedLk
       if (cost < best.cost) {
         best.order = std::move(perturbed);
         best.cost = cost;
+        ++accepted;
       }
     }
     if (kick < options.kicks) truncated.store(true, std::memory_order_relaxed);
     const std::lock_guard lock(best_mutex);
+    total_kicks += static_cast<std::uint64_t>(kick);
+    total_accepted += accepted;
+    total_wakes += optimizer.stats().wakes;
+    total_moves += optimizer.stats().moves;
     if (global_best.cost < 0 || best.cost < global_best.cost) global_best = std::move(best);
   };
 
   parallel_for(static_cast<std::size_t>(options.restarts), run_restart, options.threads);
   LPTSP_ENSURE(global_best.cost >= 0, "chained LK produced no solution");
-  return {std::move(global_best), !truncated.load(std::memory_order_relaxed)};
+  return {std::move(global_best), !truncated.load(std::memory_order_relaxed), total_kicks,
+          total_accepted, total_wakes, total_moves};
 }
 
 PathSolution chained_lk_path(const MetricInstance& instance, const ChainedLkOptions& options) {

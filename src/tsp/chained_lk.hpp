@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include "tsp/path.hpp"
 #include "util/rng.hpp"
@@ -33,6 +34,14 @@ PathSolution chained_lk_path(const MetricInstance& instance, const ChainedLkOpti
 struct ChainedLkRun {
   PathSolution solution;
   bool completed = true;
+  // Work performed across every restart, summed. Deterministic for a
+  // fixed (instance, options) pair as long as the run completes: restarts
+  // use independent seeded streams, so thread interleaving cannot change
+  // what each one does.
+  std::uint64_t kicks = 0;     ///< double-bridge kicks applied
+  std::uint64_t accepted = 0;  ///< kicks whose re-optimized path improved
+  std::uint64_t wakes = 0;     ///< candidate-list don't-look queue wakes
+  std::uint64_t moves = 0;     ///< applied 2-opt/Or-opt improving moves
 };
 
 ChainedLkRun chained_lk_path_run(const MetricInstance& instance,

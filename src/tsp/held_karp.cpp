@@ -80,11 +80,14 @@ HeldKarpRun held_karp_dp(const MetricInstance& instance, const HeldKarpOptions& 
   };
 
   // Layer 1: singleton paths.
+  std::uint64_t cells = 0;
   for (int v = 0; v < n; ++v) {
     if (options.fixed_start == -1 || options.fixed_start == v) {
       dp[cell(1u << v, v)] = 0;
+      ++cells;
     }
   }
+  std::uint64_t layers_done = 1;
 
   // Pull-style recurrence: dp[S][i] depends only on the popcount-1 layer,
   // so every subset within one layer is independent — the parallel grain.
@@ -122,6 +125,7 @@ HeldKarpRun held_karp_dp(const MetricInstance& instance, const HeldKarpOptions& 
       std::uint32_t mask = (1u << layer) - 1;
       while (mask <= full) {
         process_subset(mask);
+        cells += static_cast<std::uint64_t>(layer);  // one write per end in the subset
         if (++since_poll >= kCancelStride) {
           since_poll = 0;
           if (cancelled()) {
@@ -133,6 +137,7 @@ HeldKarpRun held_karp_dp(const MetricInstance& instance, const HeldKarpOptions& 
         const std::uint32_t ripple = mask + low;
         mask = ripple | (((mask ^ ripple) >> 2) / low);
       }
+      if (!stopped) ++layers_done;
     }
   } else {
     for (int layer = 2; layer <= n; ++layer) {
@@ -144,9 +149,11 @@ HeldKarpRun held_karp_dp(const MetricInstance& instance, const HeldKarpOptions& 
       parallel_for(
           subsets.size(), [&](std::size_t idx) { process_subset(subsets[idx]); },
           options.threads);
+      cells += static_cast<std::uint64_t>(subsets.size()) * static_cast<std::uint64_t>(layer);
+      ++layers_done;
     }
   }
-  if (stopped) return {{{}, -1}, false};
+  if (stopped) return {{{}, -1}, false, layers_done, cells};
 
   int best_end = 0;
   for (int v = 1; v < n; ++v) {
@@ -180,7 +187,7 @@ HeldKarpRun held_karp_dp(const MetricInstance& instance, const HeldKarpOptions& 
   }
   std::reverse(order.begin(), order.end());
 
-  return {{order, static_cast<Weight>(dp[cell(full, best_end)])}, true};
+  return {{order, static_cast<Weight>(dp[cell(full, best_end)])}, true, layers_done, cells};
 }
 
 }  // namespace
@@ -192,7 +199,7 @@ HeldKarpRun held_karp_path_run(const MetricInstance& instance, const HeldKarpOpt
                 "Held-Karp size cap exceeded (memory is 2^n * n * 2-4 bytes)");
   LPTSP_REQUIRE(options.fixed_start == -1 || (options.fixed_start >= 0 && options.fixed_start < n),
                 "fixed_start out of range");
-  if (n == 1) return {{{0}, 0}, true};
+  if (n == 1) return {{{0}, 0}, true, 1, 1};
 
   // The DP stores narrow costs; make sure no path can overflow them, and
   // drop to the 16-bit table whenever it can hold every possible path.

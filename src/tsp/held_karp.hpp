@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include "tsp/path.hpp"
 
@@ -34,6 +35,12 @@ struct HeldKarpOptions {
 struct HeldKarpRun {
   PathSolution solution;
   bool completed = true;
+  // DP work performed before finishing (or being cancelled). Cells are
+  // exact writes — popcount(S) per processed subset — so a completed run's
+  // counts depend only on n, never on the dispatched ISA tier or thread
+  // count.
+  std::uint64_t layers = 0;  ///< popcount layers completed (incl. singletons)
+  std::uint64_t cells = 0;   ///< dp cells written
 };
 
 /// Exact Path TSP via the Held–Karp O(2^n n^2) dynamic program

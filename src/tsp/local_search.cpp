@@ -171,6 +171,7 @@ void PathOptimizer::wake(int v) {
   if (!queued_[static_cast<std::size_t>(v)]) {
     queued_[static_cast<std::size_t>(v)] = 1;
     queue_.push_back(v);
+    ++stats_.wakes;
   }
 }
 
@@ -208,6 +209,7 @@ bool PathOptimizer::improve_vertex(Order& order, int x) {
 }
 
 void PathOptimizer::apply_reversal(Order& order, std::size_t first, std::size_t last) {
+  ++stats_.moves;
   std::reverse(order.begin() + diff(first), order.begin() + diff(last) + 1);
   for (std::size_t t = first; t <= last; ++t) {
     pos_[static_cast<std::size_t>(order[t])] = static_cast<int>(t);
@@ -290,6 +292,7 @@ bool PathOptimizer::try_two_opt(Order& order, int x) {
 
 void PathOptimizer::apply_segment_move(Order& order, std::size_t s, std::size_t e, std::size_t pc,
                                        bool after, bool reversed) {
+  ++stats_.moves;
   const std::size_t len = e - s + 1;
   std::size_t seg_begin;
   std::size_t lo;

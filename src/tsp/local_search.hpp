@@ -45,6 +45,15 @@ void vnd(const MetricInstance& instance, Order& order, int max_segment = 3);
 /// returns a costlier path than its seed.
 class PathOptimizer {
  public:
+  /// Work the optimizer performed since construction (or reset_stats()):
+  /// don't-look queue wakes and applied improving moves. Both are
+  /// deterministic functions of the instance and seed order, so they are
+  /// ISA-invariant — the profiling layer counts on that.
+  struct Stats {
+    std::uint64_t wakes = 0;  ///< vertices enqueued for re-examination
+    std::uint64_t moves = 0;  ///< applied 2-opt reversals + Or-opt relocations
+  };
+
   /// Builds private candidate lists of length k.
   explicit PathOptimizer(const MetricInstance& instance, int k = CandidateLists::kDefaultK);
 
@@ -66,6 +75,9 @@ class PathOptimizer {
 
   [[nodiscard]] const CandidateLists& candidates() const noexcept { return *cand_; }
 
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
  private:
   void run(Order& order);
   bool improve_vertex(Order& order, int x);
@@ -83,6 +95,7 @@ class PathOptimizer {
   std::vector<int> pos_;             // pos_[vertex] = index in order
   std::vector<std::uint8_t> queued_;
   std::vector<int> queue_;
+  Stats stats_;
 };
 
 }  // namespace lptsp

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "obs/profile.hpp"
+
+namespace lptsp::obs {
+namespace {
+
+TEST(KeyProfileTable, RecordAccumulatesPerKey) {
+  KeyProfileTable table;
+  table.record(0xabc, 10, 1000, "held_karp", true, true);
+  table.record(0xabc, 10, 3000, "chained_lk", true, false);
+  table.record(0xdef, 12, 500, "branch_bound", false, false);
+
+  EXPECT_EQ(table.size(), 2u);
+  const std::vector<KeyProfileTable::Entry> top = table.top(10);
+  ASSERT_EQ(top.size(), 2u);
+  // Hottest first by attributed engine time.
+  EXPECT_EQ(top[0].key_hash, 0xabcu);
+  EXPECT_EQ(top[0].solves, 2u);
+  EXPECT_EQ(top[0].engine_ns, 4000u);
+  EXPECT_EQ(top[0].last_engine_ns, 3000u);
+  EXPECT_STREQ(top[0].last_engine, "chained_lk");
+  EXPECT_EQ(top[0].deadline_hits, 1u);
+  EXPECT_EQ(top[0].deadline_misses, 1u);
+  EXPECT_EQ(top[0].n, 10);
+  EXPECT_EQ(top[0].size_bucket, 4);  // bit_width(10)
+  // The unbounded race contributed no deadline outcome.
+  EXPECT_EQ(top[1].deadline_hits, 0u);
+  EXPECT_EQ(top[1].deadline_misses, 0u);
+}
+
+TEST(KeyProfileTable, SpaceSavingEvictionKeepsHotKeys) {
+  KeyProfileTable::Config config;
+  config.shards = 1;  // one shard so the per-shard bound is the table bound
+  config.per_shard = 4;
+  KeyProfileTable table(config);
+
+  // One genuinely hot key, then a stream of one-shot cold keys.
+  for (int i = 0; i < 50; ++i) table.record(0x1, 8, 10'000, "held_karp", true, true);
+  for (std::uint64_t k = 2; k < 40; ++k) table.record(k, 8, 1, "chained_lk", false, false);
+
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_GT(table.evictions(), 0u);
+  const std::vector<KeyProfileTable::Entry> top = table.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  // The hot key survived the cold stream (space-saving guarantee).
+  EXPECT_EQ(top[0].key_hash, 0x1u);
+  EXPECT_GE(top[0].engine_ns, 500'000u);
+}
+
+TEST(KeyProfileTable, EvictionInheritsVictimTotalsAndResetsTheRest) {
+  KeyProfileTable::Config config;
+  config.shards = 1;
+  config.per_shard = 1;
+  KeyProfileTable table(config);
+  table.record(0xa, 8, 100, "held_karp", true, true);
+  table.record(0xa, 8, 100, "held_karp", true, true);
+  // 0xb evicts 0xa: inherits its 200ns total (the space-saving
+  // overestimate) but starts its own solve/deadline bookkeeping.
+  table.record(0xb, 9, 50, "chained_lk", true, false);
+  const std::vector<KeyProfileTable::Entry> top = table.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].key_hash, 0xbu);
+  EXPECT_EQ(top[0].engine_ns, 250u);  // 200 inherited + 50 own
+  EXPECT_EQ(top[0].solves, 1u);
+  EXPECT_EQ(top[0].deadline_hits, 0u);
+  EXPECT_EQ(top[0].deadline_misses, 1u);
+  EXPECT_EQ(top[0].n, 9);
+  EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(KeyProfileTable, ConcurrentRecordLosesNoSolves) {
+  KeyProfileTable::Config config;
+  config.shards = 4;
+  config.per_shard = 32;
+  KeyProfileTable table(config);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // 16 distinct keys across 4 shards; no evictions, so every solve
+        // must land in some entry exactly once.
+        table.record(static_cast<std::uint64_t>(i % 16 + 1), 8, 10, "held_karp", true,
+                     (t + i) % 2 == 0);
+      }
+    });
+  }
+  std::thread reader([&table] {
+    for (int i = 0; i < 200; ++i) {
+      const std::string json = table.to_json(16);
+      EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+                std::count(json.begin(), json.end(), '}'));
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  reader.join();
+  EXPECT_EQ(table.evictions(), 0u);
+  std::uint64_t solves = 0;
+  std::uint64_t outcomes = 0;
+  for (const KeyProfileTable::Entry& entry : table.top(32)) {
+    solves += entry.solves;
+    outcomes += entry.deadline_hits + entry.deadline_misses;
+  }
+  EXPECT_EQ(solves, std::uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(outcomes, std::uint64_t{kThreads} * kPerThread);
+}
+
+TEST(KeyProfileTable, ToJsonShapeAndHexKeys) {
+  KeyProfileTable table;
+  table.record(0xdeadbeef, 10, 1234, "held_karp", true, true);
+  const std::string json = table.to_json(4);
+  EXPECT_NE(json.find("\"key\":\"0xdeadbeef\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"last_engine\":\"held_karp\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"engine_ns\":1234"), std::string::npos) << json;
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Empty table renders an empty array, not malformed JSON.
+  KeyProfileTable empty;
+  EXPECT_EQ(empty.to_json(4), "[]");
+}
+
+TEST(SloTracker, HitsMissesSlackAndRatio) {
+  SloTracker slo;
+  // 100ms budget: 40ms elapsed = hit with 60ms slack; 150ms = miss.
+  slo.record(40'000'000, 100);
+  slo.record(150'000'000, 100);
+  slo.record_cache_hit(100);
+  EXPECT_EQ(slo.hits(), 2u);
+  EXPECT_EQ(slo.misses(), 1u);
+  EXPECT_EQ(slo.rolling_hit_percent(), 66);  // 2/3 floored
+
+  const std::string json = slo.to_json();
+  EXPECT_NE(json.find("\"deadline_hits\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"deadline_misses\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rolling_hit_percent\":66"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slack_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"overrun_ns\""), std::string::npos) << json;
+}
+
+TEST(SloTracker, EmptyTrackerReportsPerfectRatio) {
+  SloTracker slo;
+  EXPECT_EQ(slo.rolling_hit_percent(), 100);
+  const std::string json = slo.to_json();
+  EXPECT_NE(json.find("\"hit_ratio\":1.00"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"breached\":false"), std::string::npos) << json;
+}
+
+TEST(SloTracker, RegistersContractNames) {
+  SloTracker slo;
+  MetricRegistry registry;
+  slo.register_into(registry, &slo);
+  slo.record(40'000'000, 100);
+  slo.record(150'000'000, 100);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_or("deadline_hits"), 1u);
+  EXPECT_EQ(snapshot.counter_or("deadline_misses"), 1u);
+  EXPECT_NE(snapshot.histogram("deadline_slack_ns"), nullptr);
+  EXPECT_NE(snapshot.histogram("deadline_overrun_ns"), nullptr);
+  bool saw_gauge = false;
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == "deadline_hit_ratio_percent") {
+      saw_gauge = true;
+      EXPECT_EQ(gauge.value, 50);
+    }
+  }
+  EXPECT_TRUE(saw_gauge);
+  registry.deregister(&slo);
+}
+
+TEST(SloTracker, JournalsBreachAndRecovery) {
+  journal().clear();
+  SloTracker::Config config;
+  config.window = 64;
+  config.breach_percent = 90;
+  config.min_samples = 8;
+  SloTracker slo(config);
+
+  // 8 straight hits: healthy, nothing journaled.
+  for (int i = 0; i < 8; ++i) slo.record(1'000'000, 100);
+  // 8 straight misses drag the rolling ratio to 50%: one breach event.
+  for (int i = 0; i < 8; ++i) slo.record(200'000'000, 100);
+  // Recover with hits until the rolling ratio is back at/above 90%.
+  for (int i = 0; i < 80; ++i) slo.record(1'000'000, 100);
+
+  int breaches = 0;
+  int recoveries = 0;
+  for (const JournalEvent& event : journal().snapshot()) {
+    if (event.type == EventType::SloBreach) {
+      ++breaches;
+      EXPECT_EQ(event.level, EventLevel::Warn);
+      EXPECT_LT(event.arg0, 90);   // the crossing ratio
+      EXPECT_EQ(event.arg1, 90);   // the target
+    }
+    if (event.type == EventType::SloRecovered) {
+      ++recoveries;
+      EXPECT_EQ(event.level, EventLevel::Info);
+      EXPECT_GE(event.arg0, 90);
+    }
+  }
+  // Exactly one crossing each way — the tracker journals transitions,
+  // not every sample below target.
+  EXPECT_EQ(breaches, 1);
+  EXPECT_EQ(recoveries, 1);
+  journal().clear();
+}
+
+TEST(SloTracker, NoBreachVerdictBeforeMinSamples) {
+  journal().clear();
+  SloTracker::Config config;
+  config.min_samples = 32;
+  SloTracker slo(config);
+  for (int i = 0; i < 31; ++i) slo.record(200'000'000, 100);  // all misses
+  for (const JournalEvent& event : journal().snapshot()) {
+    EXPECT_NE(event.type, EventType::SloBreach);
+  }
+  journal().clear();
+}
+
+TEST(JournalCapacity, SetCapacityKeepsNewestAndSeq) {
+  Journal journal(8);
+  for (int i = 0; i < 8; ++i) {
+    journal.emit(EventType::FaultFired, EventLevel::Warn, "store.append", 0, 0, i);
+  }
+  journal.set_capacity(3);
+  EXPECT_EQ(journal.capacity(), 3u);
+  EXPECT_EQ(journal.size(), 3u);
+  std::vector<JournalEvent> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().arg0, 5);  // newest three survive
+  EXPECT_EQ(events.back().arg0, 7);
+  const std::uint64_t last_seq = events.back().seq;
+  // Growing never invents events, and seq numbering continues unbroken.
+  journal.set_capacity(16);
+  EXPECT_EQ(journal.size(), 3u);
+  journal.emit(EventType::StoreHealed, EventLevel::Info);
+  events = journal.snapshot();
+  EXPECT_EQ(events.back().seq, last_seq + 1);
+  EXPECT_EQ(journal.emitted(), 9u);
+}
+
+TEST(JournalCapacity, DumpJsonSinceFiltersOldEvents) {
+  Journal journal(8);
+  journal.emit(EventType::StoreHealed, EventLevel::Info);
+  journal.emit(EventType::StoreDegraded, EventLevel::Error, nullptr, 0, 0, 3);
+  const std::vector<JournalEvent> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const std::uint64_t first_seq = events.front().seq;
+
+  // since = first seq: only the second event is returned.
+  const std::string tail = journal.dump_json(first_seq);
+  EXPECT_EQ(tail.find("store-healed"), std::string::npos) << tail;
+  EXPECT_NE(tail.find("store-degraded"), std::string::npos) << tail;
+  // since = newest seq: empty array, the poller is caught up.
+  EXPECT_EQ(journal.dump_json(events.back().seq), "[]");
+  // since = 0 keeps the full dump.
+  EXPECT_NE(journal.dump_json().find("store-healed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lptsp::obs

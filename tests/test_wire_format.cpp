@@ -477,13 +477,15 @@ TEST(WireFormat, VersionNegotiationAcceptsTheSupportedRange) {
 
 TEST(WireFormat, StatsFramesRoundTripEveryFormat) {
   for (const StatsFormat format : {StatsFormat::Json, StatsFormat::Prometheus, StatsFormat::Text,
-                                   StatsFormat::Traces, StatsFormat::Journal}) {
+                                   StatsFormat::Traces, StatsFormat::Journal,
+                                   StatsFormat::Profile}) {
     std::vector<std::uint8_t> request_bytes;
     encode_stats_request(request_bytes, format);
     const DecodeResult request = decode_one(request_bytes);
     ASSERT_TRUE(request.ok()) << request.detail;
     ASSERT_EQ(request.message.type, MessageType::StatsRequest);
     EXPECT_EQ(request.message.stats_format, format);
+    EXPECT_EQ(request.message.stats_since, 0u);
 
     const std::string payload =
         std::string("{\"counters\":{}} with \0 byte and utf8 \xc3\xa9", 40);
@@ -495,6 +497,32 @@ TEST(WireFormat, StatsFramesRoundTripEveryFormat) {
     EXPECT_EQ(reply.message.stats_format, format);
     EXPECT_EQ(reply.message.stats_payload, payload);
   }
+}
+
+TEST(WireFormat, StatsRequestSinceCursorRoundTrips) {
+  // A nonzero cursor rides as a trailing u64; zero keeps the legacy
+  // one-byte request bit-identical so old servers stay compatible.
+  std::vector<std::uint8_t> legacy;
+  encode_stats_request(legacy, StatsFormat::Journal);
+  std::vector<std::uint8_t> with_cursor;
+  encode_stats_request(with_cursor, StatsFormat::Journal, 0xfeedfacecafe1234ULL);
+  EXPECT_EQ(with_cursor.size(), legacy.size() + 8);
+
+  const DecodeResult decoded = decode_one(with_cursor);
+  ASSERT_TRUE(decoded.ok()) << decoded.detail;
+  EXPECT_EQ(decoded.message.stats_format, StatsFormat::Journal);
+  EXPECT_EQ(decoded.message.stats_since, 0xfeedfacecafe1234ULL);
+
+  // A partial cursor (any trailing length other than 0 or 8) is malformed.
+  std::vector<std::uint8_t> truncated = with_cursor;
+  truncated.resize(truncated.size() - 3);
+  // Fix up the (little-endian) frame length prefix for the shorter payload.
+  const std::uint32_t new_len = static_cast<std::uint32_t>(truncated.size() - 4);
+  truncated[0] = static_cast<std::uint8_t>(new_len & 0xff);
+  truncated[1] = static_cast<std::uint8_t>((new_len >> 8) & 0xff);
+  truncated[2] = static_cast<std::uint8_t>((new_len >> 16) & 0xff);
+  truncated[3] = static_cast<std::uint8_t>((new_len >> 24) & 0xff);
+  EXPECT_EQ(decode_one(truncated).fault, WireFault::Malformed);
 }
 
 TEST(WireFormat, StatsFramesRejectBadFormatBytes) {

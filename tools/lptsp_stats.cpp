@@ -6,7 +6,8 @@
 /// server-rendered payload.
 ///
 ///   lptsp_stats [--host=127.0.0.1] [--port=4780]
-///               [--json | --prom | --traces | --journal]  (default: text)
+///               [--json | --prom | --traces | --journal | --profile]
+///               [--since=SEQ]                     (--journal: events after SEQ)
 ///               [--drive=N] [--seed=S]            (send N requests first)
 ///               [--client-traces=PATH]            (dump the driver's trace ring)
 ///               [--watch[=SECONDS]] [--watch-count=N]
@@ -15,14 +16,18 @@
 /// Driven requests carry trace context (v4 servers adopt the client's
 /// trace id, so the server's --traces ring and the client ring written by
 /// --client-traces hold one joined trace per request). --journal scrapes
-/// the structured event journal (v4+). --watch turns the tool into a live
+/// the structured event journal (v4+); --since=SEQ fetches only events
+/// with seq > SEQ, so a poller can resume from its last cursor instead of
+/// re-reading the ring. --profile scrapes the work-attribution profile
+/// (per-engine work counters and rates, top-K hot canonical keys, deadline
+/// SLO summary) as JSON (v4+). --watch turns the tool into a live
 /// rate view: it scrapes the Prometheus exposition every SECONDS (default
 /// 2), diffs consecutive snapshots with SnapshotDelta, and redraws a
 /// top-style screen of per-second rates and interval percentiles;
 /// --watch-count=N exits 0 after N redraws (0 = until killed).
 ///
 /// Exit codes: 0 scrape succeeded, 1 transport/protocol failure, 2 bad
-/// usage. The scrape requires a v2 server (v4 for --journal); older
+/// usage. The scrape requires a v2 server (v4 for --journal/--profile); older
 /// servers answer the stats frame with an Error, reported here as a
 /// refusal. A dead, absent, or wedged daemon produces a one-line
 /// diagnostic and exit 1 within --timeout-ms — never a hang (0 disables
@@ -150,11 +155,26 @@ int main(int argc, char** argv) {
     format = StatsFormat::Journal;
     ++format_flags;
   }
+  if (args.has("profile")) {
+    format = StatsFormat::Profile;
+    ++format_flags;
+  }
   if (format_flags > 1) {
     std::fprintf(stderr,
-                 "lptsp_stats: pick at most one of --json / --prom / --traces / --journal\n");
+                 "lptsp_stats: pick at most one of --json / --prom / --traces / --journal / "
+                 "--profile\n");
     return 2;
   }
+  const int since_raw = args.get_int("since", 0);
+  if (since_raw != 0 && format != StatsFormat::Journal) {
+    std::fprintf(stderr, "lptsp_stats: --since only applies to --journal\n");
+    return 2;
+  }
+  if (since_raw < 0) {
+    std::fprintf(stderr, "lptsp_stats: --since must be >= 0\n");
+    return 2;
+  }
+  const auto since = static_cast<std::uint64_t>(since_raw);
   if (watch && format_flags > 0) {
     std::fprintf(stderr, "lptsp_stats: --watch scrapes Prometheus; drop the format flag\n");
     return 2;
@@ -167,7 +187,8 @@ int main(int argc, char** argv) {
   if (!unused.empty()) {
     std::fprintf(stderr, "lptsp_stats: unknown flag --%s\n", unused.front().c_str());
     std::fprintf(stderr,
-                 "usage: lptsp_stats [--host=H] [--port=P] [--json|--prom|--traces|--journal] "
+                 "usage: lptsp_stats [--host=H] [--port=P] "
+                 "[--json|--prom|--traces|--journal|--profile] [--since=SEQ] "
                  "[--drive=N] [--seed=S] [--client-traces=PATH] [--watch[=S]] [--watch-count=N] "
                  "[--timeout-ms=T]\n");
     return 2;
@@ -202,7 +223,7 @@ int main(int argc, char** argv) {
 
     if (watch) return run_watch(client, watch_interval, watch_count);
 
-    const std::string payload = client.stats(format);
+    const std::string payload = client.stats(format, since);
     std::fputs(payload.c_str(), stdout);
     if (!payload.empty() && payload.back() != '\n') std::fputc('\n', stdout);
     return 0;

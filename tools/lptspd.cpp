@@ -13,6 +13,7 @@
 ///          [--max-pending=256] [--max-connections=64]
 ///          [--max-inflight=64] [--seed=1] [--stats-every=10]
 ///          [--stats-json=PATH] [--journal-json=PATH]
+///          [--journal-cap=N] [--profile-json=PATH]
 ///          [--trace-keep=64] [--trace-slow-ms=0]
 ///          [--store-degraded-after=3] [--store-probe-ms=1000]
 ///          [--brownout-heuristic-pending=N] [--brownout-reject-pending=N]
@@ -37,6 +38,12 @@
 /// atomically, like the snapshot — to --journal-json=PATH (default:
 /// <stats-json>.journal when --stats-json is set) on SIGQUIT and on
 /// clean shutdown, so a postmortem always has the incident timeline.
+/// --journal-cap=N resizes the journal ring (default 256 events); the
+/// sequence numbering is unaffected, so lptsp_stats --since cursors keep
+/// working across a resize. --profile-json=PATH dumps the work-attribution
+/// profile (per-engine work counters, top-K hot keys, deadline SLO
+/// summary — the same JSON lptsp_stats --profile scrapes) atomically on
+/// SIGQUIT and on clean shutdown.
 ///
 /// Persistence: --cache-file points at the durable store (created if
 /// absent); --state-dir is the directory flavor (uses DIR/lptspd.store,
@@ -161,6 +168,13 @@ int main(int argc, char** argv) {
   const std::string stats_json = args.get("stats-json", "");
   std::string journal_json = args.get("journal-json", "");
   if (journal_json.empty() && !stats_json.empty()) journal_json = stats_json + ".journal";
+  const std::string profile_json = args.get("profile-json", "");
+  const int journal_cap = args.get_int("journal-cap", -1);
+  if (journal_cap >= 0) {
+    // Resize before any traffic so no early event is dropped by accident;
+    // seq numbering is unaffected, --since cursors survive the resize.
+    obs::journal().set_capacity(static_cast<std::size_t>(journal_cap));
+  }
 
   const std::vector<std::string> unknown = args.unused_keys();
   if (!unknown.empty()) {
@@ -200,10 +214,11 @@ int main(int argc, char** argv) {
               isa_tier_name(kernels::active_isa_tier()),
               isa_tier_name(kernels::detected_isa_tier()));
   std::printf("lptspd: brownout heuristic/reject at %zu/%zu pending, retry-after=%ums; "
-              "store degraded after %d failures; faults armed: %s\n",
+              "store degraded after %d failures; journal-cap=%zu; faults armed: %s\n",
               server_options.brownout_heuristic_pending,
               server_options.brownout_reject_pending, server_options.brownout_retry_after_ms,
-              solver_options.store_degraded_after_failures, fault::describe().c_str());
+              solver_options.store_degraded_after_failures, obs::journal().capacity(),
+              fault::describe().c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_signal);
@@ -213,14 +228,25 @@ int main(int argc, char** argv) {
   auto last_stats = std::chrono::steady_clock::now();
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds{200});
-    if (g_dump_journal.exchange(false) && !journal_json.empty()) {
-      if (write_snapshot_file(journal_json, obs::journal().dump_json())) {
-        std::printf("lptspd: journal dumped to %s (%llu events emitted)\n", journal_json.c_str(),
-                    static_cast<unsigned long long>(obs::journal().emitted()));
-        std::fflush(stdout);
-      } else {
-        std::fprintf(stderr, "lptspd: cannot write --journal-json %s: %s\n", journal_json.c_str(),
-                     std::strerror(errno));
+    if (g_dump_journal.exchange(false)) {
+      if (!journal_json.empty()) {
+        if (write_snapshot_file(journal_json, obs::journal().dump_json())) {
+          std::printf("lptspd: journal dumped to %s (%llu events emitted)\n", journal_json.c_str(),
+                      static_cast<unsigned long long>(obs::journal().emitted()));
+          std::fflush(stdout);
+        } else {
+          std::fprintf(stderr, "lptspd: cannot write --journal-json %s: %s\n", journal_json.c_str(),
+                       std::strerror(errno));
+        }
+      }
+      if (!profile_json.empty()) {
+        if (write_snapshot_file(profile_json, solver.profile_json())) {
+          std::printf("lptspd: profile dumped to %s\n", profile_json.c_str());
+          std::fflush(stdout);
+        } else {
+          std::fprintf(stderr, "lptspd: cannot write --profile-json %s: %s\n", profile_json.c_str(),
+                       std::strerror(errno));
+        }
       }
     }
     if (stats_every > 0 &&
@@ -251,6 +277,9 @@ int main(int argc, char** argv) {
   }
   if (!journal_json.empty()) {
     write_snapshot_file(journal_json, obs::journal().dump_json());
+  }
+  if (!profile_json.empty()) {
+    write_snapshot_file(profile_json, solver.profile_json());
   }
   solver.checkpoint_win_table();
   return 0;
