@@ -9,13 +9,19 @@
 /// ratio isolates caching (batch parallelism is reported separately).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "graph/operations.hpp"
 #include "service/batch_solver.hpp"
+#include "util/fault.hpp"
 
 using namespace lptsp;
 
@@ -312,6 +318,151 @@ int main() {
                      static_cast<double>(snapshot.counter_or("engine_work_hk_cells")));
     json.record_work("engine_work_lk_moves", kRequests,
                      static_cast<double>(snapshot.counter_or("engine_work_lk_moves")));
+  }
+
+  // Work-priced vs count-based admission under overload. A paced mixed
+  // stream: 25% heavy requests (n=64, fresh graphs, 60ms deadline) and
+  // 75% light requests (relabelings of prewarmed bases: cache hits,
+  // microseconds each, 8ms deadline). Real n=64 races finish in a couple
+  // of ms on this pipeline, so heaviness is injected the way the chaos
+  // suite does it: an armed engine.stall burns 40ms of wall time on every
+  // race (cache hits never race, so lights are untouched) — a
+  // deterministic stand-in for pathological instances. Count-based
+  // admission sees 12 queue slots and rejects lights and heavies alike
+  // once the heavies have filled them; work-priced admission prices a
+  // heavy at its predicted race cost and a light at its observed (tiny)
+  // bucket latency, so the same overload rejects heavies first and keeps
+  // accepting — and quickly serving — the cheap traffic the count gate
+  // starves.
+  {
+    constexpr int kStream = 300;
+    constexpr int kLightBases = 8;
+    constexpr auto kHeavyDeadline = std::chrono::milliseconds{60};
+    constexpr auto kLightDeadline = std::chrono::milliseconds{8};
+
+    struct Arrival {
+      SolveRequest request;
+      bool heavy = false;
+    };
+    const auto make_stream = [&](std::uint64_t seed) {
+      Rng rng(seed);
+      std::vector<Graph> bases;
+      for (int b = 0; b < kLightBases; ++b) {
+        // n=24 sits above exact_max_n, so prewarm races are deadline-bounded
+        // BranchBound/LK runs, not a multi-second Held-Karp.
+        bases.push_back(random_with_diameter_at_most(24, 2, 0.25, rng));
+      }
+      std::vector<Arrival> stream;
+      stream.reserve(kStream);
+      for (int i = 0; i < kStream; ++i) {
+        Arrival arrival;
+        arrival.heavy = i % 4 == 3;
+        if (arrival.heavy) {
+          arrival.request.graph = random_with_diameter_at_most(64, 2, 0.15, rng);
+          arrival.request.deadline = kHeavyDeadline;
+        } else {
+          const Graph& base = bases[rng.uniform_index(bases.size())];
+          arrival.request.graph = relabel(base, rng.permutation(base.n()));
+          arrival.request.deadline = kLightDeadline;
+        }
+        arrival.request.p = PVec::L21();
+        arrival.request.id = static_cast<std::uint64_t>(i);
+        stream.push_back(std::move(arrival));
+      }
+      return std::make_pair(std::move(bases), std::move(stream));
+    };
+
+    struct LaneResult {
+      double light_accept = 0;  ///< accepted lights / total lights
+      double light_p99_ms = 0;  ///< among accepted lights, submit-to-callback
+      std::uint64_t work_priced_rejects = 0;
+    };
+    const auto run_lane = [&](std::uint64_t budget_work_ns) {
+      BatchSolver::Options options;
+      options.use_cache = true;
+      options.request_workers = 2;
+      options.engine_workers = 2;
+      if (budget_work_ns > 0) {
+        options.max_pending_work_ns = budget_work_ns;
+      } else {
+        options.max_pending_requests = 12;
+      }
+      BatchSolver solver(options);
+      auto [bases, stream] = make_stream(617);
+      // Prewarm: the light bases enter the cache AND the tuner's bucket
+      // latency history, so the work lane prices lights from evidence.
+      for (const Graph& base : bases) {
+        SolveRequest warm;
+        warm.graph = base;
+        warm.p = PVec::L21();
+        warm.deadline = kLightDeadline;
+        (void)solver.solve_one(warm);
+      }
+      // Arm AFTER the prewarm: only the streamed heavies' races stall.
+      fault::arm(FaultSite::EngineStall, 1.0, 29, /*max_fires=*/0, /*param=*/40);
+
+      std::mutex mutex;
+      std::vector<double> light_ms;
+      int lights = 0;
+      int lights_ok = 0;
+      std::atomic<int> done{0};
+      for (Arrival& arrival : stream) {
+        const bool heavy = arrival.heavy;
+        if (!heavy) ++lights;
+        const auto submitted = std::chrono::steady_clock::now();
+        solver.submit_async(
+            std::move(arrival.request),
+            [&, heavy, submitted](SolveResponse response) {
+              if (!heavy && response.ok()) {
+                const double elapsed_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - submitted)
+                        .count();
+                const std::lock_guard lock(mutex);
+                ++lights_ok;
+                light_ms.push_back(elapsed_ms);
+              }
+              done.fetch_add(1);
+            });
+        std::this_thread::sleep_for(std::chrono::milliseconds{2});
+      }
+      while (done.load() < kStream) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{5});
+      }
+      fault::disarm_all();
+
+      LaneResult result;
+      result.light_accept =
+          lights == 0 ? 0 : static_cast<double>(lights_ok) / static_cast<double>(lights);
+      if (!light_ms.empty()) {
+        std::sort(light_ms.begin(), light_ms.end());
+        result.light_p99_ms = light_ms[light_ms.size() * 99 / 100];
+      }
+      result.work_priced_rejects = solver.rejected_work_priced();
+      return result;
+    };
+
+    const LaneResult count_lane = run_lane(0);
+    const LaneResult work_lane = run_lane(std::uint64_t{150} * 1'000'000);  // 150ms budget
+
+    Table admission({"lane", "light accept%", "light p99[ms]", "work rejects"});
+    admission.add_row({"count (12 slots)", format_double(count_lane.light_accept * 100, 1),
+                       format_double(count_lane.light_p99_ms, 2), "-"});
+    admission.add_row({"work (150ms)", format_double(work_lane.light_accept * 100, 1),
+                       format_double(work_lane.light_p99_ms, 2),
+                       std::to_string(work_lane.work_priced_rejects)});
+    admission.print("S1f — admission under overload: count-based vs work-priced");
+    const bool pass = work_lane.light_accept >= count_lane.light_accept &&
+                      (count_lane.light_p99_ms == 0 ||
+                       work_lane.light_p99_ms <= count_lane.light_p99_ms);
+    std::printf("light acceptance %.1f%% -> %.1f%%, light p99 %.2fms -> %.2fms "
+                "(acceptance: work-priced no worse on both) %s\n\n",
+                count_lane.light_accept * 100, work_lane.light_accept * 100,
+                count_lane.light_p99_ms, work_lane.light_p99_ms, pass ? "PASS" : "FAIL");
+    json.record_ratio("work_priced_light_accept", kStream, work_lane.light_accept);
+    json.record_ratio("count_based_light_accept", kStream, count_lane.light_accept);
+    json.record("work_priced_light_p99_ns", kStream, work_lane.light_p99_ms * 1e6);
+    json.record("count_based_light_p99_ns", kStream, count_lane.light_p99_ms * 1e6);
   }
 
   std::printf("wrote %s\n", json.write().c_str());

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+
+namespace lptsp {
+
+/// The server's two-rung graceful-degradation ladder as a pure hysteresis
+/// state machine, extracted from the event loop so its edge cases — exit
+/// thresholds that round to zero, rung 2 engaging or releasing while rung
+/// 1 is mid-transition — are directly testable without sockets.
+///
+/// Rung 1 (heuristic-only) engages at `heuristic_pending` pending
+/// requests; rung 2 (reject) at `reject_pending`. Each rung releases with
+/// hysteresis once pending falls to `enter * exit_ratio`, truncated — an
+/// exit threshold that truncates to 0 means the rung holds until the
+/// queue is completely empty, which is the conservative reading (release
+/// late, not early). The rungs move independently: one update() can
+/// engage or release both, and the level is simply the highest engaged
+/// rung. A rung with threshold 0 is disabled and never engages.
+class BrownoutLadder {
+ public:
+  struct Config {
+    std::size_t heuristic_pending = 0;  ///< rung-1 engage threshold; 0 disables
+    std::size_t reject_pending = 0;     ///< rung-2 engage threshold; 0 disables
+    double exit_ratio = 0.5;            ///< release at enter * ratio (truncated)
+  };
+
+  /// What one update() did, for the caller's side effects (portfolio
+  /// override, journal, counters) — the ladder itself is side-effect-free.
+  struct Transition {
+    int old_level = 0;
+    int new_level = 0;
+    bool heuristic_changed = false;  ///< rung 1 engaged or released this update
+    bool heuristic_engaged = false;  ///< rung 1 state after the update
+    [[nodiscard]] bool level_changed() const noexcept { return old_level != new_level; }
+  };
+
+  BrownoutLadder() = default;
+  explicit BrownoutLadder(const Config& config) noexcept : config_(config) {}
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return config_.heuristic_pending > 0 || config_.reject_pending > 0;
+  }
+
+  /// Re-evaluate both rungs against the pending-queue depth.
+  Transition update(std::size_t pending) noexcept {
+    Transition transition;
+    transition.old_level = level();
+    if (config_.heuristic_pending > 0) {
+      if (!heuristic_ && pending >= config_.heuristic_pending) {
+        heuristic_ = true;
+        transition.heuristic_changed = true;
+      } else if (heuristic_ && pending <= exit_threshold(config_.heuristic_pending)) {
+        heuristic_ = false;
+        transition.heuristic_changed = true;
+      }
+    }
+    if (config_.reject_pending > 0) {
+      if (!reject_ && pending >= config_.reject_pending) {
+        reject_ = true;
+      } else if (reject_ && pending <= exit_threshold(config_.reject_pending)) {
+        reject_ = false;
+      }
+    }
+    transition.new_level = level();
+    transition.heuristic_engaged = heuristic_;
+    return transition;
+  }
+
+  /// 0 = healthy, 1 = heuristic-only, 2 = rejecting new requests.
+  [[nodiscard]] int level() const noexcept { return reject_ ? 2 : (heuristic_ ? 1 : 0); }
+  [[nodiscard]] bool heuristic_engaged() const noexcept { return heuristic_; }
+  [[nodiscard]] bool reject_engaged() const noexcept { return reject_; }
+
+  /// Exposed for tests: where a rung with engage threshold `enter`
+  /// releases. Truncation means small thresholds (or a tiny exit_ratio)
+  /// round to 0 — the rung then only releases on an empty queue.
+  [[nodiscard]] std::size_t exit_threshold(std::size_t enter) const noexcept {
+    return static_cast<std::size_t>(static_cast<double>(enter) * config_.exit_ratio);
+  }
+
+ private:
+  Config config_;
+  bool heuristic_ = false;
+  bool reject_ = false;
+};
+
+}  // namespace lptsp

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/brownout.hpp"
 #include "obs/journal.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
@@ -82,10 +84,9 @@ struct LabelingServer::LoopState {
   /// connection we cannot accept would otherwise keep the listen fd
   /// POLLIN-ready and spin the loop at 100% CPU.
   int accept_backoff = 0;
-  /// Brownout rungs currently engaged (hysteresis state; loop-thread
-  /// owned — the atomic brownout_level_ is the published view).
-  bool brownout_heuristic_engaged = false;
-  bool brownout_reject_engaged = false;
+  /// Brownout hysteresis state machine (loop-thread owned — the atomic
+  /// brownout_level_ is the published view).
+  BrownoutLadder brownout;
 };
 
 LabelingServer::LabelingServer(BatchSolver& solver, const Options& options)
@@ -177,6 +178,9 @@ void LabelingServer::start() {
   completions_ = std::make_shared<CompletionQueue>();
   completions_->wake_fd = pipe_fds[1];
   loop_ = std::make_unique<LoopState>();
+  loop_->brownout = BrownoutLadder(BrownoutLadder::Config{
+      options_.brownout_heuristic_pending, options_.brownout_reject_pending,
+      options_.brownout_exit_ratio});
 
   running_.store(true, std::memory_order_release);
   loop_thread_ = std::thread([this] { event_loop(); });
@@ -305,49 +309,41 @@ void LabelingServer::event_loop() {
   close_fd(listen_fd_);
   // The heuristic-only override belongs to this server's ladder; the
   // solver (and any future server over it) must get its portfolio back.
-  if (loop_->brownout_heuristic_engaged) solver_.portfolio().force_heuristic_only(false);
-  loop_->brownout_heuristic_engaged = false;
-  loop_->brownout_reject_engaged = false;
+  if (loop_->brownout.heuristic_engaged()) solver_.portfolio().force_heuristic_only(false);
+  loop_->brownout = BrownoutLadder{};
   brownout_level_.store(0, std::memory_order_relaxed);
 }
 
 void LabelingServer::update_brownout() {
-  if (options_.brownout_heuristic_pending == 0 && options_.brownout_reject_pending == 0) return;
-  const std::size_t pending = solver_.pending_requests();
-  const int old_level =
-      loop_->brownout_reject_engaged ? 2 : (loop_->brownout_heuristic_engaged ? 1 : 0);
-  const auto exit_threshold = [&](std::size_t enter) {
-    return static_cast<std::size_t>(static_cast<double>(enter) * options_.brownout_exit_ratio);
-  };
-  if (options_.brownout_heuristic_pending > 0) {
-    if (!loop_->brownout_heuristic_engaged && pending >= options_.brownout_heuristic_pending) {
-      loop_->brownout_heuristic_engaged = true;
-      solver_.portfolio().force_heuristic_only(true);
-      brownout_sheds_.add();
-    } else if (loop_->brownout_heuristic_engaged &&
-               pending <= exit_threshold(options_.brownout_heuristic_pending)) {
-      loop_->brownout_heuristic_engaged = false;
-      solver_.portfolio().force_heuristic_only(false);
-    }
+  if (!loop_->brownout.enabled()) return;
+  const BrownoutLadder::Transition transition =
+      loop_->brownout.update(solver_.pending_requests());
+  if (transition.heuristic_changed) {
+    solver_.portfolio().force_heuristic_only(transition.heuristic_engaged);
+    if (transition.heuristic_engaged) brownout_sheds_.add();
   }
-  if (options_.brownout_reject_pending > 0) {
-    if (!loop_->brownout_reject_engaged && pending >= options_.brownout_reject_pending) {
-      loop_->brownout_reject_engaged = true;
-    } else if (loop_->brownout_reject_engaged &&
-               pending <= exit_threshold(options_.brownout_reject_pending)) {
-      loop_->brownout_reject_engaged = false;
-    }
-  }
-  const int new_level =
-      loop_->brownout_reject_engaged ? 2 : (loop_->brownout_heuristic_engaged ? 1 : 0);
-  brownout_level_.store(new_level, std::memory_order_relaxed);
-  if (new_level != old_level) {
+  brownout_level_.store(transition.new_level, std::memory_order_relaxed);
+  if (transition.level_changed()) {
     // Rung transitions are the incident timeline's backbone: the journal
     // answers "when did we start shedding, and when did we recover".
-    obs::journal().emit(obs::EventType::BrownoutRung,
-                        new_level > old_level ? obs::EventLevel::Warn : obs::EventLevel::Info,
-                        nullptr, 0, 0, old_level, new_level);
+    obs::journal().emit(
+        obs::EventType::BrownoutRung,
+        transition.new_level > transition.old_level ? obs::EventLevel::Warn
+                                                    : obs::EventLevel::Info,
+        nullptr, 0, 0, transition.old_level, transition.new_level);
   }
+}
+
+std::uint32_t LabelingServer::retry_after_hint() const {
+  const std::uint32_t base = options_.brownout_retry_after_ms;
+  if (base == 0) return 0;  // hints disabled
+  // Price the hint off the solver's predicted pending work: a client told
+  // to retry in `base` ms against a 5-second heavy backlog would only
+  // bounce off the gate again. Capped at 60s so one mispredicted monster
+  // request cannot park clients for minutes.
+  const std::uint64_t work_ms = solver_.pending_work_ns() / 1'000'000;
+  if (work_ms > base) return static_cast<std::uint32_t>(std::min<std::uint64_t>(work_ms, 60'000));
+  return base;
 }
 
 void LabelingServer::accept_new_connections() {
@@ -398,7 +394,7 @@ void LabelingServer::drain_completions() {
     // hint; stamp the configured one so every overload reply tells the
     // client when to come back.
     if (response.status == SolveStatus::RejectedOverload && response.retry_after_ms == 0) {
-      response.retry_after_ms = options_.brownout_retry_after_ms;
+      response.retry_after_ms = retry_after_hint();
     }
     encode_response(connection.out, response, connection.version);
     responses_sent_.add();
@@ -542,7 +538,7 @@ void LabelingServer::handle_request(Connection& connection, SolveRequest&& reque
     response.id = request.id;
     response.status = SolveStatus::RejectedOverload;
     response.message = detail;
-    response.retry_after_ms = options_.brownout_retry_after_ms;
+    response.retry_after_ms = retry_after_hint();
     encode_response(connection.out, response, connection.version);
     counter.add();
     responses_sent_.add();
@@ -560,7 +556,7 @@ void LabelingServer::handle_request(Connection& connection, SolveRequest&& reque
   // so the kindest answer is an immediate typed refusal with a hint —
   // queueing more work would only stretch every deadline in the backlog.
   update_brownout();
-  if (loop_->brownout_reject_engaged) {
+  if (loop_->brownout.reject_engaged()) {
     // Trace-correlated: an incident read can tie "this client's request
     // was refused" to the client-side trace carrying the same id.
     obs::journal().emit(obs::EventType::OverloadReject, obs::EventLevel::Error, nullptr,

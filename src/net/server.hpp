@@ -56,8 +56,11 @@ class LabelingServer {
     std::size_t brownout_heuristic_pending = 0;
     std::size_t brownout_reject_pending = 0;
     double brownout_exit_ratio = 0.5;
-    /// Retry-after hint stamped on every RejectedOverload reply (v3+
-    /// connections); 0 = no hint.
+    /// Base retry-after hint stamped on every RejectedOverload reply (v3+
+    /// connections); 0 = no hint. When the solver's predicted pending
+    /// work exceeds this, the hint grows to the predicted drain time
+    /// (capped at 60s) — clients backing off a deep heavy backlog wait
+    /// proportionally longer than ones hitting a momentary spike.
     std::uint32_t brownout_retry_after_ms = 250;
   };
 
@@ -128,8 +131,13 @@ class LabelingServer {
   void handle_frame(Connection& connection, WireMessage&& message);
   void handle_request(Connection& connection, SolveRequest&& request);
   /// Re-evaluate both brownout rungs against pending_requests(), with
-  /// hysteresis. Loop-thread only.
+  /// hysteresis (BrownoutLadder does the state machine; this applies its
+  /// side effects). Loop-thread only.
   void update_brownout();
+  /// Retry-after to stamp on RejectedOverload replies: the configured
+  /// base, stretched to the solver's predicted pending-work drain time
+  /// when that is longer. 0 when hints are disabled.
+  [[nodiscard]] std::uint32_t retry_after_hint() const;
   void handle_stats_request(Connection& connection, StatsFormat format, std::uint64_t since);
   /// Encode an Error frame, bump protocol_errors_ + the per-fault counter,
   /// and mark the connection closing.

@@ -30,6 +30,8 @@ enum class EventType : std::uint8_t {
   OverloadReject,  ///< request rejected at the brownout reject rung
   SloBreach,       ///< rolling deadline-hit ratio fell below target; arg0 = pct, arg1 = target
   SloRecovered,    ///< rolling deadline-hit ratio back at/above target
+  TunerEffort,     ///< per-bucket effort changed; peer = bucket, arg0 = old %, arg1 = new %
+  TunerPretrim,    ///< exact pre-trim flipped; peer = bucket, arg0/arg1 = old/new (1 = trimmed)
 };
 
 constexpr const char* journal_event_name(EventType type) noexcept {
@@ -42,6 +44,8 @@ constexpr const char* journal_event_name(EventType type) noexcept {
     case EventType::OverloadReject: return "overload-reject";
     case EventType::SloBreach: return "slo-breach";
     case EventType::SloRecovered: return "slo-recovered";
+    case EventType::TunerEffort: return "tuner-effort";
+    case EventType::TunerPretrim: return "tuner-pretrim";
   }
   return "unknown";  // out-of-range cast, not a missing enumerator
 }

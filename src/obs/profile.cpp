@@ -6,14 +6,18 @@
 #include "obs/journal.hpp"
 
 namespace lptsp::obs {
-namespace {
 
-/// Fixed-point "%.2f" without locale-sensitive formatting: the profile
-/// JSON is a machine contract, so the decimal point must be a '.'
-/// regardless of the process locale.
-std::string fixed2(double value) {
-  if (value < 0) value = 0;
-  const auto hundredths = static_cast<std::uint64_t>(value * 100.0 + 0.5);
+std::string format_fixed2(double value) {
+  // Largest value whose hundredths fit a uint64 with headroom; every
+  // double at or below it converts exactly defined. NaN (the only value
+  // failing both comparisons) falls through to 0.
+  constexpr double kMax = 1e15;
+  std::uint64_t hundredths = 0;
+  if (value >= kMax) {
+    hundredths = static_cast<std::uint64_t>(kMax) * 100;  // +inf clamps here too
+  } else if (value > 0) {
+    hundredths = static_cast<std::uint64_t>(value * 100.0 + 0.5);
+  }
   std::string out = std::to_string(hundredths / 100);
   out.push_back('.');
   const std::uint64_t frac = hundredths % 100;
@@ -22,10 +26,12 @@ std::string fixed2(double value) {
   return out;
 }
 
+namespace {
+
 /// Average events per second over an uptime; 0 when no time has passed.
 std::string rate_per_s(std::uint64_t total, std::uint64_t uptime_ns) {
   if (uptime_ns == 0) return "0.00";
-  return fixed2(static_cast<double>(total) * 1e9 / static_cast<double>(uptime_ns));
+  return format_fixed2(static_cast<double>(total) * 1e9 / static_cast<double>(uptime_ns));
 }
 
 std::string hex_u64(std::uint64_t value) {
@@ -183,6 +189,20 @@ std::vector<KeyProfileTable::Entry> KeyProfileTable::top(std::size_t k) const {
   return all;
 }
 
+std::uint64_t KeyProfileTable::bucket_mean_ns(int size_bucket) const {
+  std::uint64_t total_ns = 0;
+  std::uint64_t solves = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    for (const Entry& entry : shard.entries) {
+      if (entry.size_bucket != size_bucket) continue;
+      total_ns += entry.engine_ns;
+      solves += entry.solves;
+    }
+  }
+  return solves == 0 ? 0 : total_ns / solves;
+}
+
 std::string KeyProfileTable::to_json(std::size_t k) const {
   const std::vector<Entry> entries = top(k);
   std::string out = "[";
@@ -291,7 +311,8 @@ std::string SloTracker::to_json() const {
   std::string out = "{\"deadline_hits\":" + std::to_string(hits);
   out += ",\"deadline_misses\":" + std::to_string(misses);
   out += ",\"hit_ratio\":";
-  out += total == 0 ? "1.00" : fixed2(static_cast<double>(hits) / static_cast<double>(total));
+  out += total == 0 ? "1.00"
+                    : format_fixed2(static_cast<double>(hits) / static_cast<double>(total));
   out += ",\"rolling_hit_percent\":" + std::to_string(rolling_hit_percent());
   {
     const std::lock_guard lock(mutex_);

@@ -32,6 +32,15 @@
 /// (documented in README "Profiling & SLO").
 namespace lptsp::obs {
 
+/// Fixed-point "%.2f" without locale-sensitive formatting: the profile
+/// JSON is a machine contract, so the decimal point must be a '.'
+/// regardless of the process locale. Total on every double: NaN and
+/// negatives render "0.00", +inf and values beyond the printable range
+/// clamp to the maximum (casting a non-finite or huge double to an
+/// integer is undefined behavior, and rates computed over a tiny uptime
+/// right after start can be exactly that).
+[[nodiscard]] std::string format_fixed2(double value);
+
 /// Work one engine run performed, in engine-native units. Plain data so
 /// the tsp/ engines can report counts without depending on this header:
 /// each Run struct carries raw integers and the portfolio assembles them.
@@ -146,6 +155,13 @@ class KeyProfileTable {
 
   /// The top `k` entries by attributed engine_ns, hottest first.
   [[nodiscard]] std::vector<Entry> top(std::size_t k) const;
+
+  /// Mean attributed race cost per solve across the tracked keys in
+  /// `size_bucket` (bit_width(n)), 0 when no tracked key has that bucket.
+  /// This is the admission predictor's hot-key signal: under Zipf-repeat
+  /// traffic the tracked keys ARE the traffic, so their mean is a better
+  /// per-request cost estimate than a global average.
+  [[nodiscard]] std::uint64_t bucket_mean_ns(int size_bucket) const;
 
   /// Evictions performed so far (how approximate the totals are).
   [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_.value(); }

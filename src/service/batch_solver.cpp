@@ -46,9 +46,12 @@ BatchSolver::BatchSolver(const Options& options)
           options.trace_capacity,
           static_cast<std::uint64_t>(options.trace_threshold.count()) * 1'000'000}),
       cache_(options.cache),
+      tuner_(options.tuner, options.portfolio.deadline),
       engine_pool_(options.engine_workers),
       portfolio_(engine_pool_, options.portfolio),
       request_pool_(options.request_workers) {
+  tuner_.attach_key_profile(&key_profile_);
+  if (options_.tuner.enabled) portfolio_.attach_tuner(&tuner_);
   if (!options_.store_path.empty()) {
     PersistentBackend::Options store_options;
     store_options.path = options_.store_path;
@@ -69,6 +72,12 @@ BatchSolver::BatchSolver(const Options& options)
     if (const auto table = backend_->load_win_table()) {
       if (table->buckets == EnginePortfolio::kBuckets && table->slots == EnginePortfolio::kSlots) {
         portfolio_.merge_win_table(table->counts);
+        // Seed the tuner's decayed scores from the same history (capped):
+        // the pre-trim resumes where the last process left off, but —
+        // unlike the raw cumulative counts — the seed decays away, so a
+        // heuristic-heavy table biases the first decisions without ever
+        // freezing the exact engine out (the re-probe regression).
+        tuner_.seed_from_win_table(table->counts, EnginePortfolio::kSlots);
       }
     }
   }
@@ -80,8 +89,11 @@ void BatchSolver::register_metrics() {
   registry_.register_counter("requests_coalesced", &requests_coalesced_, this);
   registry_.register_counter("engine_solves", &engine_solves_, this);
   registry_.register_counter("rejected_overload", &rejected_overload_, this);
+  registry_.register_counter("rejected_work_priced", &rejected_work_priced_, this);
   registry_.register_gauge(
       "pending_requests", [this] { return static_cast<std::int64_t>(pending_requests()); }, this);
+  registry_.register_gauge(
+      "pending_work_ns", [this] { return static_cast<std::int64_t>(pending_work_ns()); }, this);
   // Warm-load outcome as gauges: fixed after construction, but gauges keep
   // them out of rate() queries where a counter would mislead.
   registry_.register_gauge(
@@ -99,6 +111,7 @@ void BatchSolver::register_metrics() {
   registry_.register_histogram("coalesced_wait_ns", &coalesced_wait_ns_, this);
   cache_.register_metrics(registry_);
   portfolio_.register_metrics(registry_);
+  tuner_.register_metrics(registry_, this);
   slo_.register_into(registry_, this);
   registry_.register_gauge(
       "profile_keys_tracked", [this] { return static_cast<std::int64_t>(key_profile_.size()); },
@@ -478,7 +491,8 @@ void BatchSolver::finish_trace(obs::Trace&& trace, const char* result) {
   traces_.keep(std::move(trace));
 }
 
-bool BatchSolver::admit() {
+bool BatchSolver::admit(const SolveRequest& request, std::uint64_t& admitted_work_ns) {
+  admitted_work_ns = 0;
   if (options_.max_pending_requests != 0 &&
       request_pool_.pending() >= options_.max_pending_requests) {
     // Rejected submissions still count toward requests_total (they got a
@@ -487,6 +501,30 @@ bool BatchSolver::admit() {
     rejected_overload_.add();
     return false;
   }
+  if (options_.max_pending_work_ns == 0 && !options_.tuner.enabled) return true;
+  // Price the request by its size bucket and budget. The canonical key is
+  // unknown this early (canonicalization happens on a worker), so the
+  // prediction is per-size, not per-key — the hot-key table still feeds
+  // it through the tuner's bucket aggregation.
+  const std::int64_t budget_ms = request.deadline.count() > 0
+                                     ? request.deadline.count()
+                                     : options_.portfolio.deadline.count();
+  const std::uint64_t predicted = tuner_.predicted_work_ns(request.graph.n(), budget_ms);
+  if (options_.max_pending_work_ns != 0) {
+    const std::uint64_t pending = pending_work_ns_.load(std::memory_order_relaxed);
+    // An empty queue always admits: one request can never be priced out
+    // of an idle service, however expensive it looks.
+    if (pending != 0 && pending + predicted > options_.max_pending_work_ns) {
+      requests_total_.add();
+      rejected_overload_.add();
+      rejected_work_priced_.add();
+      return false;
+    }
+  }
+  // Charge the gauge even when only counting (tuner on, work gate off):
+  // the server's retry-after hint reads it either way.
+  pending_work_ns_.fetch_add(predicted, std::memory_order_relaxed);
+  admitted_work_ns = predicted;
   return true;
 }
 
@@ -503,24 +541,38 @@ SolveResponse overload_response(const SolveRequest& request) {
 }  // namespace
 
 std::future<SolveResponse> BatchSolver::submit(SolveRequest request) {
-  if (!admit()) {
+  std::uint64_t admitted_work_ns = 0;
+  if (!admit(request, admitted_work_ns)) {
     std::promise<SolveResponse> rejected;
     rejected.set_value(overload_response(request));
     return rejected.get_future();
   }
   const std::uint64_t enqueued_ns = options_.metrics ? obs::steady_now_ns() : 0;
-  return request_pool_.submit([this, request = std::move(request), enqueued_ns]() -> SolveResponse {
-    return solve_one_timed(request, enqueued_ns);
-  });
+  return request_pool_.submit(
+      [this, request = std::move(request), enqueued_ns, admitted_work_ns]() -> SolveResponse {
+        // Release exactly the predicted cost charged at admission, on
+        // every exit path — a leaked charge would ratchet the work gauge
+        // up until admission rejected everything.
+        try {
+          SolveResponse response = solve_one_timed(request, enqueued_ns);
+          pending_work_ns_.fetch_sub(admitted_work_ns, std::memory_order_relaxed);
+          return response;
+        } catch (...) {
+          pending_work_ns_.fetch_sub(admitted_work_ns, std::memory_order_relaxed);
+          throw;
+        }
+      });
 }
 
 void BatchSolver::submit_async(SolveRequest request, std::function<void(SolveResponse)> done) {
-  if (!admit()) {
+  std::uint64_t admitted_work_ns = 0;
+  if (!admit(request, admitted_work_ns)) {
     done(overload_response(request));
     return;
   }
   const std::uint64_t enqueued_ns = options_.metrics ? obs::steady_now_ns() : 0;
-  request_pool_.submit([this, request = std::move(request), done = std::move(done), enqueued_ns] {
+  request_pool_.submit([this, request = std::move(request), done = std::move(done), enqueued_ns,
+                        admitted_work_ns] {
     // The callback must fire exactly once even if the pipeline throws —
     // an event-loop front-end that never hears back would leak an
     // in-flight slot forever.
@@ -532,6 +584,7 @@ void BatchSolver::submit_async(SolveRequest request, std::function<void(SolveRes
       response.status = SolveStatus::EngineFailure;
       response.message = e.what();
     }
+    pending_work_ns_.fetch_sub(admitted_work_ns, std::memory_order_relaxed);
     done(std::move(response));
   });
 }
@@ -548,6 +601,8 @@ std::string BatchSolver::profile_json() const {
   out += key_profile_.to_json(kTopKeys);
   out += ",\"slo\":";
   out += slo_.to_json();
+  out += ",\"tuner\":";
+  out += tuner_.to_json();
   out.push_back('}');
   return out;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -16,6 +17,7 @@
 #include "service/portfolio.hpp"
 #include "service/request.hpp"
 #include "service/solve_cache.hpp"
+#include "service/tuner.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lptsp {
@@ -58,6 +60,20 @@ class BatchSolver {
     /// the backlog without bound. 0 = unlimited (solve_batch is never
     /// gated: its caller already bounded the batch).
     std::size_t max_pending_requests = 0;
+    /// Work-priced admission for the same front-ends: when > 0, a new
+    /// submission is priced by the tuner (predicted engine nanoseconds
+    /// for its size bucket and deadline) and rejected when the predicted
+    /// work already admitted-but-unfinished would exceed this budget.
+    /// Expensive requests stop fitting before cheap ones do, so overload
+    /// rejects heavies first instead of starving cache-hit traffic. A
+    /// request arriving at an empty queue is always admitted (nothing may
+    /// be priced out of an idle service). 0 = count-based admission only.
+    std::uint64_t max_pending_work_ns = 0;
+    /// The learning layer (see src/service/tuner.hpp): decayed exact-skip
+    /// pre-trim with re-probe, per-bucket effort tuning, and the
+    /// admission cost predictor. tuner.enabled = false reverts the
+    /// portfolio to its static built-in policies.
+    TunerOptions tuner;
     /// Durable store file (see src/store/): when non-empty, verified solve
     /// results are written through to this append-only log, reloaded and
     /// re-verified on the next start (a restart keeps its hit ratio), and
@@ -133,6 +149,7 @@ class BatchSolver {
 
   [[nodiscard]] const SolveCache& cache() const noexcept { return cache_; }
   [[nodiscard]] EnginePortfolio& portfolio() noexcept { return portfolio_; }
+  [[nodiscard]] const EngineTuner& tuner() const noexcept { return tuner_; }
   [[nodiscard]] const Options& options() const noexcept { return options_; }
 
   /// The shared metric registry every pipeline component publishes into
@@ -168,6 +185,20 @@ class BatchSolver {
   /// Submissions turned away by admission control since construction.
   [[nodiscard]] std::uint64_t rejected_overload() const noexcept {
     return rejected_overload_.value();
+  }
+
+  /// The subset of rejected_overload turned away by the work-priced gate
+  /// (max_pending_work_ns), as opposed to the request-count gate.
+  [[nodiscard]] std::uint64_t rejected_work_priced() const noexcept {
+    return rejected_work_priced_.value();
+  }
+
+  /// Predicted engine nanoseconds admitted but not yet finished — the
+  /// backlog gauge work-priced admission and the server's retry-after
+  /// hint read. Maintained whenever the tuner is enabled (priced at
+  /// admission, released on completion), 0 otherwise.
+  [[nodiscard]] std::uint64_t pending_work_ns() const noexcept {
+    return pending_work_ns_.load(std::memory_order_relaxed);
   }
 
   /// Outcome of the startup warm load from the durable store (all zeros
@@ -219,11 +250,15 @@ class BatchSolver {
   /// registry_ (constructor tail).
   void register_metrics();
 
-  /// True when the request pool has admission headroom; false increments
-  /// the rejection counter. The check is racy by design (two concurrent
-  /// submits may both pass at the boundary) — the bound is a backpressure
-  /// valve, not an exact semaphore.
-  bool admit();
+  /// True when the request has admission headroom under BOTH gates (the
+  /// request-count bound and, when configured, the work-price budget);
+  /// false increments the rejection counters. On admission,
+  /// `admitted_work_ns` is the predicted cost charged to the pending-work
+  /// gauge — the completion path must release exactly that amount. The
+  /// check is racy by design (two concurrent submits may both pass at the
+  /// boundary) — the bounds are backpressure valves, not exact
+  /// semaphores.
+  bool admit(const SolveRequest& request, std::uint64_t& admitted_work_ns);
 
   // Declaration order doubles as teardown order (reversed): request_pool_
   // is declared LAST so its destructor — which drains still-queued request
@@ -239,12 +274,19 @@ class BatchSolver {
   SolveCache cache_;
   std::shared_ptr<PersistentBackend> backend_;  ///< shared with cache_
   SolveCache::WarmStats warm_stats_;
+  // Declared before the pools and the portfolio: races finishing during
+  // teardown still report into the tuner, so it must be destroyed after
+  // them (i.e. constructed before).
+  EngineTuner tuner_;
   TaskPool engine_pool_;
   EnginePortfolio portfolio_;
   obs::Counter requests_total_;
   obs::Counter requests_coalesced_;
   obs::Counter engine_solves_;
   obs::Counter rejected_overload_;
+  obs::Counter rejected_work_priced_;
+  /// Predicted ns admitted but not finished (see pending_work_ns()).
+  std::atomic<std::uint64_t> pending_work_ns_{0};
   // Per-stage latency histograms, fed from completed traces (metrics on
   // only). request_ns_ is end-to-end including queue wait.
   obs::LatencyHistogram request_ns_;

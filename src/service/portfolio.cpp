@@ -6,6 +6,7 @@
 #include <future>
 #include <utility>
 
+#include "service/tuner.hpp"
 #include "tsp/branch_bound.hpp"
 #include "tsp/brute_force.hpp"
 #include "tsp/chained_lk.hpp"
@@ -16,11 +17,24 @@
 
 namespace lptsp {
 
+// The tuner keeps its own per-bucket state; the two tables must agree on
+// what a bucket is.
+static_assert(EngineTuner::kBuckets == EnginePortfolio::kBuckets,
+              "tuner and portfolio must agree on the size bucketing");
+
 namespace {
 
-/// Once the exact engine has lost this many consecutive decided races at a
-/// size bucket without ever winning, the portfolio stops launching it.
+/// Without a tuner: once the exact engine has this many heuristic losses
+/// on record at a size bucket and no win, stop launching it by default —
+/// but see kFallbackReprobeEvery below; the skip is never permanent.
 constexpr std::uint64_t kExactSkipThreshold = 8;
+
+/// Without a tuner: every Nth otherwise-skipped race launches the exact
+/// engine anyway. The win table is cumulative (and merged from persisted
+/// state on restart), so a skip gated only on its counts would be
+/// self-reinforcing — the exact engine could never earn the win that
+/// lifts the skip.
+constexpr std::uint64_t kFallbackReprobeEvery = 16;
 
 struct Run {
   EngineAttempt attempt;
@@ -73,7 +87,8 @@ Engine EnginePortfolio::preferred_engine(int n) const {
   const std::uint64_t bb = bucket[1].load(std::memory_order_relaxed);
   const std::uint64_t lk = bucket[2].load(std::memory_order_relaxed);
   if (hk == 0 && bb == 0 && lk == 0) {
-    return n <= std::min(options_.exact_max_n, 22) ? Engine::HeldKarp : Engine::ChainedLK;
+    return n <= std::min(options_.exact_max_n, kHeldKarpMemoryCapN) ? Engine::HeldKarp
+                                                                    : Engine::ChainedLK;
   }
   if (hk >= bb && hk >= lk) return Engine::HeldKarp;
   if (bb >= lk) return Engine::BranchBound;
@@ -115,10 +130,19 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
   // hopeless (or exceeds its memory cap) does the O(n)-memory BranchBound
   // take the slot: unlike HK, a cancelled BranchBound still contributes
   // its anytime incumbent, which matters on deadline-bound traffic.
-  bool use_hk = n <= std::min(options_.exact_max_n, 22);
+  // Learned per-bucket effort: scales heuristic kicks and the exact
+  // budgets; 100% with the default overrun factor when no tuner is
+  // attached (or learning is off).
+  EngineTuner* const tuner = options_.learn ? tuner_ : nullptr;
+  const EffortPolicy effort =
+      tuner != nullptr ? tuner->effort(bucket_of(n)) : EffortPolicy{};
+
+  bool use_hk = n <= std::min(options_.exact_max_n, kHeldKarpMemoryCapN);
   if (use_hk && deadline.count() > 0) {
     const double predicted_ms = std::ldexp(1.0, n) * n * n / 1e6;
-    if (predicted_ms > 4.0 * static_cast<double>(deadline.count())) use_hk = false;
+    if (predicted_ms > effort.hk_overrun_factor * static_cast<double>(deadline.count())) {
+      use_hk = false;
+    }
   }
   const Engine exact_engine = use_hk ? Engine::HeldKarp : Engine::BranchBound;
 
@@ -129,18 +153,31 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     races_heuristic_only_.add();
   }
   if (run_exact && options_.learn) {
-    const auto& bucket = wins_[static_cast<std::size_t>(bucket_of(n))];
-    const std::uint64_t exact_wins = bucket[0].load(std::memory_order_relaxed) +
-                                     bucket[1].load(std::memory_order_relaxed);
-    const std::uint64_t heuristic_wins = bucket[2].load(std::memory_order_relaxed);
-    if (exact_wins == 0 && heuristic_wins >= kExactSkipThreshold) run_exact = false;
+    const int bucket_index = bucket_of(n);
+    if (tuner != nullptr) {
+      // Decayed pre-trim with epsilon re-probe (the tuner journals its
+      // own trim flips and counts skips/re-probes).
+      run_exact = tuner->admit_exact(bucket_index);
+    } else {
+      const auto& bucket = wins_[static_cast<std::size_t>(bucket_index)];
+      const std::uint64_t exact_wins = bucket[0].load(std::memory_order_relaxed) +
+                                       bucket[1].load(std::memory_order_relaxed);
+      const std::uint64_t heuristic_wins = bucket[2].load(std::memory_order_relaxed);
+      if (exact_wins == 0 && heuristic_wins >= kExactSkipThreshold) {
+        const std::uint64_t skips =
+            skip_streak_[static_cast<std::size_t>(bucket_index)].fetch_add(
+                1, std::memory_order_relaxed) +
+            1;
+        if (skips % kFallbackReprobeEvery != 0) run_exact = false;
+      }
+    }
   }
 
   std::atomic<bool> cancel{false};
   std::vector<std::future<Run>> futures;
 
   if (run_exact) {
-    futures.push_back(pool_.submit([this, &instance, &cancel, exact_engine]() -> Run {
+    futures.push_back(pool_.submit([this, &instance, &cancel, exact_engine, effort]() -> Run {
       const Timer attempt_timer;
       Run run;
       run.attempt.engine = exact_engine;
@@ -156,7 +193,10 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
           run.attempt.work.hk_cells = result.cells;
         } else {
           BranchBoundOptions bb;
-          bb.node_limit = options_.bb_node_limit;
+          // Effort-scaled search cap, floored so a harshly down-tuned
+          // bucket still explores enough nodes to beat a greedy tour.
+          bb.node_limit =
+              std::max<long long>(100'000, options_.bb_node_limit * effort.percent / 100);
           bb.cancel = &cancel;
           BranchBoundRun result = branch_bound_path_run(instance, bb);
           run.solution = std::move(result.solution);
@@ -173,7 +213,7 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     }));
   }
 
-  futures.push_back(pool_.submit([this, &instance, &cancel, n]() -> Run {
+  futures.push_back(pool_.submit([this, &instance, &cancel, n, effort]() -> Run {
     const Timer attempt_timer;
     Run run;
     run.attempt.engine = Engine::ChainedLK;
@@ -181,9 +221,10 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     lk.seed = options_.seed;
     lk.cancel = &cancel;
     // Scale kick effort down as n grows so one kick round stays well under
-    // typical deadlines and the cancel flag is polled often.
+    // typical deadlines and the cancel flag is polled often; the tuner's
+    // learned per-bucket effort then scales that baseline up or down.
     lk.restarts = 3;
-    lk.kicks = std::max(8, 200 / std::max(1, n / 16));
+    lk.kicks = std::max(4, std::max(8, 200 / std::max(1, n / 16)) * effort.percent / 100);
     ChainedLkRun result = chained_lk_path_run(instance, lk);
     run.solution = std::move(result.solution);
     run.attempt.finished = result.completed;
@@ -282,6 +323,16 @@ PortfolioOutcome EnginePortfolio::race(const MetricInstance& instance,
     races_failed_.add();
   }
   outcome.seconds = timer.seconds();
+  if (tuner != nullptr) {
+    // Feed the race back: contested mirrors the win table's rule, so the
+    // tuner's decayed scores and the persisted counts learn from the same
+    // evidence. Walkovers still teach the latency predictor and the
+    // effort windows — they are real costs the admission gate must price.
+    const bool exact_won = best >= 0 && (outcome.winner == Engine::HeldKarp ||
+                                         outcome.winner == Engine::BranchBound);
+    tuner->observe_race(bucket_of(n), exact_won, best >= 0 && verified_attempts >= 2,
+                        static_cast<std::uint64_t>(outcome.seconds * 1e9), deadline.count());
+  }
   return outcome;
 }
 

@@ -16,6 +16,8 @@
 
 namespace lptsp {
 
+class EngineTuner;
+
 struct PortfolioOptions {
   /// Default per-race wall-clock budget; 0 = run every engine to
   /// completion. Cancellable engines (BranchBound, ChainedLK) are stopped
@@ -86,6 +88,19 @@ class EnginePortfolio {
   static constexpr int kBuckets = 32;           // bucket = bit_width(n)
   static constexpr int kSlots = 3;              // HeldKarp / BranchBound / ChainedLK
 
+  /// Held-Karp's hard memory cap: its 2^n * n DP table stops being a
+  /// sane allocation above this n regardless of what exact_max_n asks
+  /// for. One constant shared by preferred_engine and race, so the two
+  /// call sites cannot drift.
+  static constexpr int kHeldKarpMemoryCapN = 22;
+
+  /// Attach the learning layer (not owned; must outlive every race).
+  /// When attached and options.learn is set, race() consults the tuner
+  /// for the exact-engine pre-trim decision and per-bucket effort, and
+  /// reports every finished race back. Call before serving traffic —
+  /// attachment is not synchronized against in-flight races.
+  void attach_tuner(EngineTuner* tuner) noexcept { tuner_ = tuner; }
+
   /// Flat snapshot of the win table (kBuckets * kSlots counters,
   /// bucket-major) — what BatchSolver checkpoints to the durable store.
   [[nodiscard]] std::vector<std::uint64_t> win_table() const;
@@ -124,7 +139,13 @@ class EnginePortfolio {
 
   TaskPool& pool_;
   PortfolioOptions options_;
+  EngineTuner* tuner_ = nullptr;
   std::array<std::array<std::atomic<std::uint64_t>, kSlots>, kBuckets> wins_{};
+  /// Per-bucket otherwise-skipped race counters for the built-in epsilon
+  /// re-probe (used when no tuner is attached): every Nth skip launches
+  /// the exact engine anyway, so the skip rule can never freeze on a
+  /// merged heuristic-heavy win table.
+  std::array<std::atomic<std::uint64_t>, kBuckets> skip_streak_{};
   // Observability storage, indexed by slot_of(). The win table above is
   // learning state (bucketed by size, persisted); these are monitoring
   // counters (global per engine, reset on restart) — different consumers,

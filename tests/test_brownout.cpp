@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "net/brownout.hpp"
+
+namespace lptsp {
+namespace {
+
+BrownoutLadder make(std::size_t heuristic, std::size_t reject, double exit_ratio = 0.5) {
+  return BrownoutLadder(BrownoutLadder::Config{heuristic, reject, exit_ratio});
+}
+
+TEST(BrownoutLadder, DisabledWhenBothThresholdsZero) {
+  BrownoutLadder ladder = make(0, 0);
+  EXPECT_FALSE(ladder.enabled());
+  const auto transition = ladder.update(1'000'000);
+  EXPECT_EQ(transition.new_level, 0);
+  EXPECT_FALSE(transition.heuristic_changed);
+  EXPECT_EQ(ladder.level(), 0);
+}
+
+TEST(BrownoutLadder, EngagesAndReleasesWithHysteresis) {
+  BrownoutLadder ladder = make(8, 16);
+  EXPECT_TRUE(ladder.enabled());
+
+  EXPECT_EQ(ladder.update(7).new_level, 0);
+  const auto engage = ladder.update(8);
+  EXPECT_EQ(engage.old_level, 0);
+  EXPECT_EQ(engage.new_level, 1);
+  EXPECT_TRUE(engage.heuristic_changed);
+  EXPECT_TRUE(engage.heuristic_engaged);
+
+  // Between exit threshold (4) and enter (8): engaged rung holds, released
+  // rung would not engage — that asymmetry is the hysteresis.
+  EXPECT_EQ(ladder.update(5).new_level, 1);
+  EXPECT_FALSE(ladder.update(5).heuristic_changed);
+
+  const auto release = ladder.update(4);
+  EXPECT_EQ(release.new_level, 0);
+  EXPECT_TRUE(release.heuristic_changed);
+  EXPECT_FALSE(release.heuristic_engaged);
+}
+
+// The edge case from the field: a rung-1 threshold of 1 with the default
+// exit_ratio truncates its exit threshold to 0. The rung must then hold
+// until the queue is completely empty — not release at pending == 1, and
+// not get stuck forever.
+TEST(BrownoutLadder, ExitThresholdTruncatingToZeroReleasesOnlyOnEmptyQueue) {
+  BrownoutLadder ladder = make(1, 0);
+  ASSERT_EQ(ladder.exit_threshold(1), 0u);
+
+  EXPECT_EQ(ladder.update(1).new_level, 1);
+  // Still one pending: exit threshold is 0, so the rung holds.
+  EXPECT_EQ(ladder.update(1).new_level, 1);
+  EXPECT_FALSE(ladder.update(1).heuristic_changed);
+  // Queue empty: now it releases.
+  const auto release = ladder.update(0);
+  EXPECT_EQ(release.new_level, 0);
+  EXPECT_TRUE(release.heuristic_changed);
+}
+
+TEST(BrownoutLadder, ExitRatioZeroMeansReleaseOnlyOnEmptyQueue) {
+  BrownoutLadder ladder = make(8, 16, 0.0);
+  EXPECT_EQ(ladder.exit_threshold(8), 0u);
+  EXPECT_EQ(ladder.update(20).new_level, 2);
+  // Far below both enter thresholds, but not empty: both rungs hold.
+  EXPECT_EQ(ladder.update(1).new_level, 2);
+  EXPECT_EQ(ladder.update(0).new_level, 0);
+}
+
+// Rung 2 engages while rung 1 is already holding in its hysteresis band —
+// the rungs move independently, and the level must report the highest
+// engaged rung throughout.
+TEST(BrownoutLadder, RejectEngagesWhileHeuristicMidTransition) {
+  BrownoutLadder ladder = make(4, 8);
+  // exit thresholds: heuristic 2, reject 4.
+
+  EXPECT_EQ(ladder.update(4).new_level, 1);
+  // Drop into rung 1's hysteresis band (held, not released)...
+  EXPECT_EQ(ladder.update(3).new_level, 1);
+  // ...then spike past rung 2's threshold. One update, level 1 -> 2, and
+  // rung 1 reports no change (it was already engaged).
+  const auto spike = ladder.update(9);
+  EXPECT_EQ(spike.old_level, 1);
+  EXPECT_EQ(spike.new_level, 2);
+  EXPECT_FALSE(spike.heuristic_changed);
+  EXPECT_TRUE(ladder.reject_engaged());
+  EXPECT_TRUE(ladder.heuristic_engaged());
+}
+
+// Rung 2 releases while rung 1 holds: pending falls to reject's exit
+// threshold, which sits inside rung 1's hold band. Level steps 2 -> 1,
+// not 2 -> 0.
+TEST(BrownoutLadder, RejectReleasesIntoStillEngagedHeuristicRung) {
+  BrownoutLadder ladder = make(4, 8);
+
+  EXPECT_EQ(ladder.update(10).new_level, 2);
+  const auto step_down = ladder.update(4);  // reject exit (4) but heuristic still holds
+  EXPECT_EQ(step_down.old_level, 2);
+  EXPECT_EQ(step_down.new_level, 1);
+  EXPECT_FALSE(step_down.heuristic_changed);
+  EXPECT_FALSE(ladder.reject_engaged());
+  EXPECT_TRUE(ladder.heuristic_engaged());
+
+  const auto recover = ladder.update(2);  // heuristic exit
+  EXPECT_EQ(recover.new_level, 0);
+  EXPECT_TRUE(recover.heuristic_changed);
+}
+
+// A burst can cross both enter thresholds between updates; one update must
+// engage both rungs, and a collapse to empty must release both.
+TEST(BrownoutLadder, BothRungsEngageAndReleaseInOneUpdate) {
+  BrownoutLadder ladder = make(4, 8);
+
+  const auto burst = ladder.update(10);
+  EXPECT_EQ(burst.old_level, 0);
+  EXPECT_EQ(burst.new_level, 2);
+  EXPECT_TRUE(burst.heuristic_changed);
+  EXPECT_TRUE(burst.heuristic_engaged);
+
+  const auto collapse = ladder.update(0);
+  EXPECT_EQ(collapse.old_level, 2);
+  EXPECT_EQ(collapse.new_level, 0);
+  EXPECT_TRUE(collapse.heuristic_changed);
+  EXPECT_FALSE(collapse.heuristic_engaged);
+}
+
+// Reject-only configuration (rung 1 disabled): the level jumps 0 <-> 2
+// and heuristic_changed never fires.
+TEST(BrownoutLadder, RejectOnlyConfigSkipsLevelOne) {
+  BrownoutLadder ladder = make(0, 6);
+  EXPECT_TRUE(ladder.enabled());
+
+  const auto engage = ladder.update(6);
+  EXPECT_EQ(engage.old_level, 0);
+  EXPECT_EQ(engage.new_level, 2);
+  EXPECT_FALSE(engage.heuristic_changed);
+  EXPECT_FALSE(ladder.heuristic_engaged());
+
+  EXPECT_EQ(ladder.update(4).new_level, 2);  // hysteresis band holds
+  EXPECT_EQ(ladder.update(3).new_level, 0);  // exit threshold
+  EXPECT_FALSE(ladder.update(3).heuristic_changed);
+}
+
+}  // namespace
+}  // namespace lptsp

@@ -237,8 +237,13 @@ TEST_F(ChaosNetTest, BrownoutLadderShedsThenRejectsThenReleases) {
     const SolveResponse response = client.wait_for(i + 1, std::chrono::milliseconds{20000});
     if (response.status == SolveStatus::RejectedOverload) {
       ++rejected;
-      // Rung 2 stamps the retry-after hint, and v3 carries it.
-      EXPECT_EQ(response.retry_after_ms, 123u);
+      // Rung 2 stamps the retry-after hint, and v3 carries it. The
+      // configured base is the floor; with a backlog of stalled races the
+      // hint stretches to the predicted pending-work drain time (capped
+      // at 60s) — a client told "123ms" against a multi-request stall
+      // would only bounce off the gate again.
+      EXPECT_GE(response.retry_after_ms, 123u);
+      EXPECT_LE(response.retry_after_ms, 60'000u);
     } else {
       ASSERT_TRUE(response.ok()) << status_name(response.status) << ": " << response.message;
       expect_valid_if_ok(response, graphs[static_cast<std::size_t>(i)]);

@@ -115,7 +115,7 @@ TEST(Journal, ConcurrentEmitLosesNoCount) {
 }
 
 TEST(Journal, EveryEventTypeAndLevelHasAName) {
-  for (int raw = 0; raw <= static_cast<int>(EventType::SloRecovered); ++raw) {
+  for (int raw = 0; raw <= static_cast<int>(EventType::TunerPretrim); ++raw) {
     EXPECT_STRNE(journal_event_name(static_cast<EventType>(raw)), "unknown");
   }
   for (int raw = 0; raw <= static_cast<int>(EventLevel::Error); ++raw) {

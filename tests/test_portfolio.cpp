@@ -188,6 +188,40 @@ TEST_F(WinTableMerge, MergePreservesLiveRaceCounts) {
   EXPECT_EQ(racing.wins(instance.n(), outcome.winner), live + 9);
 }
 
+TEST_F(WinTableMerge, PoisonedHeuristicTableStillReprobesExactEngine) {
+  // Regression: a restart that merges a heuristic-heavy persisted win
+  // table used to disable the exact engine permanently — with zero exact
+  // wins on record the skip rule never launched it again, so exact wins
+  // stayed zero forever. The re-probe policy must launch the exact engine
+  // every Nth otherwise-skipped race and let it recover the bucket.
+  PortfolioOptions options;
+  options.deadline = std::chrono::milliseconds{0};  // exact always finishes
+  EnginePortfolio portfolio(pool_, options);
+  auto poisoned = empty_table();
+  poisoned[index_of(12, 2)] = 1000;  // ChainedLK owns the bucket, exact never won
+  portfolio.merge_win_table(poisoned);
+
+  Rng rng(11);
+  const Graph graph = random_with_diameter_at_most(12, 2, 0.3, rng);
+  const MetricInstance instance = reduced_instance(graph, PVec::L21());
+  bool exact_attempted = false;
+  // Unbounded races at n = 12: whenever the exact engine is launched it
+  // finishes, certifies the optimum, and wins the tie-break against the
+  // heuristic — so "exact recovers wins" reduces to "exact is re-probed".
+  for (int race = 0; race < 64 && portfolio.wins(12, Engine::HeldKarp) == 0; ++race) {
+    const PortfolioOutcome outcome = portfolio.race(instance);
+    ASSERT_GE(outcome.solution.cost, 0);
+    for (const EngineAttempt& attempt : outcome.attempts) {
+      if (attempt.engine == Engine::HeldKarp || attempt.engine == Engine::BranchBound) {
+        exact_attempted = true;
+      }
+    }
+  }
+  EXPECT_TRUE(exact_attempted) << "exact engine was never re-probed from a poisoned table";
+  EXPECT_GE(portfolio.wins(12, Engine::HeldKarp), 1u)
+      << "re-probed exact engine failed to recover wins";
+}
+
 TEST(Portfolio, TrivialInstancesAreExactInline) {
   TaskPool pool(2);
   EnginePortfolio portfolio(pool);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -263,6 +264,45 @@ TEST(JournalCapacity, DumpJsonSinceFiltersOldEvents) {
   EXPECT_EQ(journal.dump_json(events.back().seq), "[]");
   // since = 0 keeps the full dump.
   EXPECT_NE(journal.dump_json().find("store-healed"), std::string::npos);
+}
+
+
+// format_fixed2 is the profile JSON's only float renderer; the direct
+// double->uint64 cast it replaced was undefined for NaN, infinities and
+// anything past 2^64 hundredths. Pin the clamped behavior.
+TEST(FormatFixed2, RendersNormalValues) {
+  EXPECT_EQ(format_fixed2(0.0), "0.00");
+  EXPECT_EQ(format_fixed2(1.0), "1.00");
+  EXPECT_EQ(format_fixed2(0.125), "0.13");   // rounds half up
+  EXPECT_EQ(format_fixed2(1234.5), "1234.50");
+  EXPECT_EQ(format_fixed2(0.004), "0.00");
+}
+
+TEST(FormatFixed2, NonFiniteAndOutOfRangeInputsAreClamped) {
+  constexpr const char* kClamp = "1000000000000000.00";  // the 1e15 ceiling
+  EXPECT_EQ(format_fixed2(std::numeric_limits<double>::quiet_NaN()), "0.00");
+  EXPECT_EQ(format_fixed2(-std::numeric_limits<double>::infinity()), "0.00");
+  EXPECT_EQ(format_fixed2(-42.5), "0.00");  // rates and ratios are never negative
+  EXPECT_EQ(format_fixed2(std::numeric_limits<double>::infinity()), kClamp);
+  EXPECT_EQ(format_fixed2(1e30), kClamp);
+  EXPECT_EQ(format_fixed2(1e15), kClamp);
+  // Just under the ceiling still renders exactly.
+  EXPECT_EQ(format_fixed2(999.99), "999.99");
+}
+
+// bucket_mean_ns is the admission predictor's hot-key signal: mean engine
+// time per solve across every tracked key of one size bucket.
+TEST(KeyProfileTable, BucketMeanAveragesAcrossKeysOfOneBucket) {
+  KeyProfileTable table;
+  // n=10 and n=12 share size bucket 4 (bit_width); n=20 lands in 5.
+  table.record(0x1, 10, 1'000, "held_karp", false, false);
+  table.record(0x1, 10, 3'000, "held_karp", false, false);
+  table.record(0x2, 12, 8'000, "chained_lk", false, false);
+  table.record(0x3, 20, 50'000, "branch_bound", false, false);
+
+  EXPECT_EQ(table.bucket_mean_ns(4), (1'000u + 3'000u + 8'000u) / 3);
+  EXPECT_EQ(table.bucket_mean_ns(5), 50'000u);
+  EXPECT_EQ(table.bucket_mean_ns(6), 0u);  // no history: caller must fall back
 }
 
 }  // namespace

@@ -20,7 +20,8 @@
 /// with seq > SEQ, so a poller can resume from its last cursor instead of
 /// re-reading the ring. --profile scrapes the work-attribution profile
 /// (per-engine work counters and rates, top-K hot canonical keys, deadline
-/// SLO summary) as JSON (v4+). --watch turns the tool into a live
+/// SLO summary, and the "tuner" block — per-bucket decayed win scores,
+/// trim state, effort percent, and predicted request cost) as JSON (v4+). --watch turns the tool into a live
 /// rate view: it scrapes the Prometheus exposition every SECONDS (default
 /// 2), diffs consecutive snapshots with SnapshotDelta, and redraws a
 /// top-style screen of per-second rates and interval percentiles;

@@ -18,6 +18,8 @@
 ///          [--store-degraded-after=3] [--store-probe-ms=1000]
 ///          [--brownout-heuristic-pending=N] [--brownout-reject-pending=N]
 ///          [--brownout-retry-after-ms=250]
+///          [--no-learn] [--learn-reprobe=16] [--learn-decay-every=64]
+///          [--learn-effort-every=32] [--admission-work-budget=MS]
 ///
 /// Worker counts of 0 mean hardware concurrency. --max-pending is the
 /// service-wide admission bound (RejectedOverload beyond it); 0 disables
@@ -65,6 +67,18 @@
 /// Fault injection for drills: set LPTSP_FAULTS=site:prob:seed[:param],...
 /// (sites: store.append store.fsync store.compact_rename net.read_short
 /// net.write_short net.disconnect engine.stall).
+///
+/// Learning loop: the tuner (on by default) pre-trims the exact engine
+/// per size bucket from decayed win scores but re-probes it every
+/// --learn-reprobe-th skipped race (so a heuristic-heavy persisted win
+/// table can bias but never freeze it), decays scores every
+/// --learn-decay-every races, and re-tunes per-bucket engine effort every
+/// --learn-effort-every deadline-bounded races. --no-learn reverts to the
+/// static portfolio rules. --admission-work-budget=MS admits requests
+/// against predicted pending engine work (rejecting when the backlog's
+/// predicted cost exceeds MS milliseconds) instead of only counting them;
+/// the retry-after hint stretches with the predicted drain time either
+/// way. See README "Learning loop".
 
 #include <sys/stat.h>
 
@@ -130,6 +144,16 @@ int main(int argc, char** argv) {
   solver_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   solver_options.trace_capacity = static_cast<std::size_t>(args.get_int("trace-keep", 64));
   solver_options.trace_threshold = std::chrono::milliseconds{args.get_int("trace-slow-ms", 0)};
+  solver_options.tuner.enabled = !args.has("no-learn");
+  solver_options.portfolio.learn = solver_options.tuner.enabled;
+  solver_options.tuner.reprobe_every =
+      static_cast<std::uint32_t>(args.get_int("learn-reprobe", 16));
+  solver_options.tuner.decay_every =
+      static_cast<std::uint32_t>(args.get_int("learn-decay-every", 64));
+  solver_options.tuner.effort_update_every =
+      static_cast<std::uint32_t>(args.get_int("learn-effort-every", 32));
+  solver_options.max_pending_work_ns =
+      static_cast<std::uint64_t>(args.get_int("admission-work-budget", 0)) * 1'000'000ULL;
 
   std::string store_path = args.get("cache-file", "");
   const std::string state_dir = args.get("state-dir", "");
@@ -219,6 +243,17 @@ int main(int argc, char** argv) {
               server_options.brownout_reject_pending, server_options.brownout_retry_after_ms,
               solver_options.store_degraded_after_failures, obs::journal().capacity(),
               fault::describe().c_str());
+  if (solver_options.tuner.enabled) {
+    std::printf("lptspd: learning on (reprobe every %u skips, decay every %u races, "
+                "effort window %u); admission work budget %llums%s\n",
+                solver_options.tuner.reprobe_every, solver_options.tuner.decay_every,
+                solver_options.tuner.effort_update_every,
+                static_cast<unsigned long long>(solver_options.max_pending_work_ns / 1'000'000),
+                solver_options.max_pending_work_ns == 0 ? " (gauge only, count gate active)" : "");
+  } else {
+    std::printf("lptspd: learning off (--no-learn): static skip rule, fixed effort, "
+                "count-based admission\n");
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_signal);
